@@ -1,0 +1,35 @@
+// ABLATION: the classifier's minimum-evidence gate. The paper classifies
+// any block with >= 1 API-enabled hit; requiring more evidence trades
+// recall (tail blocks observed a handful of times) for marginally fewer
+// noise-driven false positives. This quantifies that trade-off.
+#include "bench_common.hpp"
+#include "cellspot/util/metrics.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Ablation: minimum API hits per block",
+              "Evidence gate vs classification quality");
+
+  std::printf("%-10s %-10s %-10s %-10s %-12s %-12s\n", "min-hits", "precision",
+              "recall", "F1", "detected", "observed");
+  for (const std::uint64_t min_hits : {1ULL, 2ULL, 3ULL, 5ULL, 10ULL, 25ULL, 100ULL}) {
+    const auto classified =
+        core::SubnetClassifier({.threshold = 0.5, .min_netinfo_hits = min_hits})
+            .Classify(e.beacons);
+    util::ConfusionMatrix m;
+    for (const simnet::Subnet& s : e.world.subnets()) {
+      if (s.proxy_terminating || s.demand_du <= 0.0) continue;
+      m.Add(s.truth_cellular, classified.IsCellular(s.block));
+    }
+    std::printf("%-10llu %-10.3f %-10.3f %-10.3f %-12zu %-12zu\n",
+                static_cast<unsigned long long>(min_hits), m.Precision(), m.Recall(),
+                m.F1(), classified.cellular().size(), classified.ratios().size());
+  }
+  std::printf("\nThe paper's >= 1 gate maximises recall; precision is already near 1\n"
+              "there because false cellular labels are rare (§4.2), so stricter\n"
+              "gates only shrink the map.\n");
+  return 0;
+}

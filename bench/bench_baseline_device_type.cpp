@@ -1,0 +1,66 @@
+// BASELINE comparison (§1's motivating argument): classify blocks from
+// *device type* (mobile-browser share) instead of the Network
+// Information API, and score both against ground truth. The paper
+// dismisses the device signal because "users tend to offload cellular
+// traffic to WiFi" — fixed-line blocks full of phones become false
+// positives at any threshold.
+#include "bench_common.hpp"
+#include "cellspot/core/device_baseline.hpp"
+#include "cellspot/util/metrics.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+namespace {
+
+util::ConfusionMatrix Score(const analysis::Experiment& e,
+                            const core::ClassifiedSubnets& classified) {
+  util::ConfusionMatrix m;
+  for (const simnet::Subnet& s : e.world.subnets()) {
+    if (s.proxy_terminating || s.demand_du <= 0.0) continue;
+    m.Add(s.truth_cellular, classified.IsCellular(s.block));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Baseline: device type vs Network Information API",
+              "Why §1 rejects the device-type signal");
+
+  std::printf("Device-type classifier (mobile-browser share >= t):\n");
+  std::printf("  %-10s %-10s %-10s %-10s %-12s\n", "threshold", "precision", "recall",
+              "F1", "detected");
+  double best_f1 = 0.0;
+  double precision_at_best = 0.0;
+  for (int step = 1; step <= 19; ++step) {
+    const double t = step / 20.0;
+    const auto classified =
+        core::DeviceTypeClassifier({.threshold = t}).Classify(e.beacons);
+    const auto m = Score(e, classified);
+    if (m.F1() > best_f1) {
+      best_f1 = m.F1();
+      precision_at_best = m.Precision();
+    }
+    if (step % 2 == 1) {
+      std::printf("  %-10.2f %-10.3f %-10.3f %-10.3f %-12zu\n", t, m.Precision(),
+                  m.Recall(), m.F1(), classified.cellular().size());
+    }
+  }
+
+  const auto api = Score(e, e.classified);
+  std::printf("\nNetwork Information classifier (paper, threshold 0.5):\n");
+  std::printf("  precision %.3f, recall %.3f, F1 %.3f\n", api.Precision(), api.Recall(),
+              api.F1());
+
+  util::TextTable t({"Method", "Best F1", "Precision at best"});
+  t.AddRow({"Device type (any threshold)", Dbl(best_f1, 3), Dbl(precision_at_best, 3)});
+  t.AddRow({"Network Information API", Dbl(api.F1(), 3), Dbl(api.Precision(), 3)});
+  std::printf("\n%s", t.Render().c_str());
+  std::printf("\nThe device signal saturates: phones are everywhere, so mobile-heavy\n"
+              "blocks include vast fixed-line space. The API's cellular label is the\n"
+              "only signal whose false-positive rate is structurally near zero.\n");
+  return 0;
+}

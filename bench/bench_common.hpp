@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses: every bench builds the
+// same cached world (see SharedPaperExperiment), reproduces one table or
+// figure, and prints the paper's reported values next to the measured
+// ones so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/analysis/reports.hpp"
+#include "cellspot/util/stats.hpp"
+#include "cellspot/util/strings.hpp"
+#include "cellspot/util/table.hpp"
+
+namespace cellspot::bench {
+
+inline void PrintHeader(const std::string& experiment, const std::string& what) {
+  std::printf("=================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("World: scale %.3g (CELLSPOT_SCALE overrides), seed %llu\n",
+              analysis::SharedPaperExperiment().world.config().scale,
+              static_cast<unsigned long long>(
+                  analysis::SharedPaperExperiment().world.config().seed));
+  std::printf("=================================================================\n");
+}
+
+/// "paper X / measured Y" cell pair.
+inline std::string Vs(const std::string& paper, const std::string& measured) {
+  return paper + " | " + measured;
+}
+
+inline std::string Pct(double fraction, int precision = 1) {
+  return util::FormatPercent(fraction, precision);
+}
+
+inline std::string Num(std::uint64_t v) { return util::FormatWithCommas(v); }
+
+inline std::string Dbl(double v, int precision = 2) {
+  return util::FormatDouble(v, precision);
+}
+
+/// Print an empirical CDF as an x/F(x) series at fixed x steps, the way
+/// the paper's figures sample their curves.
+inline void PrintCdfSeries(const char* name, const util::EmpiricalCdf& cdf,
+                           double lo, double hi, int steps) {
+  std::printf("%s:\n", name);
+  for (int i = 0; i <= steps; ++i) {
+    const double x = lo + (hi - lo) * i / steps;
+    std::printf("  x=%-8.3f F(x)=%.4f\n", x, cdf.At(x));
+  }
+}
+
+}  // namespace cellspot::bench

@@ -1,0 +1,53 @@
+// EXTENSION: compress the detected cellular map into its minimal CIDR
+// list. The compression ratio measures how contiguous detected cellular
+// space is — the structural fact behind Lee & Spring's /24-homogeneity
+// assumption (§4.1) — and the compact list is what a consumer would
+// actually deploy (ACLs, routing policies).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "cellspot/core/aggregation.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Extension: cellular map compression",
+              "Minimal CIDR list for the detected cellular space");
+
+  std::vector<netaddr::Prefix> v4;
+  std::vector<netaddr::Prefix> v6;
+  for (const netaddr::Prefix& block : e.classified.cellular()) {
+    (block.family() == netaddr::Family::kIpv4 ? v4 : v6).push_back(block);
+  }
+
+  const auto v4_stats = core::SummarizeCompression(v4);
+  const auto v6_stats = core::SummarizeCompression(v6);
+
+  util::TextTable t({"Family", "Detected blocks", "CIDR list", "Ratio", "Coarsest"});
+  t.AddRow({"IPv4 (/24)", Num(v4_stats.input_count), Num(v4_stats.output_count),
+            Dbl(v4_stats.Ratio(), 2) + "x", "/" + std::to_string(v4_stats.shortest_prefix)});
+  t.AddRow({"IPv6 (/48)", Num(v6_stats.input_count), Num(v6_stats.output_count),
+            Dbl(v6_stats.Ratio(), 2) + "x", "/" + std::to_string(v6_stats.shortest_prefix)});
+  std::printf("%s", t.Render().c_str());
+
+  // Largest aggregates: where the operators' contiguous CGNAT ranges are.
+  auto compressed = core::CompressPrefixes(v4);
+  std::sort(compressed.begin(), compressed.end(),
+            [](const netaddr::Prefix& a, const netaddr::Prefix& b) {
+              return a.length() < b.length();
+            });
+  std::printf("\nLargest IPv4 aggregates:\n");
+  for (std::size_t i = 0; i < compressed.size() && i < 8; ++i) {
+    const auto origin = e.world.rib().OriginOf(compressed[i].address());
+    const asdb::AsRecord* record =
+        origin ? e.world.as_db().Find(*origin) : nullptr;
+    std::printf("  %-20s (%s)\n", compressed[i].ToString().c_str(),
+                record != nullptr ? record->name.c_str() : "?");
+  }
+  std::printf("\nPer the paper's Finding 3, cellular space is operated as a small\n"
+              "number of contiguous pools: the deployable list is ~%.0fx smaller\n"
+              "than the raw /24 map.\n", v4_stats.Ratio());
+  return 0;
+}

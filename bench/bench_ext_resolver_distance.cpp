@@ -1,0 +1,65 @@
+// EXTENSION of §6.3 / Finding 4: quantify the geographic side of
+// resolver sharing. The paper reports one anecdote — a Brazilian mixed
+// carrier whose cellular clients resolved 1,470 miles away while fixed
+// clients of the same resolvers were local. This harness measures the
+// median client-to-resolver distance per mixed operator for both
+// populations across the whole world.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "cellspot/dns/distance.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Extension: resolver distance",
+              "Client-to-resolver distance, cellular vs fixed, in mixed ASes");
+
+  std::vector<asdb::AsNumber> mixed;
+  for (const core::AsAggregate& as : e.filtered.kept) {
+    if (!core::IsDedicated(as)) mixed.push_back(as.asn);
+  }
+  const auto rows = dns::AnalyzeResolverDistances(e.world, mixed);
+
+  std::vector<double> ratios;
+  const dns::OperatorDistance* brazil = nullptr;
+  for (const dns::OperatorDistance& row : rows) {
+    if (row.median_fixed_km > 0.0) {
+      ratios.push_back(row.median_cell_km / row.median_fixed_km);
+    }
+    if (row.country_iso == "BR" &&
+        (brazil == nullptr || row.median_cell_km > brazil->median_cell_km)) {
+      brazil = &row;
+    }
+  }
+
+  std::printf("Mixed operators analysed: %zu\n\n", rows.size());
+  std::printf("Across operators (median of medians):\n");
+  std::vector<double> cell, fixed;
+  for (const auto& row : rows) {
+    cell.push_back(row.median_cell_km);
+    fixed.push_back(row.median_fixed_km);
+  }
+  std::printf("  cellular clients:  %7.0f km to resolver\n",
+              util::Percentile(cell, 50.0));
+  std::printf("  fixed clients:     %7.0f km to resolver\n",
+              util::Percentile(fixed, 50.0));
+  std::printf("  cellular/fixed distance ratio (median): %.1fx\n",
+              util::Percentile(ratios, 50.0));
+
+  if (brazil != nullptr) {
+    std::printf("\nLargest Brazilian mixed carrier (the paper's anecdote):\n");
+    std::printf("  cellular median %0.f km (paper anecdote: Fortaleza->São Paulo,\n"
+                "  1,470 miles = 2,365 km for the worst-placed clients)\n",
+                brazil->median_cell_km);
+    std::printf("  fixed median    %0.f km (paper: 'nearly all in São Paulo')\n",
+                brazil->median_fixed_km);
+  }
+
+  std::printf("\nFinding 4 (shape): cellular clients resolve much farther from\n"
+              "their resolvers than the fixed clients sharing those resolvers —\n"
+              "shared resolvers are proximal only to the fixed population.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 11: top-ten countries per continent by share of global cellular
+// demand. Paper anchors: the U.S. alone > 30% of global cellular demand;
+// the top-5 countries 55.7%; the top-20 ~80%; a clear heavy tail inside
+// every continent.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Figure 11", "Global cellular demand share by country, per continent");
+
+  auto countries = analysis::CountryDemandReport(e);
+  std::erase_if(countries, [](const analysis::CountryDemand& cd) { return cd.excluded; });
+  double global_cell = 0.0;
+  for (const auto& cd : countries) global_cell += cd.cell_du;
+
+  for (geo::Continent continent : geo::AllContinents()) {
+    std::vector<const analysis::CountryDemand*> in;
+    for (const auto& cd : countries) {
+      if (cd.continent == continent) in.push_back(&cd);
+    }
+    std::sort(in.begin(), in.end(), [](const auto* a, const auto* b) {
+      return a->cell_du > b->cell_du;
+    });
+    std::printf("\n%s:\n  ", std::string(geo::ContinentName(continent)).c_str());
+    for (std::size_t i = 0; i < in.size() && i < 10; ++i) {
+      std::printf("%s=%.2f%%  ", in[i]->iso.c_str(),
+                  100.0 * in[i]->cell_du / global_cell);
+    }
+    std::printf("\n");
+  }
+
+  // Global concentration anchors.
+  std::sort(countries.begin(), countries.end(),
+            [](const auto& a, const auto& b) { return a.cell_du > b.cell_du; });
+  double top5 = 0.0;
+  double top20 = 0.0;
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    if (i < 5) top5 += countries[i].cell_du;
+    if (i < 20) top20 += countries[i].cell_du;
+  }
+  std::printf("\nU.S. share of global cellular demand: paper >30%% | measured %s\n",
+              Pct(countries.front().cell_du / global_cell).c_str());
+  std::printf("Top-5 countries:                      paper 55.7%% | measured %s\n",
+              Pct(top5 / global_cell).c_str());
+  std::printf("Top-20 countries:                     paper ~80%% | measured %s\n",
+              Pct(top20 / global_cell).c_str());
+  return 0;
+}

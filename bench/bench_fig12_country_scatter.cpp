@@ -1,0 +1,61 @@
+// Fig 12: countries plotted by overall cellular demand (log scale)
+// against the cellular fraction of their traffic. Paper anchors: the
+// U.S. has by far the largest demand at only 16.6% cellular; Ghana sits
+// at 95.9% and Laos at 87.1% cellular; Indonesia combines high demand
+// with 63%; Europe/Americas cluster below 0.2 while Africa/Asia populate
+// the cellular-dominant right side.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Figure 12", "Country cellular demand vs cellular fraction");
+
+  auto countries = analysis::CountryDemandReport(e);
+  std::erase_if(countries, [](const analysis::CountryDemand& cd) { return cd.excluded; });
+  std::sort(countries.begin(), countries.end(),
+            [](const auto& a, const auto& b) { return a.cell_du > b.cell_du; });
+
+  std::printf("%-4s %-14s %14s %10s\n", "iso", "continent", "cell demand DU",
+              "cell frac");
+  for (const auto& cd : countries) {
+    if (cd.cell_du < 1.0) continue;  // figure omits negligible markets
+    std::printf("%-4s %-14s %14.2f %9.1f%%\n", cd.iso.c_str(),
+                std::string(geo::ContinentCode(cd.continent)).c_str(), cd.cell_du,
+                100.0 * cd.CellFraction());
+  }
+
+  util::TextTable t({"Country", "Fraction (paper | measured)"});
+  const struct {
+    const char* iso;
+    const char* paper;
+  } kAnchors[] = {{"US", "16.6%"}, {"GH", "95.9%"}, {"LA", "87.1%"},
+                  {"ID", "63%"},   {"FR", "12.1%"}, {"FI", "~7%"}};
+  for (const auto& anchor : kAnchors) {
+    for (const auto& cd : countries) {
+      if (cd.iso == anchor.iso) {
+        t.AddRow({anchor.iso, Vs(anchor.paper, Pct(cd.CellFraction()))});
+      }
+    }
+  }
+  std::printf("\n%s", t.Render().c_str());
+
+  // Cluster claim: most European/American countries sit below 0.2.
+  int low = 0;
+  int western = 0;
+  for (const auto& cd : countries) {
+    const bool west = cd.continent == geo::Continent::kEurope ||
+                      cd.continent == geo::Continent::kNorthAmerica ||
+                      cd.continent == geo::Continent::kSouthAmerica;
+    if (!west || cd.total_du < 5.0) continue;
+    ++western;
+    if (cd.CellFraction() < 0.25) ++low;
+  }
+  std::printf("\nEU/NA/SA countries below ~0.2-0.25 cellular: %d of %d "
+              "(paper: the majority cluster on the far left)\n", low, western);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 1: fraction of beacon hits with Network Information API data,
+// Sep 2015 - Jun 2017, stacked by browser. Paper anchors: 13.2% in
+// Dec 2016, ~15% by Jun 2017, dominated by Chrome Mobile + Android
+// WebKit (96.7% from Google browsers in Dec 2016).
+#include "bench_common.hpp"
+#include "cellspot/cdn/netinfo_series.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+using netinfo::Browser;
+
+int main() {
+  PrintHeader("Figure 1", "Network Information API adoption by month and browser");
+
+  const auto series =
+      cdn::SimulateAdoptionSeries({2015, 9}, {2017, 6}, 5'000'000, 20161224);
+
+  std::printf("%-9s %9s %9s %9s %9s %9s\n", "month", "chrome-m", "webkit",
+              "firefox-m", "chrome-d", "total");
+  for (const cdn::AdoptionPoint& p : series) {
+    std::printf("%-9s %8.2f%% %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n",
+                p.month.ToString().c_str(),
+                100.0 * p.browser_fraction[static_cast<int>(Browser::kChromeMobile)],
+                100.0 * p.browser_fraction[static_cast<int>(Browser::kAndroidWebkit)],
+                100.0 * p.browser_fraction[static_cast<int>(Browser::kFirefoxMobile)],
+                100.0 * p.browser_fraction[static_cast<int>(Browser::kChromeDesktop)],
+                100.0 * p.total);
+  }
+
+  // Anchor comparisons.
+  const auto* dec2016 = &series[util::MonthsBetween({2015, 9}, {2016, 12})];
+  double google = 0.0;
+  for (Browser b : netinfo::AllBrowsers()) {
+    if (netinfo::IsGoogleBrowser(b)) {
+      google += dec2016->browser_fraction[static_cast<std::size_t>(b)];
+    }
+  }
+  std::printf("\nDec 2016 total:        paper 13.2%%  measured %s\n",
+              Pct(dec2016->total).c_str());
+  std::printf("Dec 2016 Google share: paper 96.7%%  measured %s\n",
+              Pct(google / dec2016->total).c_str());
+  std::printf("Jun 2017 total:        paper ~15%%   measured %s\n",
+              Pct(series.back().total).c_str());
+  return 0;
+}

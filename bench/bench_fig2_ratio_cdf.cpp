@@ -1,0 +1,33 @@
+// Fig 2: CDF of per-block cellular ratios for IPv4/IPv6 subnets, and the
+// same weighted by block demand. Paper anchors: 91.3% of /24s and 98.7%
+// of /48s score < 0.1; 5.8% of /24s and 1.2% of /48s score > 0.9; 80% of
+// IPv4 demand and most IPv6 demand sits below 0.1; 13.1% of IPv4 demand
+// above 0.9; 6.9% of IPv4 demand in between.
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Figure 2", "Distribution of cellular ratios (subnets and demand)");
+
+  const auto r = analysis::RatioCdfReport(e);
+  PrintCdfSeries("IPv4 subnets", r.v4_subnets, 0.0, 1.0, 10);
+  PrintCdfSeries("IPv6 subnets", r.v6_subnets, 0.0, 1.0, 10);
+  PrintCdfSeries("IPv4 demand", r.v4_demand, 0.0, 1.0, 10);
+  PrintCdfSeries("IPv6 demand", r.v6_demand, 0.0, 1.0, 10);
+
+  util::TextTable t({"Statistic", "paper", "measured"});
+  t.AddRow({"/24 subnets with ratio < 0.1", "91.3%", Pct(r.v4_subnets.At(0.0999))});
+  t.AddRow({"/48 subnets with ratio < 0.1", "98.7%", Pct(r.v6_subnets.At(0.0999))});
+  t.AddRow({"/24 subnets with ratio > 0.9", "5.8%", Pct(1.0 - r.v4_subnets.At(0.9))});
+  t.AddRow({"/48 subnets with ratio > 0.9", "1.2%", Pct(1.0 - r.v6_subnets.At(0.9))});
+  t.AddRow({"IPv4 demand with ratio < 0.1", "80%", Pct(r.v4_demand.At(0.0999))});
+  t.AddRow({"IPv4 demand with ratio > 0.9", "13.1%", Pct(1.0 - r.v4_demand.At(0.9))});
+  t.AddRow({"IPv4 demand 0.1 - 0.9", "6.9%",
+            Pct(r.v4_demand.At(0.9) - r.v4_demand.At(0.0999))});
+  t.AddRow({"IPv6 demand with ratio > 0.9", "6.4%", Pct(1.0 - r.v6_demand.At(0.9))});
+  std::printf("\n%s", t.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 6: per-block breakdown of two large carriers — one dedicated U.S.
+// AS and one mixed European AS. For each, the CDF of subnets and of
+// demand against the block's cellular percentage. Paper anchors:
+// dedicated — ~40% of blocks at ratio 0 with no demand, nearly all
+// demand from a few blocks with ratios 0.7-0.9; mixed — < 2% of blocks
+// above ratio 0.2, which capture < 6% of the AS demand but ~all of its
+// cellular demand.
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+namespace {
+
+void Breakdown(const analysis::Experiment& e, const simnet::OperatorInfo* op,
+               const char* title) {
+  if (op == nullptr) {
+    std::printf("%s: carrier not present in this world\n", title);
+    return;
+  }
+  const auto points = analysis::OperatorRatioBreakdown(e, op->asn);
+  if (points.empty()) {
+    std::printf("%s: no observed blocks\n", title);
+    return;
+  }
+  double total_demand = 0.0;
+  for (const auto& p : points) total_demand += p.demand_du;
+
+  std::printf("\n%s (%s AS%u): %zu observed blocks, %.2f DU\n", title,
+              op->country_iso.c_str(), op->asn, points.size(), total_demand);
+  std::printf("  %-10s %-16s %-16s\n", "ratio <=", "subnet fraction", "demand fraction");
+  const double steps[] = {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
+  for (double x : steps) {
+    std::size_t subnets = 0;
+    double demand = 0.0;
+    for (const auto& p : points) {
+      if (p.ratio <= x) {
+        ++subnets;
+        demand += p.demand_du;
+      }
+    }
+    std::printf("  %-10.2f %-16.3f %-16.3f\n", x,
+                static_cast<double>(subnets) / points.size(),
+                total_demand > 0.0 ? demand / total_demand : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Figure 6", "Block-level breakdown of a dedicated and a mixed carrier");
+
+  Breakdown(e, analysis::FindCarrier(e, 'B'), "(a) Large U.S. dedicated network");
+  Breakdown(e, analysis::FindCarrier(e, 'A'), "(b) Large European mixed network");
+
+  std::printf("\nPaper anchors: (a) most demand from high-ratio CGNAT gateways;\n"
+              "(b) the tiny high-ratio slice captures ~all cellular demand while\n"
+              "being a sliver of the AS's blocks and total demand.\n");
+  return 0;
+}

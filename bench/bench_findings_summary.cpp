@@ -1,0 +1,95 @@
+// Capstone harness: every numbered finding of the paper (§6.4 and §7.3)
+// re-measured from the shared world, one line each.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "cellspot/dns/dns_simulator.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  const dns::DnsSimulator dns_sim(e.world);
+  PrintHeader("Findings summary", "Paper findings (§6.4, §7.3) vs this reproduction");
+
+  util::TextTable t({"Finding", "Paper", "Measured"});
+
+  // §6.4 Finding 1: mixed majority.
+  const auto mixed = analysis::MixedOperatorReport(e);
+  t.AddRow({"1. Cellular ASes that are mixed", "58.6%",
+            Pct(static_cast<double>(mixed.mixed_count) /
+                (mixed.mixed_count + mixed.dedicated_count))});
+
+  // §6.4 Finding 2: demand centralised in a few networks.
+  const auto ranked = analysis::RankAsesByCellDemand(e);
+  double top10 = 0.0;
+  for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+    top10 += ranked[i].share_of_global_cell;
+  }
+  t.AddRow({"2. Top-10 ASes' share of cellular demand", "38%", Pct(top10)});
+
+  // §6.4 Finding 3: concentration in few addresses.
+  const simnet::OperatorInfo* carrier_a = analysis::FindCarrier(e, 'A');
+  if (carrier_a != nullptr) {
+    const auto conc = analysis::SubnetConcentrationReport(e, carrier_a->asn);
+    t.AddRow({"3. /24s carrying 99% of a mixed carrier's cell demand",
+              "~25 (Gini near 1)",
+              Num(conc.blocks_for_99pct_cell) + " (Gini " +
+                  Dbl(conc.cellular_gini, 2) + ")"});
+  }
+
+  // §6.4 Finding 4: resolver sharing.
+  const auto resolver_cdf = analysis::ResolverSharingReport(e, dns_sim);
+  const double shared =
+      resolver_cdf.At(0.99) - resolver_cdf.At(0.01);
+  t.AddRow({"4. Shared resolvers in mixed networks", "~60%", Pct(shared)});
+
+  // §6.4 Finding 5: public DNS outside the U.S.
+  double us_public = 0.0;
+  double intl_max = 0.0;
+  for (const analysis::PublicDnsRow& row : analysis::PublicDnsReport(e, dns_sim)) {
+    const double total = row.share[0] + row.share[1] + row.share[2];
+    if (row.label.rfind("US", 0) == 0) us_public = std::max(us_public, total);
+    else intl_max = std::max(intl_max, total);
+  }
+  t.AddRow({"5. Public DNS: US max vs intl max", "<2% vs 97%",
+            Pct(us_public) + " vs " + Pct(intl_max)});
+
+  // §7.3 Finding 1: global share, Africa/Asia fractions.
+  double cell = 0.0;
+  double total = 0.0;
+  for (const auto& cd : analysis::CountryDemandReport(e)) {
+    if (cd.excluded) continue;
+    cell += cd.cell_du;
+    total += cd.total_du;
+  }
+  t.AddRow({"7.1 Cellular share of global demand", "16.2%", Pct(cell / total)});
+
+  // §7.3 Finding 2: country concentration.
+  auto countries = analysis::CountryDemandReport(e);
+  std::erase_if(countries, [](const auto& cd) { return cd.excluded; });
+  std::sort(countries.begin(), countries.end(),
+            [](const auto& a, const auto& b) { return a.cell_du > b.cell_du; });
+  double top5 = 0.0;
+  double top20 = 0.0;
+  double global_cell = 0.0;
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    global_cell += countries[i].cell_du;
+    if (i < 5) top5 += countries[i].cell_du;
+    if (i < 20) top20 += countries[i].cell_du;
+  }
+  t.AddRow({"7.2 Top-5 / top-20 countries' cellular demand", "55.7% / 80%",
+            Pct(top5 / global_cell) + " / " + Pct(top20 / global_cell)});
+
+  // §7.3 Finding 3: cellular-primary countries exist.
+  std::size_t primary = 0;
+  for (const auto& cd : countries) {
+    if (cd.total_du > 5.0 && cd.CellFraction() > 0.6) ++primary;
+  }
+  t.AddRow({"7.3 Countries with cellular as primary connectivity",
+            "several (GH, LA, ID, ...)", Num(primary) + " countries"});
+
+  std::printf("%s", t.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 4: number of detected cellular subnets per continent during
+// Dec 2016 and the share of active space that is cellular. Paper totals:
+// 350,687 /24 and 23,230 /48 (7.3% / 1.2% of active space); Africa is
+// majority-cellular (53.2%), North America just 2.1% of v4 but 9.9% of
+// active v6.
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  const double scale = e.world.config().scale;
+  PrintHeader("Table 4", "Detected cellular subnets by continent");
+
+  struct PaperRow {
+    const char* code;
+    double cell_v4;
+    double cell_v6;
+    const char* pct4;
+    const char* pct6;
+  };
+  constexpr PaperRow kPaper[] = {
+      {"AF", 79091, 28, "53.2%", "2.0%"},   {"AS", 86618, 4613, "5.7%", "0.5%"},
+      {"EU", 65442, 2117, "4.8%", "0.3%"},  {"NA", 27595, 16166, "2.1%", "9.9%"},
+      {"OC", 4352, 35, "5.4%", "0.07%"},    {"SA", 87589, 271, "22.6%", "0.9%"},
+  };
+
+  const auto rows = analysis::ContinentSubnetReport(e);
+  util::TextTable t({"Continent", "#/24 (paper x scale | measured)",
+                     "#/48 (paper x scale | measured)",
+                     "% act v4 (paper | measured)", "% act v6 (paper | measured)"});
+  std::size_t total_v4 = 0;
+  std::size_t total_v6 = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& paper = kPaper[i];
+    total_v4 += row.cell_v4;
+    total_v6 += row.cell_v6;
+    t.AddRow({std::string(geo::ContinentName(row.continent)),
+              Vs(Num(static_cast<std::uint64_t>(paper.cell_v4 * scale)), Num(row.cell_v4)),
+              Vs(Num(static_cast<std::uint64_t>(paper.cell_v6 * scale)), Num(row.cell_v6)),
+              Vs(paper.pct4, Pct(row.pct_active_v4)),
+              Vs(paper.pct6, Pct(row.pct_active_v6, 2))});
+  }
+  const double total_pct4 =
+      static_cast<double>(total_v4) /
+      e.classified.observed_count(netaddr::Family::kIpv4);
+  const double total_pct6 =
+      static_cast<double>(total_v6) /
+      e.classified.observed_count(netaddr::Family::kIpv6);
+  t.AddRow({"Total",
+            Vs(Num(static_cast<std::uint64_t>(350687 * scale)), Num(total_v4)),
+            Vs(Num(static_cast<std::uint64_t>(23230 * scale)), Num(total_v6)),
+            Vs("7.3%", Pct(total_pct4)), Vs("1.2%", Pct(total_pct6))});
+  std::printf("%s", t.Render().c_str());
+  return 0;
+}

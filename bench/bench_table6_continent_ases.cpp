@@ -1,0 +1,35 @@
+// Table 6: detected cellular ASes by continent and the average per
+// country. Paper: AF 114, AS 213, EU 185, NA 93, OC 16, SA 48; averages
+// between 2.0 and 4.5 per country with >= 1 cellular AS.
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Table 6", "Detected cellular ASes by continent");
+
+  struct PaperRow {
+    const char* code;
+    int as_count;
+    double avg;
+  };
+  constexpr PaperRow kPaper[] = {{"AF", 114, 2.6}, {"AS", 213, 4.5}, {"EU", 185, 4.2},
+                                 {"NA", 93, 3.9},  {"OC", 16, 2.0},  {"SA", 48, 4.0}};
+
+  const auto rows = analysis::ContinentAsReport(e);
+  util::TextTable t({"Continent", "#ASN (paper | measured)", "Avg/Country (paper | measured)"});
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    total += rows[i].as_count;
+    t.AddRow({std::string(geo::ContinentCode(rows[i].continent)),
+              Vs(std::to_string(kPaper[i].as_count), Num(rows[i].as_count)),
+              Vs(Dbl(kPaper[i].avg, 1), Dbl(rows[i].avg_per_country, 1))});
+  }
+  t.AddRow({"Total", Vs("668", Num(total)), ""});
+  std::printf("%s", t.Render().c_str());
+  std::printf("\nNote: measured averages run higher than the paper's because the\n"
+              "embedded world table carries ~140 countries vs the ~170 the CDN saw.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 8: cellular demand statistics by continent — the cellular share
+// of each continent's demand, the continent's share of global cellular
+// demand, mobile subscriptions, and demand per 1000 subscribers. China
+// is excluded (§7.1). Paper overall: cellular = 16.2% of global demand.
+#include "bench_common.hpp"
+
+using namespace cellspot;
+using namespace cellspot::bench;
+
+int main() {
+  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+  PrintHeader("Table 8", "Cellular demand statistics by continent (China excluded)");
+
+  constexpr struct {
+    const char* code;
+    const char* cell_frac;
+    const char* global_share;
+    double subscribers;
+    const char* dpks;
+  } kPaper[] = {
+      {"OC", "23.4%", "3.0%", 43.3, "0.0113"},  {"AF", "25.5%", "2.9%", 954, "0.0005"},
+      {"SA", "12.5%", "4.1%", 499, "0.0013"},   {"EU", "11.8%", "15.9%", 968, "0.0026"},
+      {"NA", "16.6%", "35%", 594, "0.0095"},    {"AS", "26.0%", "38.9%", 2766, "0.0022"},
+  };
+
+  const auto rows = analysis::ContinentDemandReport(e);
+  util::TextTable t({"Continent", "Cell frac (paper | measured)",
+                     "Global share (paper | measured)", "Subs M (paper | measured)",
+                     "DU/1000subs (paper | measured)"});
+  for (const auto& paper : kPaper) {
+    const auto continent = geo::ContinentFromCode(paper.code);
+    for (const auto& row : rows) {
+      if (row.continent != *continent) continue;
+      t.AddRow({std::string(geo::ContinentName(row.continent)),
+                Vs(paper.cell_frac, Pct(row.cell_fraction)),
+                Vs(paper.global_share, Pct(row.share_of_global_cell)),
+                Vs(Dbl(paper.subscribers, 0), Dbl(row.subscribers_m, 0)),
+                Vs(paper.dpks, Dbl(row.demand_per_kilo_sub, 4))});
+    }
+  }
+  std::printf("%s", t.Render().c_str());
+
+  double cell = 0.0;
+  double total = 0.0;
+  for (const auto& cd : analysis::CountryDemandReport(e)) {
+    if (cd.excluded) continue;
+    cell += cd.cell_du;
+    total += cd.total_du;
+  }
+  std::printf("\nOverall cellular fraction: paper 16.2%% | measured %s\n",
+              Pct(cell / total).c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: the deployed artifact. A service builds the cellular map
+// once (here: from a generated world; in production: from the pipeline
+// over real logs), writes it to disk, and then answers per-request
+// "is this client cellular?" lookups — the content-provider use case the
+// paper's introduction motivates (transport tuning, performance
+// debugging, SLA management).
+//
+//   $ ./ip_lookup                  # demo with sampled addresses
+//   $ ./ip_lookup 203.0.113.7 ...  # look up specific addresses
+#include <cstdio>
+#include <fstream>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/core/cellular_map.hpp"
+
+using namespace cellspot;
+
+int main(int argc, char** argv) {
+  // Build and persist the map (the expensive, offline step).
+  const analysis::Experiment exp = analysis::RunExperiment(simnet::WorldConfig::Tiny());
+  const core::CellularMap map = core::CellularMap::FromClassification(exp.classified);
+  {
+    std::ofstream out("cellular_map.txt");
+    map.Save(out);
+  }
+  std::printf("cellular map: %zu aggregated prefixes (from %zu detected blocks), "
+              "saved to cellular_map.txt\n\n",
+              map.size(), exp.classified.cellular().size());
+
+  // Serve lookups (the cheap, online step) — from a fresh load, as a
+  // deployed service would.
+  std::ifstream in("cellular_map.txt");
+  const core::CellularMap served = core::CellularMap::Load(in);
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const auto addr = netaddr::IpAddress::TryParse(argv[i]);
+      if (!addr) {
+        std::printf("%-24s invalid address\n", argv[i]);
+        continue;
+      }
+      std::printf("%-24s %s\n", argv[i],
+                  served.Contains(*addr) ? "CELLULAR" : "not cellular");
+    }
+    return 0;
+  }
+
+  // Demo: sample one address from a few known-cellular and known-fixed
+  // blocks and show the map agreeing with ground truth.
+  std::printf("%-24s %-14s %s\n", "address", "map says", "ground truth");
+  int shown_cell = 0;
+  int shown_fixed = 0;
+  for (const simnet::Subnet& s : exp.world.subnets()) {
+    if (s.demand_du <= 0.0 || s.beacon_scale <= 0.0 || s.proxy_terminating) continue;
+    if (s.truth_cellular && shown_cell >= 5) continue;
+    if (!s.truth_cellular && shown_fixed >= 5) continue;
+    const auto addr = netaddr::NthAddress(s.block, 77);
+    std::printf("%-24s %-14s %s\n", addr.ToString().c_str(),
+                served.Contains(addr) ? "CELLULAR" : "not cellular",
+                s.truth_cellular ? "cellular" : "fixed");
+    (s.truth_cellular ? shown_cell : shown_fixed)++;
+    if (shown_cell >= 5 && shown_fixed >= 5) break;
+  }
+  return 0;
+}

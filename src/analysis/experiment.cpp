@@ -1,0 +1,49 @@
+#include "cellspot/analysis/experiment.hpp"
+
+#include <cstdlib>
+
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::analysis {
+
+Experiment RunExperiment(const simnet::WorldConfig& config,
+                         const core::ClassifierConfig& classifier_config,
+                         const core::AsFilterConfig& filter_config) {
+  Experiment exp;
+  exp.world = simnet::World::Generate(config);
+  exp.beacons = cdn::BeaconGenerator(exp.world).GenerateDataset();
+  exp.demand = cdn::DemandGenerator(exp.world).GenerateDataset();
+  const core::SubnetClassifier classifier(classifier_config);
+  exp.classified = classifier.Classify(exp.beacons);
+  exp.candidates = core::AggregateCandidateAses(exp.world.rib(), exp.classified,
+                                                exp.beacons, exp.demand);
+  exp.filtered = core::ApplyAsFilters(exp.candidates, exp.world.as_db(), filter_config);
+  return exp;
+}
+
+const Experiment& SharedPaperExperiment() {
+  static const Experiment experiment = [] {
+    double scale = 0.05;
+    if (const char* env = std::getenv("CELLSPOT_SCALE")) {
+      if (const auto parsed = util::ParseDouble(env); parsed && *parsed > 0.0) {
+        scale = *parsed;
+      }
+    }
+    return RunExperiment(simnet::WorldConfig::Paper(scale));
+  }();
+  return experiment;
+}
+
+core::CarrierGroundTruth BuildCarrierTruth(const simnet::World& world,
+                                           asdb::AsNumber asn, std::string label) {
+  core::CarrierGroundTruth truth;
+  truth.label = std::move(label);
+  const simnet::OperatorInfo* op = world.FindOperator(asn);
+  if (op == nullptr) return truth;
+  for (const simnet::Subnet& s : world.SubnetsOf(*op)) {
+    truth.blocks.emplace(s.block, s.truth_cellular);
+  }
+  return truth;
+}
+
+}  // namespace cellspot::analysis

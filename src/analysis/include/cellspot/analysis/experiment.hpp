@@ -1,0 +1,42 @@
+// End-to-end experiment runner: world -> CDN datasets -> classification
+// -> AS pipeline. All table/figure reports and benchmark harnesses start
+// from an Experiment.
+#pragma once
+
+#include <memory>
+
+#include "cellspot/cdn/beacon_generator.hpp"
+#include "cellspot/cdn/demand_generator.hpp"
+#include "cellspot/core/as_pipeline.hpp"
+#include "cellspot/core/validation.hpp"
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::analysis {
+
+struct Experiment {
+  simnet::World world;
+  dataset::BeaconDataset beacons;
+  dataset::DemandDataset demand;
+  core::ClassifiedSubnets classified;
+  std::vector<core::AsAggregate> candidates;  // straw-man set (§5)
+  core::AsFilterOutcome filtered;             // after Table-5 heuristics
+};
+
+/// Run the full pipeline on a fresh world.
+[[nodiscard]] Experiment RunExperiment(const simnet::WorldConfig& config,
+                                       const core::ClassifierConfig& classifier = {},
+                                       const core::AsFilterConfig& filters = {});
+
+/// Cached default-world experiment shared by the benchmark binaries (the
+/// world takes a second or two to build; every bench needs the same one).
+/// The scale can be overridden once via the CELLSPOT_SCALE environment
+/// variable (e.g. CELLSPOT_SCALE=0.02 for quicker runs).
+[[nodiscard]] const Experiment& SharedPaperExperiment();
+
+/// Ground-truth subnet list for one operator in a generated world
+/// (what Carriers A-C handed the authors in §4.2).
+[[nodiscard]] core::CarrierGroundTruth BuildCarrierTruth(const simnet::World& world,
+                                                         asdb::AsNumber asn,
+                                                         std::string label);
+
+}  // namespace cellspot::analysis

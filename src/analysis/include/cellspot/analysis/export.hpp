@@ -1,0 +1,59 @@
+// Plot-ready CSV series for every figure in the paper. The bench
+// harnesses print human-readable tables; these writers emit the same
+// series as machine-readable CSV so the figures can be re-plotted with
+// any tool (gnuplot/matplotlib) without re-running the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cellspot/analysis/reports.hpp"
+#include "cellspot/dns/dns_simulator.hpp"
+
+namespace cellspot::analysis {
+
+/// Fig 1: month, per-browser API fraction, total.
+void WriteFig1Csv(std::ostream& out);
+
+/// Fig 2: ratio, F(x) for v4/v6 subnets and demand.
+void WriteFig2Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 3: carrier, threshold, F1 (CIDR + demand), precision, recall.
+void WriteFig3Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 4: per-candidate-AS cellular demand and beacon hits (CDF points).
+void WriteFig4Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 5: per-AS CFD and cellular subnet fraction.
+void WriteFig5Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 6: per-block (ratio, demand) for the dedicated and mixed example
+/// carriers.
+void WriteFig6Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 7: rank, share of global cellular demand.
+void WriteFig7Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 8: rank, cellular DU, fixed DU for the mixed example carrier.
+void WriteFig8Csv(const Experiment& exp, std::ostream& out);
+
+/// Fig 9: resolver cellular-fraction CDF points.
+void WriteFig9Csv(const Experiment& exp, const dns::DnsSimulator& dns,
+                  std::ostream& out);
+
+/// Fig 10: operator label, per-service public-DNS share.
+void WriteFig10Csv(const Experiment& exp, const dns::DnsSimulator& dns,
+                   std::ostream& out);
+
+/// Fig 11/12: country, continent, cellular DU, total DU, fraction.
+void WriteCountryCsv(const Experiment& exp, std::ostream& out);
+
+/// Write every figure series into `dir` as fig01.csv .. fig12.csv (fig11
+/// and fig12 share the country file). Returns the paths written.
+/// Throws std::runtime_error if a file cannot be opened.
+[[nodiscard]] std::vector<std::string> ExportAllFigures(const Experiment& exp,
+                                                        const dns::DnsSimulator& dns,
+                                                        const std::string& dir);
+
+}  // namespace cellspot::analysis

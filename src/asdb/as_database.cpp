@@ -1,0 +1,77 @@
+#include "cellspot/asdb/as_database.hpp"
+
+#include <stdexcept>
+
+namespace cellspot::asdb {
+
+std::string_view AsClassName(AsClass c) noexcept {
+  switch (c) {
+    case AsClass::kUnknown: return "Unknown";
+    case AsClass::kEnterprise: return "Enterprise";
+    case AsClass::kContent: return "Content";
+    case AsClass::kTransitAccess: return "Transit/Access";
+  }
+  return "?";
+}
+
+std::string_view OperatorKindName(OperatorKind k) noexcept {
+  switch (k) {
+    case OperatorKind::kDedicatedCellular: return "DedicatedCellular";
+    case OperatorKind::kMixed: return "Mixed";
+    case OperatorKind::kFixedOnly: return "FixedOnly";
+    case OperatorKind::kCloudHosting: return "CloudHosting";
+    case OperatorKind::kMobileProxy: return "MobileProxy";
+    case OperatorKind::kTransit: return "Transit";
+  }
+  return "?";
+}
+
+void AsDatabase::Upsert(AsRecord record) {
+  if (record.asn == 0) throw std::invalid_argument("AsDatabase::Upsert: asn 0 is reserved");
+  const auto it = index_.find(record.asn);
+  if (it != index_.end()) {
+    records_[it->second] = std::move(record);
+    return;
+  }
+  index_.emplace(record.asn, records_.size());
+  records_.push_back(std::move(record));
+}
+
+const AsRecord* AsDatabase::Find(AsNumber asn) const noexcept {
+  const auto it = index_.find(asn);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second];
+}
+
+void RoutingTable::Announce(const netaddr::Prefix& prefix, AsNumber asn) {
+  const AsNumber* existing = trie_.Exact(prefix);
+  if (existing != nullptr && *existing != asn) {
+    // Withdraw from the previous origin's reverse index.
+    auto& list = by_asn_[*existing];
+    std::erase(list, prefix);
+  }
+  if (existing == nullptr || *existing != asn) {
+    by_asn_[asn].push_back(prefix);
+  }
+  trie_.Insert(prefix, asn);
+}
+
+std::optional<AsNumber> RoutingTable::OriginOf(const netaddr::IpAddress& addr) const {
+  const AsNumber* found = trie_.LongestMatch(addr);
+  if (found == nullptr) return std::nullopt;
+  return *found;
+}
+
+std::optional<AsNumber> RoutingTable::ExactOrigin(const netaddr::Prefix& prefix) const {
+  const AsNumber* found = trie_.Exact(prefix);
+  if (found == nullptr) return std::nullopt;
+  return *found;
+}
+
+std::vector<netaddr::Prefix> RoutingTable::PrefixesOf(AsNumber asn) const {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return {};
+  return it->second;
+}
+
+}  // namespace cellspot::asdb

@@ -1,0 +1,58 @@
+// In-memory AS registry plus a routing table mapping announced prefixes to
+// their origin AS, the substrate for the paper's prefix-to-AS attribution.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cellspot/asdb/as_record.hpp"
+#include "cellspot/netaddr/prefix.hpp"
+#include "cellspot/netaddr/prefix_trie.hpp"
+
+namespace cellspot::asdb {
+
+/// Registry of AS records keyed by ASN.
+class AsDatabase {
+ public:
+  /// Insert or replace a record. Throws std::invalid_argument on asn 0.
+  void Upsert(AsRecord record);
+
+  [[nodiscard]] const AsRecord* Find(AsNumber asn) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// All records in insertion order.
+  [[nodiscard]] std::span<const AsRecord> records() const noexcept { return records_; }
+
+ private:
+  std::vector<AsRecord> records_;
+  std::unordered_map<AsNumber, std::size_t> index_;
+};
+
+/// Announced-prefix table with longest-prefix-match origin lookup.
+class RoutingTable {
+ public:
+  /// Announce `prefix` as originated by `asn` (later announcements of the
+  /// same prefix overwrite, mimicking a most-recent-RIB view).
+  void Announce(const netaddr::Prefix& prefix, AsNumber asn);
+
+  /// Origin AS of the most specific covering announcement, if any.
+  [[nodiscard]] std::optional<AsNumber> OriginOf(const netaddr::IpAddress& addr) const;
+
+  /// Origin by exact prefix.
+  [[nodiscard]] std::optional<AsNumber> ExactOrigin(const netaddr::Prefix& prefix) const;
+
+  /// All prefixes announced by `asn` (copied out; used by reports).
+  [[nodiscard]] std::vector<netaddr::Prefix> PrefixesOf(AsNumber asn) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+ private:
+  netaddr::PrefixTrie<AsNumber> trie_;
+  std::unordered_map<AsNumber, std::vector<netaddr::Prefix>> by_asn_;
+};
+
+}  // namespace cellspot::asdb

@@ -1,0 +1,49 @@
+// Autonomous-system metadata: identity, operator kind, and the CAIDA-style
+// business classification the paper's third AS-filter heuristic consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "cellspot/geo/continent.hpp"
+
+namespace cellspot::asdb {
+
+using AsNumber = std::uint32_t;
+
+/// CAIDA AS-classification labels (§5.1 heuristic 3). The paper keeps
+/// only Transit/Access ASes; Content, Enterprise and unknown are filtered.
+enum class AsClass : std::uint8_t {
+  kUnknown = 0,
+  kEnterprise,
+  kContent,
+  kTransitAccess,
+};
+
+[[nodiscard]] std::string_view AsClassName(AsClass c) noexcept;
+
+/// What kind of operator an AS is in the simulated world. The analysis
+/// pipeline never reads this field — it is ground truth used for
+/// validation and for labelling expected behaviour in the experiments.
+enum class OperatorKind : std::uint8_t {
+  kDedicatedCellular = 0,  // cellular-only access network
+  kMixed,                  // cellular + fixed-line access in one AS
+  kFixedOnly,              // fixed-line broadband only
+  kCloudHosting,           // datacenter / cloud (VPN egress, hosting)
+  kMobileProxy,            // performance-enhancing proxy for mobile browsers
+  kTransit,                // backbone, no eyeballs
+};
+
+[[nodiscard]] std::string_view OperatorKindName(OperatorKind k) noexcept;
+
+struct AsRecord {
+  AsNumber asn = 0;
+  std::string name;          // e.g. "EU-MIXED-TELECOM-3"
+  std::string country_iso;   // "US"; empty for global infrastructure ASes
+  geo::Continent continent = geo::Continent::kEurope;
+  AsClass cls = AsClass::kUnknown;
+  OperatorKind kind = OperatorKind::kFixedOnly;  // ground truth
+};
+
+}  // namespace cellspot::asdb

@@ -1,0 +1,29 @@
+// CSV persistence for the AS database and routing table, so the pipeline
+// can run fully decoupled from the simulator (e.g. the cellspot CLI
+// consuming a real RIB dump and CAIDA classification file).
+#pragma once
+
+#include <iosfwd>
+
+#include "cellspot/asdb/as_database.hpp"
+
+namespace cellspot::asdb {
+
+/// asn,name,country_iso,continent_code,class,kind
+void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out);
+
+/// Inverse of SaveAsDatabaseCsv. Throws cellspot::ParseError on bad rows.
+[[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in);
+
+/// prefix,asn — one announcement per row.
+void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
+                         std::ostream& out);
+
+/// Inverse of SaveRoutingTableCsv.
+[[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in);
+
+/// Textual names used in the CSV round trip.
+[[nodiscard]] std::optional<AsClass> AsClassFromName(std::string_view name) noexcept;
+[[nodiscard]] std::optional<OperatorKind> OperatorKindFromName(std::string_view name) noexcept;
+
+}  // namespace cellspot::asdb

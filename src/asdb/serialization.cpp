@@ -1,0 +1,107 @@
+#include "cellspot/asdb/serialization.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "cellspot/util/csv.hpp"
+#include "cellspot/util/error.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::asdb {
+
+namespace {
+
+constexpr std::string_view kAsDbHeader = "asn,name,country,continent,class,kind";
+constexpr std::string_view kRibHeader = "prefix,asn";
+
+}  // namespace
+
+std::optional<AsClass> AsClassFromName(std::string_view name) noexcept {
+  for (AsClass c : {AsClass::kUnknown, AsClass::kEnterprise, AsClass::kContent,
+                    AsClass::kTransitAccess}) {
+    if (AsClassName(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<OperatorKind> OperatorKindFromName(std::string_view name) noexcept {
+  for (OperatorKind k :
+       {OperatorKind::kDedicatedCellular, OperatorKind::kMixed, OperatorKind::kFixedOnly,
+        OperatorKind::kCloudHosting, OperatorKind::kMobileProxy, OperatorKind::kTransit}) {
+    if (OperatorKindName(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.WriteRow({"asn", "name", "country", "continent", "class", "kind"});
+  for (const AsRecord& r : db.records()) {
+    writer.WriteRow({std::to_string(r.asn), r.name, r.country_iso,
+                     std::string(geo::ContinentCode(r.continent)),
+                     std::string(AsClassName(r.cls)),
+                     std::string(OperatorKindName(r.kind))});
+  }
+}
+
+AsDatabase LoadAsDatabaseCsv(std::istream& in) {
+  AsDatabase db;
+  const auto rows = util::ReadCsv(in);
+  if (rows.empty() || util::JoinCsvLine(rows[0]) != kAsDbHeader) {
+    throw ParseError("AS database CSV: missing or wrong header");
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 6) throw ParseError("AS database CSV: bad column count");
+    AsRecord record;
+    const auto asn = util::ParseUint(row[0]);
+    if (!asn || *asn == 0 || *asn > 0xFFFFFFFFULL) {
+      throw ParseError("AS database CSV: bad asn '" + row[0] + "'");
+    }
+    record.asn = static_cast<AsNumber>(*asn);
+    record.name = row[1];
+    record.country_iso = row[2];
+    const auto continent = geo::ContinentFromCode(row[3]);
+    if (!continent) throw ParseError("AS database CSV: bad continent '" + row[3] + "'");
+    record.continent = *continent;
+    const auto cls = AsClassFromName(row[4]);
+    if (!cls) throw ParseError("AS database CSV: bad class '" + row[4] + "'");
+    record.cls = *cls;
+    const auto kind = OperatorKindFromName(row[5]);
+    if (!kind) throw ParseError("AS database CSV: bad kind '" + row[5] + "'");
+    record.kind = *kind;
+    db.Upsert(std::move(record));
+  }
+  return db;
+}
+
+void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
+                         std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.WriteRow({"prefix", "asn"});
+  for (const AsRecord& record : db.records()) {
+    for (const netaddr::Prefix& prefix : rib.PrefixesOf(record.asn)) {
+      writer.WriteRow({prefix.ToString(), std::to_string(record.asn)});
+    }
+  }
+}
+
+RoutingTable LoadRoutingTableCsv(std::istream& in) {
+  RoutingTable rib;
+  const auto rows = util::ReadCsv(in);
+  if (rows.empty() || util::JoinCsvLine(rows[0]) != kRibHeader) {
+    throw ParseError("RIB CSV: missing or wrong header");
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 2) throw ParseError("RIB CSV: bad column count");
+    const auto asn = util::ParseUint(row[1]);
+    if (!asn || *asn == 0 || *asn > 0xFFFFFFFFULL) {
+      throw ParseError("RIB CSV: bad asn '" + row[1] + "'");
+    }
+    rib.Announce(netaddr::Prefix::Parse(row[0]), static_cast<AsNumber>(*asn));
+  }
+  return rib;
+}
+
+}  // namespace cellspot::asdb

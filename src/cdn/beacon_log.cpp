@@ -1,0 +1,77 @@
+#include "cellspot/cdn/beacon_log.hpp"
+
+#include <istream>
+
+#include "cellspot/util/error.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::cdn {
+
+std::string FormatBeaconLogLine(const BeaconHit& hit) {
+  std::string line = std::to_string(hit.day);
+  line += ',';
+  line += hit.client_ip.ToString();
+  line += ',';
+  line += netinfo::BrowserName(hit.browser);
+  line += ',';
+  line += hit.has_netinfo ? netinfo::ConnectionTypeName(hit.connection)
+                          : std::string_view("-");
+  return line;
+}
+
+BeaconHit ParseBeaconLogLine(std::string_view line) {
+  const auto fields = util::Split(line, ',');
+  if (fields.size() != 4) {
+    throw ParseError("beacon log: expected 4 fields, got " +
+                     std::to_string(fields.size()));
+  }
+  BeaconHit hit;
+  const auto day = util::ParseUint(fields[0]);
+  if (!day || *day >= static_cast<std::uint64_t>(util::kBeaconWindowDays)) {
+    throw ParseError("beacon log: bad day '" + std::string(fields[0]) + "'");
+  }
+  hit.day = static_cast<std::int32_t>(*day);
+  hit.client_ip = netaddr::IpAddress::Parse(fields[1]);
+  const auto browser = netinfo::BrowserFromName(fields[2]);
+  if (!browser) throw ParseError("beacon log: bad browser '" + std::string(fields[2]) + "'");
+  hit.browser = *browser;
+  if (fields[3] == "-") {
+    hit.has_netinfo = false;
+    hit.connection = netinfo::ConnectionType::kUnknown;
+  } else {
+    const auto conn = netinfo::ConnectionTypeFromName(fields[3]);
+    if (!conn) throw ParseError("beacon log: bad connection '" + std::string(fields[3]) + "'");
+    hit.has_netinfo = true;
+    hit.connection = *conn;
+  }
+  return hit;
+}
+
+void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit) {
+  dataset::BeaconBlockStats stats;
+  stats.hits = 1;
+  if (netinfo::IsMobileBrowser(hit.browser)) stats.mobile_browser_hits = 1;
+  if (hit.has_netinfo) {
+    stats.netinfo_hits = 1;
+    switch (hit.connection) {
+      case netinfo::ConnectionType::kCellular: stats.cellular_labels = 1; break;
+      case netinfo::ConnectionType::kWifi: stats.wifi_labels = 1; break;
+      case netinfo::ConnectionType::kEthernet: stats.ethernet_labels = 1; break;
+      default: stats.other_labels = 1; break;
+    }
+  }
+  dataset.Add(netaddr::BlockOf(hit.client_ip), stats);
+}
+
+dataset::BeaconDataset AggregateBeaconLog(std::istream& in) {
+  dataset::BeaconDataset out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    AccumulateHit(out, ParseBeaconLogLine(line));
+  }
+  return out;
+}
+
+}  // namespace cellspot::cdn

@@ -1,0 +1,56 @@
+#include "cellspot/cdn/demand_generator.hpp"
+
+#include <cmath>
+
+#include "cellspot/util/date.hpp"
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::cdn {
+
+namespace {
+
+// Mild weekly rhythm: weekends carry a little more consumer traffic.
+constexpr double kDayFactor[7] = {1.00, 0.97, 0.96, 0.98, 1.02, 1.05, 1.02};
+
+}  // namespace
+
+DemandGenerator::DemandGenerator(const simnet::World& world, std::uint64_t seed_offset)
+    : config_(world.config()),
+      subnets_(world.subnets()),
+      seed_(world.config().seed ^ (0xDE3A4DULL + seed_offset)) {}
+
+DemandGenerator::DemandGenerator(const simnet::WorldConfig& config,
+                                 std::span<const simnet::Subnet> subnets,
+                                 std::uint64_t seed)
+    : config_(config), subnets_(subnets), seed_(seed) {}
+
+double DemandGenerator::DailyDemand(const simnet::Subnet& subnet, int day,
+                                    util::Rng& rng) const {
+  if (subnet.demand_du <= 0.0) return 0.0;
+  const double base = subnet.demand_du / util::kDemandWindowDays;
+  const double weekday = kDayFactor[day % 7];
+  // Per-day multiplicative measurement noise; the weekly aggregation
+  // (§3.2 "combined with results from the previous 7 days") smooths it.
+  const double noise = std::exp((rng.UniformDouble() - 0.5) * 0.3);
+  return base * weekday * noise;
+}
+
+dataset::DemandDataset DemandGenerator::GenerateDataset() const {
+  dataset::DemandDataset out;
+  util::Rng root(seed_);
+  const auto subnets = subnets_;
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    const simnet::Subnet& s = subnets[i];
+    if (s.demand_du <= 0.0 || !s.in_demand_snapshot) continue;
+    util::Rng rng = root.Fork(i);
+    double total = 0.0;
+    for (int day = 0; day < util::kDemandWindowDays; ++day) {
+      total += DailyDemand(s, day, rng);
+    }
+    out.Add(s.block, total);
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace cellspot::cdn

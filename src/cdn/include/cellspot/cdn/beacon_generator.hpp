@@ -1,0 +1,75 @@
+// Turns a simulated World into the BEACON dataset: RUM beacon hits with
+// Network Information API labels, either as per-block aggregates (fast
+// path used by the analysis pipeline) or as a stream of individual hit
+// records (used for the on-disk log format and the examples).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/netinfo/connection.hpp"
+#include "cellspot/simnet/world.hpp"
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::cdn {
+
+/// One beacon page-load record, as the RUM system logs it.
+struct BeaconHit {
+  netaddr::IpAddress client_ip;
+  std::int32_t day = 0;  // 0-based day within the study month
+  netinfo::Browser browser = netinfo::Browser::kChromeMobile;
+  bool has_netinfo = false;
+  netinfo::ConnectionType connection = netinfo::ConnectionType::kUnknown;
+};
+
+/// Expected fraction of cellular labels among API-enabled hits of a
+/// subnet, given the world's noise model (exposed for tests and for the
+/// demand-weighted analytics).
+[[nodiscard]] double ExpectedCellularLabelFraction(const simnet::World& world,
+                                                   const simnet::Subnet& subnet);
+
+class BeaconGenerator {
+ public:
+  /// The generator derives its seed from the world seed by default so a
+  /// (world, beacons) pair is reproducible end to end.
+  explicit BeaconGenerator(const simnet::World& world, std::uint64_t seed_offset = 1);
+
+  /// Generate from an explicit subnet state instead of the world's own
+  /// (used by the temporal-evolution extension, which drifts per-block
+  /// demand and activity month over month). `config` and `subnets` must
+  /// outlive the generator.
+  BeaconGenerator(const simnet::WorldConfig& config,
+                  std::span<const simnet::Subnet> subnets, std::uint64_t seed);
+
+  /// Per-block aggregates over the whole study month. Deterministic for
+  /// a given world and seed offset.
+  [[nodiscard]] dataset::BeaconDataset GenerateDataset() const;
+
+  /// Stream individual hit records to `sink`, at most `max_hits` in
+  /// total (large worlds produce hundreds of millions of hits; cap what
+  /// you need). Blocks are visited in world order; within a block, hits
+  /// carry sampled client addresses, days and browsers. Returns the
+  /// number of hits emitted.
+  using HitSink = std::function<void(const netaddr::Prefix& block, const BeaconHit&)>;
+  std::uint64_t StreamHits(const HitSink& sink, std::uint64_t max_hits) const;
+
+ private:
+  struct BlockDraws {
+    std::uint64_t hits = 0;
+    std::uint64_t netinfo = 0;
+    std::uint64_t cellular = 0;
+    std::uint64_t wifi = 0;
+    std::uint64_t ethernet = 0;
+    std::uint64_t other = 0;
+    std::uint64_t mobile = 0;  // hits from mobile-device browsers
+  };
+
+  [[nodiscard]] BlockDraws DrawBlock(const simnet::Subnet& subnet, util::Rng& rng) const;
+
+  const simnet::WorldConfig& config_;
+  std::span<const simnet::Subnet> subnets_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cellspot::cdn

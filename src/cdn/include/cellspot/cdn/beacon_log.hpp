@@ -1,0 +1,32 @@
+// On-disk representation of BEACON hits: one CSV-style line per page
+// load, and an aggregator that turns a log stream back into the
+// BeaconDataset the pipeline consumes. This mirrors the paper's actual
+// data path (raw RUM logs -> per-block aggregates).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "cellspot/cdn/beacon_generator.hpp"
+#include "cellspot/dataset/beacon_dataset.hpp"
+
+namespace cellspot::cdn {
+
+/// "day,client_ip,browser,connection" — connection is "-" for hits
+/// without Network Information data.
+[[nodiscard]] std::string FormatBeaconLogLine(const BeaconHit& hit);
+
+/// Inverse of FormatBeaconLogLine. Throws cellspot::ParseError on
+/// malformed lines.
+[[nodiscard]] BeaconHit ParseBeaconLogLine(std::string_view line);
+
+/// Aggregate a hit into per-block stats (the /24 or /48 is derived from
+/// the client address).
+void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit);
+
+/// Read a whole log stream into a dataset; blank lines are skipped.
+[[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(std::istream& in);
+
+}  // namespace cellspot::cdn

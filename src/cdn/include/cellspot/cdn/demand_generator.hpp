@@ -1,0 +1,36 @@
+// Turns a simulated World into the DEMAND dataset: one week of daily
+// per-block request counts (Dec 24-31 2016), smoothed and normalised
+// into Demand Units exactly as §3.2 describes.
+#pragma once
+
+#include <cstdint>
+
+#include "cellspot/dataset/demand_dataset.hpp"
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::cdn {
+
+class DemandGenerator {
+ public:
+  explicit DemandGenerator(const simnet::World& world, std::uint64_t seed_offset = 2);
+
+  /// Generate from an explicit subnet state (temporal-evolution path).
+  DemandGenerator(const simnet::WorldConfig& config,
+                  std::span<const simnet::Subnet> subnets, std::uint64_t seed);
+
+  /// Normalised DEMAND snapshot. Blocks with zero expected demand or
+  /// outside the snapshot window (fast-churning v6 space) are absent.
+  [[nodiscard]] dataset::DemandDataset GenerateDataset() const;
+
+  /// Raw daily request weight for one subnet and day (before smoothing),
+  /// exposed for tests of the weekly aggregation.
+  [[nodiscard]] double DailyDemand(const simnet::Subnet& subnet, int day,
+                                   util::Rng& rng) const;
+
+ private:
+  const simnet::WorldConfig& config_;
+  std::span<const simnet::Subnet> subnets_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cellspot::cdn

@@ -1,0 +1,29 @@
+// The Fig-1 substrate: a month-by-month series of the fraction of beacon
+// hits carrying Network Information API data, per browser, with sampling
+// noise from a finite monthly hit volume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cellspot/netinfo/availability.hpp"
+
+namespace cellspot::cdn {
+
+struct AdoptionPoint {
+  util::YearMonth month;
+  /// Measured fraction of all hits with API data, per browser.
+  std::array<double, netinfo::kBrowserCount> browser_fraction{};
+  /// Sum over browsers.
+  double total = 0.0;
+};
+
+/// Simulate the RUM system's monthly view between `from` and `to`
+/// inclusive. `monthly_hits` is the number of beacon hits sampled per
+/// month (larger = less sampling noise).
+[[nodiscard]] std::vector<AdoptionPoint> SimulateAdoptionSeries(
+    util::YearMonth from, util::YearMonth to, std::uint64_t monthly_hits,
+    std::uint64_t seed);
+
+}  // namespace cellspot::cdn

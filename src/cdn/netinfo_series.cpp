@@ -1,0 +1,34 @@
+#include "cellspot/cdn/netinfo_series.hpp"
+
+#include <stdexcept>
+
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::cdn {
+
+std::vector<AdoptionPoint> SimulateAdoptionSeries(util::YearMonth from,
+                                                  util::YearMonth to,
+                                                  std::uint64_t monthly_hits,
+                                                  std::uint64_t seed) {
+  if (to < from) throw std::invalid_argument("SimulateAdoptionSeries: to < from");
+  if (monthly_hits == 0) {
+    throw std::invalid_argument("SimulateAdoptionSeries: monthly_hits must be positive");
+  }
+  std::vector<AdoptionPoint> series;
+  util::Rng rng(seed);
+  for (util::YearMonth m = from; m <= to; m = m.Plus(1)) {
+    AdoptionPoint point;
+    point.month = m;
+    for (netinfo::Browser b : netinfo::AllBrowsers()) {
+      const double expected = netinfo::NetInfoFractionOf(b, m);
+      const std::uint64_t enabled = rng.Binomial(monthly_hits, expected);
+      const double measured = static_cast<double>(enabled) / static_cast<double>(monthly_hits);
+      point.browser_fraction[static_cast<std::size_t>(b)] = measured;
+      point.total += measured;
+    }
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace cellspot::cdn

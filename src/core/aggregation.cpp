@@ -1,0 +1,76 @@
+#include "cellspot/core/aggregation.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cellspot::core {
+
+namespace {
+
+using netaddr::Prefix;
+
+/// The other half of this prefix's parent: same length, last bit flipped.
+Prefix Sibling(const Prefix& p) {
+  return Prefix(p.address().WithBit(p.length() - 1, !p.address().GetBit(p.length() - 1)),
+                p.length());
+}
+
+Prefix Parent(const Prefix& p) { return Prefix(p.address(), p.length() - 1); }
+
+}  // namespace
+
+std::vector<Prefix> CompressPrefixes(std::vector<Prefix> prefixes) {
+  std::unordered_set<Prefix> pool(prefixes.begin(), prefixes.end());
+
+  // Drop prefixes already covered by a coarser one in the pool.
+  for (auto it = pool.begin(); it != pool.end();) {
+    bool covered = false;
+    Prefix walk = *it;
+    while (walk.length() > 0) {
+      walk = Parent(walk);
+      if (pool.contains(walk)) {
+        covered = true;
+        break;
+      }
+    }
+    it = covered ? pool.erase(it) : std::next(it);
+  }
+
+  // Bottom-up sibling merge: process lengths from the most specific
+  // present down to 1.
+  int max_len = 0;
+  for (const Prefix& p : pool) max_len = std::max(max_len, p.length());
+  for (int len = max_len; len >= 1; --len) {
+    std::vector<Prefix> to_merge;
+    for (const Prefix& p : pool) {
+      if (p.length() != len) continue;
+      // Visit each pair once: take the half whose merge bit is 0.
+      if (p.address().GetBit(len - 1)) continue;
+      if (pool.contains(Sibling(p))) to_merge.push_back(p);
+    }
+    for (const Prefix& p : to_merge) {
+      pool.erase(p);
+      pool.erase(Sibling(p));
+      pool.insert(Parent(p));
+    }
+  }
+
+  std::vector<Prefix> out(pool.begin(), pool.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CompressionStats SummarizeCompression(const std::vector<Prefix>& prefixes) {
+  CompressionStats stats;
+  stats.input_count = prefixes.size();
+  const auto compressed = CompressPrefixes(prefixes);
+  stats.output_count = compressed.size();
+  stats.shortest_prefix = 128;
+  for (const Prefix& p : compressed) {
+    stats.shortest_prefix = std::min(stats.shortest_prefix, p.length());
+  }
+  if (compressed.empty()) stats.shortest_prefix = 0;
+  return stats;
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,111 @@
+#include "cellspot/core/as_pipeline.hpp"
+
+#include <algorithm>
+
+namespace cellspot::core {
+
+namespace {
+
+using asdb::AsNumber;
+
+/// Origin AS of a block: longest-prefix match on its base address.
+std::optional<AsNumber> OriginOfBlock(const asdb::RoutingTable& rib,
+                                      const netaddr::Prefix& block) {
+  return rib.OriginOf(block.address());
+}
+
+}  // namespace
+
+std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
+                                                const ClassifiedSubnets& classified,
+                                                const dataset::BeaconDataset& beacons,
+                                                const dataset::DemandDataset& demand) {
+  std::unordered_map<AsNumber, AsAggregate> by_asn;
+  auto slot = [&](AsNumber asn) -> AsAggregate& {
+    AsAggregate& agg = by_asn[asn];
+    agg.asn = asn;
+    return agg;
+  };
+
+  // Beacon-side aggregation: observed blocks, hits, cellular detections.
+  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
+    const auto origin = OriginOfBlock(rib, block);
+    if (!origin) return;
+    AsAggregate& agg = slot(*origin);
+    agg.beacon_hits += stats.hits;
+    if (classified.RatioOf(block) != nullptr) {
+      if (block.family() == netaddr::Family::kIpv4) ++agg.observed_blocks_v4;
+      else ++agg.observed_blocks_v6;
+    }
+    if (classified.IsCellular(block)) {
+      if (block.family() == netaddr::Family::kIpv4) ++agg.cell_blocks_v4;
+      else ++agg.cell_blocks_v6;
+      agg.cellular_blocks.push_back(block);
+      agg.cell_demand_du += demand.DemandOf(block);
+    }
+  });
+
+  // Demand-side aggregation covers blocks with no beacons at all.
+  demand.ForEach([&](const netaddr::Prefix& block, double du) {
+    const auto origin = OriginOfBlock(rib, block);
+    if (!origin) return;
+    AsAggregate& agg = slot(*origin);
+    agg.total_demand_du += du;
+    ++agg.demand_blocks;
+  });
+
+  std::vector<AsAggregate> candidates;
+  candidates.reserve(by_asn.size());
+  for (auto& [asn, agg] : by_asn) {
+    if (agg.cell_blocks_v4 + agg.cell_blocks_v6 == 0) continue;
+    std::sort(agg.cellular_blocks.begin(), agg.cellular_blocks.end());
+    candidates.push_back(std::move(agg));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const AsAggregate& a, const AsAggregate& b) { return a.asn < b.asn; });
+  return candidates;
+}
+
+AsFilterOutcome ApplyAsFilters(std::vector<AsAggregate> candidates,
+                               const asdb::AsDatabase& as_db,
+                               const AsFilterConfig& config) {
+  AsFilterOutcome outcome;
+  outcome.input_count = candidates.size();
+
+  // Rule 1: cumulative cellular demand below the floor.
+  std::vector<AsAggregate> after_rule1;
+  for (AsAggregate& as : candidates) {
+    if (as.cell_demand_du < config.min_cell_demand_du) {
+      ++outcome.removed_low_demand;
+    } else {
+      after_rule1.push_back(std::move(as));
+    }
+  }
+
+  // Rule 2: too few beacon responses to trust the classification.
+  std::vector<AsAggregate> after_rule2;
+  for (AsAggregate& as : after_rule1) {
+    if (as.beacon_hits < config.min_beacon_hits) {
+      ++outcome.removed_low_hits;
+    } else {
+      after_rule2.push_back(std::move(as));
+    }
+  }
+
+  // Rule 3: keep only Transit/Access-classified networks.
+  for (AsAggregate& as : after_rule2) {
+    if (config.require_transit_access_class) {
+      const asdb::AsRecord* record = as_db.Find(as.asn);
+      const bool access =
+          record != nullptr && record->cls == asdb::AsClass::kTransitAccess;
+      if (!access) {
+        ++outcome.removed_class;
+        continue;
+      }
+    }
+    outcome.kept.push_back(std::move(as));
+  }
+  return outcome;
+}
+
+}  // namespace cellspot::core

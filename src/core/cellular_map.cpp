@@ -1,0 +1,58 @@
+#include "cellspot/core/cellular_map.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "cellspot/core/aggregation.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::core {
+
+CellularMap::CellularMap(std::vector<netaddr::Prefix> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  std::sort(prefixes_.begin(), prefixes_.end());
+  prefixes_.erase(std::unique(prefixes_.begin(), prefixes_.end()), prefixes_.end());
+  for (const netaddr::Prefix& p : prefixes_) trie_.Insert(p, true);
+}
+
+CellularMap CellularMap::FromClassification(const ClassifiedSubnets& classified,
+                                            bool aggregate) {
+  std::vector<netaddr::Prefix> prefixes(classified.cellular().begin(),
+                                        classified.cellular().end());
+  return FromPrefixes(std::move(prefixes), aggregate);
+}
+
+CellularMap CellularMap::FromPrefixes(std::vector<netaddr::Prefix> prefixes,
+                                      bool aggregate) {
+  if (aggregate) prefixes = CompressPrefixes(std::move(prefixes));
+  return CellularMap(std::move(prefixes));
+}
+
+bool CellularMap::Contains(const netaddr::IpAddress& address) const {
+  return trie_.LongestMatch(address) != nullptr;
+}
+
+bool CellularMap::ContainsBlock(const netaddr::Prefix& block) const {
+  // Any covering prefix claims the block (match on its base address with
+  // a length check via LongestMatchWithLength).
+  const auto match = trie_.LongestMatchWithLength(block.address());
+  return match.has_value() && match->first <= block.length();
+}
+
+void CellularMap::Save(std::ostream& out) const {
+  for (const netaddr::Prefix& p : prefixes_) out << p.ToString() << '\n';
+}
+
+CellularMap CellularMap::Load(std::istream& in, bool aggregate) {
+  std::vector<netaddr::Prefix> prefixes;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    prefixes.push_back(netaddr::Prefix::Parse(trimmed));
+  }
+  return FromPrefixes(std::move(prefixes), aggregate);
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,75 @@
+#include "cellspot/core/classifier.hpp"
+
+#include <stdexcept>
+
+#include "cellspot/util/metrics.hpp"
+
+namespace cellspot::core {
+
+const double* ClassifiedSubnets::RatioOf(const netaddr::Prefix& block) const noexcept {
+  const auto it = ratios_.find(block);
+  return it == ratios_.end() ? nullptr : &it->second;
+}
+
+bool ClassifiedSubnets::IsCellular(const netaddr::Prefix& block) const noexcept {
+  return cellular_.contains(block);
+}
+
+std::size_t ClassifiedSubnets::observed_count(netaddr::Family f) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [block, ratio] : ratios_) {
+    if (block.family() == f) ++n;
+  }
+  return n;
+}
+
+std::size_t ClassifiedSubnets::cellular_count(netaddr::Family f) const noexcept {
+  std::size_t n = 0;
+  for (const auto& block : cellular_) {
+    if (block.family() == f) ++n;
+  }
+  return n;
+}
+
+SubnetClassifier::SubnetClassifier(ClassifierConfig config) : config_(config) {
+  if (config_.threshold <= 0.0 || config_.threshold > 1.0) {
+    throw std::invalid_argument("SubnetClassifier: threshold must be in (0, 1]");
+  }
+  if (config_.min_netinfo_hits == 0) {
+    throw std::invalid_argument("SubnetClassifier: min_netinfo_hits must be >= 1");
+  }
+  if (config_.wilson_z < 0.0) {
+    throw std::invalid_argument("SubnetClassifier: wilson_z must be non-negative");
+  }
+}
+
+namespace {
+
+double Score(const dataset::BeaconBlockStats& stats, const ClassifierConfig& config) {
+  if (!config.use_wilson_lower_bound) return stats.CellularRatio();
+  return util::WilsonScoreInterval(stats.cellular_labels, stats.netinfo_hits,
+                                   config.wilson_z)
+      .lower;
+}
+
+}  // namespace
+
+bool SubnetClassifier::IsCellular(const dataset::BeaconBlockStats& stats) const noexcept {
+  if (stats.netinfo_hits < config_.min_netinfo_hits) return false;
+  return Score(stats, config_) >= config_.threshold;
+}
+
+ClassifiedSubnets SubnetClassifier::Classify(const dataset::BeaconDataset& beacons) const {
+  ClassifiedSubnets out;
+  out.ratios_.reserve(beacons.block_count());
+  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
+    if (stats.netinfo_hits < config_.min_netinfo_hits) return;
+    // The recorded ratio is always the point estimate (it feeds Fig 2);
+    // only the decision uses the configured score.
+    out.ratios_.emplace(block, stats.CellularRatio());
+    if (Score(stats, config_) >= config_.threshold) out.cellular_.insert(block);
+  });
+  return out;
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,41 @@
+// CIDR aggregation of the detected cellular map.
+//
+// The paper's output is a list of ~350k /24s and ~23k /48s. Consumers
+// (ACLs, request-routing tables, BGP communities) want the minimal
+// equivalent prefix list: complete sibling blocks merge into their
+// parent, recursively. Cellular allocations are contiguous in practice
+// (operators carve CGNAT pools out of larger assignments), so the map
+// compresses well — and the compression ratio itself measures how
+// contiguous the detected space is, supporting the paper's reliance on
+// Lee & Spring's /24-homogeneity result.
+#pragma once
+
+#include <vector>
+
+#include "cellspot/netaddr/prefix.hpp"
+
+namespace cellspot::core {
+
+/// Merge complete sibling prefixes bottom-up until no pair remains.
+/// The result covers exactly the union of the inputs (no broadening);
+/// duplicate inputs are tolerated. Output is sorted.
+[[nodiscard]] std::vector<netaddr::Prefix> CompressPrefixes(
+    std::vector<netaddr::Prefix> prefixes);
+
+struct CompressionStats {
+  std::size_t input_count = 0;
+  std::size_t output_count = 0;
+  int shortest_prefix = 0;  // most aggregated prefix length in the output
+
+  [[nodiscard]] double Ratio() const noexcept {
+    return output_count > 0
+               ? static_cast<double>(input_count) / static_cast<double>(output_count)
+               : 0.0;
+  }
+};
+
+/// Compress and summarise in one step.
+[[nodiscard]] CompressionStats SummarizeCompression(
+    const std::vector<netaddr::Prefix>& prefixes);
+
+}  // namespace cellspot::core

@@ -1,0 +1,58 @@
+// The deliverable a consumer actually deploys: a queryable cellular
+// address map. Built from a classification result (optionally CIDR-
+// aggregated), it answers "is this client IP cellular?" in O(address
+// bits) and round-trips through a one-prefix-per-line text format — the
+// shape of the artifact the paper's CDN would push to its edge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/netaddr/prefix_trie.hpp"
+
+namespace cellspot::core {
+
+class CellularMap {
+ public:
+  CellularMap() = default;
+
+  /// Build from the classifier's cellular set. With `aggregate` (the
+  /// default) the prefix list is CIDR-compressed first; lookups are
+  /// identical either way.
+  [[nodiscard]] static CellularMap FromClassification(const ClassifiedSubnets& classified,
+                                                      bool aggregate = true);
+
+  /// Build from an explicit prefix list (e.g. a published map file).
+  [[nodiscard]] static CellularMap FromPrefixes(std::vector<netaddr::Prefix> prefixes,
+                                                bool aggregate = true);
+
+  /// True if the address falls inside any mapped prefix.
+  [[nodiscard]] bool Contains(const netaddr::IpAddress& address) const;
+
+  /// True if the block (or a covering aggregate) is mapped.
+  [[nodiscard]] bool ContainsBlock(const netaddr::Prefix& block) const;
+
+  /// The stored (possibly aggregated) prefix list, sorted.
+  [[nodiscard]] const std::vector<netaddr::Prefix>& prefixes() const noexcept {
+    return prefixes_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return prefixes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prefixes_.empty(); }
+
+  /// One prefix per line ("203.0.113.0/24\n...").
+  void Save(std::ostream& out) const;
+
+  /// Inverse of Save; blank lines and '#' comments are skipped.
+  /// Throws cellspot::ParseError on malformed lines.
+  [[nodiscard]] static CellularMap Load(std::istream& in, bool aggregate = false);
+
+ private:
+  explicit CellularMap(std::vector<netaddr::Prefix> prefixes);
+
+  std::vector<netaddr::Prefix> prefixes_;
+  netaddr::PrefixTrie<bool> trie_;
+};
+
+}  // namespace cellspot::core

@@ -1,0 +1,75 @@
+// Cellular subnet identification (§4.1): compute the per-block cellular
+// ratio from Network-Information-labelled beacon hits and classify each
+// /24 and /48 with a threshold (0.5 by default, chosen in §4.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/netaddr/prefix.hpp"
+
+namespace cellspot::core {
+
+struct ClassifierConfig {
+  /// A block is cellular when cellular_labels / netinfo_hits >= threshold.
+  double threshold = 0.5;
+
+  /// Blocks with fewer API-enabled hits than this cannot be classified
+  /// (they stay "unobserved" and default to non-cellular downstream).
+  std::uint64_t min_netinfo_hits = 1;
+
+  /// Compare the Wilson-score *lower bound* of the cellular ratio against
+  /// the threshold instead of the point estimate — a conservative variant
+  /// that refuses to call a block cellular on one or two lucky labels.
+  bool use_wilson_lower_bound = false;
+
+  /// Confidence for the Wilson bound (1.96 ~ 95%).
+  double wilson_z = 1.96;
+};
+
+/// Classification output over one BEACON dataset.
+class ClassifiedSubnets {
+ public:
+  /// Ratio for an observed block (nullopt semantics via found pointer).
+  [[nodiscard]] const double* RatioOf(const netaddr::Prefix& block) const noexcept;
+
+  /// True if the block was observed and classified cellular.
+  [[nodiscard]] bool IsCellular(const netaddr::Prefix& block) const noexcept;
+
+  [[nodiscard]] const std::unordered_map<netaddr::Prefix, double>& ratios() const noexcept {
+    return ratios_;
+  }
+  [[nodiscard]] const std::unordered_set<netaddr::Prefix>& cellular() const noexcept {
+    return cellular_;
+  }
+
+  [[nodiscard]] std::size_t observed_count(netaddr::Family f) const noexcept;
+  [[nodiscard]] std::size_t cellular_count(netaddr::Family f) const noexcept;
+
+ private:
+  friend class SubnetClassifier;
+  friend class DeviceTypeClassifier;
+  std::unordered_map<netaddr::Prefix, double> ratios_;
+  std::unordered_set<netaddr::Prefix> cellular_;
+};
+
+class SubnetClassifier {
+ public:
+  explicit SubnetClassifier(ClassifierConfig config = {});
+
+  /// Throws std::invalid_argument if the config is out of range.
+  [[nodiscard]] const ClassifierConfig& config() const noexcept { return config_; }
+
+  /// Classify every block in the dataset with enough API-enabled hits.
+  [[nodiscard]] ClassifiedSubnets Classify(const dataset::BeaconDataset& beacons) const;
+
+  /// Single-block decision (given its aggregate stats).
+  [[nodiscard]] bool IsCellular(const dataset::BeaconBlockStats& stats) const noexcept;
+
+ private:
+  ClassifierConfig config_;
+};
+
+}  // namespace cellspot::core

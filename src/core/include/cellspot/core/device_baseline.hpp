@@ -1,0 +1,43 @@
+// The baseline the paper argues against (§1): classifying access
+// technology from *device type*. "Knowing a device type (e.g., smartphone
+// or tablet) has limited value as most mobile devices have multiple
+// interfaces and users tend to offload cellular traffic to WiFi."
+//
+// This classifier labels a block cellular when the share of its hits
+// from mobile-device browsers exceeds a threshold. Run next to the
+// Network-Information classifier it quantifies exactly how much the
+// offloading effect costs: fixed-line blocks full of WiFi phones become
+// false positives no threshold can avoid.
+#pragma once
+
+#include "cellspot/core/classifier.hpp"
+
+namespace cellspot::core {
+
+struct DeviceBaselineConfig {
+  /// Block is "cellular" when mobile_browser_hits / hits >= threshold.
+  double threshold = 0.5;
+
+  /// Minimum hits before a block is classifiable (the device signal is
+  /// available on every hit, unlike the API signal).
+  std::uint64_t min_hits = 1;
+};
+
+class DeviceTypeClassifier {
+ public:
+  explicit DeviceTypeClassifier(DeviceBaselineConfig config = {});
+
+  [[nodiscard]] const DeviceBaselineConfig& config() const noexcept { return config_; }
+
+  /// Classify every block with enough hits, using the mobile-device
+  /// share as the signal. The result type is shared with the primary
+  /// classifier so all downstream analyses run unchanged.
+  [[nodiscard]] ClassifiedSubnets Classify(const dataset::BeaconDataset& beacons) const;
+
+  [[nodiscard]] bool IsCellular(const dataset::BeaconBlockStats& stats) const noexcept;
+
+ private:
+  DeviceBaselineConfig config_;
+};
+
+}  // namespace cellspot::core

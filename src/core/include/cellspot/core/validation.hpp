@@ -1,0 +1,50 @@
+// Validation against carrier ground truth (§4.2, Table 3, Fig 3):
+// confusion matrices by CIDR count and by traffic demand, plus the
+// threshold-sensitivity sweep that justified the 0.5 default.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/dataset/demand_dataset.hpp"
+#include "cellspot/util/metrics.hpp"
+
+namespace cellspot::core {
+
+/// A carrier's ground-truth subnet list: every allocated block labelled
+/// cellular or fixed (exactly what the three operators provided).
+struct CarrierGroundTruth {
+  std::string label;  // "Carrier A"
+  std::unordered_map<netaddr::Prefix, bool> blocks;  // block -> is cellular
+};
+
+struct ValidationResult {
+  util::ConfusionMatrix by_cidr;    // each block weight 1
+  util::ConfusionMatrix by_demand;  // each block weighted by its DU
+};
+
+/// Score classified subnets against one carrier's truth list. Blocks in
+/// the truth list that were never observed (no API hits) count as
+/// negative predictions — the paper's "lower bound" property.
+[[nodiscard]] ValidationResult Validate(const CarrierGroundTruth& truth,
+                                        const ClassifiedSubnets& classified,
+                                        const dataset::DemandDataset& demand);
+
+/// One point of the Fig-3 sweep.
+struct SweepPoint {
+  double threshold = 0.0;
+  double f1_cidr = 0.0;
+  double f1_demand = 0.0;
+  double precision = 0.0;  // by CIDR
+  double recall = 0.0;     // by CIDR
+};
+
+/// Evaluate F1 across `steps` equally spaced thresholds in (0, 1].
+/// The beacon dataset is classified once per threshold.
+[[nodiscard]] std::vector<SweepPoint> ThresholdSweep(
+    const CarrierGroundTruth& truth, const dataset::BeaconDataset& beacons,
+    const dataset::DemandDataset& demand, int steps = 50);
+
+}  // namespace cellspot::core

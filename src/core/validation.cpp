@@ -1,0 +1,64 @@
+#include "cellspot/core/validation.hpp"
+
+#include <stdexcept>
+
+namespace cellspot::core {
+
+ValidationResult Validate(const CarrierGroundTruth& truth,
+                          const ClassifiedSubnets& classified,
+                          const dataset::DemandDataset& demand) {
+  ValidationResult result;
+  for (const auto& [block, is_cellular] : truth.blocks) {
+    const bool predicted = classified.IsCellular(block);
+    result.by_cidr.Add(is_cellular, predicted);
+    const double du = demand.DemandOf(block);
+    if (du > 0.0) result.by_demand.Add(is_cellular, predicted, du);
+  }
+  return result;
+}
+
+std::vector<SweepPoint> ThresholdSweep(const CarrierGroundTruth& truth,
+                                       const dataset::BeaconDataset& beacons,
+                                       const dataset::DemandDataset& demand,
+                                       int steps) {
+  if (steps < 2) throw std::invalid_argument("ThresholdSweep: need at least 2 steps");
+
+  // Ratios do not depend on the threshold: compute them once for the
+  // carrier's blocks, then re-score per threshold.
+  struct TruthPoint {
+    bool cellular;
+    double ratio;      // -1 when the block was never observed
+    double demand_du;
+  };
+  std::vector<TruthPoint> points;
+  points.reserve(truth.blocks.size());
+  for (const auto& [block, is_cellular] : truth.blocks) {
+    const auto* stats = beacons.Find(block);
+    const double ratio =
+        stats != nullptr && stats->netinfo_hits > 0 ? stats->CellularRatio() : -1.0;
+    points.push_back({is_cellular, ratio, demand.DemandOf(block)});
+  }
+
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(static_cast<std::size_t>(steps));
+  for (int i = 1; i <= steps; ++i) {
+    const double threshold = static_cast<double>(i) / static_cast<double>(steps);
+    util::ConfusionMatrix by_cidr;
+    util::ConfusionMatrix by_demand;
+    for (const TruthPoint& p : points) {
+      const bool predicted = p.ratio >= threshold;
+      by_cidr.Add(p.cellular, predicted);
+      if (p.demand_du > 0.0) by_demand.Add(p.cellular, predicted, p.demand_du);
+    }
+    SweepPoint point;
+    point.threshold = threshold;
+    point.f1_cidr = by_cidr.F1();
+    point.f1_demand = by_demand.F1();
+    point.precision = by_cidr.Precision();
+    point.recall = by_cidr.Recall();
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,97 @@
+#include "cellspot/dataset/beacon_dataset.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "cellspot/util/csv.hpp"
+#include "cellspot/util/error.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::dataset {
+
+BeaconBlockStats& BeaconBlockStats::operator+=(const BeaconBlockStats& other) noexcept {
+  hits += other.hits;
+  netinfo_hits += other.netinfo_hits;
+  mobile_browser_hits += other.mobile_browser_hits;
+  cellular_labels += other.cellular_labels;
+  wifi_labels += other.wifi_labels;
+  ethernet_labels += other.ethernet_labels;
+  other_labels += other.other_labels;
+  return *this;
+}
+
+void BeaconDataset::Add(const netaddr::Prefix& block, const BeaconBlockStats& stats) {
+  if (!netaddr::IsBlock(block)) {
+    throw std::invalid_argument("BeaconDataset::Add: not a /24 or /48 block: " +
+                                block.ToString());
+  }
+  if (stats.netinfo_hits > stats.hits || stats.mobile_browser_hits > stats.hits ||
+      stats.cellular_labels + stats.wifi_labels + stats.ethernet_labels +
+              stats.other_labels > stats.netinfo_hits) {
+    throw std::invalid_argument("BeaconDataset::Add: inconsistent stats for " +
+                                block.ToString());
+  }
+  blocks_[block] += stats;
+  total_hits_ += stats.hits;
+  total_netinfo_hits_ += stats.netinfo_hits;
+}
+
+void BeaconDataset::Merge(const BeaconDataset& other) {
+  other.ForEach([&](const netaddr::Prefix& block, const BeaconBlockStats& stats) {
+    Add(block, stats);
+  });
+}
+
+const BeaconBlockStats* BeaconDataset::Find(const netaddr::Prefix& block) const noexcept {
+  const auto it = blocks_.find(block);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::size_t BeaconDataset::block_count(netaddr::Family f) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [block, stats] : blocks_) {
+    if (block.family() == f) ++n;
+  }
+  return n;
+}
+
+void BeaconDataset::SaveCsv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.WriteRow({"block", "hits", "netinfo_hits", "cellular", "wifi", "ethernet",
+                   "other", "mobile_browser"});
+  for (const auto& [block, s] : blocks_) {
+    writer.WriteRow({block.ToString(), std::to_string(s.hits),
+                     std::to_string(s.netinfo_hits), std::to_string(s.cellular_labels),
+                     std::to_string(s.wifi_labels), std::to_string(s.ethernet_labels),
+                     std::to_string(s.other_labels),
+                     std::to_string(s.mobile_browser_hits)});
+  }
+}
+
+BeaconDataset BeaconDataset::LoadCsv(std::istream& in) {
+  BeaconDataset out;
+  const auto rows = util::ReadCsv(in);
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // row 0 is the header
+    const auto& row = rows[i];
+    if (row.size() != 8) throw ParseError("BeaconDataset: bad column count");
+    BeaconBlockStats s;
+    const auto block = netaddr::Prefix::Parse(row[0]);
+    auto field = [&](std::size_t idx) {
+      const auto v = util::ParseUint(row[idx]);
+      if (!v) throw ParseError("BeaconDataset: bad count '" + row[idx] + "'");
+      return *v;
+    };
+    s.hits = field(1);
+    s.netinfo_hits = field(2);
+    s.cellular_labels = field(3);
+    s.wifi_labels = field(4);
+    s.ethernet_labels = field(5);
+    s.other_labels = field(6);
+    s.mobile_browser_hits = field(7);
+    out.Add(block, s);
+  }
+  return out;
+}
+
+}  // namespace cellspot::dataset

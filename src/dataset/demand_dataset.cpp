@@ -1,0 +1,70 @@
+#include "cellspot/dataset/demand_dataset.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "cellspot/util/csv.hpp"
+#include "cellspot/util/error.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::dataset {
+
+void DemandDataset::Add(const netaddr::Prefix& block, double raw_demand) {
+  if (!netaddr::IsBlock(block)) {
+    throw std::invalid_argument("DemandDataset::Add: not a /24 or /48 block: " +
+                                block.ToString());
+  }
+  if (raw_demand < 0.0) {
+    throw std::invalid_argument("DemandDataset::Add: negative demand");
+  }
+  blocks_[block] += raw_demand;
+  total_ += raw_demand;
+}
+
+void DemandDataset::Normalize() {
+  if (total_ <= 0.0) return;
+  const double factor = kTotalDemandUnits / total_;
+  for (auto& [block, du] : blocks_) du *= factor;
+  total_ = kTotalDemandUnits;
+}
+
+void DemandDataset::Merge(const DemandDataset& other) {
+  other.ForEach([&](const netaddr::Prefix& block, double du) { Add(block, du); });
+}
+
+double DemandDataset::DemandOf(const netaddr::Prefix& block) const noexcept {
+  const auto it = blocks_.find(block);
+  return it == blocks_.end() ? 0.0 : it->second;
+}
+
+std::size_t DemandDataset::block_count(netaddr::Family f) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [block, du] : blocks_) {
+    if (block.family() == f) ++n;
+  }
+  return n;
+}
+
+void DemandDataset::SaveCsv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.WriteRow({"block", "demand_du"});
+  for (const auto& [block, du] : blocks_) {
+    writer.WriteRow({block.ToString(), util::FormatDouble(du, 9)});
+  }
+}
+
+DemandDataset DemandDataset::LoadCsv(std::istream& in) {
+  DemandDataset out;
+  const auto rows = util::ReadCsv(in);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 2) throw ParseError("DemandDataset: bad column count");
+    const auto du = util::ParseDouble(row[1]);
+    if (!du) throw ParseError("DemandDataset: bad demand '" + row[1] + "'");
+    out.Add(netaddr::Prefix::Parse(row[0]), *du);
+  }
+  return out;
+}
+
+}  // namespace cellspot::dataset

@@ -1,0 +1,80 @@
+// The BEACON dataset (§3.1): per-/24 and per-/48 aggregates of RUM beacon
+// hits, with Network Information API label counts. This is the exact
+// input of the cellular-ratio computation (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+
+#include "cellspot/netaddr/prefix.hpp"
+
+namespace cellspot::dataset {
+
+/// Aggregated beacon activity for one /24 or /48 block over the study
+/// window.
+struct BeaconBlockStats {
+  std::uint64_t hits = 0;           // all beacon page loads
+  std::uint64_t netinfo_hits = 0;   // hits carrying Network Information data
+  std::uint64_t cellular_labels = 0;
+  std::uint64_t wifi_labels = 0;
+  std::uint64_t ethernet_labels = 0;
+  std::uint64_t other_labels = 0;   // bluetooth / wimax / unknown
+  std::uint64_t mobile_browser_hits = 0;  // hits from mobile-device browsers
+                                          // (the §1 device-type signal)
+
+  /// Fraction of API-enabled hits labelled cellular; 0 when no API hits.
+  [[nodiscard]] double CellularRatio() const noexcept {
+    return netinfo_hits > 0
+               ? static_cast<double>(cellular_labels) / static_cast<double>(netinfo_hits)
+               : 0.0;
+  }
+
+  /// Fraction of all hits from mobile-device browsers; 0 without hits.
+  /// This is the naive "device type" signal the paper dismisses: phones
+  /// offload to WiFi, so mobile-heavy blocks need not be cellular.
+  [[nodiscard]] double MobileDeviceRatio() const noexcept {
+    return hits > 0 ? static_cast<double>(mobile_browser_hits) / static_cast<double>(hits)
+                    : 0.0;
+  }
+
+  BeaconBlockStats& operator+=(const BeaconBlockStats& other) noexcept;
+};
+
+/// Block-keyed beacon aggregates for both families.
+class BeaconDataset {
+ public:
+  /// Accumulate stats for a block (must be /24 or /48; throws
+  /// std::invalid_argument otherwise).
+  void Add(const netaddr::Prefix& block, const BeaconBlockStats& stats);
+
+  [[nodiscard]] const BeaconBlockStats* Find(const netaddr::Prefix& block) const noexcept;
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::size_t block_count(netaddr::Family f) const noexcept;
+  [[nodiscard]] std::uint64_t total_hits() const noexcept { return total_hits_; }
+  [[nodiscard]] std::uint64_t total_netinfo_hits() const noexcept {
+    return total_netinfo_hits_;
+  }
+
+  /// Visit every (block, stats) pair (unordered).
+  template <typename Visitor>
+  void ForEach(Visitor&& visit) const {
+    for (const auto& [block, stats] : blocks_) visit(block, stats);
+  }
+
+  /// Merge another dataset into this one (log shards aggregated on
+  /// different servers combine associatively).
+  void Merge(const BeaconDataset& other);
+
+  /// CSV persistence: header + one row per block.
+  void SaveCsv(std::ostream& out) const;
+  [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in);
+
+ private:
+  std::unordered_map<netaddr::Prefix, BeaconBlockStats> blocks_;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_netinfo_hits_ = 0;
+};
+
+}  // namespace cellspot::dataset

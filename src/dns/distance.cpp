@@ -1,0 +1,82 @@
+#include "cellspot/dns/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cellspot/util/rng.hpp"
+#include "cellspot/util/stats.hpp"
+
+namespace cellspot::dns {
+
+namespace {
+
+/// Offset a point by (dx, dy) km, flat-earth approximation (fine at the
+/// country scale this model works at).
+geo::LatLon Offset(const geo::LatLon& base, double dx_km, double dy_km) {
+  constexpr double kKmPerDegLat = 111.0;
+  const double lat = base.lat_deg + dy_km / kKmPerDegLat;
+  const double km_per_deg_lon =
+      kKmPerDegLat * std::max(0.2, std::cos(base.lat_deg * 3.14159265 / 180.0));
+  return {lat, base.lon_deg + dx_km / km_per_deg_lon};
+}
+
+/// Uniform point in a disc of radius r around `base`.
+geo::LatLon RandomInDisc(util::Rng& rng, const geo::LatLon& base, double r_km) {
+  const double angle = rng.UniformDouble() * 2.0 * 3.14159265;
+  const double radius = r_km * std::sqrt(rng.UniformDouble());
+  return Offset(base, radius * std::cos(angle), radius * std::sin(angle));
+}
+
+}  // namespace
+
+std::vector<OperatorDistance> AnalyzeResolverDistances(
+    const simnet::World& world, std::span<const asdb::AsNumber> mixed_ases,
+    int samples, std::uint64_t seed) {
+  std::vector<OperatorDistance> out;
+  util::Rng root(seed ^ world.config().seed);
+
+  for (const asdb::AsNumber asn : mixed_ases) {
+    const simnet::OperatorInfo* op = world.FindOperator(asn);
+    if (op == nullptr || op->country_iso.empty()) continue;
+    util::Rng rng = root.Fork(asn);
+
+    const geo::LatLon centroid = geo::CountryCentroid(op->country_iso);
+    const double span = geo::CountrySpanKm(op->country_iso);
+
+    // Resolver/POP sites: a handful of metro locations.
+    const int sites = 1 + static_cast<int>(rng.UniformInt(1, 3));
+    std::vector<geo::LatLon> site_pos;
+    for (int s = 0; s < sites; ++s) {
+      site_pos.push_back(RandomInDisc(rng, centroid, span * 0.25));
+    }
+
+    std::vector<double> cell_km;
+    std::vector<double> fixed_km;
+    for (int i = 0; i < samples; ++i) {
+      // Fixed clients live near a metro and resolve at the nearest site.
+      const geo::LatLon metro = site_pos[rng.UniformInt(0, site_pos.size() - 1)];
+      const geo::LatLon fixed_client = RandomInDisc(rng, metro, span * 0.06);
+      double best = 1e18;
+      for (const geo::LatLon& site : site_pos) {
+        best = std::min(best, geo::HaversineKm(fixed_client, site));
+      }
+      fixed_km.push_back(best);
+
+      // Cellular clients are anywhere in the country but egress through
+      // the centralised mobile core at the primary site.
+      const geo::LatLon cell_client = RandomInDisc(rng, centroid, span * 0.5);
+      cell_km.push_back(geo::HaversineKm(cell_client, site_pos.front()));
+    }
+
+    OperatorDistance row;
+    row.asn = asn;
+    row.country_iso = op->country_iso;
+    row.median_cell_km = util::Percentile(cell_km, 50.0);
+    row.median_fixed_km = util::Percentile(fixed_km, 50.0);
+    row.span_km = span;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace cellspot::dns

@@ -1,0 +1,33 @@
+// Geographic resolver-distance model (§6.3, Finding 4's second half):
+// in mixed networks, shared resolvers sit in the operator's main
+// population centres. Fixed-line clients cluster around those same
+// centres, so their resolution path is short; cellular clients are
+// funnelled through a centralised mobile core from anywhere in the
+// country, so their median resolver distance is a large fraction of the
+// country span (the Fortaleza -> São Paulo anecdote: 1,470 miles).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cellspot/dns/dns_simulator.hpp"
+#include "cellspot/geo/location.hpp"
+
+namespace cellspot::dns {
+
+struct OperatorDistance {
+  asdb::AsNumber asn = 0;
+  std::string country_iso;
+  double median_cell_km = 0.0;   // cellular client -> assigned resolver
+  double median_fixed_km = 0.0;  // fixed client -> assigned resolver
+  double span_km = 0.0;          // country span, for context
+};
+
+/// Sample client-to-resolver distances for every *mixed* kept operator:
+/// `samples` clients per population per operator. Deterministic in seed.
+[[nodiscard]] std::vector<OperatorDistance> AnalyzeResolverDistances(
+    const simnet::World& world, std::span<const asdb::AsNumber> mixed_ases,
+    int samples = 200, std::uint64_t seed = 0xD157);
+
+}  // namespace cellspot::dns

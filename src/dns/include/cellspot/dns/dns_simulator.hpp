@@ -1,0 +1,56 @@
+// Builds resolver fleets for every access operator in a World, assigns
+// client subnets to resolvers (the client-to-resolver affinity of Chen et
+// al. that §6.3 builds on), and aggregates demand-weighted resolver
+// statistics for the Fig 9 / Fig 10 analyses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cellspot/dns/resolver.hpp"
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::dns {
+
+/// Per-operator public DNS usage (Fig 10): the share of the operator's
+/// cellular demand resolved through each public service.
+struct OperatorDnsUsage {
+  asdb::AsNumber asn = 0;
+  double cell_demand_du = 0.0;
+  std::array<double, kPublicDnsServiceCount> public_share{};  // of cellular demand
+
+  [[nodiscard]] double TotalPublicShare() const noexcept {
+    double total = 0.0;
+    for (double s : public_share) total += s;
+    return total;
+  }
+};
+
+class DnsSimulator {
+ public:
+  /// Deterministic in the world seed (xor'd with `seed_offset`).
+  explicit DnsSimulator(const simnet::World& world, std::uint64_t seed_offset = 3);
+
+  /// All operator resolvers plus the three public services, with
+  /// aggregated cellular/fixed client demand.
+  [[nodiscard]] std::span<const ResolverStats> resolvers() const noexcept {
+    return resolvers_;
+  }
+
+  /// Public-DNS usage per cellular-serving operator.
+  [[nodiscard]] std::span<const OperatorDnsUsage> operator_usage() const noexcept {
+    return usage_;
+  }
+
+  /// Resolvers belonging to one operator.
+  [[nodiscard]] std::vector<ResolverStats> ResolversOf(asdb::AsNumber asn) const;
+
+ private:
+  void Build(const simnet::World& world, std::uint64_t seed);
+
+  std::vector<ResolverStats> resolvers_;
+  std::vector<OperatorDnsUsage> usage_;
+};
+
+}  // namespace cellspot::dns

@@ -1,0 +1,65 @@
+// DNS resolver infrastructure model (§6.3): operator resolver fleets
+// (dedicated-cellular, dedicated-fixed, or shared) and the public DNS
+// services cellular clients may be configured against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "cellspot/asdb/as_record.hpp"
+#include "cellspot/netaddr/ip_address.hpp"
+
+namespace cellspot::dns {
+
+/// Public resolver services tracked in Fig 10.
+enum class PublicDnsService : std::uint8_t {
+  kGoogleDns = 0,
+  kOpenDns,
+  kLevel3,
+};
+
+inline constexpr std::size_t kPublicDnsServiceCount = 3;
+
+[[nodiscard]] std::string_view PublicDnsServiceName(PublicDnsService s) noexcept;
+
+/// Well-known anycast address of each service.
+[[nodiscard]] netaddr::IpAddress PublicDnsAnycast(PublicDnsService s);
+
+[[nodiscard]] constexpr std::array<PublicDnsService, kPublicDnsServiceCount>
+AllPublicDnsServices() noexcept {
+  return {PublicDnsService::kGoogleDns, PublicDnsService::kOpenDns,
+          PublicDnsService::kLevel3};
+}
+
+/// What client population an operator resolver serves.
+enum class ResolverRole : std::uint8_t {
+  kShared = 0,    // both cellular and fixed-line clients
+  kCellularOnly,
+  kFixedOnly,
+};
+
+[[nodiscard]] std::string_view ResolverRoleName(ResolverRole r) noexcept;
+
+/// Demand-weighted view of one resolver after affinity aggregation:
+/// how much cellular vs fixed client demand resolves through it.
+struct ResolverStats {
+  netaddr::IpAddress address;
+  asdb::AsNumber asn = 0;  // owning operator; 0 for public services
+  std::optional<PublicDnsService> public_service;
+  ResolverRole role = ResolverRole::kShared;
+  double cell_du = 0.0;
+  double fixed_du = 0.0;
+
+  [[nodiscard]] double TotalDemand() const noexcept { return cell_du + fixed_du; }
+
+  /// Fraction of this resolver's client demand that is cellular
+  /// (the x-axis of Fig 9); 0 for an idle resolver.
+  [[nodiscard]] double CellularFraction() const noexcept {
+    const double total = TotalDemand();
+    return total > 0.0 ? cell_du / total : 0.0;
+  }
+};
+
+}  // namespace cellspot::dns

@@ -1,0 +1,32 @@
+#include "cellspot/dns/resolver.hpp"
+
+namespace cellspot::dns {
+
+std::string_view PublicDnsServiceName(PublicDnsService s) noexcept {
+  switch (s) {
+    case PublicDnsService::kGoogleDns: return "GoogleDNS";
+    case PublicDnsService::kOpenDns: return "OpenDNS";
+    case PublicDnsService::kLevel3: return "Level3";
+  }
+  return "?";
+}
+
+netaddr::IpAddress PublicDnsAnycast(PublicDnsService s) {
+  switch (s) {
+    case PublicDnsService::kGoogleDns: return netaddr::IpAddress::Parse("8.8.8.8");
+    case PublicDnsService::kOpenDns: return netaddr::IpAddress::Parse("208.67.222.222");
+    case PublicDnsService::kLevel3: return netaddr::IpAddress::Parse("4.2.2.2");
+  }
+  return netaddr::IpAddress::V4(0);
+}
+
+std::string_view ResolverRoleName(ResolverRole r) noexcept {
+  switch (r) {
+    case ResolverRole::kShared: return "shared";
+    case ResolverRole::kCellularOnly: return "cellular-only";
+    case ResolverRole::kFixedOnly: return "fixed-only";
+  }
+  return "?";
+}
+
+}  // namespace cellspot::dns

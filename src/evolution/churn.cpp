@@ -1,0 +1,138 @@
+#include "cellspot/evolution/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::evolution {
+
+void ChurnConfig::Validate() const {
+  auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!probability(cell_retire_rate) || !probability(cell_activate_rate) ||
+      !probability(reassign_rate)) {
+    throw ConfigError("ChurnConfig: rates must be probabilities");
+  }
+  if (demand_drift_sigma < 0.0) {
+    throw ConfigError("ChurnConfig: negative drift sigma");
+  }
+  if (cellular_growth < -0.5 || cellular_growth > 0.5) {
+    throw ConfigError("ChurnConfig: implausible monthly growth");
+  }
+}
+
+TemporalSimulator::TemporalSimulator(const simnet::World& base, ChurnConfig config)
+    : base_(base),
+      config_(config),
+      subnets_(base.subnets().begin(), base.subnets().end()),
+      rng_(base.config().seed ^ config.seed) {
+  config_.Validate();
+}
+
+int TemporalSimulator::AdvanceMonth() {
+  ++month_;
+  util::Rng rng = rng_.Fork(static_cast<std::uint64_t>(month_));
+
+  // Pass 1: demand drift, retirement and refarming; track per-operator
+  // cellular demand removed by retirement so activation can recycle it.
+  std::unordered_map<asdb::AsNumber, double> freed;
+  std::unordered_map<asdb::AsNumber, std::vector<std::size_t>> dormant;
+  std::unordered_map<asdb::AsNumber, std::size_t> largest_active;
+  for (std::size_t i = 0; i < subnets_.size(); ++i) {
+    simnet::Subnet& s = subnets_[i];
+    util::Rng block_rng = rng.Fork(i);
+    if (s.truth_cellular && s.demand_du <= 0.0) {
+      dormant[s.asn].push_back(i);
+      continue;
+    }
+    if (s.demand_du <= 0.0) continue;
+    if (s.truth_cellular) {
+      const auto it = largest_active.find(s.asn);
+      if (it == largest_active.end() ||
+          subnets_[it->second].demand_du < s.demand_du) {
+        largest_active[s.asn] = i;
+      }
+    }
+
+    // Multiplicative drift; cellular additionally grows.
+    double factor = std::exp((block_rng.UniformDouble() - 0.5) * 2.0 *
+                             config_.demand_drift_sigma);
+    if (s.truth_cellular) factor *= 1.0 + config_.cellular_growth;
+    s.demand_du *= factor;
+
+    if (s.truth_cellular && block_rng.Chance(config_.cell_retire_rate)) {
+      freed[s.asn] += s.demand_du;
+      s.demand_du = 0.0;
+      s.beacon_scale = 0.0;
+      s.in_demand_snapshot = false;
+      continue;
+    }
+    if (block_rng.Chance(config_.reassign_rate)) {
+      // Refarming flips the block's access technology; demand resets to
+      // a fraction of its former level while customers migrate.
+      s.truth_cellular = !s.truth_cellular;
+      s.demand_du *= 0.5;
+      s.tether_rate = s.truth_cellular ? 0.08 : -1.0;
+    }
+  }
+
+  // Pass 2: activate dormant cellular blocks using the freed demand
+  // (iterate over freed pools so demand is conserved even for operators
+  // with no dormant space at all).
+  for (auto& [asn, pool] : freed) {
+    const std::vector<std::size_t>& indices = dormant[asn];
+    std::vector<std::size_t> activated;
+    util::Rng op_rng = rng.Fork(0xAC717A7EULL ^ asn);
+    for (std::size_t idx : indices) {
+      if (op_rng.Chance(config_.cell_activate_rate)) activated.push_back(idx);
+    }
+    if (pool <= 0.0) continue;
+    if (activated.empty()) {
+      // Nothing to activate this month: the retired pool's customers move
+      // onto the operator's main gateway instead of vanishing.
+      const auto it = largest_active.find(asn);
+      if (it != largest_active.end()) subnets_[it->second].demand_du += pool;
+      continue;
+    }
+    const double share = pool / static_cast<double>(activated.size());
+    for (std::size_t idx : activated) {
+      simnet::Subnet& s = subnets_[idx];
+      s.demand_du = share;
+      s.beacon_scale = 1.0;
+      s.in_demand_snapshot = true;
+      s.tether_rate = 0.06 + (op_rng.UniformDouble() - 0.5) * 0.04;
+    }
+  }
+  return month_;
+}
+
+dataset::BeaconDataset TemporalSimulator::GenerateBeacons() const {
+  const std::uint64_t seed =
+      base_.config().seed ^ config_.seed ^ (0xB000ULL + static_cast<std::uint64_t>(month_));
+  return cdn::BeaconGenerator(base_.config(), subnets_, seed).GenerateDataset();
+}
+
+dataset::DemandDataset TemporalSimulator::GenerateDemand() const {
+  const std::uint64_t seed =
+      base_.config().seed ^ config_.seed ^ (0xD000ULL + static_cast<std::uint64_t>(month_));
+  return cdn::DemandGenerator(base_.config(), subnets_, seed).GenerateDataset();
+}
+
+double TemporalSimulator::CellularDemand() const noexcept {
+  double total = 0.0;
+  for (const simnet::Subnet& s : subnets_) {
+    if (s.truth_cellular) total += s.demand_du;
+  }
+  return total;
+}
+
+double TemporalSimulator::FixedDemand() const noexcept {
+  double total = 0.0;
+  for (const simnet::Subnet& s : subnets_) {
+    if (!s.truth_cellular) total += s.demand_du;
+  }
+  return total;
+}
+
+}  // namespace cellspot::evolution

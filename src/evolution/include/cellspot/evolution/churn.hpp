@@ -1,0 +1,85 @@
+// Temporal evolution of the cellular address space — the paper's §8
+// future-work direction ("how cellular addresses evolve over time, both
+// in their assignment to cellular end-users, and how demand shifts
+// across cellular address space").
+//
+// The model evolves a generated World month over month:
+//   * per-block demand drifts multiplicatively (operators rebalance
+//     CGNAT gateways);
+//   * active cellular blocks retire into the dormant pool and dormant
+//     ones activate (pool rotation);
+//   * a small rate of blocks is re-assigned across access technologies
+//     (refarming fixed space for LTE and vice versa);
+//   * total cellular demand grows a few percent per month (LTE
+//     adoption), fixed demand stays flat.
+// Each month yields fresh BEACON/DEMAND datasets so the unchanged
+// pipeline can be re-run and its output compared across time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cellspot/cdn/beacon_generator.hpp"
+#include "cellspot/cdn/demand_generator.hpp"
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::evolution {
+
+struct ChurnConfig {
+  std::uint64_t seed = 20170100;
+
+  /// Monthly probability that an active cellular block goes dormant.
+  double cell_retire_rate = 0.04;
+
+  /// Monthly probability that a dormant cellular block activates,
+  /// drawing demand from its operator's active pool.
+  double cell_activate_rate = 0.05;
+
+  /// Lognormal sigma of the per-block monthly demand drift.
+  double demand_drift_sigma = 0.20;
+
+  /// Monthly probability a block flips access technology (refarming).
+  double reassign_rate = 0.002;
+
+  /// Monthly multiplicative growth of cellular demand (LTE adoption).
+  double cellular_growth = 0.025;
+
+  void Validate() const;  // throws cellspot::ConfigError
+};
+
+/// Evolves a copy of the base world's per-subnet state; the AS topology,
+/// RIB and block identities stay fixed (addresses do not move between
+/// ASes — their *use* changes).
+class TemporalSimulator {
+ public:
+  /// `base` must outlive the simulator.
+  TemporalSimulator(const simnet::World& base, ChurnConfig config = {});
+
+  /// State of the current month (month 0 == the base world).
+  [[nodiscard]] std::span<const simnet::Subnet> subnets() const noexcept {
+    return subnets_;
+  }
+  [[nodiscard]] int month() const noexcept { return month_; }
+
+  /// Advance the world by one month. Returns the new month index.
+  int AdvanceMonth();
+
+  /// Datasets for the current month, generated deterministically from
+  /// (base seed, churn seed, month).
+  [[nodiscard]] dataset::BeaconDataset GenerateBeacons() const;
+  [[nodiscard]] dataset::DemandDataset GenerateDemand() const;
+
+  /// Total expected cellular / fixed demand of the current state.
+  [[nodiscard]] double CellularDemand() const noexcept;
+  [[nodiscard]] double FixedDemand() const noexcept;
+
+ private:
+  const simnet::World& base_;
+  ChurnConfig config_;
+  std::vector<simnet::Subnet> subnets_;
+  int month_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace cellspot::evolution

@@ -1,0 +1,34 @@
+// Stability analysis over a temporal simulation: how the detected
+// cellular address map shifts month over month, quantified both by set
+// overlap (Jaccard) and by demand-weighted overlap — the metrics a CDN
+// would use to decide how often to refresh the map.
+#pragma once
+
+#include <vector>
+
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/evolution/churn.hpp"
+
+namespace cellspot::evolution {
+
+struct MonthStability {
+  int month = 0;
+  std::size_t detected = 0;       // cellular blocks detected this month
+  std::size_t joined = 0;         // detected now, not in previous month
+  std::size_t left = 0;           // detected previously, gone now
+  double jaccard_vs_prev = 1.0;   // |A∩B| / |A∪B|
+  double jaccard_vs_base = 1.0;   // against month 0
+  double demand_overlap_vs_base = 1.0;  // share of this month's cellular
+                                        // demand on blocks already in the
+                                        // month-0 map
+  double cellular_demand_du = 0.0;      // ground truth of the month
+};
+
+/// Run `months` months of churn on top of `base` and classify each
+/// month's datasets with `classifier_config`. Element 0 describes the
+/// base month.
+[[nodiscard]] std::vector<MonthStability> AnalyzeStability(
+    const simnet::World& base, const ChurnConfig& churn, int months,
+    const core::ClassifierConfig& classifier_config = {});
+
+}  // namespace cellspot::evolution

@@ -1,0 +1,78 @@
+#include "cellspot/evolution/stability.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cellspot::evolution {
+
+namespace {
+
+using BlockSet = std::unordered_set<netaddr::Prefix>;
+
+double Jaccard(const BlockSet& a, const BlockSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  const BlockSet& smaller = a.size() <= b.size() ? a : b;
+  const BlockSet& larger = a.size() <= b.size() ? b : a;
+  for (const netaddr::Prefix& block : smaller) {
+    if (larger.contains(block)) ++intersection;
+  }
+  const std::size_t unions = a.size() + b.size() - intersection;
+  return unions > 0 ? static_cast<double>(intersection) / unions : 1.0;
+}
+
+}  // namespace
+
+std::vector<MonthStability> AnalyzeStability(
+    const simnet::World& base, const ChurnConfig& churn, int months,
+    const core::ClassifierConfig& classifier_config) {
+  if (months < 0) throw std::invalid_argument("AnalyzeStability: negative months");
+
+  TemporalSimulator sim(base, churn);
+  const core::SubnetClassifier classifier(classifier_config);
+
+  std::vector<MonthStability> out;
+  BlockSet base_set;
+  BlockSet prev_set;
+  for (int m = 0; m <= months; ++m) {
+    if (m > 0) sim.AdvanceMonth();
+
+    const auto beacons = sim.GenerateBeacons();
+    const auto demand = sim.GenerateDemand();
+    const auto classified = classifier.Classify(beacons);
+    BlockSet current(classified.cellular().begin(), classified.cellular().end());
+
+    MonthStability row;
+    row.month = m;
+    row.detected = current.size();
+    row.cellular_demand_du = sim.CellularDemand();
+    if (m == 0) {
+      base_set = current;
+    } else {
+      for (const netaddr::Prefix& block : current) {
+        if (!prev_set.contains(block)) ++row.joined;
+      }
+      for (const netaddr::Prefix& block : prev_set) {
+        if (!current.contains(block)) ++row.left;
+      }
+      row.jaccard_vs_prev = Jaccard(current, prev_set);
+      row.jaccard_vs_base = Jaccard(current, base_set);
+    }
+    // Demand-weighted overlap: how much of this month's detected
+    // cellular demand the month-0 map would still cover.
+    double covered = 0.0;
+    double total = 0.0;
+    for (const netaddr::Prefix& block : current) {
+      const double du = demand.DemandOf(block);
+      total += du;
+      if (base_set.contains(block)) covered += du;
+    }
+    row.demand_overlap_vs_base = total > 0.0 ? covered / total : 1.0;
+
+    out.push_back(row);
+    prev_set = std::move(current);
+  }
+  return out;
+}
+
+}  // namespace cellspot::evolution

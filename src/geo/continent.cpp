@@ -1,0 +1,36 @@
+#include "cellspot/geo/continent.hpp"
+
+namespace cellspot::geo {
+
+std::string_view ContinentName(Continent c) noexcept {
+  switch (c) {
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kEurope: return "Europe";
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kOceania: return "Oceania";
+    case Continent::kSouthAmerica: return "South America";
+  }
+  return "?";
+}
+
+std::string_view ContinentCode(Continent c) noexcept {
+  switch (c) {
+    case Continent::kAfrica: return "AF";
+    case Continent::kAsia: return "AS";
+    case Continent::kEurope: return "EU";
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kOceania: return "OC";
+    case Continent::kSouthAmerica: return "SA";
+  }
+  return "?";
+}
+
+std::optional<Continent> ContinentFromCode(std::string_view code) noexcept {
+  for (Continent c : AllContinents()) {
+    if (ContinentCode(c) == code) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cellspot::geo

@@ -1,0 +1,177 @@
+#include "cellspot/geo/country.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cellspot::geo {
+
+namespace {
+
+using enum Continent;
+
+// ISO alpha-2, name, continent, mobile-cellular subscriptions in millions
+// (ITU year-end 2016, rounded). Sorted by ISO code.
+constexpr std::array kWorld = std::to_array<Country>({
+    {"AE", "United Arab Emirates", kAsia, 19.9},
+    {"AF", "Afghanistan", kAsia, 21.6},
+    {"AO", "Angola", kAfrica, 13.0},
+    {"AR", "Argentina", kSouthAmerica, 61.0},
+    {"AT", "Austria", kEurope, 13.2},
+    {"AU", "Australia", kOceania, 26.6},
+    {"BB", "Barbados", kNorthAmerica, 0.3},
+    {"BD", "Bangladesh", kAsia, 126.4},
+    {"BE", "Belgium", kEurope, 12.1},
+    {"BF", "Burkina Faso", kAfrica, 15.4},
+    {"BG", "Bulgaria", kEurope, 9.1},
+    {"BJ", "Benin", kAfrica, 8.9},
+    {"BO", "Bolivia", kSouthAmerica, 10.1},
+    {"BR", "Brazil", kSouthAmerica, 244.1},
+    {"BS", "Bahamas", kNorthAmerica, 0.4},
+    {"BZ", "Belize", kNorthAmerica, 0.2},
+    {"CA", "Canada", kNorthAmerica, 30.5},
+    {"CD", "DR Congo", kAfrica, 28.0},
+    {"CH", "Switzerland", kEurope, 11.2},
+    {"CI", "Cote d'Ivoire", kAfrica, 27.5},
+    {"CL", "Chile", kSouthAmerica, 23.0},
+    {"CM", "Cameroon", kAfrica, 19.1},
+    {"CN", "China", kAsia, 1364.9},
+    {"CO", "Colombia", kSouthAmerica, 58.7},
+    {"CR", "Costa Rica", kNorthAmerica, 8.2},
+    {"CU", "Cuba", kNorthAmerica, 4.0},
+    {"CZ", "Czechia", kEurope, 13.1},
+    {"DE", "Germany", kEurope, 106.8},
+    {"DK", "Denmark", kEurope, 7.1},
+    {"DO", "Dominican Republic", kNorthAmerica, 8.9},
+    {"DZ", "Algeria", kAfrica, 47.0},
+    {"EC", "Ecuador", kSouthAmerica, 14.1},
+    {"EG", "Egypt", kAfrica, 97.8},
+    {"ES", "Spain", kEurope, 51.2},
+    {"ET", "Ethiopia", kAfrica, 51.2},
+    {"FI", "Finland", kEurope, 9.3},
+    {"FJ", "Fiji", kOceania, 1.0},
+    {"FR", "France", kEurope, 73.2},
+    {"GB", "United Kingdom", kEurope, 92.0},
+    {"GH", "Ghana", kAfrica, 38.3},
+    {"GN", "Guinea", kAfrica, 10.8},
+    {"GR", "Greece", kEurope, 12.3},
+    {"GT", "Guatemala", kNorthAmerica, 18.3},
+    {"GU", "Guam", kOceania, 0.1},
+    {"GY", "Guyana", kSouthAmerica, 0.6},
+    {"HK", "Hong Kong", kAsia, 17.4},
+    {"HN", "Honduras", kNorthAmerica, 7.8},
+    {"HR", "Croatia", kEurope, 4.4},
+    {"HT", "Haiti", kNorthAmerica, 6.5},
+    {"HU", "Hungary", kEurope, 11.8},
+    {"ID", "Indonesia", kAsia, 385.6},
+    {"IE", "Ireland", kEurope, 4.9},
+    {"IL", "Israel", kAsia, 10.2},
+    {"IN", "India", kAsia, 1127.8},
+    {"IQ", "Iraq", kAsia, 33.0},
+    {"IR", "Iran", kAsia, 80.2},
+    {"IT", "Italy", kEurope, 85.6},
+    {"JM", "Jamaica", kNorthAmerica, 3.2},
+    {"JO", "Jordan", kAsia, 14.0},
+    {"JP", "Japan", kAsia, 167.0},
+    {"KE", "Kenya", kAfrica, 38.5},
+    {"KH", "Cambodia", kAsia, 19.1},
+    {"KR", "South Korea", kAsia, 61.3},
+    {"KW", "Kuwait", kAsia, 7.1},
+    {"KZ", "Kazakhstan", kAsia, 25.0},
+    {"LA", "Laos", kAsia, 5.5},
+    {"LK", "Sri Lanka", kAsia, 26.2},
+    {"LR", "Liberia", kAfrica, 3.0},
+    {"LY", "Libya", kAfrica, 9.0},
+    {"MA", "Morocco", kAfrica, 41.5},
+    {"MG", "Madagascar", kAfrica, 10.0},
+    {"ML", "Mali", kAfrica, 18.0},
+    {"MM", "Myanmar", kAsia, 52.6},
+    {"MX", "Mexico", kNorthAmerica, 111.7},
+    {"MY", "Malaysia", kAsia, 43.9},
+    {"MZ", "Mozambique", kAfrica, 15.0},
+    {"NC", "New Caledonia", kOceania, 0.25},
+    {"NE", "Niger", kAfrica, 7.0},
+    {"NG", "Nigeria", kAfrica, 154.3},
+    {"NI", "Nicaragua", kNorthAmerica, 8.0},
+    {"NL", "Netherlands", kEurope, 21.9},
+    {"NO", "Norway", kEurope, 5.8},
+    {"NP", "Nepal", kAsia, 32.1},
+    {"NZ", "New Zealand", kOceania, 5.8},
+    {"OM", "Oman", kAsia, 6.9},
+    {"PA", "Panama", kNorthAmerica, 7.0},
+    {"PE", "Peru", kSouthAmerica, 37.0},
+    {"PF", "French Polynesia", kOceania, 0.3},
+    {"PG", "Papua New Guinea", kOceania, 4.0},
+    {"PH", "Philippines", kAsia, 117.4},
+    {"PK", "Pakistan", kAsia, 136.5},
+    {"PL", "Poland", kEurope, 55.9},
+    {"PR", "Puerto Rico", kNorthAmerica, 3.3},
+    {"PT", "Portugal", kEurope, 16.8},
+    {"PY", "Paraguay", kSouthAmerica, 7.0},
+    {"QA", "Qatar", kAsia, 4.1},
+    {"RO", "Romania", kEurope, 22.9},
+    {"RS", "Serbia", kEurope, 9.1},
+    {"RU", "Russia", kEurope, 257.1},
+    {"RW", "Rwanda", kAfrica, 8.4},
+    {"SA", "Saudi Arabia", kAsia, 47.9},
+    {"SB", "Solomon Islands", kOceania, 0.7},
+    {"SD", "Sudan", kAfrica, 27.7},
+    {"SE", "Sweden", kEurope, 14.7},
+    {"SG", "Singapore", kAsia, 8.4},
+    {"SK", "Slovakia", kEurope, 7.0},
+    {"SL", "Sierra Leone", kAfrica, 5.0},
+    {"SN", "Senegal", kAfrica, 15.2},
+    {"SO", "Somalia", kAfrica, 6.1},
+    {"SR", "Suriname", kSouthAmerica, 0.8},
+    {"SV", "El Salvador", kNorthAmerica, 9.4},
+    {"TD", "Chad", kAfrica, 6.0},
+    {"TG", "Togo", kAfrica, 5.7},
+    {"TH", "Thailand", kAsia, 116.3},
+    {"TL", "Timor-Leste", kOceania, 1.4},
+    {"TN", "Tunisia", kAfrica, 14.3},
+    {"TR", "Turkey", kAsia, 75.1},
+    {"TT", "Trinidad and Tobago", kNorthAmerica, 2.1},
+    {"TW", "Taiwan", kAsia, 28.7},
+    {"TZ", "Tanzania", kAfrica, 40.2},
+    {"UA", "Ukraine", kEurope, 56.0},
+    {"UG", "Uganda", kAfrica, 22.3},
+    {"US", "United States", kNorthAmerica, 396.0},
+    {"UY", "Uruguay", kSouthAmerica, 5.0},
+    {"UZ", "Uzbekistan", kAsia, 23.9},
+    {"VE", "Venezuela", kSouthAmerica, 27.0},
+    {"VN", "Vietnam", kAsia, 128.7},
+    {"WS", "Samoa", kOceania, 0.2},
+    {"YE", "Yemen", kAsia, 17.1},
+    {"ZA", "South Africa", kAfrica, 87.0},
+    {"ZM", "Zambia", kAfrica, 12.0},
+    {"ZW", "Zimbabwe", kAfrica, 12.9},
+});
+
+}  // namespace
+
+std::span<const Country> WorldCountries() noexcept { return kWorld; }
+
+const Country* FindCountry(std::string_view iso2) noexcept {
+  const auto it = std::lower_bound(
+      kWorld.begin(), kWorld.end(), iso2,
+      [](const Country& c, std::string_view key) { return c.iso2 < key; });
+  if (it == kWorld.end() || it->iso2 != iso2) return nullptr;
+  return &*it;
+}
+
+double ContinentSubscribersMillions(Continent c) noexcept {
+  double total = 0.0;
+  for (const Country& country : kWorld) {
+    if (country.continent == c) total += country.subscribers_millions;
+  }
+  return total;
+}
+
+std::size_t ContinentCountryCount(Continent c) noexcept {
+  std::size_t n = 0;
+  for (const Country& country : kWorld) {
+    if (country.continent == c) ++n;
+  }
+  return n;
+}
+
+}  // namespace cellspot::geo

@@ -1,0 +1,38 @@
+// Continents as used throughout the paper's per-continent tables
+// (Tables 4, 6, 8 and Fig 11).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cellspot::geo {
+
+enum class Continent : std::uint8_t {
+  kAfrica = 0,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kOceania,
+  kSouthAmerica,
+};
+
+inline constexpr std::size_t kContinentCount = 6;
+
+/// All continents in the paper's table order (AF, AS, EU, NA, OC, SA).
+[[nodiscard]] constexpr std::array<Continent, kContinentCount> AllContinents() noexcept {
+  return {Continent::kAfrica,       Continent::kAsia,    Continent::kEurope,
+          Continent::kNorthAmerica, Continent::kOceania, Continent::kSouthAmerica};
+}
+
+/// Long name: "North America".
+[[nodiscard]] std::string_view ContinentName(Continent c) noexcept;
+
+/// Two-letter code used in Table 6: "NA".
+[[nodiscard]] std::string_view ContinentCode(Continent c) noexcept;
+
+/// Inverse of ContinentCode; nullopt for unknown codes.
+[[nodiscard]] std::optional<Continent> ContinentFromCode(std::string_view code) noexcept;
+
+}  // namespace cellspot::geo

@@ -1,0 +1,36 @@
+// Static world geography: ISO-3166 alpha-2 countries, their continent and
+// ITU-style mobile-cellular subscription counts (millions, year-end 2016).
+//
+// This is the public reference data the paper's Table 8 divides by; it is
+// embedded so the library works fully offline.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "cellspot/geo/continent.hpp"
+
+namespace cellspot::geo {
+
+struct Country {
+  std::string_view iso2;        // "US"
+  std::string_view name;        // "United States"
+  Continent continent;
+  double subscribers_millions;  // mobile subscriptions (all types), ~2016
+};
+
+/// The embedded world table, sorted by ISO code. Stable storage for the
+/// lifetime of the process.
+[[nodiscard]] std::span<const Country> WorldCountries() noexcept;
+
+/// Lookup by ISO alpha-2 code (case-sensitive, upper case).
+[[nodiscard]] const Country* FindCountry(std::string_view iso2) noexcept;
+
+/// Sum of subscribers over a continent, in millions.
+[[nodiscard]] double ContinentSubscribersMillions(Continent c) noexcept;
+
+/// Number of countries in a continent in the embedded table.
+[[nodiscard]] std::size_t ContinentCountryCount(Continent c) noexcept;
+
+}  // namespace cellspot::geo

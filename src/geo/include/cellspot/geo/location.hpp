@@ -1,0 +1,33 @@
+// Coarse geography used by the DNS distance analysis (§6.3: in a large
+// Brazilian mixed carrier, cellular clients in Fortaleza resolved via
+// São Paulo, 1,470 miles away, while the fixed clients of those same
+// resolvers were local): country centroids, rough land areas and great-
+// circle distances.
+#pragma once
+
+#include <string_view>
+
+namespace cellspot::geo {
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Rough geographic centroid of a country; continent centroid for
+/// countries without an entry.
+[[nodiscard]] LatLon CountryCentroid(std::string_view iso2) noexcept;
+
+/// Approximate land area in km^2 (coarse reference values; a generic
+/// mid-size default for countries without an entry).
+[[nodiscard]] double CountryAreaKm2(std::string_view iso2) noexcept;
+
+/// Characteristic span of a country in km: the diameter of the circle
+/// with the country's area. Drives how far apart clients and resolver
+/// sites can plausibly be.
+[[nodiscard]] double CountrySpanKm(std::string_view iso2) noexcept;
+
+/// Great-circle distance in km.
+[[nodiscard]] double HaversineKm(const LatLon& a, const LatLon& b) noexcept;
+
+}  // namespace cellspot::geo

@@ -1,0 +1,131 @@
+#include "cellspot/geo/location.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "cellspot/geo/country.hpp"
+
+namespace cellspot::geo {
+
+namespace {
+
+const std::unordered_map<std::string, LatLon>& Centroids() {
+  static const std::unordered_map<std::string, LatLon> kCentroids = {
+      {"US", {39.8, -98.6}},  {"CA", {56.1, -106.3}}, {"MX", {23.6, -102.6}},
+      {"BR", {-10.8, -52.9}}, {"AR", {-34.0, -64.0}}, {"CO", {4.6, -74.1}},
+      {"PE", {-9.2, -75.0}},  {"CL", {-35.7, -71.5}}, {"VE", {7.1, -66.2}},
+      {"GB", {54.0, -2.5}},   {"FR", {46.2, 2.2}},    {"DE", {51.2, 10.4}},
+      {"IT", {42.8, 12.6}},   {"ES", {40.2, -3.6}},   {"PL", {52.1, 19.4}},
+      {"RU", {61.5, 105.3}},  {"UA", {48.4, 31.2}},   {"SE", {62.2, 14.6}},
+      {"FI", {64.5, 26.0}},   {"NO", {64.6, 12.7}},   {"NL", {52.2, 5.3}},
+      {"IN", {22.9, 79.6}},   {"CN", {35.9, 104.2}},  {"JP", {36.2, 138.3}},
+      {"ID", {-2.5, 118.0}},  {"PK", {30.4, 69.4}},   {"BD", {23.7, 90.4}},
+      {"PH", {12.9, 121.8}},  {"VN", {16.0, 106.3}},  {"TH", {15.1, 101.0}},
+      {"MM", {19.2, 96.7}},   {"KR", {36.5, 127.8}},  {"TW", {23.7, 121.0}},
+      {"MY", {4.1, 109.5}},   {"SG", {1.35, 103.8}},  {"HK", {22.3, 114.2}},
+      {"IR", {32.4, 53.7}},   {"TR", {39.0, 35.2}},   {"SA", {24.0, 45.0}},
+      {"AE", {24.3, 54.3}},   {"IQ", {33.2, 43.7}},   {"IL", {31.4, 35.0}},
+      {"KZ", {48.0, 66.9}},   {"LA", {18.2, 103.9}},  {"KH", {12.6, 104.9}},
+      {"NP", {28.4, 84.1}},   {"LK", {7.9, 80.8}},    {"EG", {26.8, 30.8}},
+      {"NG", {9.1, 8.7}},     {"ZA", {-29.0, 25.1}},  {"DZ", {28.0, 1.7}},
+      {"MA", {31.8, -7.1}},   {"TN", {34.0, 9.6}},    {"KE", {0.5, 37.9}},
+      {"TZ", {-6.4, 34.9}},   {"ET", {9.1, 40.5}},    {"GH", {7.9, -1.0}},
+      {"CI", {7.5, -5.6}},    {"CM", {5.7, 12.7}},    {"SN", {14.4, -14.5}},
+      {"SD", {15.6, 30.2}},   {"CD", {-2.9, 23.7}},   {"AO", {-12.3, 17.5}},
+      {"AU", {-25.3, 133.8}}, {"NZ", {-41.8, 172.8}}, {"PG", {-6.5, 145.0}},
+      {"FJ", {-17.7, 178.0}}, {"GT", {15.8, -90.2}},  {"CU", {21.5, -79.5}},
+      {"DO", {18.9, -70.5}},  {"PR", {18.2, -66.4}},  {"HN", {14.8, -86.6}},
+      {"NI", {12.9, -85.2}},  {"CR", {9.7, -84.0}},   {"PA", {8.5, -80.1}},
+      {"BO", {-16.7, -64.7}}, {"EC", {-1.4, -78.4}},  {"PY", {-23.4, -58.4}},
+      {"UY", {-32.8, -56.0}},
+  };
+  return kCentroids;
+}
+
+LatLon ContinentCentroid(Continent c) {
+  switch (c) {
+    case Continent::kAfrica: return {2.0, 21.0};
+    case Continent::kAsia: return {34.0, 100.0};
+    case Continent::kEurope: return {54.0, 15.0};
+    case Continent::kNorthAmerica: return {40.0, -100.0};
+    case Continent::kOceania: return {-22.0, 140.0};
+    case Continent::kSouthAmerica: return {-14.0, -60.0};
+  }
+  return {0.0, 0.0};
+}
+
+const std::unordered_map<std::string, double>& Areas() {
+  // km^2, heavily rounded.
+  static const std::unordered_map<std::string, double> kAreas = {
+      {"RU", 17100000}, {"CA", 9980000}, {"US", 9830000}, {"CN", 9600000},
+      {"BR", 8516000},  {"AU", 7692000}, {"IN", 3287000}, {"AR", 2780000},
+      {"KZ", 2725000},  {"DZ", 2382000}, {"CD", 2345000}, {"SA", 2150000},
+      {"MX", 1964000},  {"ID", 1905000}, {"SD", 1861000}, {"IR", 1648000},
+      {"MN", 1564000},  {"PE", 1285000}, {"TD", 1284000}, {"NE", 1267000},
+      {"AO", 1247000},  {"ML", 1240000}, {"ZA", 1221000}, {"CO", 1142000},
+      {"ET", 1104000},  {"BO", 1099000}, {"EG", 1002000}, {"TZ", 947000},
+      {"NG", 924000},   {"VE", 912000},  {"PK", 881000},  {"TR", 783000},
+      {"CL", 756000},   {"ZM", 752000},  {"MM", 676000},  {"AF", 653000},
+      {"SO", 638000},   {"UA", 604000},  {"MG", 587000},  {"KE", 580000},
+      {"FR", 551000},   {"YE", 528000},  {"TH", 513000},  {"ES", 506000},
+      {"CM", 475000},   {"PG", 463000},  {"SE", 450000},  {"UZ", 447000},
+      {"MA", 447000},   {"IQ", 438000},  {"PY", 407000},  {"ZW", 391000},
+      {"JP", 378000},   {"DE", 357000},  {"FI", 338000},  {"VN", 331000},
+      {"MY", 330000},   {"NO", 324000},  {"CI", 322000},  {"PL", 313000},
+      {"IT", 301000},   {"PH", 300000},  {"EC", 276000},  {"BF", 274000},
+      {"NZ", 268000},   {"GB", 244000},  {"GN", 246000},  {"UG", 241000},
+      {"GH", 239000},   {"RO", 238000},  {"LA", 237000},  {"SN", 197000},
+      {"KH", 181000},   {"UY", 176000},  {"TN", 164000},  {"BD", 148000},
+      {"NP", 147000},   {"GR", 132000},  {"NI", 130000},  {"KR", 100000},
+      {"HN", 112000},   {"CU", 110000},  {"BG", 111000},  {"GT", 109000},
+      {"IS", 103000},   {"PT", 92000},   {"HU", 93000},   {"JO", 89000},
+      {"AT", 84000},    {"AE", 84000},   {"CZ", 79000},   {"RS", 77000},
+      {"PA", 75000},    {"IE", 70000},   {"LK", 66000},   {"LT", 65000},
+      {"TG", 57000},    {"HR", 57000},   {"CR", 51000},   {"SK", 49000},
+      {"DO", 49000},    {"NL", 42000},   {"DK", 43000},   {"CH", 41000},
+      {"TW", 36000},    {"BE", 31000},   {"HT", 28000},   {"IL", 22000},
+      {"SV", 21000},    {"FJ", 18000},   {"KW", 18000},   {"TL", 15000},
+      {"QA", 12000},    {"JM", 11000},   {"PR", 9100},    {"CY", 9300},
+      {"LB", 10500},    {"TT", 5100},    {"WS", 2800},    {"HK", 1100},
+      {"SG", 720},      {"BB", 430},     {"NC", 18600},   {"PF", 4200},
+      {"GU", 540},      {"SB", 28000},   {"BZ", 23000},   {"BS", 13900},
+      {"OM", 310000},   {"BJ", 115000},  {"SL", 72000},   {"LR", 111000},
+      {"MZ", 802000},   {"RW", 26000},   {"LY", 1760000}, {"GY", 215000},
+      {"SR", 164000},
+  };
+  return kAreas;
+}
+
+}  // namespace
+
+LatLon CountryCentroid(std::string_view iso2) noexcept {
+  const auto it = Centroids().find(std::string(iso2));
+  if (it != Centroids().end()) return it->second;
+  const Country* country = FindCountry(iso2);
+  return country != nullptr ? ContinentCentroid(country->continent) : LatLon{};
+}
+
+double CountryAreaKm2(std::string_view iso2) noexcept {
+  const auto it = Areas().find(std::string(iso2));
+  if (it != Areas().end()) return it->second;
+  return 300000.0;  // generic mid-size country
+}
+
+double CountrySpanKm(std::string_view iso2) noexcept {
+  return 2.0 * std::sqrt(CountryAreaKm2(iso2) / 3.14159265358979);
+}
+
+double HaversineKm(const LatLon& a, const LatLon& b) noexcept {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979 / 180.0;
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace cellspot::geo

@@ -1,0 +1,157 @@
+#include "cellspot/netaddr/ip_address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "cellspot/util/error.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::netaddr {
+
+namespace {
+
+std::optional<IpAddress> ParseV4(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t dot = text.find('.', pos);
+    const std::string_view part =
+        text.substr(pos, dot == std::string_view::npos ? std::string_view::npos : dot - pos);
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    std::uint32_t octet = 0;
+    const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal in many parsers).
+    if (part.size() > 1 && part[0] == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+    if (pos > text.size()) return std::nullopt;
+  }
+  if (octets != 4) return std::nullopt;
+  return IpAddress::V4(value);
+}
+
+std::optional<std::uint16_t> ParseHexGroup(std::string_view part) noexcept {
+  if (part.empty() || part.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(part.data(), part.data() + part.size(), value, 16);
+  if (ec != std::errc{} || ptr != part.data() + part.size() || value > 0xFFFF) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+std::optional<IpAddress> ParseV6(std::string_view text) noexcept {
+  // Split on "::" (at most one).
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos && text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  auto parse_groups = [](std::string_view s,
+                         std::array<std::uint16_t, 8>& out) -> std::optional<int> {
+    if (s.empty()) return 0;
+    int n = 0;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t colon = s.find(':', pos);
+      const std::string_view part =
+          s.substr(pos, colon == std::string_view::npos ? std::string_view::npos : colon - pos);
+      const auto group = ParseHexGroup(part);
+      if (!group || n >= 8) return std::nullopt;
+      out[static_cast<std::size_t>(n++)] = *group;
+      if (colon == std::string_view::npos) break;
+      pos = colon + 1;
+    }
+    return n;
+  };
+
+  std::array<std::uint16_t, 8> groups{};
+  if (gap == std::string_view::npos) {
+    std::array<std::uint16_t, 8> parsed{};
+    const auto n = parse_groups(text, parsed);
+    if (!n || *n != 8) return std::nullopt;
+    groups = parsed;
+  } else {
+    std::array<std::uint16_t, 8> head{};
+    std::array<std::uint16_t, 8> tail{};
+    const auto nh = parse_groups(text.substr(0, gap), head);
+    const auto nt = parse_groups(text.substr(gap + 2), tail);
+    if (!nh || !nt || *nh + *nt >= 8) return std::nullopt;
+    for (int i = 0; i < *nh; ++i) groups[static_cast<std::size_t>(i)] = head[static_cast<std::size_t>(i)];
+    for (int i = 0; i < *nt; ++i) {
+      groups[static_cast<std::size_t>(8 - *nt + i)] = tail[static_cast<std::size_t>(i)];
+    }
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(2 * i)] = static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] >> 8);
+    bytes[static_cast<std::size_t>(2 * i + 1)] = static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)]);
+  }
+  return IpAddress::V6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::TryParse(std::string_view text) noexcept {
+  if (text.find(':') != std::string_view::npos) return ParseV6(text);
+  return ParseV4(text);
+}
+
+IpAddress IpAddress::Parse(std::string_view text) {
+  auto parsed = TryParse(text);
+  if (!parsed) throw cellspot::ParseError("bad IP address: '" + std::string(text) + "'");
+  return *parsed;
+}
+
+std::string IpAddress::ToString() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // RFC 5952: compress the longest run of zero groups (>= 2) with "::".
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 8; ++i) {
+    groups[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(bytes_[static_cast<std::size_t>(2 * i)]) << 8) |
+        bytes_[static_cast<std::size_t>(2 * i + 1)]);
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace cellspot::netaddr

@@ -1,0 +1,79 @@
+#include "cellspot/netinfo/availability.hpp"
+
+#include <algorithm>
+
+namespace cellspot::netinfo {
+
+namespace {
+
+// Share of all beacon hits at the start (Sep 2015) and end (Jun 2017) of
+// the study window, interpolated linearly in between. Chrome Mobile grows
+// at the expense of the legacy Android WebKit and desktop browsers;
+// absolute values are calibrated so the Dec-2016 Network-Information
+// coverage lands at the paper's 13.2% with ~97% of it from Google
+// browsers.
+struct SharePoint {
+  double start;
+  double end;
+};
+
+constexpr std::array<SharePoint, kBrowserCount> kShares = {{
+    /* kChromeMobile  */ {0.040, 0.130},
+    /* kAndroidWebkit */ {0.030, 0.018},
+    /* kFirefoxMobile */ {0.0040, 0.0035},
+    /* kChromeDesktop */ {0.240, 0.260},
+    /* kSafariMobile  */ {0.220, 0.240},
+    /* kDesktopOther  */ {0.466, 0.3485},
+}};
+
+double InterpolateWindow(double start, double end, util::YearMonth m) noexcept {
+  const auto clamped_idx = std::clamp(m.Index(), kTimelineStart.Index(), kTimelineEnd.Index());
+  const double span =
+      static_cast<double>(util::MonthsBetween(kTimelineStart, kTimelineEnd));
+  const double t = static_cast<double>(clamped_idx - kTimelineStart.Index()) / span;
+  return start + (end - start) * t;
+}
+
+}  // namespace
+
+BrowserMix BrowserSharesAt(util::YearMonth m) noexcept {
+  BrowserMix mix;
+  double total = 0.0;
+  for (std::size_t i = 0; i < kBrowserCount; ++i) {
+    mix.share[i] = InterpolateWindow(kShares[i].start, kShares[i].end, m);
+    total += mix.share[i];
+  }
+  // Normalise exactly: interpolation keeps the sum near 1 but not exact.
+  for (double& s : mix.share) s /= total;
+  return mix;
+}
+
+double NetInfoAvailability(Browser b, util::YearMonth m) noexcept {
+  switch (b) {
+    case Browser::kChromeMobile:   // shipped in v38, Oct 2014
+      return m >= util::YearMonth{2014, 10} ? 1.0 : 0.0;
+    case Browser::kAndroidWebkit:  // native WebKit exposes it throughout
+      return 1.0;
+    case Browser::kFirefoxMobile:
+      return 1.0;
+    case Browser::kChromeDesktop:
+      // Partial desktop rollout appears only near the end of the window.
+      return m >= util::YearMonth{2017, 3} ? 0.02 : 0.0;
+    case Browser::kSafariMobile:
+    case Browser::kDesktopOther:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double NetInfoFraction(util::YearMonth m) noexcept {
+  double total = 0.0;
+  for (Browser b : AllBrowsers()) total += NetInfoFractionOf(b, m);
+  return total;
+}
+
+double NetInfoFractionOf(Browser b, util::YearMonth m) noexcept {
+  return BrowserSharesAt(m).of(b) * NetInfoAvailability(b, m);
+}
+
+}  // namespace cellspot::netinfo

@@ -1,0 +1,45 @@
+#include "cellspot/netinfo/connection.hpp"
+
+namespace cellspot::netinfo {
+
+std::string_view ConnectionTypeName(ConnectionType t) noexcept {
+  switch (t) {
+    case ConnectionType::kUnknown: return "unknown";
+    case ConnectionType::kBluetooth: return "bluetooth";
+    case ConnectionType::kCellular: return "cellular";
+    case ConnectionType::kEthernet: return "ethernet";
+    case ConnectionType::kWifi: return "wifi";
+    case ConnectionType::kWimax: return "wimax";
+  }
+  return "?";
+}
+
+std::optional<ConnectionType> ConnectionTypeFromName(std::string_view name) noexcept {
+  for (std::uint8_t i = 0; i < kConnectionTypeCount; ++i) {
+    const auto t = static_cast<ConnectionType>(i);
+    if (ConnectionTypeName(t) == name) return t;
+  }
+  return std::nullopt;
+}
+
+std::string_view BrowserName(Browser b) noexcept {
+  switch (b) {
+    case Browser::kChromeMobile: return "chrome-mobile";
+    case Browser::kAndroidWebkit: return "android-webkit";
+    case Browser::kFirefoxMobile: return "firefox-mobile";
+    case Browser::kChromeDesktop: return "chrome-desktop";
+    case Browser::kSafariMobile: return "safari-mobile";
+    case Browser::kDesktopOther: return "desktop-other";
+  }
+  return "?";
+}
+
+std::optional<Browser> BrowserFromName(std::string_view name) noexcept {
+  for (std::uint8_t i = 0; i < kBrowserCount; ++i) {
+    const auto b = static_cast<Browser>(i);
+    if (BrowserName(b) == name) return b;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cellspot::netinfo

@@ -1,0 +1,50 @@
+// Browser-mix and Network-Information-API availability timelines.
+//
+// Fig 1 of the paper plots the fraction of beacon hits carrying Network
+// Information API data between Sep 2015 and Jun 2017 (13.2% in Dec 2016,
+// ~15% by Jun 2017, dominated by Chrome Mobile and Android WebKit). This
+// module models both ingredients: each browser's share of page loads over
+// time, and whether/how much of that browser's population exposes the API.
+#pragma once
+
+#include <array>
+
+#include "cellspot/netinfo/connection.hpp"
+#include "cellspot/util/date.hpp"
+
+namespace cellspot::netinfo {
+
+/// Study window of Fig 1.
+inline constexpr util::YearMonth kTimelineStart{2015, 9};
+inline constexpr util::YearMonth kTimelineEnd{2017, 6};
+
+/// Fraction of all beacon hits issued by each browser in a month.
+/// Components always sum to 1.
+struct BrowserMix {
+  std::array<double, kBrowserCount> share{};
+
+  [[nodiscard]] double of(Browser b) const noexcept {
+    return share[static_cast<std::size_t>(b)];
+  }
+};
+
+/// Piecewise-linear browser mix between the endpoints of the study window;
+/// months outside the window clamp to the nearest endpoint.
+[[nodiscard]] BrowserMix BrowserSharesAt(util::YearMonth m) noexcept;
+
+/// Fraction of this browser's hits that expose the Network Information
+/// API in the given month, in [0, 1]. Chrome Mobile ships it from v38
+/// (Oct 2014, full coverage in-window); Android WebKit and Firefox Mobile
+/// throughout; desktop Chrome only as a partial rollout near the end of
+/// the window; Safari and other desktop browsers never.
+[[nodiscard]] double NetInfoAvailability(Browser b, util::YearMonth m) noexcept;
+
+/// Expected fraction of all hits carrying Network Information API data:
+/// sum over browsers of share x availability. ~0.132 for Dec 2016.
+[[nodiscard]] double NetInfoFraction(util::YearMonth m) noexcept;
+
+/// Single browser's contribution to NetInfoFraction (the stacked series
+/// of Fig 1).
+[[nodiscard]] double NetInfoFractionOf(Browser b, util::YearMonth m) noexcept;
+
+}  // namespace cellspot::netinfo

@@ -1,0 +1,60 @@
+// The Network Information API surface the paper's beacons report (§3.1):
+// the ConnectionType enumeration and the browsers that implement the API.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cellspot::netinfo {
+
+/// navigator.connection.type values (WICG Network Information API).
+enum class ConnectionType : std::uint8_t {
+  kUnknown = 0,
+  kBluetooth,
+  kCellular,
+  kEthernet,
+  kWifi,
+  kWimax,
+};
+
+inline constexpr std::size_t kConnectionTypeCount = 6;
+
+[[nodiscard]] std::string_view ConnectionTypeName(ConnectionType t) noexcept;
+[[nodiscard]] std::optional<ConnectionType> ConnectionTypeFromName(std::string_view name) noexcept;
+
+/// Browser families relevant to the BEACON dataset (Fig 1).
+enum class Browser : std::uint8_t {
+  kChromeMobile = 0,   // Network Information API since v38 (Oct 2014)
+  kAndroidWebkit,      // native Android browser; API available throughout
+  kFirefoxMobile,      // API available throughout
+  kChromeDesktop,      // API from mid-2016
+  kSafariMobile,       // never implements the API in the study window
+  kDesktopOther,       // IE/Edge/desktop Firefox/Safari: no API
+};
+
+inline constexpr std::size_t kBrowserCount = 6;
+
+[[nodiscard]] std::string_view BrowserName(Browser b) noexcept;
+[[nodiscard]] std::optional<Browser> BrowserFromName(std::string_view name) noexcept;
+
+[[nodiscard]] constexpr std::array<Browser, kBrowserCount> AllBrowsers() noexcept {
+  return {Browser::kChromeMobile, Browser::kAndroidWebkit, Browser::kFirefoxMobile,
+          Browser::kChromeDesktop, Browser::kSafariMobile, Browser::kDesktopOther};
+}
+
+/// True for browsers that predominantly run on mobile devices.
+[[nodiscard]] constexpr bool IsMobileBrowser(Browser b) noexcept {
+  return b == Browser::kChromeMobile || b == Browser::kAndroidWebkit ||
+         b == Browser::kFirefoxMobile || b == Browser::kSafariMobile;
+}
+
+/// True for browsers developed by Google (the paper: 96.7% of enabled
+/// requests came from Google browsers in Dec 2016).
+[[nodiscard]] constexpr bool IsGoogleBrowser(Browser b) noexcept {
+  return b == Browser::kChromeMobile || b == Browser::kChromeDesktop ||
+         b == Browser::kAndroidWebkit;  // AOSP WebKit ships with Android
+}
+
+}  // namespace cellspot::netinfo

@@ -1,0 +1,57 @@
+// The label-noise process of §3.1: what ConnectionType a beacon reports
+// given the true access technology of the subnet the hit arrived from.
+//
+// Two error processes matter (both described in the paper):
+//   * tethering / mobile hotspots — a device behind a cellular uplink
+//     reports "wifi" because the Network Information API only sees the
+//     device's own interface; this makes 100%-cellular labels unlikely
+//     even in purely cellular subnets;
+//   * interface switches between IP capture and API polling — a fixed
+//     line subnet can (rarely) yield a "cellular" label.
+// The paper stresses the asymmetry: cellular labels have very few false
+// positives, wifi labels many (this is why the F1 plateau of Fig 3 is so
+// wide).
+#pragma once
+
+#include "cellspot/netinfo/connection.hpp"
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::netinfo {
+
+struct LabelNoiseModel {
+  /// P(report wifi | access is cellular): tethering / hotspot usage.
+  /// The effective per-subnet rate can be overridden per call since
+  /// hotspot-heavy pools differ between operators.
+  double tether_wifi_given_cellular = 0.12;
+
+  /// P(report cellular | access is fixed): interface switched to cellular
+  /// between IP capture and API polling. Rare by construction (the paper
+  /// calls this "another rarer case").
+  double switch_cellular_given_fixed = 0.002;
+
+  /// P(report ethernet | access is fixed and not mislabelled).
+  double ethernet_given_fixed = 0.10;
+
+  /// Residual exotic labels (bluetooth/wimax), split evenly; applied to
+  /// both access types.
+  double exotic_label_rate = 0.001;
+
+  /// Sample the reported ConnectionType for a hit from a subnet whose
+  /// true access technology is cellular. `tether_rate` < 0 uses the
+  /// model default.
+  [[nodiscard]] ConnectionType ObserveCellular(util::Rng& rng,
+                                               double tether_rate = -1.0) const;
+
+  /// Sample the reported ConnectionType for a hit from a fixed-line
+  /// subnet.
+  [[nodiscard]] ConnectionType ObserveFixed(util::Rng& rng) const;
+
+  /// Expected fraction of "cellular" labels among API-enabled hits for a
+  /// subnet with the given truth and tether rate. Used to precompute
+  /// per-subnet label fractions so bulk generation can sample
+  /// binomially instead of per-hit.
+  [[nodiscard]] double ExpectedCellularLabelFraction(bool cellular_access,
+                                                     double tether_rate = -1.0) const;
+};
+
+}  // namespace cellspot::netinfo

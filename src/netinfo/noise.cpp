@@ -1,0 +1,32 @@
+#include "cellspot/netinfo/noise.hpp"
+
+namespace cellspot::netinfo {
+
+ConnectionType LabelNoiseModel::ObserveCellular(util::Rng& rng, double tether_rate) const {
+  const double tether = tether_rate < 0.0 ? tether_wifi_given_cellular : tether_rate;
+  if (rng.Chance(exotic_label_rate)) {
+    return rng.Chance(0.5) ? ConnectionType::kBluetooth : ConnectionType::kWimax;
+  }
+  if (rng.Chance(tether)) return ConnectionType::kWifi;
+  return ConnectionType::kCellular;
+}
+
+ConnectionType LabelNoiseModel::ObserveFixed(util::Rng& rng) const {
+  if (rng.Chance(exotic_label_rate)) {
+    return rng.Chance(0.5) ? ConnectionType::kBluetooth : ConnectionType::kWimax;
+  }
+  if (rng.Chance(switch_cellular_given_fixed)) return ConnectionType::kCellular;
+  if (rng.Chance(ethernet_given_fixed)) return ConnectionType::kEthernet;
+  return ConnectionType::kWifi;
+}
+
+double LabelNoiseModel::ExpectedCellularLabelFraction(bool cellular_access,
+                                                      double tether_rate) const {
+  if (cellular_access) {
+    const double tether = tether_rate < 0.0 ? tether_wifi_given_cellular : tether_rate;
+    return (1.0 - exotic_label_rate) * (1.0 - tether);
+  }
+  return (1.0 - exotic_label_rate) * switch_cellular_given_fixed;
+}
+
+}  // namespace cellspot::netinfo

@@ -1,0 +1,166 @@
+// Configuration of the synthetic world the pipeline runs against.
+//
+// The paper's datasets are proprietary; WorldConfig::Paper() describes a
+// world calibrated so that the published shapes re-emerge when the same
+// analysis is applied: per-country demand and cellular fractions
+// (Table 8, Figs 11-12), per-continent subnet budgets (Table 4), operator
+// counts and mixed shares (Tables 5-7), CGNAT demand concentration
+// (Fig 8), label noise (Figs 2-3) and public-DNS adoption (Fig 10).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellspot/geo/continent.hpp"
+#include "cellspot/netinfo/noise.hpp"
+#include "cellspot/util/date.hpp"
+
+namespace cellspot::simnet {
+
+/// Per-country generation parameters. Demand values are in the paper's
+/// Demand Units (DU), 100,000 DU = all platform traffic, *before* the
+/// final normalisation the DEMAND dataset applies.
+struct CountryProfile {
+  std::string iso2;
+  geo::Continent continent = geo::Continent::kEurope;
+  double subscribers_m = 0.0;      // mobile subscriptions, millions
+  double cell_demand_du = 0.0;     // demand over cellular access links
+  double fixed_demand_du = 0.0;    // demand over fixed access links
+  bool demand_pinned = false;      // true: the global calibration solver must not rescale
+  int cellular_as_count = 2;       // ASes offering cellular service
+  int fixed_as_count = 2;          // fixed-only access ASes
+  double mixed_share = 0.6;        // fraction of cellular ASes that are mixed
+  double public_dns_fraction = 0.05;  // cellular DNS demand via public resolvers
+  int v6_cellular_as_count = 0;    // cellular ASes that also deploy IPv6
+  bool exclude_from_analysis = false;  // China: demand data not trusted (§7.1)
+};
+
+/// Per-continent subnet budgets at paper scale (multiplied by
+/// WorldConfig::scale during generation). "active" counts are
+/// BEACON-observable blocks, cellular + fixed.
+struct ContinentBlockTargets {
+  double cell_v4 = 0.0;
+  double active_v4 = 0.0;
+  double cell_v6 = 0.0;
+  double active_v6 = 0.0;
+};
+
+struct WorldConfig {
+  std::uint64_t seed = 20161224;
+
+  /// Linear scale on block counts relative to the paper's world
+  /// (0.05 => ~240k beacon-active /24s instead of ~4.7M).
+  double scale = 0.05;
+
+  /// Total platform demand after normalisation (§3.2 fixes 100,000).
+  double demand_total_du = 100000.0;
+
+  /// Expected beacon page loads per DU of platform demand over the
+  /// one-month BEACON window.
+  double beacon_hits_per_du = 50.0;
+
+  /// Demand-only extra v4 blocks (observed by DEMAND but never by
+  /// BEACON: no-JS clients, API traffic), as a fraction of beacon-active
+  /// v4 blocks. Table 2: 6.8M demand vs 4.7M beacon blocks => ~0.45.
+  double demand_only_extra_v4 = 0.45;
+
+  /// Fraction of beacon-active v6 blocks that appear in the one-week
+  /// DEMAND snapshot. Table 2: 909K demand vs 1.8M beacon /48s => ~0.5
+  /// (v6 blocks churn quickly).
+  double v6_demand_coverage = 0.5;
+
+  /// Fraction of active v4 blocks that carry demand but no JS beacons.
+  /// Applied inside operators (M2M pools, API endpoints).
+  double no_js_block_fraction = 0.08;
+
+  /// Label noise process (§3.1).
+  netinfo::LabelNoiseModel noise;
+
+  /// Fraction of cellular labels among hits landing on terminating-proxy
+  /// blocks (the labels describe the remote mobile clients, §5).
+  double proxy_cell_label_fraction = 0.78;
+
+  /// Mean tethering rates. Most markets see modest hotspot traffic (so
+  /// cellular blocks score ratios > 0.9, Fig 2); large North-American
+  /// dedicated carriers see heavy device-sharing on their CGNAT gateways
+  /// (the 0.7-0.9 band of Fig 6a).
+  double tether_mean_tail = 0.06;
+  double tether_mean_heavy = 0.07;
+  double tether_mean_heavy_na_dedicated = 0.22;
+  double tether_sigma = 0.04;
+
+  /// Share of an operator's cellular demand carried by the heavy
+  /// (CGNAT gateway) block pool, and that pool's size as a fraction of
+  /// the operator's cellular blocks. Concentration is extreme in mixed
+  /// networks of fixed-line-dominant markets (Fig 8: 24/514 = 99.5%),
+  /// high in dedicated carriers, and mild where cellular is the primary
+  /// access technology (otherwise most of Africa's 79k cellular /24s
+  /// could never have been detected).
+  double cgnat_heavy_demand_share_mixed = 0.993;
+  double cgnat_heavy_demand_share_dedicated = 0.97;
+  /// Concentration floor, and the beacon volume the generator leaves to
+  /// the average tail block: the heavy share adapts downward from the
+  /// archetype value until tail blocks expect ~this many API-enabled
+  /// hits (otherwise low-demand markets' cellular space — e.g. Africa's
+  /// 79k detected /24s — could never have been observed at all).
+  double cgnat_heavy_demand_share_floor = 0.30;
+  double tail_target_netinfo_hits = 3.0;
+  double cgnat_heavy_block_fraction = 0.05;
+
+  /// Allocated-but-inactive cellular blocks per active one, by archetype
+  /// (drives Table 3's false-negative structure: Carrier A's ground
+  /// truth contains ~10x more dormant cellular space than active).
+  double inactive_cell_factor_mixed = 20.0;
+  double inactive_cell_factor_dedicated = 0.03;
+
+  /// False-positive sources for the AS-filter experiment (§5, Table 5).
+  int cloud_as_count = 30;       // hosting/VPN egress ASes
+  int proxy_as_count = 6;        // mobile performance-proxy ASes
+  /// Backbone ASes announcing coarse covering aggregates over access
+  /// space (the RIB's less-specific routes; longest-prefix match must
+  /// still attribute every block to its access origin).
+  int transit_as_count = 12;
+  double proxy_demand_du_each = 18.0;
+  double cloud_demand_du_each = 6.0;
+  /// Probability a fixed-only AS contains one tiny (<0.1 DU) genuine
+  /// cellular pool (M2M resale), which heuristic 1 later filters.
+  double stray_cell_block_prob = 0.70;
+  /// Probability a small cellular AS has beacon coverage below the
+  /// 300-hit threshold of heuristic 2 (JS-poor clientele).
+  double low_beacon_as_prob = 0.35;
+
+  /// Month the BEACON snapshot is taken (affects the browser mix and the
+  /// Network Information API coverage).
+  util::YearMonth study_month{2016, 12};
+
+  /// Multiplier on the Network Information API coverage implied by the
+  /// study month (1.0 = the timeline's value, ~13.2% for Dec 2016).
+  /// Used by the coverage-sensitivity ablation: e.g. 0.25 models a world
+  /// where only a third of Chrome Mobile exposes the API. Affects the
+  /// observation path (BeaconGenerator) only, never world generation, so
+  /// ablations compare identical worlds under different instrumentation.
+  double netinfo_coverage_scale = 1.0;
+
+  std::vector<CountryProfile> countries;
+  std::array<ContinentBlockTargets, geo::kContinentCount> continent_blocks{};
+
+  /// Fully calibrated reproduction world. `scale` trades fidelity for
+  /// runtime; 0.05 keeps every experiment under a few seconds.
+  [[nodiscard]] static WorldConfig Paper(double scale = 0.05);
+
+  /// Small four-country world for unit tests (~2-3k blocks, seed fixed).
+  [[nodiscard]] static WorldConfig Tiny();
+
+  /// Throws cellspot::ConfigError if internally inconsistent.
+  void Validate() const;
+
+  /// Sum of all countries' (cell + fixed) demand in DU.
+  [[nodiscard]] double TotalCountryDemand() const noexcept;
+
+  /// Sum of all countries' cellular demand in DU.
+  [[nodiscard]] double TotalCellularDemand() const noexcept;
+};
+
+}  // namespace cellspot::simnet

@@ -1,0 +1,85 @@
+#include "cellspot/util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::util {
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) throw cellspot::ParseError("CSV: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"") != std::string_view::npos ||
+      (!field.empty() && (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JoinCsvLine(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line.push_back(',');
+    line += EscapeCsvField(fields[i]);
+  }
+  return line;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  out_ << JoinCsvLine(fields) << '\n';
+}
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace cellspot::util

@@ -1,0 +1,13 @@
+#include "cellspot/util/date.hpp"
+
+#include <cstdio>
+
+namespace cellspot::util {
+
+std::string YearMonth::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d", year, month);
+  return buf;
+}
+
+}  // namespace cellspot::util

@@ -1,0 +1,42 @@
+// Minimal CSV reader/writer used to persist dataset snapshots and to emit
+// plot-ready series from the benchmark harnesses.
+//
+// The dialect is deliberately small: comma-separated, double-quote
+// escaping with "" inside quoted fields, no embedded newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellspot::util {
+
+/// Parse one CSV line into fields. Throws cellspot::ParseError on an
+/// unterminated quote.
+[[nodiscard]] std::vector<std::string> ParseCsvLine(std::string_view line);
+
+/// Quote a field if it contains a comma, quote, or leading/trailing space.
+[[nodiscard]] std::string EscapeCsvField(std::string_view field);
+
+/// Join fields into one CSV line (no trailing newline).
+[[nodiscard]] std::string JoinCsvLine(const std::vector<std::string>& fields);
+
+/// Incremental CSV writer over any ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Whole-file CSV reader; returns rows of fields, skipping blank lines.
+[[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(std::istream& in);
+
+}  // namespace cellspot::util

@@ -1,0 +1,52 @@
+// A tiny calendar type sufficient for the paper's timelines: BEACON spans
+// December 2016 day-by-day; Fig 1 spans Sep 2015 – Jun 2017 month-by-month.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace cellspot::util {
+
+/// A calendar month (year + month), totally ordered.
+struct YearMonth {
+  std::int32_t year = 2016;
+  std::int32_t month = 12;  // 1..12
+
+  [[nodiscard]] constexpr auto operator<=>(const YearMonth&) const = default;
+
+  /// Number of months since year 0; convenient for arithmetic.
+  [[nodiscard]] constexpr std::int64_t Index() const noexcept {
+    return static_cast<std::int64_t>(year) * 12 + (month - 1);
+  }
+
+  /// This month plus n (n may be negative).
+  [[nodiscard]] constexpr YearMonth Plus(std::int32_t n) const noexcept {
+    const std::int64_t idx = Index() + n;
+    const auto y = static_cast<std::int32_t>(idx >= 0 ? idx / 12 : (idx - 11) / 12);
+    return YearMonth{y, static_cast<std::int32_t>(idx - static_cast<std::int64_t>(y) * 12 + 1)};
+  }
+
+  /// "2016-12"
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Months from a to b inclusive-exclusive: MonthsBetween({2016,1},{2016,3}) == 2.
+[[nodiscard]] constexpr std::int64_t MonthsBetween(YearMonth a, YearMonth b) noexcept {
+  return b.Index() - a.Index();
+}
+
+/// A day within a study window, counted 0-based from the window start.
+/// The BEACON window is Dec 1–31 2016 (days 0..30); the DEMAND window is
+/// Dec 24–31 2016 (days 23..30).
+struct StudyDay {
+  std::int32_t day = 0;
+
+  [[nodiscard]] constexpr auto operator<=>(const StudyDay&) const = default;
+};
+
+inline constexpr std::int32_t kBeaconWindowDays = 31;   // Dec 1-31, 2016
+inline constexpr std::int32_t kDemandWindowFirstDay = 23;  // Dec 24
+inline constexpr std::int32_t kDemandWindowDays = 8;    // Dec 24-31 inclusive
+
+}  // namespace cellspot::util

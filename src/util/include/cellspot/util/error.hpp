@@ -1,0 +1,34 @@
+// Error types shared across the cellspot libraries.
+//
+// Following the C++ Core Guidelines (E.14), we throw purpose-designed
+// exception types derived from the standard hierarchy and reserve error
+// codes for hot paths that must not throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cellspot {
+
+/// Thrown when parsing of external input (addresses, log lines, CSV rows)
+/// fails. Carries a human-readable description of what was being parsed.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration object is internally inconsistent
+/// (e.g. a WorldConfig whose demand shares do not sum to ~1).
+class ConfigError : public std::logic_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a dataset operation is used before the dataset was sealed /
+/// normalised, or on a key that cannot exist.
+class DatasetError : public std::logic_error {
+ public:
+  explicit DatasetError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace cellspot

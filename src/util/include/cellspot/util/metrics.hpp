@@ -1,0 +1,83 @@
+// Binary-classification metrics used for the validation experiments
+// (§4.2, Table 3, Fig 3 of the paper): confusion counts, precision,
+// recall and F1, both unweighted (per-CIDR) and demand-weighted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cellspot::util {
+
+/// Wilson score interval for a binomial proportion: the confidence
+/// interval for the true cellular ratio of a block given `successes`
+/// cellular labels out of `trials` API-enabled hits. Unlike the plain
+/// ratio it stays honest for tiny samples (1 cellular label out of 1 hit
+/// has a lower bound near 0.2, not 1.0).
+struct WilsonInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// z is the normal quantile of the confidence level (1.96 ~ 95%).
+/// Returns {0, 1} for zero trials. Throws std::invalid_argument if
+/// successes > trials or z < 0.
+[[nodiscard]] WilsonInterval WilsonScoreInterval(std::uint64_t successes,
+                                                 std::uint64_t trials,
+                                                 double z = 1.96);
+
+/// Accumulates a weighted confusion matrix. Weights default to 1 so the
+/// same type serves both the per-CIDR counts and the demand-weighted rows
+/// of Table 3.
+class ConfusionMatrix {
+ public:
+  /// Record one classified item. `truth` is the ground-truth label
+  /// (true = positive class, i.e. cellular), `predicted` the classifier
+  /// output, `weight` the item's importance (1 for counting, DU for
+  /// demand weighting).
+  constexpr void Add(bool truth, bool predicted, double weight = 1.0) noexcept {
+    if (truth && predicted) tp_ += weight;
+    else if (!truth && predicted) fp_ += weight;
+    else if (!truth && !predicted) tn_ += weight;
+    else fn_ += weight;
+  }
+
+  [[nodiscard]] constexpr double tp() const noexcept { return tp_; }
+  [[nodiscard]] constexpr double fp() const noexcept { return fp_; }
+  [[nodiscard]] constexpr double tn() const noexcept { return tn_; }
+  [[nodiscard]] constexpr double fn() const noexcept { return fn_; }
+  [[nodiscard]] constexpr double total() const noexcept { return tp_ + fp_ + tn_ + fn_; }
+
+  /// tp / (tp + fp); 0 when no positive predictions were made.
+  [[nodiscard]] constexpr double Precision() const noexcept {
+    const double denom = tp_ + fp_;
+    return denom > 0.0 ? tp_ / denom : 0.0;
+  }
+
+  /// tp / (tp + fn); 0 when there are no true positives in the data.
+  [[nodiscard]] constexpr double Recall() const noexcept {
+    const double denom = tp_ + fn_;
+    return denom > 0.0 ? tp_ / denom : 0.0;
+  }
+
+  /// Harmonic mean of precision and recall; 0 when either is 0.
+  [[nodiscard]] constexpr double F1() const noexcept {
+    const double p = Precision();
+    const double r = Recall();
+    const double denom = p + r;
+    return denom > 0.0 ? 2.0 * p * r / denom : 0.0;
+  }
+
+  /// (tp + tn) / total; 0 for an empty matrix.
+  [[nodiscard]] constexpr double Accuracy() const noexcept {
+    const double t = total();
+    return t > 0.0 ? (tp_ + tn_) / t : 0.0;
+  }
+
+ private:
+  double tp_ = 0.0;
+  double fp_ = 0.0;
+  double tn_ = 0.0;
+  double fn_ = 0.0;
+};
+
+}  // namespace cellspot::util

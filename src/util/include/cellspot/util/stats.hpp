@@ -1,0 +1,111 @@
+// Small statistics toolkit used by the analysis and benchmark layers:
+// running summaries, percentiles, and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cellspot::util {
+
+/// Streaming accumulator for count / mean / variance / min / max.
+/// Uses Welford's algorithm so it is numerically stable for long streams.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample, p in [0, 100].
+/// Throws std::invalid_argument on an empty sample or p out of range.
+[[nodiscard]] double Percentile(std::span<const double> sample, double p);
+
+/// An empirical CDF over a finite sample, optionally weighted.
+/// Built once, then queried; points() yields (x, F(x)) pairs suitable for
+/// plotting the CDF curves the paper shows (Figs 2, 4, 5, 9).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Unweighted sample (each observation weight 1).
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  /// Weighted sample: values[i] observed with weights[i] >= 0.
+  /// Throws std::invalid_argument on size mismatch or negative weight.
+  EmpiricalCdf(std::vector<double> values, std::vector<double> weights);
+
+  /// Fraction of total weight at observations <= x. 0 for empty CDFs.
+  [[nodiscard]] double At(double x) const noexcept;
+
+  /// Smallest observed x with F(x) >= q, q in (0, 1].
+  /// Throws std::invalid_argument if q is out of range or the CDF is empty.
+  [[nodiscard]] double Quantile(double q) const;
+
+  /// Distinct (x, cumulative fraction) steps, ascending in x.
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const noexcept {
+    return points_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+ private:
+  void Build(std::vector<std::pair<double, double>> weighted);
+
+  std::vector<std::pair<double, double>> points_;  // (x, cumulative fraction)
+  double total_weight_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples are clamped into the first/last bucket. Used for the PDF bars
+/// of Fig 11.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_weight(std::size_t i) const;
+  /// Bucket weight / total weight; 0 when the histogram is empty.
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Gini coefficient of a non-negative sample; 0 = perfectly even,
+/// -> 1 = fully concentrated. Used to quantify the demand-concentration
+/// findings (Finding 3, Fig 8). Returns 0 for empty/all-zero samples.
+[[nodiscard]] double GiniCoefficient(std::span<const double> sample);
+
+/// Share of the total held by the top k elements of the sample
+/// (the "top 10 ASes hold 38% of demand" style statements).
+/// Returns 0 for an empty sample; k >= size returns 1 (if total > 0).
+[[nodiscard]] double TopKShare(std::span<const double> sample, std::size_t k);
+
+}  // namespace cellspot::util

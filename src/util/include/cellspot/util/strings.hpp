@@ -1,0 +1,39 @@
+// String helpers shared by log parsing and report rendering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellspot::util {
+
+/// Split `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view Trim(std::string_view s);
+
+/// Parse a non-negative decimal integer; nullopt on empty/garbage/overflow.
+[[nodiscard]] std::optional<std::uint64_t> ParseUint(std::string_view s);
+
+/// Parse a double; nullopt when the whole field does not parse.
+[[nodiscard]] std::optional<double> ParseDouble(std::string_view s);
+
+/// printf-style "%.<prec>f" without locale surprises.
+[[nodiscard]] std::string FormatDouble(double v, int precision);
+
+/// Format as a percentage: FormatPercent(0.162, 1) == "16.2%".
+[[nodiscard]] std::string FormatPercent(double fraction, int precision);
+
+/// Group thousands: 350687 -> "350,687".
+[[nodiscard]] std::string FormatWithCommas(std::uint64_t v);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix) noexcept;
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string ToLower(std::string_view s);
+
+}  // namespace cellspot::util

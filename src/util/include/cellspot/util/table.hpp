@@ -1,0 +1,40 @@
+// Fixed-width text table renderer. All bench harnesses print their
+// paper-vs-measured rows through this so output stays aligned and greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cellspot::util {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of string cells and renders them with padded columns,
+/// a header separator, and an optional title banner.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to left for col 0, right elsewhere.
+  void SetAlignments(std::vector<Align> aligns);
+
+  /// Add a data row; it may have fewer cells than the header (padded).
+  /// Throws std::invalid_argument if it has more.
+  void AddRow(std::vector<std::string> row);
+
+  /// Render the full table, ending with a newline.
+  [[nodiscard]] std::string Render() const;
+
+  /// Render with a banner line above.
+  [[nodiscard]] std::string RenderWithTitle(const std::string& title) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cellspot::util

@@ -1,0 +1,28 @@
+#include "cellspot/util/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cellspot::util {
+
+WilsonInterval WilsonScoreInterval(std::uint64_t successes, std::uint64_t trials,
+                                   double z) {
+  if (successes > trials) {
+    throw std::invalid_argument("WilsonScoreInterval: successes > trials");
+  }
+  if (z < 0.0) throw std::invalid_argument("WilsonScoreInterval: negative z");
+  if (trials == 0) return {0.0, 1.0};
+
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  WilsonInterval interval;
+  interval.lower = std::max(0.0, (centre - margin) / denom);
+  interval.upper = std::min(1.0, (centre + margin) / denom);
+  return interval;
+}
+
+}  // namespace cellspot::util

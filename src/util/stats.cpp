@@ -1,0 +1,165 @@
+#include "cellspot/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cellspot::util {
+
+void RunningStats::Add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument("Percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("Percentile: p out of [0,100]");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample) {
+  std::vector<std::pair<double, double>> weighted;
+  weighted.reserve(sample.size());
+  for (double v : sample) weighted.emplace_back(v, 1.0);
+  Build(std::move(weighted));
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values, std::vector<double> weights) {
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("EmpiricalCdf: values/weights size mismatch");
+  }
+  std::vector<std::pair<double, double>> weighted;
+  weighted.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("EmpiricalCdf: negative weight");
+    weighted.emplace_back(values[i], weights[i]);
+  }
+  Build(std::move(weighted));
+}
+
+void EmpiricalCdf::Build(std::vector<std::pair<double, double>> weighted) {
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  total_weight_ = 0.0;
+  for (const auto& [x, w] : weighted) total_weight_ += w;
+  if (total_weight_ <= 0.0) {
+    points_.clear();
+    return;
+  }
+  points_.clear();
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weighted.size(); ++i) {
+    cum += weighted[i].second;
+    // Collapse duplicate x into one step at the final cumulative value.
+    if (i + 1 < weighted.size() && weighted[i + 1].first == weighted[i].first) continue;
+    points_.emplace_back(weighted[i].first, cum / total_weight_);
+  }
+}
+
+double EmpiricalCdf::At(double x) const noexcept {
+  if (points_.empty()) return 0.0;
+  // Last point with point.x <= x.
+  auto it = std::upper_bound(points_.begin(), points_.end(), x,
+                             [](double v, const auto& p) { return v < p.first; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (points_.empty()) throw std::invalid_argument("EmpiricalCdf::Quantile: empty CDF");
+  if (q <= 0.0 || q > 1.0) throw std::invalid_argument("EmpiricalCdf::Quantile: q out of (0,1]");
+  auto it = std::lower_bound(points_.begin(), points_.end(), q,
+                             [](const auto& p, double v) { return p.second < v; });
+  if (it == points_.end()) return points_.back().first;
+  return it->first;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be positive");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::Add(double x, double weight) {
+  if (weight < 0.0) throw std::invalid_argument("Histogram::Add: negative weight");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_hi");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+double Histogram::bin_weight(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_weight");
+  return counts_[i];
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_fraction");
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double GiniCoefficient(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  // G = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, with 1-based i.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  const auto n = static_cast<double>(sorted.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double TopKShare(std::span<const double> sample, std::size_t k) {
+  if (sample.empty() || k == 0) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const std::size_t take = std::min(k, sorted.size());
+  const double top = std::accumulate(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(take), 0.0);
+  return top / total;
+}
+
+}  // namespace cellspot::util

@@ -1,0 +1,66 @@
+#include "cellspot/util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellspot::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+  aligns_.assign(header_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::SetAlignments(std::vector<Align> aligns) {
+  if (aligns.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::SetAlignments: size mismatch");
+  }
+  aligns_ = std::move(aligns);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    throw std::invalid_argument("TextTable::AddRow: more cells than header columns");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) line.append(pad, ' ');
+      line += row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != row.size()) line.append(pad, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::RenderWithTitle(const std::string& title) const {
+  std::string out = "== " + title + " ==\n";
+  out += Render();
+  return out;
+}
+
+}  // namespace cellspot::util

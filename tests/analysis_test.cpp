@@ -1,0 +1,254 @@
+// End-to-end tests of the experiment runner and report builders on the
+// Tiny world (6 countries, ~10k blocks). Paper-world shape checks live in
+// the bench harnesses; here we verify structural invariants.
+#include "cellspot/analysis/reports.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cellspot::analysis {
+namespace {
+
+const Experiment& TinyExp() {
+  static const Experiment exp = RunExperiment(simnet::WorldConfig::Tiny());
+  return exp;
+}
+
+TEST(RunExperiment, ProducesConsistentPipeline) {
+  const Experiment& e = TinyExp();
+  EXPECT_GT(e.beacons.block_count(), 100u);
+  EXPECT_NEAR(e.demand.total(), dataset::kTotalDemandUnits, 1e-6);
+  EXPECT_GT(e.classified.cellular().size(), 10u);
+  EXPECT_GE(e.candidates.size(), e.filtered.kept.size());
+  EXPECT_EQ(e.filtered.input_count,
+            e.filtered.kept.size() + e.filtered.removed_low_demand +
+                e.filtered.removed_low_hits + e.filtered.removed_class);
+}
+
+TEST(RunExperiment, ClassifierPrecisionAgainstWorldTruth) {
+  // The paper's central claim: cellular labels are trustworthy, so
+  // precision against ground truth is very high even though recall is a
+  // lower bound. Check over every classified block in the world.
+  const Experiment& e = TinyExp();
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t proxy_fp = 0;
+  for (const netaddr::Prefix& block : e.classified.cellular()) {
+    const simnet::Subnet* s = e.world.FindSubnet(block);
+    ASSERT_NE(s, nullptr);
+    if (s->truth_cellular) {
+      ++tp;
+    } else if (s->proxy_terminating) {
+      ++proxy_fp;  // expected: the §5 false positives the AS filters kill
+    } else {
+      ++fp;
+    }
+  }
+  ASSERT_GT(tp, 0u);
+  EXPECT_GT(static_cast<double>(tp) / (tp + fp), 0.97);
+  EXPECT_GT(proxy_fp, 0u);
+}
+
+TEST(RunExperiment, FiltersKillProxyAndCloudAses) {
+  const Experiment& e = TinyExp();
+  for (const core::AsAggregate& as : e.filtered.kept) {
+    const simnet::OperatorInfo* op = e.world.FindOperator(as.asn);
+    ASSERT_NE(op, nullptr);
+    EXPECT_NE(op->kind, asdb::OperatorKind::kMobileProxy) << as.asn;
+    EXPECT_NE(op->kind, asdb::OperatorKind::kCloudHosting) << as.asn;
+  }
+}
+
+TEST(BuildCarrierTruthTest, MatchesWorldSubnets) {
+  const Experiment& e = TinyExp();
+  ASSERT_FALSE(e.world.validation_carriers().empty());
+  const auto carrier = e.world.validation_carriers().front();
+  const auto truth = BuildCarrierTruth(e.world, carrier.asn, "X");
+  const simnet::OperatorInfo* op = e.world.FindOperator(carrier.asn);
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(truth.blocks.size(), e.world.SubnetsOf(*op).size());
+  EXPECT_EQ(truth.label, "X");
+  // Unknown ASN yields an empty list.
+  EXPECT_TRUE(BuildCarrierTruth(e.world, 4294900000u, "none").blocks.empty());
+}
+
+TEST(SummarizeDatasetsTest, CoverageWithinBounds) {
+  const auto s = SummarizeDatasets(TinyExp());
+  EXPECT_GT(s.beacon_v4_blocks, 0u);
+  EXPECT_GT(s.demand_v4_blocks, s.beacon_v4_blocks / 2);
+  EXPECT_GT(s.beacon_coverage_of_demand_v4, 0.4);
+  EXPECT_LT(s.beacon_coverage_of_demand_v4, 1.0);
+  EXPECT_GT(s.beacon_coverage_of_demand_weight, s.beacon_coverage_of_demand_v4);
+}
+
+TEST(ContinentSubnetReportTest, CountsMatchClassifier) {
+  const Experiment& e = TinyExp();
+  const auto rows = ContinentSubnetReport(e);
+  std::size_t cell_v4 = 0;
+  for (const auto& row : rows) {
+    cell_v4 += row.cell_v4;
+    EXPECT_GE(row.pct_active_v4, 0.0);
+    EXPECT_LE(row.pct_active_v4, 1.0);
+  }
+  // Every classified v4 cellular block maps to some continent (all Tiny
+  // operators have registry records).
+  EXPECT_EQ(cell_v4, e.classified.cellular_count(netaddr::Family::kIpv4));
+}
+
+TEST(ContinentAsReportTest, TotalsMatchKeptSet) {
+  const Experiment& e = TinyExp();
+  const auto rows = ContinentAsReport(e);
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.as_count;
+  EXPECT_EQ(total, e.filtered.kept.size());
+}
+
+TEST(RankAsesByCellDemandTest, SortedAndNormalised) {
+  const auto ranked = RankAsesByCellDemand(TinyExp());
+  ASSERT_GT(ranked.size(), 5u);
+  double total_share = 0.0;
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i].cell_demand_du, ranked[i - 1].cell_demand_du);
+  }
+  for (const RankedAs& r : ranked) total_share += r.share_of_global_cell;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(CountryDemandReportTest, SumsToGlobalDemand) {
+  const Experiment& e = TinyExp();
+  const auto countries = CountryDemandReport(e);
+  double total = 0.0;
+  for (const CountryDemand& cd : countries) {
+    EXPECT_GE(cd.cell_du, 0.0);
+    EXPECT_LE(cd.cell_du, cd.total_du + 1e-9);
+    total += cd.total_du;
+  }
+  // Infrastructure ASes carry some demand too, so the country total is
+  // slightly below the normalised global total.
+  EXPECT_GT(total, dataset::kTotalDemandUnits * 0.95);
+  EXPECT_LE(total, dataset::kTotalDemandUnits + 1e-6);
+}
+
+TEST(CountryDemandReportTest, HighlightFractionsSurviveMeasurement) {
+  // Ghana-like (96%) and US-like (17%) cellular fractions must re-emerge
+  // from the measured path, not just the config.
+  const auto countries = CountryDemandReport(TinyExp());
+  for (const CountryDemand& cd : countries) {
+    if (cd.iso == "GH") {
+      EXPECT_GT(cd.CellFraction(), 0.7);
+    }
+    if (cd.iso == "US") {
+      EXPECT_GT(cd.CellFraction(), 0.08);
+      EXPECT_LT(cd.CellFraction(), 0.30);
+    }
+    if (cd.iso == "DE") {
+      EXPECT_LT(cd.CellFraction(), 0.25);
+    }
+  }
+}
+
+TEST(ContinentDemandReportTest, SharesSumToOne) {
+  const auto rows = ContinentDemandReport(TinyExp());
+  double share = 0.0;
+  for (const auto& row : rows) share += row.share_of_global_cell;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(RatioCdfReportTest, Bimodal) {
+  const auto r = RatioCdfReport(TinyExp());
+  ASSERT_FALSE(r.v4_subnets.empty());
+  // Most subnets score < 0.1; a small but real share scores > 0.9.
+  EXPECT_GT(r.v4_subnets.At(0.1), 0.80);
+  EXPECT_LT(r.v4_subnets.At(0.9), 1.0);
+}
+
+TEST(CandidateAsReportTest, MatchesCandidateCount) {
+  const Experiment& e = TinyExp();
+  const auto r = CandidateAsReport(e);
+  EXPECT_EQ(r.cell_demand.total_weight(), static_cast<double>(e.candidates.size()));
+}
+
+TEST(MixedOperatorReportTest, CountsAndShares) {
+  const Experiment& e = TinyExp();
+  const auto r = MixedOperatorReport(e);
+  EXPECT_EQ(r.mixed_count + r.dedicated_count, e.filtered.kept.size());
+  EXPECT_GE(r.mixed_share_of_cell_demand, 0.0);
+  EXPECT_LE(r.mixed_share_of_cell_demand, 1.0);
+  EXPECT_FALSE(r.cfd.empty());
+}
+
+TEST(OperatorRatioBreakdownTest, SortedAndScoped) {
+  const Experiment& e = TinyExp();
+  ASSERT_FALSE(e.filtered.kept.empty());
+  const auto asn = e.filtered.kept.front().asn;
+  const auto points = OperatorRatioBreakdown(e, asn);
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].ratio, points[i - 1].ratio);
+  }
+}
+
+TEST(SubnetConcentrationReportTest, CellularConcentratedFixedGradual) {
+  const Experiment& e = TinyExp();
+  // Fig 8 uses the Carrier-A archetype: a mixed carrier in a fixed-line
+  // dominant market, where CGNAT concentration is extreme.
+  const simnet::OperatorInfo* carrier_a = FindCarrier(e, 'A');
+  ASSERT_NE(carrier_a, nullptr);
+  const auto conc = SubnetConcentrationReport(e, carrier_a->asn);
+  ASSERT_GT(conc.cellular_demands.size(), 3u);
+  ASSERT_GT(conc.fixed_demands.size(), 5u);
+  EXPECT_GT(conc.blocks_for_99pct_cell, 0u);
+  // Nearly all cellular demand sits in a handful of gateway blocks while
+  // the carrier's fixed side spreads over many more.
+  EXPECT_LT(conc.blocks_for_99pct_cell, conc.cellular_demands.size());
+  EXPECT_GT(conc.fixed_demands.size(), 4 * conc.blocks_for_99pct_cell);
+  // Gini quantifies Finding 3: cellular demand is far more concentrated.
+  EXPECT_GT(conc.cellular_gini, conc.fixed_gini);
+}
+
+TEST(ResolverSharingReportTest, FractionsInUnitInterval) {
+  const Experiment& e = TinyExp();
+  const dns::DnsSimulator dns_sim(e.world);
+  const auto cdf = ResolverSharingReport(e, dns_sim);
+  ASSERT_FALSE(cdf.empty());
+  for (const auto& [x, f] : cdf.points()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  // Shared resolvers exist: some mass strictly between 0 and 1.
+  EXPECT_GT(cdf.At(0.99) - cdf.At(0.01), 0.15);
+}
+
+TEST(PublicDnsReportTest, SelectionResolves) {
+  const Experiment& e = TinyExp();
+  const dns::DnsSimulator dns_sim(e.world);
+  const auto rows = PublicDnsReport(e, dns_sim);
+  // Tiny world contains US, BR, IN, DZ from the selection list.
+  ASSERT_GE(rows.size(), 4u);
+  for (const auto& row : rows) {
+    double total = 0.0;
+    for (double s : row.share) total += s;
+    EXPECT_GE(total, 0.0);
+    EXPECT_LE(total, 1.0);
+    if (row.label == "DZ1") {
+      EXPECT_GT(total, 0.7);  // Fig 10 extreme
+    }
+    if (row.label == "US1") {
+      EXPECT_LT(total, 0.05);  // U.S. negligible
+    }
+  }
+}
+
+TEST(FindCarrierTest, LabelsResolve) {
+  const Experiment& e = TinyExp();
+  int found = 0;
+  for (char label : {'A', 'B', 'C'}) {
+    if (FindCarrier(e, label) != nullptr) ++found;
+  }
+  EXPECT_GE(found, 2);
+  EXPECT_EQ(FindCarrier(e, 'Z'), nullptr);
+}
+
+}  // namespace
+}  // namespace cellspot::analysis

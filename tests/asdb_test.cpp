@@ -1,0 +1,123 @@
+#include "cellspot/asdb/as_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cellspot::asdb {
+namespace {
+
+using netaddr::IpAddress;
+using netaddr::Prefix;
+
+AsRecord MakeRecord(AsNumber asn, OperatorKind kind = OperatorKind::kMixed) {
+  AsRecord r;
+  r.asn = asn;
+  r.name = "AS-" + std::to_string(asn);
+  r.country_iso = "US";
+  r.continent = geo::Continent::kNorthAmerica;
+  r.cls = AsClass::kTransitAccess;
+  r.kind = kind;
+  return r;
+}
+
+TEST(AsDatabase, UpsertAndFind) {
+  AsDatabase db;
+  db.Upsert(MakeRecord(7018));
+  ASSERT_NE(db.Find(7018), nullptr);
+  EXPECT_EQ(db.Find(7018)->name, "AS-7018");
+  EXPECT_EQ(db.Find(1), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(AsDatabase, UpsertReplacesInPlace) {
+  AsDatabase db;
+  db.Upsert(MakeRecord(100, OperatorKind::kFixedOnly));
+  auto updated = MakeRecord(100, OperatorKind::kMixed);
+  updated.name = "renamed";
+  db.Upsert(std::move(updated));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.Find(100)->name, "renamed");
+  EXPECT_EQ(db.Find(100)->kind, OperatorKind::kMixed);
+}
+
+TEST(AsDatabase, RejectsAsnZero) {
+  AsDatabase db;
+  EXPECT_THROW(db.Upsert(MakeRecord(0)), std::invalid_argument);
+}
+
+TEST(AsDatabase, RecordsPreserveInsertionOrder) {
+  AsDatabase db;
+  db.Upsert(MakeRecord(3));
+  db.Upsert(MakeRecord(1));
+  db.Upsert(MakeRecord(2));
+  const auto records = db.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].asn, 3u);
+  EXPECT_EQ(records[1].asn, 1u);
+  EXPECT_EQ(records[2].asn, 2u);
+}
+
+TEST(AsClassNames, Stable) {
+  EXPECT_EQ(AsClassName(AsClass::kTransitAccess), "Transit/Access");
+  EXPECT_EQ(AsClassName(AsClass::kContent), "Content");
+  EXPECT_EQ(OperatorKindName(OperatorKind::kMobileProxy), "MobileProxy");
+}
+
+TEST(RoutingTable, OriginLookupLpm) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("10.0.0.0/8"), 100);
+  rib.Announce(Prefix::Parse("10.5.0.0/16"), 200);
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("10.5.1.1")), 200u);
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("10.9.1.1")), 100u);
+  EXPECT_FALSE(rib.OriginOf(IpAddress::Parse("11.0.0.1")).has_value());
+}
+
+TEST(RoutingTable, ExactOrigin) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("192.0.2.0/24"), 64500);
+  EXPECT_EQ(rib.ExactOrigin(Prefix::Parse("192.0.2.0/24")), 64500u);
+  EXPECT_FALSE(rib.ExactOrigin(Prefix::Parse("192.0.2.0/25")).has_value());
+}
+
+TEST(RoutingTable, ReannouncementMovesPrefix) {
+  RoutingTable rib;
+  const auto p = Prefix::Parse("198.51.100.0/24");
+  rib.Announce(p, 1);
+  rib.Announce(p, 2);
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("198.51.100.9")), 2u);
+  EXPECT_TRUE(rib.PrefixesOf(1).empty());
+  ASSERT_EQ(rib.PrefixesOf(2).size(), 1u);
+  EXPECT_EQ(rib.PrefixesOf(2)[0], p);
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(RoutingTable, IdempotentReannouncement) {
+  RoutingTable rib;
+  const auto p = Prefix::Parse("198.51.100.0/24");
+  rib.Announce(p, 7);
+  rib.Announce(p, 7);
+  EXPECT_EQ(rib.PrefixesOf(7).size(), 1u);
+}
+
+TEST(RoutingTable, MixedFamilies) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("203.0.113.0/24"), 10);
+  rib.Announce(Prefix::Parse("2001:db8::/32"), 20);
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("203.0.113.5")), 10u);
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("2001:db8:1:2::3")), 20u);
+  EXPECT_FALSE(rib.OriginOf(IpAddress::Parse("2001:db9::1")).has_value());
+}
+
+TEST(RoutingTable, PrefixesOfReturnsAll) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("10.0.0.0/24"), 5);
+  rib.Announce(Prefix::Parse("10.0.1.0/24"), 5);
+  rib.Announce(Prefix::Parse("10.0.2.0/24"), 6);
+  auto prefixes = rib.PrefixesOf(5);
+  EXPECT_EQ(prefixes.size(), 2u);
+  EXPECT_TRUE(std::ranges::find(prefixes, Prefix::Parse("10.0.1.0/24")) != prefixes.end());
+}
+
+}  // namespace
+}  // namespace cellspot::asdb

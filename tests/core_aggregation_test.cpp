@@ -1,0 +1,122 @@
+#include "cellspot/core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::core {
+namespace {
+
+using netaddr::IpAddress;
+using netaddr::Prefix;
+
+std::vector<Prefix> Parse(std::initializer_list<const char*> texts) {
+  std::vector<Prefix> out;
+  for (const char* t : texts) out.push_back(Prefix::Parse(t));
+  return out;
+}
+
+TEST(CompressPrefixes, EmptyAndSingle) {
+  EXPECT_TRUE(CompressPrefixes({}).empty());
+  const auto one = CompressPrefixes(Parse({"10.0.0.0/24"}));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].ToString(), "10.0.0.0/24");
+}
+
+TEST(CompressPrefixes, MergesSiblings) {
+  const auto out = CompressPrefixes(Parse({"10.0.0.0/24", "10.0.1.0/24"}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "10.0.0.0/23");
+}
+
+TEST(CompressPrefixes, MergesRecursively) {
+  const auto out = CompressPrefixes(
+      Parse({"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "10.0.0.0/22");
+}
+
+TEST(CompressPrefixes, DoesNotMergeNonSiblings) {
+  // 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not siblings.
+  const auto out = CompressPrefixes(Parse({"10.0.1.0/24", "10.0.2.0/24"}));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CompressPrefixes, RemovesCoveredAndDuplicates) {
+  const auto out = CompressPrefixes(
+      Parse({"10.0.0.0/22", "10.0.1.0/24", "10.0.1.0/24", "10.0.3.0/24"}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "10.0.0.0/22");
+}
+
+TEST(CompressPrefixes, HandlesIpv6) {
+  const auto out = CompressPrefixes(Parse({"2001:db8::/48", "2001:db8:1::/48"}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "2001:db8::/47");
+}
+
+TEST(CompressPrefixes, MixedFamiliesStaySeparate) {
+  const auto out = CompressPrefixes(Parse({"10.0.0.0/24", "2001:db8::/48"}));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CompressPrefixes, ExactCoverProperty) {
+  // Randomised: the compressed set covers exactly the same /24 blocks.
+  util::Rng rng(424242);
+  for (int round = 0; round < 10; ++round) {
+    std::unordered_set<Prefix> input;
+    const Prefix base = Prefix::Parse("172.0.0.0/12");
+    for (int i = 0; i < 300; ++i) {
+      input.insert(netaddr::NthBlock(base, rng.UniformInt(0, 4095)));
+    }
+    const std::vector<Prefix> in_vec(input.begin(), input.end());
+    const auto out = CompressPrefixes(in_vec);
+    EXPECT_LE(out.size(), input.size());
+    // Every input block is covered by exactly one output prefix.
+    for (const Prefix& block : input) {
+      int covers = 0;
+      for (const Prefix& p : out) covers += p.Covers(block) ? 1 : 0;
+      EXPECT_EQ(covers, 1) << block.ToString();
+    }
+    // No output prefix covers a /24 outside the input.
+    for (const Prefix& p : out) {
+      for (std::uint64_t b = 0; b < netaddr::BlockCount(p); ++b) {
+        EXPECT_TRUE(input.contains(netaddr::NthBlock(p, b))) << p.ToString();
+      }
+    }
+  }
+}
+
+TEST(CompressPrefixes, Idempotent) {
+  util::Rng rng(7);
+  std::vector<Prefix> input;
+  const Prefix base = Prefix::Parse("192.0.0.0/16");
+  for (int i = 0; i < 120; ++i) {
+    input.push_back(netaddr::NthBlock(base, rng.UniformInt(0, 255)));
+  }
+  const auto once = CompressPrefixes(input);
+  const auto twice = CompressPrefixes(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SummarizeCompressionTest, StatsReflectMerges) {
+  const auto stats = SummarizeCompression(
+      Parse({"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24",
+             "10.9.0.0/24"}));
+  EXPECT_EQ(stats.input_count, 5u);
+  EXPECT_EQ(stats.output_count, 2u);
+  EXPECT_EQ(stats.shortest_prefix, 22);
+  EXPECT_NEAR(stats.Ratio(), 2.5, 1e-12);
+}
+
+TEST(SummarizeCompressionTest, EmptyInput) {
+  const auto stats = SummarizeCompression({});
+  EXPECT_EQ(stats.output_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.Ratio(), 0.0);
+  EXPECT_EQ(stats.shortest_prefix, 0);
+}
+
+}  // namespace
+}  // namespace cellspot::core

@@ -1,0 +1,100 @@
+#include "cellspot/core/cellular_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::core {
+namespace {
+
+using netaddr::IpAddress;
+using netaddr::Prefix;
+
+TEST(CellularMap, EmptyContainsNothing) {
+  CellularMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.Contains(IpAddress::Parse("8.8.8.8")));
+}
+
+TEST(CellularMap, FromPrefixesLookups) {
+  const auto map = CellularMap::FromPrefixes(
+      {Prefix::Parse("203.0.114.0/24"), Prefix::Parse("2001:db8:1::/48")});
+  EXPECT_TRUE(map.Contains(IpAddress::Parse("203.0.114.99")));
+  EXPECT_FALSE(map.Contains(IpAddress::Parse("203.0.115.99")));
+  EXPECT_TRUE(map.Contains(IpAddress::Parse("2001:db8:1::77")));
+  EXPECT_FALSE(map.Contains(IpAddress::Parse("2001:db8:2::77")));
+}
+
+TEST(CellularMap, AggregationPreservesMembership) {
+  std::vector<Prefix> blocks;
+  const auto parent = Prefix::Parse("198.51.0.0/20");
+  for (std::uint64_t i = 0; i < 16; ++i) blocks.push_back(netaddr::NthBlock(parent, i));
+  const auto aggregated = CellularMap::FromPrefixes(blocks, /*aggregate=*/true);
+  const auto raw = CellularMap::FromPrefixes(blocks, /*aggregate=*/false);
+  EXPECT_EQ(aggregated.size(), 1u);
+  EXPECT_EQ(raw.size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto probe = netaddr::NthAddress(netaddr::NthBlock(parent, i), 42);
+    EXPECT_EQ(aggregated.Contains(probe), raw.Contains(probe));
+    EXPECT_TRUE(aggregated.Contains(probe));
+  }
+}
+
+TEST(CellularMap, ContainsBlockUsesCoverSemantics) {
+  const auto map = CellularMap::FromPrefixes({Prefix::Parse("10.32.0.0/16")});
+  EXPECT_TRUE(map.ContainsBlock(Prefix::Parse("10.32.7.0/24")));
+  EXPECT_FALSE(map.ContainsBlock(Prefix::Parse("10.33.0.0/24")));
+  // A block coarser than every mapped prefix is not (fully) contained.
+  EXPECT_FALSE(map.ContainsBlock(Prefix::Parse("10.0.0.0/8")));
+}
+
+TEST(CellularMap, SaveLoadRoundTrip) {
+  const auto map = CellularMap::FromPrefixes(
+      {Prefix::Parse("203.0.114.0/24"), Prefix::Parse("2001:db8::/47")});
+  std::stringstream ss;
+  map.Save(ss);
+  const auto loaded = CellularMap::Load(ss);
+  EXPECT_EQ(loaded.prefixes(), map.prefixes());
+}
+
+TEST(CellularMap, LoadSkipsCommentsAndRejectsGarbage) {
+  std::stringstream good("# map v1\n\n203.0.114.0/24\n  2001:db8::/48  \n");
+  const auto map = CellularMap::Load(good);
+  EXPECT_EQ(map.size(), 2u);
+
+  std::stringstream bad("not-a-prefix\n");
+  EXPECT_THROW(CellularMap::Load(bad), ParseError);
+}
+
+TEST(CellularMap, DeduplicatesInput) {
+  const auto map = CellularMap::FromPrefixes(
+      {Prefix::Parse("203.0.114.0/24"), Prefix::Parse("203.0.114.0/24")},
+      /*aggregate=*/false);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(CellularMap, FromClassificationMatchesClassifier) {
+  const analysis::Experiment& e = analysis::RunExperiment(simnet::WorldConfig::Tiny());
+  const auto map = CellularMap::FromClassification(e.classified);
+  ASSERT_FALSE(map.empty());
+  // Every classified cellular block resolves as cellular through the map;
+  // sampled non-cellular blocks do not.
+  std::size_t checked = 0;
+  for (const netaddr::Prefix& block : e.classified.cellular()) {
+    EXPECT_TRUE(map.Contains(netaddr::NthAddress(block, 9))) << block.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+  std::size_t negatives = 0;
+  for (const auto& [block, ratio] : e.classified.ratios()) {
+    if (e.classified.IsCellular(block)) continue;
+    EXPECT_FALSE(map.ContainsBlock(block)) << block.ToString();
+    if (++negatives > 500) break;
+  }
+}
+
+}  // namespace
+}  // namespace cellspot::core

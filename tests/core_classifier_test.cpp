@@ -1,0 +1,88 @@
+#include "cellspot/core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::core {
+namespace {
+
+using dataset::BeaconBlockStats;
+using netaddr::Prefix;
+
+BeaconBlockStats Stats(std::uint64_t netinfo, std::uint64_t cellular) {
+  BeaconBlockStats s;
+  s.hits = netinfo * 5;
+  s.netinfo_hits = netinfo;
+  s.cellular_labels = cellular;
+  s.wifi_labels = netinfo - cellular;
+  return s;
+}
+
+TEST(SubnetClassifier, RejectsBadConfig) {
+  EXPECT_THROW(SubnetClassifier({.threshold = 0.0}), std::invalid_argument);
+  EXPECT_THROW(SubnetClassifier({.threshold = 1.5}), std::invalid_argument);
+  EXPECT_THROW(SubnetClassifier({.threshold = 0.5, .min_netinfo_hits = 0}),
+               std::invalid_argument);
+}
+
+TEST(SubnetClassifier, DefaultThresholdIsPaperHalf) {
+  const SubnetClassifier c;
+  EXPECT_DOUBLE_EQ(c.config().threshold, 0.5);
+}
+
+TEST(SubnetClassifier, SingleBlockDecision) {
+  const SubnetClassifier c;
+  EXPECT_TRUE(c.IsCellular(Stats(100, 90)));
+  EXPECT_TRUE(c.IsCellular(Stats(100, 50)));   // >= threshold
+  EXPECT_FALSE(c.IsCellular(Stats(100, 49)));
+  EXPECT_FALSE(c.IsCellular(Stats(0, 0)));     // unclassifiable
+}
+
+TEST(SubnetClassifier, MinHitsGate) {
+  const SubnetClassifier strict({.threshold = 0.5, .min_netinfo_hits = 10});
+  EXPECT_FALSE(strict.IsCellular(Stats(9, 9)));
+  EXPECT_TRUE(strict.IsCellular(Stats(10, 9)));
+}
+
+TEST(SubnetClassifier, ClassifyDataset) {
+  dataset::BeaconDataset beacons;
+  const auto cell_block = Prefix::Parse("198.51.101.0/24");
+  const auto fixed_block = Prefix::Parse("198.51.102.0/24");
+  const auto silent_block = Prefix::Parse("198.51.103.0/24");
+  beacons.Add(cell_block, Stats(40, 37));
+  beacons.Add(fixed_block, Stats(40, 1));
+  beacons.Add(silent_block, {.hits = 10});  // hits but no API data
+
+  const SubnetClassifier c;
+  const ClassifiedSubnets out = c.Classify(beacons);
+  EXPECT_TRUE(out.IsCellular(cell_block));
+  EXPECT_FALSE(out.IsCellular(fixed_block));
+  EXPECT_FALSE(out.IsCellular(silent_block));
+  ASSERT_NE(out.RatioOf(cell_block), nullptr);
+  EXPECT_DOUBLE_EQ(*out.RatioOf(cell_block), 0.925);
+  EXPECT_NE(out.RatioOf(fixed_block), nullptr);
+  EXPECT_EQ(out.RatioOf(silent_block), nullptr);  // not observed
+  EXPECT_EQ(out.observed_count(netaddr::Family::kIpv4), 2u);
+  EXPECT_EQ(out.cellular_count(netaddr::Family::kIpv4), 1u);
+}
+
+TEST(SubnetClassifier, FamiliesCountedSeparately) {
+  dataset::BeaconDataset beacons;
+  beacons.Add(Prefix::Parse("198.51.101.0/24"), Stats(20, 19));
+  beacons.Add(Prefix::Parse("2001:db8:1::/48"), Stats(20, 19));
+  beacons.Add(Prefix::Parse("2001:db8:2::/48"), Stats(20, 1));
+  const auto out = SubnetClassifier().Classify(beacons);
+  EXPECT_EQ(out.cellular_count(netaddr::Family::kIpv4), 1u);
+  EXPECT_EQ(out.cellular_count(netaddr::Family::kIpv6), 1u);
+  EXPECT_EQ(out.observed_count(netaddr::Family::kIpv6), 2u);
+}
+
+TEST(SubnetClassifier, ThresholdBoundaryExactlyAtRatio) {
+  dataset::BeaconDataset beacons;
+  const auto block = Prefix::Parse("198.51.104.0/24");
+  beacons.Add(block, Stats(10, 5));  // ratio exactly 0.5
+  EXPECT_TRUE(SubnetClassifier({.threshold = 0.5}).Classify(beacons).IsCellular(block));
+  EXPECT_FALSE(SubnetClassifier({.threshold = 0.51}).Classify(beacons).IsCellular(block));
+}
+
+}  // namespace
+}  // namespace cellspot::core

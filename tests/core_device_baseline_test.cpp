@@ -1,0 +1,83 @@
+#include "cellspot/core/device_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/util/metrics.hpp"
+
+namespace cellspot::core {
+namespace {
+
+using dataset::BeaconBlockStats;
+using netaddr::Prefix;
+
+TEST(DeviceTypeClassifier, RejectsBadConfig) {
+  EXPECT_THROW(DeviceTypeClassifier({.threshold = 0.0}), std::invalid_argument);
+  EXPECT_THROW(DeviceTypeClassifier({.threshold = 1.2}), std::invalid_argument);
+  EXPECT_THROW(DeviceTypeClassifier({.threshold = 0.5, .min_hits = 0}),
+               std::invalid_argument);
+}
+
+TEST(DeviceTypeClassifier, UsesMobileShareNotLabels) {
+  BeaconBlockStats s;
+  s.hits = 100;
+  s.mobile_browser_hits = 80;
+  s.netinfo_hits = 10;
+  s.cellular_labels = 0;  // API says fixed...
+  s.wifi_labels = 10;
+  const DeviceTypeClassifier baseline;
+  const SubnetClassifier api;
+  EXPECT_TRUE(baseline.IsCellular(s));   // ...device type says cellular
+  EXPECT_FALSE(api.IsCellular(s));
+}
+
+TEST(DeviceTypeClassifier, MinHitsGate) {
+  BeaconBlockStats s;
+  s.hits = 3;
+  s.mobile_browser_hits = 3;
+  EXPECT_TRUE(DeviceTypeClassifier({.threshold = 0.5, .min_hits = 3}).IsCellular(s));
+  EXPECT_FALSE(DeviceTypeClassifier({.threshold = 0.5, .min_hits = 4}).IsCellular(s));
+}
+
+TEST(DeviceTypeClassifier, ClassifyPopulatesSharedResultType) {
+  dataset::BeaconDataset beacons;
+  BeaconBlockStats mobile_heavy;
+  mobile_heavy.hits = 50;
+  mobile_heavy.mobile_browser_hits = 48;
+  beacons.Add(Prefix::Parse("198.51.101.0/24"), mobile_heavy);
+  BeaconBlockStats desktop_heavy;
+  desktop_heavy.hits = 50;
+  desktop_heavy.mobile_browser_hits = 5;
+  beacons.Add(Prefix::Parse("198.51.102.0/24"), desktop_heavy);
+
+  const auto out = DeviceTypeClassifier().Classify(beacons);
+  EXPECT_TRUE(out.IsCellular(Prefix::Parse("198.51.101.0/24")));
+  EXPECT_FALSE(out.IsCellular(Prefix::Parse("198.51.102.0/24")));
+  ASSERT_NE(out.RatioOf(Prefix::Parse("198.51.102.0/24")), nullptr);
+  EXPECT_DOUBLE_EQ(*out.RatioOf(Prefix::Parse("198.51.102.0/24")), 0.1);
+}
+
+TEST(DeviceTypeClassifier, WorseThanApiOnRealWorld) {
+  // The paper's §1 argument, quantified on the Tiny world: at the same
+  // threshold the device-type baseline has far worse precision than the
+  // Network Information classifier because of WiFi offload.
+  const analysis::Experiment& e = analysis::RunExperiment(simnet::WorldConfig::Tiny());
+
+  auto score = [&](const ClassifiedSubnets& classified) {
+    util::ConfusionMatrix m;
+    for (const simnet::Subnet& s : e.world.subnets()) {
+      if (s.proxy_terminating || s.demand_du <= 0.0) continue;
+      m.Add(s.truth_cellular, classified.IsCellular(s.block));
+    }
+    return m;
+  };
+
+  const auto api = score(e.classified);
+  const auto device = score(DeviceTypeClassifier().Classify(e.beacons));
+  EXPECT_GT(api.Precision(), 0.95);
+  EXPECT_LT(device.Precision(), api.Precision() - 0.2);
+  EXPECT_GT(api.F1(), device.F1());
+}
+
+}  // namespace
+}  // namespace cellspot::core

@@ -1,0 +1,132 @@
+// Property tests of the classification pipeline: monotonicity in its two
+// knobs and conservation laws of the validation stage, exercised on the
+// Tiny world's real beacon dataset.
+#include <gtest/gtest.h>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/core/validation.hpp"
+
+namespace cellspot::core {
+namespace {
+
+const analysis::Experiment& TinyExp() {
+  static const analysis::Experiment exp =
+      analysis::RunExperiment(simnet::WorldConfig::Tiny());
+  return exp;
+}
+
+class ThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdProperty, RaisingThresholdShrinksTheCellularSet) {
+  const double t = GetParam();
+  const auto lower = SubnetClassifier({.threshold = t}).Classify(TinyExp().beacons);
+  const auto higher =
+      SubnetClassifier({.threshold = std::min(1.0, t + 0.2)}).Classify(TinyExp().beacons);
+  EXPECT_LE(higher.cellular().size(), lower.cellular().size());
+  for (const netaddr::Prefix& block : higher.cellular()) {
+    EXPECT_TRUE(lower.IsCellular(block)) << block.ToString();
+  }
+  // The observed set is threshold-independent.
+  EXPECT_EQ(lower.ratios().size(), higher.ratios().size());
+}
+
+TEST_P(ThresholdProperty, SweepRecallIsNonIncreasing) {
+  const analysis::Experiment& e = TinyExp();
+  ASSERT_FALSE(e.world.validation_carriers().empty());
+  const auto carrier = e.world.validation_carriers().front();
+  const auto truth = analysis::BuildCarrierTruth(e.world, carrier.asn, "p");
+  const auto sweep = ThresholdSweep(truth, e.beacons, e.demand, 25);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].recall, sweep[i - 1].recall + 1e-12) << sweep[i].threshold;
+  }
+  (void)GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+class MinHitsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinHitsProperty, RaisingEvidenceGateShrinksBothSets) {
+  const std::uint64_t gate = GetParam();
+  const auto loose =
+      SubnetClassifier({.threshold = 0.5, .min_netinfo_hits = gate})
+          .Classify(TinyExp().beacons);
+  const auto strict =
+      SubnetClassifier({.threshold = 0.5, .min_netinfo_hits = gate * 4})
+          .Classify(TinyExp().beacons);
+  EXPECT_LE(strict.ratios().size(), loose.ratios().size());
+  EXPECT_LE(strict.cellular().size(), loose.cellular().size());
+  for (const netaddr::Prefix& block : strict.cellular()) {
+    EXPECT_TRUE(loose.IsCellular(block));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gates, MinHitsProperty, ::testing::Values(1u, 2u, 5u, 10u));
+
+TEST(ValidationConservation, ConfusionPartitionsTruthList) {
+  const analysis::Experiment& e = TinyExp();
+  for (const auto& carrier : e.world.validation_carriers()) {
+    const auto truth = analysis::BuildCarrierTruth(e.world, carrier.asn, "x");
+    const auto v = Validate(truth, e.classified, e.demand);
+    // Every truth block lands in exactly one confusion quadrant.
+    EXPECT_DOUBLE_EQ(v.by_cidr.total(), static_cast<double>(truth.blocks.size()));
+    // Positives split into TP+FN; negatives into TN+FP.
+    std::size_t positives = 0;
+    for (const auto& [block, cellular] : truth.blocks) positives += cellular ? 1 : 0;
+    EXPECT_DOUBLE_EQ(v.by_cidr.tp() + v.by_cidr.fn(), static_cast<double>(positives));
+  }
+}
+
+TEST(ValidationConservation, DemandMatrixBoundedByDatasetTotal) {
+  const analysis::Experiment& e = TinyExp();
+  for (const auto& carrier : e.world.validation_carriers()) {
+    const auto truth = analysis::BuildCarrierTruth(e.world, carrier.asn, "x");
+    const auto v = Validate(truth, e.classified, e.demand);
+    EXPECT_LE(v.by_demand.total(), dataset::kTotalDemandUnits + 1e-6);
+  }
+}
+
+TEST(AsFilterProperty, OutcomePartitionsCandidates) {
+  const analysis::Experiment& e = TinyExp();
+  for (const double min_demand : {0.0, 0.05, 0.1, 1.0, 10.0}) {
+    AsFilterConfig config;
+    config.min_cell_demand_du = min_demand;
+    const auto outcome = ApplyAsFilters(e.candidates, e.world.as_db(), config);
+    EXPECT_EQ(outcome.input_count,
+              outcome.kept.size() + outcome.removed_low_demand +
+                  outcome.removed_low_hits + outcome.removed_class);
+  }
+}
+
+TEST(AsFilterProperty, StricterDemandFloorKeepsSubset) {
+  const analysis::Experiment& e = TinyExp();
+  AsFilterConfig loose;
+  loose.min_cell_demand_du = 0.05;
+  AsFilterConfig strict;
+  strict.min_cell_demand_du = 1.0;
+  const auto kept_loose = ApplyAsFilters(e.candidates, e.world.as_db(), loose).kept;
+  const auto kept_strict = ApplyAsFilters(e.candidates, e.world.as_db(), strict).kept;
+  EXPECT_LE(kept_strict.size(), kept_loose.size());
+  for (const AsAggregate& as : kept_strict) {
+    const bool found = std::any_of(kept_loose.begin(), kept_loose.end(),
+                                   [&](const AsAggregate& k) { return k.asn == as.asn; });
+    EXPECT_TRUE(found) << as.asn;
+  }
+}
+
+TEST(AggregationConservation, DemandAttributedOnce) {
+  // The sum of per-AS total demand over all candidate ASes cannot exceed
+  // the dataset's global total (blocks of non-candidate ASes remain).
+  const analysis::Experiment& e = TinyExp();
+  double attributed = 0.0;
+  for (const AsAggregate& as : e.candidates) attributed += as.total_demand_du;
+  EXPECT_LE(attributed, dataset::kTotalDemandUnits + 1e-6);
+  // And cellular demand per AS never exceeds its total.
+  for (const AsAggregate& as : e.candidates) {
+    EXPECT_LE(as.cell_demand_du, as.total_demand_du + 1e-9) << as.asn;
+  }
+}
+
+}  // namespace
+}  // namespace cellspot::core

@@ -1,0 +1,129 @@
+#include "cellspot/core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::core {
+namespace {
+
+using dataset::BeaconBlockStats;
+using netaddr::Prefix;
+
+BeaconBlockStats Stats(std::uint64_t netinfo, std::uint64_t cellular) {
+  BeaconBlockStats s;
+  s.hits = netinfo * 4;
+  s.netinfo_hits = netinfo;
+  s.cellular_labels = cellular;
+  s.wifi_labels = netinfo - cellular;
+  return s;
+}
+
+struct Fixture {
+  dataset::BeaconDataset beacons;
+  dataset::DemandDataset demand;
+  CarrierGroundTruth truth = {.label = "Test", .blocks = {}};
+
+  Fixture() {
+    // Two detected cellular (one high demand), one missed cellular (no
+    // beacons), one fixed correctly negative, one fixed false positive.
+    Add("198.51.101.0/24", true, Stats(50, 48), 40.0);
+    Add("198.51.102.0/24", true, Stats(10, 9), 1.0);
+    Add("198.51.103.0/24", true, std::nullopt, 5.0);   // missed: no beacons
+    Add("198.51.104.0/24", false, Stats(60, 2), 50.0);
+    Add("198.51.105.0/24", false, Stats(20, 18), 0.5);  // noisy FP
+  }
+
+  void Add(const char* text, bool cellular, std::optional<BeaconBlockStats> stats,
+           double du) {
+    const auto block = Prefix::Parse(text);
+    truth.blocks.emplace(block, cellular);
+    if (stats) beacons.Add(block, *stats);
+    if (du > 0.0) demand.Add(block, du);
+  }
+};
+
+TEST(Validate, CidrConfusionCounts) {
+  Fixture f;
+  const auto classified = SubnetClassifier().Classify(f.beacons);
+  const ValidationResult r = Validate(f.truth, classified, f.demand);
+  EXPECT_DOUBLE_EQ(r.by_cidr.tp(), 2.0);
+  EXPECT_DOUBLE_EQ(r.by_cidr.fn(), 1.0);  // the beacon-less cellular block
+  EXPECT_DOUBLE_EQ(r.by_cidr.tn(), 1.0);
+  EXPECT_DOUBLE_EQ(r.by_cidr.fp(), 1.0);
+}
+
+TEST(Validate, DemandWeighting) {
+  Fixture f;
+  const auto classified = SubnetClassifier().Classify(f.beacons);
+  const ValidationResult r = Validate(f.truth, classified, f.demand);
+  EXPECT_DOUBLE_EQ(r.by_demand.tp(), 41.0);
+  EXPECT_DOUBLE_EQ(r.by_demand.fn(), 5.0);
+  EXPECT_DOUBLE_EQ(r.by_demand.tn(), 50.0);
+  EXPECT_DOUBLE_EQ(r.by_demand.fp(), 0.5);
+  // Demand-weighted recall exceeds CIDR recall: the missed block is
+  // low-demand relative to the detected ones (the paper's Table 3
+  // asymmetry).
+  EXPECT_GT(r.by_demand.Recall(), r.by_cidr.Recall());
+}
+
+TEST(Validate, UnobservedTruthCountsAsNegative) {
+  CarrierGroundTruth truth = {.label = "x", .blocks = {}};
+  truth.blocks.emplace(Prefix::Parse("203.0.114.0/24"), true);
+  dataset::BeaconDataset beacons;
+  dataset::DemandDataset demand;
+  const auto classified = SubnetClassifier().Classify(beacons);
+  const ValidationResult r = Validate(truth, classified, demand);
+  EXPECT_DOUBLE_EQ(r.by_cidr.fn(), 1.0);
+  EXPECT_DOUBLE_EQ(r.by_cidr.tp(), 0.0);
+  // No demand -> the demand-weighted matrix stays empty.
+  EXPECT_DOUBLE_EQ(r.by_demand.total(), 0.0);
+}
+
+TEST(ThresholdSweep, RejectsTooFewSteps) {
+  Fixture f;
+  EXPECT_THROW(ThresholdSweep(f.truth, f.beacons, f.demand, 1), std::invalid_argument);
+}
+
+TEST(ThresholdSweep, CoversUnitInterval) {
+  Fixture f;
+  const auto sweep = ThresholdSweep(f.truth, f.beacons, f.demand, 20);
+  ASSERT_EQ(sweep.size(), 20u);
+  EXPECT_DOUBLE_EQ(sweep.front().threshold, 0.05);
+  EXPECT_DOUBLE_EQ(sweep.back().threshold, 1.0);
+}
+
+TEST(ThresholdSweep, MatchesDirectValidationAtHalf) {
+  Fixture f;
+  const auto sweep = ThresholdSweep(f.truth, f.beacons, f.demand, 10);
+  const auto classified = SubnetClassifier({.threshold = 0.5}).Classify(f.beacons);
+  const ValidationResult direct = Validate(f.truth, classified, f.demand);
+  // Step 5 of 10 is threshold 0.5.
+  EXPECT_NEAR(sweep[4].f1_cidr, direct.by_cidr.F1(), 1e-12);
+  EXPECT_NEAR(sweep[4].precision, direct.by_cidr.Precision(), 1e-12);
+}
+
+TEST(ThresholdSweep, StableMidRangePlateau) {
+  // A clean separation (cellular ratios ~0.95, fixed ~0.03) must produce
+  // identical F1 across mid thresholds — the paper's Fig 3 robustness.
+  CarrierGroundTruth truth = {.label = "plateau", .blocks = {}};
+  dataset::BeaconDataset beacons;
+  dataset::DemandDataset demand;
+  for (int i = 0; i < 20; ++i) {
+    const auto block = netaddr::Prefix(
+        netaddr::IpAddress::V4(0xC6336500u + static_cast<std::uint32_t>(i) * 256), 24);
+    const bool cellular = i < 10;
+    truth.blocks.emplace(block, cellular);
+    beacons.Add(block, cellular ? Stats(100, 95) : Stats(100, 3));
+    demand.Add(block, 1.0);
+  }
+  const auto sweep = ThresholdSweep(truth, beacons, demand, 50);
+  for (const SweepPoint& p : sweep) {
+    if (p.threshold >= 0.1 && p.threshold <= 0.9) {
+      EXPECT_DOUBLE_EQ(p.f1_cidr, 1.0) << p.threshold;
+    }
+  }
+  // Beyond the cellular ratio, recall collapses.
+  EXPECT_LT(sweep.back().f1_cidr, 0.2);
+}
+
+}  // namespace
+}  // namespace cellspot::core

@@ -1,0 +1,72 @@
+#include "cellspot/dns/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cellspot/analysis/experiment.hpp"
+
+namespace cellspot::dns {
+namespace {
+
+const analysis::Experiment& TinyExp() {
+  static const analysis::Experiment exp =
+      analysis::RunExperiment(simnet::WorldConfig::Tiny());
+  return exp;
+}
+
+std::vector<asdb::AsNumber> MixedAses() {
+  std::vector<asdb::AsNumber> out;
+  for (const core::AsAggregate& as : TinyExp().filtered.kept) {
+    if (!core::IsDedicated(as)) out.push_back(as.asn);
+  }
+  return out;
+}
+
+TEST(ResolverDistance, Deterministic) {
+  const auto mixed = MixedAses();
+  const auto a = AnalyzeResolverDistances(TinyExp().world, mixed);
+  const auto b = AnalyzeResolverDistances(TinyExp().world, mixed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].median_cell_km, b[i].median_cell_km);
+  }
+}
+
+TEST(ResolverDistance, CellularClientsFarther) {
+  const auto rows = AnalyzeResolverDistances(TinyExp().world, MixedAses());
+  ASSERT_GT(rows.size(), 3u);
+  int farther = 0;
+  for (const OperatorDistance& row : rows) {
+    EXPECT_GT(row.median_cell_km, 0.0);
+    EXPECT_GT(row.median_fixed_km, 0.0);
+    EXPECT_LT(row.median_cell_km, row.span_km * 1.2);
+    if (row.median_cell_km > row.median_fixed_km) ++farther;
+  }
+  // Finding 4's shape: cellular clients resolve farther away in nearly
+  // every mixed network.
+  EXPECT_GT(static_cast<double>(farther) / rows.size(), 0.9);
+}
+
+TEST(ResolverDistance, ScalesWithCountrySize) {
+  const auto rows = AnalyzeResolverDistances(TinyExp().world, MixedAses());
+  double big_country = 0.0;
+  double small_country = 1e18;
+  for (const OperatorDistance& row : rows) {
+    if (row.country_iso == "US" || row.country_iso == "IN" || row.country_iso == "BR") {
+      big_country = std::max(big_country, row.median_cell_km);
+    }
+    if (row.country_iso == "DE" || row.country_iso == "GH") {
+      small_country = std::min(small_country, row.median_cell_km);
+    }
+  }
+  if (big_country > 0.0 && small_country < 1e18) {
+    EXPECT_GT(big_country, small_country);
+  }
+}
+
+TEST(ResolverDistance, UnknownAsnsIgnored) {
+  const asdb::AsNumber bogus[] = {4294000000u};
+  EXPECT_TRUE(AnalyzeResolverDistances(TinyExp().world, bogus).empty());
+}
+
+}  // namespace
+}  // namespace cellspot::dns

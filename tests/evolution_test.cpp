@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "cellspot/evolution/stability.hpp"
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::evolution {
+namespace {
+
+const simnet::World& TinyWorld() {
+  static const simnet::World world = simnet::World::Generate(simnet::WorldConfig::Tiny());
+  return world;
+}
+
+TEST(ChurnConfig, Validation) {
+  ChurnConfig ok;
+  EXPECT_NO_THROW(ok.Validate());
+
+  ChurnConfig bad = ok;
+  bad.cell_retire_rate = 1.5;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+
+  bad = ok;
+  bad.demand_drift_sigma = -0.1;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+
+  bad = ok;
+  bad.cellular_growth = 0.9;
+  EXPECT_THROW(bad.Validate(), ConfigError);
+}
+
+TEST(TemporalSimulator, MonthZeroMatchesBase) {
+  TemporalSimulator sim(TinyWorld());
+  EXPECT_EQ(sim.month(), 0);
+  ASSERT_EQ(sim.subnets().size(), TinyWorld().subnets().size());
+  for (std::size_t i = 0; i < sim.subnets().size(); i += 71) {
+    EXPECT_EQ(sim.subnets()[i].block, TinyWorld().subnets()[i].block);
+    EXPECT_EQ(sim.subnets()[i].demand_du, TinyWorld().subnets()[i].demand_du);
+  }
+}
+
+TEST(TemporalSimulator, Deterministic) {
+  TemporalSimulator a(TinyWorld());
+  TemporalSimulator b(TinyWorld());
+  for (int m = 0; m < 3; ++m) {
+    a.AdvanceMonth();
+    b.AdvanceMonth();
+  }
+  for (std::size_t i = 0; i < a.subnets().size(); i += 53) {
+    EXPECT_EQ(a.subnets()[i].demand_du, b.subnets()[i].demand_du) << i;
+    EXPECT_EQ(a.subnets()[i].truth_cellular, b.subnets()[i].truth_cellular) << i;
+  }
+  EXPECT_EQ(a.GenerateBeacons().total_hits(), b.GenerateBeacons().total_hits());
+}
+
+TEST(TemporalSimulator, CellularDemandGrows) {
+  ChurnConfig churn;
+  churn.cellular_growth = 0.03;
+  TemporalSimulator sim(TinyWorld(), churn);
+  const double base_cell = sim.CellularDemand();
+  const double base_fixed = sim.FixedDemand();
+  for (int m = 0; m < 6; ++m) sim.AdvanceMonth();
+  // Six months of 3% growth => ~1.19x; the multiplicative drift has a
+  // slightly positive mean (E[e^X] > 1), so allow generous headroom.
+  EXPECT_GT(sim.CellularDemand(), base_cell * 1.08);
+  EXPECT_LT(sim.CellularDemand(), base_cell * 1.6);
+  // Fixed demand only drifts.
+  EXPECT_NEAR(sim.FixedDemand() / base_fixed, 1.0, 0.12);
+}
+
+TEST(TemporalSimulator, BlocksRotate) {
+  TemporalSimulator sim(TinyWorld());
+  auto active_cellular = [&]() {
+    std::unordered_set<std::string> out;
+    for (const simnet::Subnet& s : sim.subnets()) {
+      if (s.truth_cellular && s.demand_du > 0.0) out.insert(s.block.ToString());
+    }
+    return out;
+  };
+  const auto before = active_cellular();
+  for (int m = 0; m < 4; ++m) sim.AdvanceMonth();
+  const auto after = active_cellular();
+  std::size_t lost = 0;
+  for (const auto& block : before) {
+    if (!after.contains(block)) ++lost;
+  }
+  std::size_t gained = 0;
+  for (const auto& block : after) {
+    if (!before.contains(block)) ++gained;
+  }
+  // 4 months at ~4%/month retirement: a visible but minority rotation.
+  EXPECT_GT(lost, before.size() / 50);
+  EXPECT_LT(lost, before.size() / 2);
+  EXPECT_GT(gained, 0u);
+}
+
+TEST(TemporalSimulator, ReassignmentFlipsTechnology) {
+  ChurnConfig churn;
+  churn.reassign_rate = 0.2;  // exaggerate to observe reliably
+  TemporalSimulator sim(TinyWorld(), churn);
+  std::size_t flips = 0;
+  sim.AdvanceMonth();
+  const auto base = TinyWorld().subnets();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].demand_du > 0.0 &&
+        base[i].truth_cellular != sim.subnets()[i].truth_cellular) {
+      ++flips;
+    }
+  }
+  EXPECT_GT(flips, 50u);
+}
+
+TEST(AnalyzeStability, BaseMonthRow) {
+  const auto rows = AnalyzeStability(TinyWorld(), {}, 0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].month, 0);
+  EXPECT_GT(rows[0].detected, 10u);
+  EXPECT_DOUBLE_EQ(rows[0].jaccard_vs_base, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].demand_overlap_vs_base, 1.0);
+}
+
+TEST(AnalyzeStability, RejectsNegativeMonths) {
+  EXPECT_THROW(AnalyzeStability(TinyWorld(), {}, -1), std::invalid_argument);
+}
+
+TEST(AnalyzeStability, MapDecaysGraduallyButDemandOverlapStaysHigh) {
+  const auto rows = AnalyzeStability(TinyWorld(), {}, 6);
+  ASSERT_EQ(rows.size(), 7u);
+  // Set similarity decays monotonically-ish against the base month...
+  EXPECT_LT(rows[6].jaccard_vs_base, rows[1].jaccard_vs_base + 0.02);
+  EXPECT_GT(rows[6].jaccard_vs_base, 0.3);
+  // ...but the demand-weighted overlap stays much higher: heavy CGNAT
+  // gateways are stable, rotation happens in the tail. This is the
+  // actionable finding for a map consumer.
+  for (const MonthStability& row : rows) {
+    if (row.month == 0) continue;
+    EXPECT_GT(row.demand_overlap_vs_base, row.jaccard_vs_base) << row.month;
+  }
+  EXPECT_GT(rows[6].demand_overlap_vs_base, 0.7);
+}
+
+TEST(AnalyzeStability, JoinLeaveAccounting) {
+  const auto rows = AnalyzeStability(TinyWorld(), {}, 3);
+  for (std::size_t m = 1; m < rows.size(); ++m) {
+    // detected_m = detected_{m-1} + joined - left
+    EXPECT_EQ(rows[m].detected,
+              rows[m - 1].detected + rows[m].joined - rows[m].left);
+  }
+}
+
+}  // namespace
+}  // namespace cellspot::evolution

@@ -1,0 +1,63 @@
+#include "cellspot/geo/location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLon p{52.5, 13.4};
+  EXPECT_NEAR(HaversineKm(p, p), 0.0, 1e-9);
+}
+
+TEST(Haversine, KnownDistances) {
+  // Fortaleza -> São Paulo: the paper's 1,470-mile anecdote (~2,365 km).
+  const LatLon fortaleza{-3.73, -38.52};
+  const LatLon sao_paulo{-23.55, -46.63};
+  EXPECT_NEAR(HaversineKm(fortaleza, sao_paulo), 2365.0, 80.0);
+
+  // London -> New York ~ 5,570 km.
+  const LatLon london{51.51, -0.13};
+  const LatLon nyc{40.71, -74.01};
+  EXPECT_NEAR(HaversineKm(london, nyc), 5570.0, 60.0);
+}
+
+TEST(Haversine, SymmetricAndTriangleSane) {
+  const LatLon a{10.0, 20.0};
+  const LatLon b{-30.0, 120.0};
+  const LatLon c{45.0, -60.0};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+  EXPECT_LE(HaversineKm(a, c), HaversineKm(a, b) + HaversineKm(b, c) + 1e-6);
+  // Never exceeds half the Earth's circumference.
+  EXPECT_LE(HaversineKm(a, b), 20038.0);
+}
+
+TEST(CountryCentroidTest, KnownCountries) {
+  const LatLon br = CountryCentroid("BR");
+  EXPECT_NEAR(br.lat_deg, -10.8, 1.0);
+  const LatLon us = CountryCentroid("US");
+  EXPECT_LT(us.lon_deg, -90.0);
+}
+
+TEST(CountryCentroidTest, FallsBackToContinent) {
+  // Benin has no centroid entry but is in the country table (Africa).
+  const LatLon bj = CountryCentroid("BJ");
+  EXPECT_NEAR(bj.lat_deg, 2.0, 25.0);
+  EXPECT_NEAR(bj.lon_deg, 21.0, 25.0);
+}
+
+TEST(CountryArea, KnownAndDefault) {
+  EXPECT_GT(CountryAreaKm2("RU"), 1.5e7);
+  EXPECT_LT(CountryAreaKm2("SG"), 1000.0);
+  EXPECT_DOUBLE_EQ(CountryAreaKm2("??"), 300000.0);
+}
+
+TEST(CountrySpan, OrderedByArea) {
+  EXPECT_GT(CountrySpanKm("BR"), CountrySpanKm("DE"));
+  EXPECT_GT(CountrySpanKm("DE"), CountrySpanKm("SG"));
+  // Brazil's span is ~3,300 km — the scale of the paper's anecdote.
+  EXPECT_NEAR(CountrySpanKm("BR"), 3290.0, 150.0);
+}
+
+}  // namespace
+}  // namespace cellspot::geo

@@ -1,0 +1,87 @@
+#include "cellspot/geo/country.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cellspot::geo {
+namespace {
+
+TEST(Continent, NamesAndCodes) {
+  EXPECT_EQ(ContinentName(Continent::kNorthAmerica), "North America");
+  EXPECT_EQ(ContinentCode(Continent::kNorthAmerica), "NA");
+  EXPECT_EQ(ContinentCode(Continent::kAfrica), "AF");
+  EXPECT_EQ(ContinentFromCode("SA"), Continent::kSouthAmerica);
+  EXPECT_FALSE(ContinentFromCode("XX").has_value());
+}
+
+TEST(Continent, AllContinentsAreDistinct) {
+  std::set<Continent> seen;
+  for (Continent c : AllContinents()) seen.insert(c);
+  EXPECT_EQ(seen.size(), kContinentCount);
+}
+
+TEST(WorldCountries, SortedByIsoAndUnique) {
+  const auto world = WorldCountries();
+  ASSERT_GT(world.size(), 100u);
+  for (std::size_t i = 1; i < world.size(); ++i) {
+    EXPECT_LT(world[i - 1].iso2, world[i].iso2);
+  }
+}
+
+TEST(WorldCountries, AllEntriesSane) {
+  for (const Country& c : WorldCountries()) {
+    EXPECT_EQ(c.iso2.size(), 2u) << c.name;
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GT(c.subscribers_millions, 0.0) << c.name;
+  }
+}
+
+TEST(FindCountry, KnownLookups) {
+  const Country* us = FindCountry("US");
+  ASSERT_NE(us, nullptr);
+  EXPECT_EQ(us->name, "United States");
+  EXPECT_EQ(us->continent, Continent::kNorthAmerica);
+  EXPECT_GT(us->subscribers_millions, 300.0);
+
+  const Country* gh = FindCountry("GH");
+  ASSERT_NE(gh, nullptr);
+  EXPECT_EQ(gh->continent, Continent::kAfrica);
+
+  EXPECT_EQ(FindCountry("XX"), nullptr);
+  EXPECT_EQ(FindCountry(""), nullptr);
+  EXPECT_EQ(FindCountry("us"), nullptr);  // case-sensitive by contract
+}
+
+TEST(FindCountry, PaperHighlightCountriesExist) {
+  // Countries the paper's findings single out must exist in the table.
+  for (const char* iso : {"US", "IN", "ID", "JP", "GH", "LA", "FR", "DZ",
+                          "HK", "BR", "NG", "VN", "SA", "MM", "CN", "FI",
+                          "BO", "FJ", "AU"}) {
+    EXPECT_NE(FindCountry(iso), nullptr) << iso;
+  }
+}
+
+TEST(ContinentAggregates, SubscriberTotalsMatchPaperScale) {
+  // Table 8 reports (in millions): OC 43.3, AF 954, SA 499, EU 968,
+  // NA 594, AS(total incl China) ~4131. Our table should land within
+  // ~15% of each.
+  EXPECT_NEAR(ContinentSubscribersMillions(Continent::kOceania), 43.3, 8.0);
+  EXPECT_NEAR(ContinentSubscribersMillions(Continent::kAfrica), 954.0, 150.0);
+  EXPECT_NEAR(ContinentSubscribersMillions(Continent::kSouthAmerica), 499.0, 75.0);
+  EXPECT_NEAR(ContinentSubscribersMillions(Continent::kEurope), 968.0, 150.0);
+  EXPECT_NEAR(ContinentSubscribersMillions(Continent::kNorthAmerica), 594.0, 90.0);
+  // Asia excluding China should approximate the paper's 2766M.
+  const double asia = ContinentSubscribersMillions(Continent::kAsia);
+  const double china = FindCountry("CN")->subscribers_millions;
+  EXPECT_NEAR(asia - china, 2766.0, 420.0);
+}
+
+TEST(ContinentAggregates, CountryCountsSumToWorld) {
+  std::size_t total = 0;
+  for (Continent c : AllContinents()) total += ContinentCountryCount(c);
+  EXPECT_EQ(total, WorldCountries().size());
+}
+
+}  // namespace
+}  // namespace cellspot::geo

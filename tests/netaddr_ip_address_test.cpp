@@ -1,0 +1,105 @@
+#include "cellspot/netaddr/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::netaddr {
+namespace {
+
+TEST(Ipv4Parse, RoundTrip) {
+  const auto a = IpAddress::Parse("192.0.2.1");
+  EXPECT_TRUE(a.is_v4());
+  EXPECT_EQ(a.ToString(), "192.0.2.1");
+  EXPECT_EQ(a.v4_value(), 0xC0000201u);
+}
+
+TEST(Ipv4Parse, Extremes) {
+  EXPECT_EQ(IpAddress::Parse("0.0.0.0").v4_value(), 0u);
+  EXPECT_EQ(IpAddress::Parse("255.255.255.255").v4_value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Parse, RejectsMalformed) {
+  for (const char* bad : {"1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x",
+                          "01.2.3.4", "", ".1.2.3", "1..2.3"}) {
+    EXPECT_FALSE(IpAddress::TryParse(bad).has_value()) << bad;
+  }
+  EXPECT_THROW((void)IpAddress::Parse("999.0.0.1"), cellspot::ParseError);
+}
+
+TEST(Ipv6Parse, FullForm) {
+  const auto a = IpAddress::Parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  EXPECT_TRUE(a.is_v6());
+  EXPECT_EQ(a.ToString(), "2001:db8::1");
+}
+
+TEST(Ipv6Parse, CompressedForms) {
+  EXPECT_EQ(IpAddress::Parse("::").ToString(), "::");
+  EXPECT_EQ(IpAddress::Parse("::1").ToString(), "::1");
+  EXPECT_EQ(IpAddress::Parse("2001:db8::").ToString(), "2001:db8::");
+  EXPECT_EQ(IpAddress::Parse("fe80::1:2").ToString(), "fe80::1:2");
+}
+
+TEST(Ipv6Parse, RejectsMalformed) {
+  for (const char* bad : {"2001:db8", ":::", "1:2:3:4:5:6:7:8:9",
+                          "2001::db8::1", "12345::", "g::1"}) {
+    EXPECT_FALSE(IpAddress::TryParse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv6Format, CompressesLongestZeroRun) {
+  const auto a = IpAddress::Parse("1:0:0:2:0:0:0:3");
+  EXPECT_EQ(a.ToString(), "1:0:0:2::3");
+}
+
+TEST(Ipv6Format, NoCompressionOfSingleZero) {
+  const auto a = IpAddress::Parse("1:0:2:3:4:5:6:7");
+  EXPECT_EQ(a.ToString(), "1:0:2:3:4:5:6:7");
+}
+
+TEST(IpAddress, FamilySeparatesEquality) {
+  const auto v4 = IpAddress::V4(0);
+  const auto v6 = IpAddress::V6({});
+  EXPECT_NE(v4, v6);
+}
+
+TEST(IpAddress, GetBitMsbFirst) {
+  const auto a = IpAddress::V4(0x80000001u);
+  EXPECT_TRUE(a.GetBit(0));
+  EXPECT_FALSE(a.GetBit(1));
+  EXPECT_FALSE(a.GetBit(30));
+  EXPECT_TRUE(a.GetBit(31));
+}
+
+TEST(IpAddress, WithBitSetsAndClears) {
+  auto a = IpAddress::V4(0);
+  a = a.WithBit(0, true);
+  EXPECT_EQ(a.v4_value(), 0x80000000u);
+  a = a.WithBit(0, false);
+  EXPECT_EQ(a.v4_value(), 0u);
+  a = a.WithBit(31, true);
+  EXPECT_EQ(a.v4_value(), 1u);
+}
+
+TEST(IpAddress, OrderingIsBytewise) {
+  EXPECT_LT(IpAddress::Parse("10.0.0.1"), IpAddress::Parse("10.0.0.2"));
+  EXPECT_LT(IpAddress::Parse("9.255.255.255"), IpAddress::Parse("10.0.0.0"));
+}
+
+TEST(IpAddress, HashUsableInSets) {
+  std::unordered_set<IpAddress> set;
+  set.insert(IpAddress::Parse("10.0.0.1"));
+  set.insert(IpAddress::Parse("10.0.0.1"));
+  set.insert(IpAddress::Parse("2001:db8::1"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IpAddress, BitWidthPerFamily) {
+  EXPECT_EQ(IpAddress::V4(0).bit_width(), 32);
+  EXPECT_EQ(IpAddress::V6({}).bit_width(), 128);
+}
+
+}  // namespace
+}  // namespace cellspot::netaddr

@@ -1,0 +1,116 @@
+#include "cellspot/netaddr/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::netaddr {
+namespace {
+
+TEST(Prefix, CanonicalisesHostBits) {
+  const Prefix p(IpAddress::Parse("203.0.113.77"), 24);
+  EXPECT_EQ(p.ToString(), "203.0.113.0/24");
+}
+
+TEST(Prefix, RejectsBadLength) {
+  EXPECT_THROW(Prefix(IpAddress::Parse("1.2.3.4"), 33), std::invalid_argument);
+  EXPECT_THROW(Prefix(IpAddress::Parse("::1"), 129), std::invalid_argument);
+  EXPECT_THROW(Prefix(IpAddress::Parse("1.2.3.4"), -1), std::invalid_argument);
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::Parse("2001:db8::/48");
+  EXPECT_EQ(p.length(), 48);
+  EXPECT_EQ(p.ToString(), "2001:db8::/48");
+  EXPECT_THROW((void)Prefix::Parse("1.2.3.4"), cellspot::ParseError);
+  EXPECT_THROW((void)Prefix::Parse("1.2.3.4/40"), cellspot::ParseError);
+  EXPECT_THROW((void)Prefix::Parse("junk/24"), cellspot::ParseError);
+}
+
+TEST(Prefix, ContainsAddresses) {
+  const auto p = Prefix::Parse("10.1.2.0/24");
+  EXPECT_TRUE(p.Contains(IpAddress::Parse("10.1.2.0")));
+  EXPECT_TRUE(p.Contains(IpAddress::Parse("10.1.2.255")));
+  EXPECT_FALSE(p.Contains(IpAddress::Parse("10.1.3.0")));
+  EXPECT_FALSE(p.Contains(IpAddress::Parse("2001:db8::1")));
+}
+
+TEST(Prefix, ZeroLengthContainsFamily) {
+  const Prefix v4_default;
+  EXPECT_TRUE(v4_default.Contains(IpAddress::Parse("8.8.8.8")));
+  EXPECT_FALSE(v4_default.Contains(IpAddress::Parse("::1")));
+}
+
+TEST(Prefix, CoversHierarchy) {
+  const auto p16 = Prefix::Parse("10.1.0.0/16");
+  const auto p24 = Prefix::Parse("10.1.2.0/24");
+  EXPECT_TRUE(p16.Covers(p24));
+  EXPECT_FALSE(p24.Covers(p16));
+  EXPECT_TRUE(p16.Covers(p16));
+  EXPECT_FALSE(p16.Covers(Prefix::Parse("10.2.0.0/24")));
+}
+
+TEST(BlockOf, PerFamilyGranularity) {
+  EXPECT_EQ(BlockOf(IpAddress::Parse("198.51.100.200")).ToString(), "198.51.100.0/24");
+  EXPECT_EQ(BlockOf(IpAddress::Parse("2001:db8:1:2::5")).ToString(), "2001:db8:1::/48");
+}
+
+TEST(BlockBits, Constants) {
+  EXPECT_EQ(BlockBits(Family::kIpv4), 24);
+  EXPECT_EQ(BlockBits(Family::kIpv6), 48);
+}
+
+TEST(IsBlock, OnlyExactGranularity) {
+  EXPECT_TRUE(IsBlock(Prefix::Parse("10.0.0.0/24")));
+  EXPECT_FALSE(IsBlock(Prefix::Parse("10.0.0.0/25")));
+  EXPECT_TRUE(IsBlock(Prefix::Parse("2001:db8::/48")));
+  EXPECT_FALSE(IsBlock(Prefix::Parse("2001:db8::/32")));
+}
+
+TEST(BlockCount, CountsSubBlocks) {
+  EXPECT_EQ(BlockCount(Prefix::Parse("10.0.0.0/24")), 1u);
+  EXPECT_EQ(BlockCount(Prefix::Parse("10.0.0.0/20")), 16u);
+  EXPECT_EQ(BlockCount(Prefix::Parse("2001:db8::/44")), 16u);
+  EXPECT_THROW((void)BlockCount(Prefix::Parse("10.0.0.0/25")), std::invalid_argument);
+}
+
+TEST(NthBlock, EnumeratesInOrder) {
+  const auto p = Prefix::Parse("10.0.0.0/22");
+  EXPECT_EQ(NthBlock(p, 0).ToString(), "10.0.0.0/24");
+  EXPECT_EQ(NthBlock(p, 1).ToString(), "10.0.1.0/24");
+  EXPECT_EQ(NthBlock(p, 3).ToString(), "10.0.3.0/24");
+  EXPECT_THROW((void)NthBlock(p, 4), std::out_of_range);
+}
+
+TEST(NthBlock, Ipv6) {
+  const auto p = Prefix::Parse("2001:db8::/46");
+  EXPECT_EQ(NthBlock(p, 0).ToString(), "2001:db8::/48");
+  EXPECT_EQ(NthBlock(p, 3).ToString(), "2001:db8:3::/48");
+}
+
+TEST(NthAddress, WithinV4Block) {
+  const auto b = Prefix::Parse("203.0.113.0/24");
+  EXPECT_EQ(NthAddress(b, 0).ToString(), "203.0.113.0");
+  EXPECT_EQ(NthAddress(b, 7).ToString(), "203.0.113.7");
+  EXPECT_EQ(NthAddress(b, 255).ToString(), "203.0.113.255");
+  EXPECT_THROW((void)NthAddress(b, 256), std::out_of_range);
+}
+
+TEST(NthAddress, WithinV6Block) {
+  const auto b = Prefix::Parse("2001:db8:5::/48");
+  EXPECT_EQ(NthAddress(b, 1).ToString(), "2001:db8:5::1");
+  EXPECT_EQ(NthAddress(b, 0x10).ToString(), "2001:db8:5::10");
+}
+
+TEST(Prefix, HashDistinguishesLength) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix::Parse("10.0.0.0/24"));
+  set.insert(Prefix::Parse("10.0.0.0/16"));
+  set.insert(Prefix::Parse("10.0.0.0/24"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cellspot::netaddr

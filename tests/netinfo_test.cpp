@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "cellspot/netinfo/availability.hpp"
+#include "cellspot/netinfo/connection.hpp"
+#include "cellspot/netinfo/noise.hpp"
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::netinfo {
+namespace {
+
+TEST(ConnectionType, NamesRoundTrip) {
+  for (std::uint8_t i = 0; i < kConnectionTypeCount; ++i) {
+    const auto t = static_cast<ConnectionType>(i);
+    EXPECT_EQ(ConnectionTypeFromName(ConnectionTypeName(t)), t);
+  }
+  EXPECT_FALSE(ConnectionTypeFromName("5g").has_value());
+}
+
+TEST(Browser, NamesRoundTrip) {
+  for (std::uint8_t i = 0; i < kBrowserCount; ++i) {
+    const auto b = static_cast<Browser>(i);
+    EXPECT_EQ(BrowserFromName(BrowserName(b)), b);
+  }
+  EXPECT_FALSE(BrowserFromName("netscape").has_value());
+}
+
+TEST(Browser, MobileAndGoogleFlags) {
+  EXPECT_TRUE(IsMobileBrowser(Browser::kChromeMobile));
+  EXPECT_TRUE(IsMobileBrowser(Browser::kSafariMobile));
+  EXPECT_FALSE(IsMobileBrowser(Browser::kDesktopOther));
+  EXPECT_TRUE(IsGoogleBrowser(Browser::kChromeDesktop));
+  EXPECT_FALSE(IsGoogleBrowser(Browser::kFirefoxMobile));
+}
+
+TEST(BrowserShares, SumToOneAcrossWindow) {
+  for (int offset = 0; offset <= 21; offset += 3) {
+    const auto mix = BrowserSharesAt(kTimelineStart.Plus(offset));
+    double total = 0.0;
+    for (double s : mix.share) total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(BrowserShares, ChromeMobileGrowsWebkitShrinks) {
+  const auto early = BrowserSharesAt(kTimelineStart);
+  const auto late = BrowserSharesAt(kTimelineEnd);
+  EXPECT_GT(late.of(Browser::kChromeMobile), early.of(Browser::kChromeMobile));
+  EXPECT_LT(late.of(Browser::kAndroidWebkit), early.of(Browser::kAndroidWebkit));
+}
+
+TEST(BrowserShares, ClampsOutsideWindow) {
+  const auto before = BrowserSharesAt({2014, 1});
+  const auto at_start = BrowserSharesAt(kTimelineStart);
+  EXPECT_DOUBLE_EQ(before.of(Browser::kChromeMobile), at_start.of(Browser::kChromeMobile));
+}
+
+TEST(NetInfoFraction, MatchesPaperDec2016) {
+  // The paper measures 13.2% of beacon hits with Network Information API
+  // data in Dec 2016 and ~15% by Jun 2017.
+  EXPECT_NEAR(NetInfoFraction({2016, 12}), 0.132, 0.01);
+  EXPECT_NEAR(NetInfoFraction({2017, 6}), 0.152, 0.012);
+  EXPECT_LT(NetInfoFraction({2015, 9}), NetInfoFraction({2016, 12}));
+}
+
+TEST(NetInfoFraction, GoogleBrowsersDominate) {
+  // 96.7% of API-enabled hits came from Google browsers in Dec 2016.
+  const util::YearMonth m{2016, 12};
+  double google = 0.0;
+  double total = 0.0;
+  for (Browser b : AllBrowsers()) {
+    const double f = NetInfoFractionOf(b, m);
+    total += f;
+    if (IsGoogleBrowser(b)) google += f;
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_NEAR(google / total, 0.967, 0.02);
+}
+
+TEST(NetInfoAvailability, SafariNeverDesktopLate) {
+  EXPECT_DOUBLE_EQ(NetInfoAvailability(Browser::kSafariMobile, {2016, 12}), 0.0);
+  EXPECT_DOUBLE_EQ(NetInfoAvailability(Browser::kChromeDesktop, {2016, 12}), 0.0);
+  EXPECT_GT(NetInfoAvailability(Browser::kChromeDesktop, {2017, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(NetInfoAvailability(Browser::kChromeMobile, {2014, 9}), 0.0);
+  EXPECT_DOUBLE_EQ(NetInfoAvailability(Browser::kChromeMobile, {2014, 10}), 1.0);
+}
+
+TEST(LabelNoise, CellularObservationsMostlyCellular) {
+  LabelNoiseModel model;
+  util::Rng rng(3);
+  int cellular = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.ObserveCellular(rng) == ConnectionType::kCellular) ++cellular;
+  }
+  EXPECT_NEAR(static_cast<double>(cellular) / n,
+              model.ExpectedCellularLabelFraction(true), 0.01);
+}
+
+TEST(LabelNoise, TetherOverrideRaisesWifi) {
+  LabelNoiseModel model;
+  util::Rng rng(5);
+  int wifi = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.ObserveCellular(rng, 0.5) == ConnectionType::kWifi) ++wifi;
+  }
+  EXPECT_NEAR(static_cast<double>(wifi) / n, 0.5, 0.02);
+}
+
+TEST(LabelNoise, FixedObservationsRarelyCellular) {
+  LabelNoiseModel model;
+  util::Rng rng(7);
+  int cellular = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (model.ObserveFixed(rng) == ConnectionType::kCellular) ++cellular;
+  }
+  const double rate = static_cast<double>(cellular) / n;
+  EXPECT_NEAR(rate, model.switch_cellular_given_fixed, 0.003);
+  EXPECT_LT(rate, 0.02);
+}
+
+TEST(LabelNoise, ExpectedFractionAsymmetry) {
+  // The paper's key observation: cellular labels carry high confidence
+  // (few false positives) while wifi labels do not.
+  LabelNoiseModel model;
+  EXPECT_GT(model.ExpectedCellularLabelFraction(true), 0.8);
+  EXPECT_LT(model.ExpectedCellularLabelFraction(false), 0.01);
+}
+
+TEST(LabelNoise, ExoticLabelsAreRare) {
+  LabelNoiseModel model;
+  util::Rng rng(11);
+  int exotic = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = model.ObserveFixed(rng);
+    if (t == ConnectionType::kBluetooth || t == ConnectionType::kWimax) ++exotic;
+  }
+  EXPECT_LT(static_cast<double>(exotic) / n, 0.01);
+}
+
+}  // namespace
+}  // namespace cellspot::netinfo

@@ -1,0 +1,159 @@
+// Integration regression net: the headline shapes of the paper must
+// re-emerge from a mid-scale world (0.02 of paper scale ≈ 130k observed
+// blocks). These are deliberately loose bands — they pin the *shape* of
+// every major claim so calibration regressions fail loudly, while leaving
+// room for seed and scale noise.
+#include <gtest/gtest.h>
+
+#include "cellspot/analysis/reports.hpp"
+
+namespace cellspot::analysis {
+namespace {
+
+const Experiment& PaperExp() {
+  static const Experiment exp = RunExperiment(simnet::WorldConfig::Paper(0.02));
+  return exp;
+}
+
+TEST(PaperShapes, GlobalCellularShareNear16Percent) {
+  double cell = 0.0;
+  double total = 0.0;
+  for (const CountryDemand& cd : CountryDemandReport(PaperExp())) {
+    if (cd.excluded) continue;
+    cell += cd.cell_du;
+    total += cd.total_du;
+  }
+  EXPECT_NEAR(cell / total, 0.162, 0.025);  // paper: 16.2%
+}
+
+TEST(PaperShapes, FilterFunnelHalvesCandidates) {
+  const auto& f = PaperExp().filtered;
+  // Paper: 1,263 -> 668 (47% excluded); rule 1 dominates.
+  const double excluded =
+      static_cast<double>(f.input_count - f.kept.size()) / f.input_count;
+  EXPECT_NEAR(excluded, 0.47, 0.08);
+  EXPECT_GT(f.removed_low_demand, f.removed_low_hits);
+  EXPECT_GT(f.removed_low_demand, f.removed_class);
+}
+
+TEST(PaperShapes, MixedMajorityButDemandMinority) {
+  const auto r = MixedOperatorReport(PaperExp());
+  const double mixed_share =
+      static_cast<double>(r.mixed_count) / (r.mixed_count + r.dedicated_count);
+  EXPECT_NEAR(mixed_share, 0.586, 0.08);              // paper: 58.6%
+  EXPECT_NEAR(r.mixed_share_of_cell_demand, 0.327, 0.09);  // paper: 32.7%
+}
+
+TEST(PaperShapes, RatioDistributionBimodal) {
+  const auto r = RatioCdfReport(PaperExp());
+  EXPECT_NEAR(r.v4_subnets.At(0.0999), 0.913, 0.035);      // paper: 91.3%
+  EXPECT_NEAR(1.0 - r.v4_subnets.At(0.9), 0.058, 0.025);   // paper: 5.8%
+  EXPECT_NEAR(r.v4_demand.At(0.0999), 0.80, 0.06);         // paper: 80%
+}
+
+TEST(PaperShapes, TopTenAsesHoldMoreThanAThird) {
+  const auto ranked = RankAsesByCellDemand(PaperExp());
+  ASSERT_GE(ranked.size(), 10u);
+  double top10 = 0.0;
+  for (int i = 0; i < 10; ++i) top10 += ranked[i].share_of_global_cell;
+  EXPECT_NEAR(top10, 0.38, 0.06);  // paper: 38%
+  // Top ranks dominated by the U.S.; top carriers dedicated.
+  EXPECT_EQ(ranked[0].country_iso, "US");
+  EXPECT_FALSE(ranked[0].mixed);
+  EXPECT_FALSE(ranked[1].mixed);
+}
+
+TEST(PaperShapes, UsDominatesCountryDemand) {
+  auto countries = CountryDemandReport(PaperExp());
+  std::erase_if(countries, [](const CountryDemand& cd) { return cd.excluded; });
+  double global_cell = 0.0;
+  const CountryDemand* us = nullptr;
+  for (const auto& cd : countries) {
+    global_cell += cd.cell_du;
+    if (cd.iso == "US") us = &cd;
+  }
+  ASSERT_NE(us, nullptr);
+  EXPECT_NEAR(us->cell_du / global_cell, 0.30, 0.05);  // paper: >30%
+  EXPECT_NEAR(us->CellFraction(), 0.166, 0.05);        // paper: 16.6%
+}
+
+TEST(PaperShapes, CellularPrimaryCountries) {
+  for (const CountryDemand& cd : CountryDemandReport(PaperExp())) {
+    if (cd.iso == "GH") {
+      EXPECT_GT(cd.CellFraction(), 0.8);  // paper: 95.9%
+    }
+    if (cd.iso == "LA") {
+      EXPECT_GT(cd.CellFraction(), 0.75);  // paper: 87.1%
+    }
+    if (cd.iso == "ID") {
+      EXPECT_NEAR(cd.CellFraction(), 0.63, 0.1);
+    }
+    if (cd.iso == "FR") {
+      EXPECT_LT(cd.CellFraction(), 0.2);  // paper: 12.1%
+    }
+  }
+}
+
+TEST(PaperShapes, ContinentOrderingHolds) {
+  const auto rows = ContinentDemandReport(PaperExp());
+  double af = 0, as = 0, eu = 0, na = 0;
+  double as_share = 0, na_share = 0, af_share = 0;
+  for (const auto& row : rows) {
+    switch (row.continent) {
+      case geo::Continent::kAfrica: af = row.cell_fraction; af_share = row.share_of_global_cell; break;
+      case geo::Continent::kAsia: as = row.cell_fraction; as_share = row.share_of_global_cell; break;
+      case geo::Continent::kEurope: eu = row.cell_fraction; break;
+      case geo::Continent::kNorthAmerica: na = row.cell_fraction; na_share = row.share_of_global_cell; break;
+      default: break;
+    }
+  }
+  // Fractions: Africa/Asia cellular-heavy, Europe lowest (Table 8).
+  EXPECT_GT(af, eu);
+  EXPECT_GT(as, eu);
+  EXPECT_GT(na, eu);
+  // Global shares: Asia and North America dominate, Africa tiny.
+  EXPECT_GT(as_share, 0.3);
+  EXPECT_GT(na_share, 0.25);
+  EXPECT_LT(af_share, 0.08);
+}
+
+TEST(PaperShapes, CarrierValidationStructure) {
+  const Experiment& e = PaperExp();
+  const simnet::OperatorInfo* a = FindCarrier(e, 'A');
+  const simnet::OperatorInfo* b = FindCarrier(e, 'B');
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  const auto va = core::Validate(BuildCarrierTruth(e.world, a->asn, "A"),
+                                 e.classified, e.demand);
+  const auto vb = core::Validate(BuildCarrierTruth(e.world, b->asn, "B"),
+                                 e.classified, e.demand);
+  // A: precision high, CIDR recall tiny (dormant space), demand recall ~0.8.
+  EXPECT_GT(va.by_cidr.Precision(), 0.85);
+  EXPECT_LT(va.by_cidr.Recall(), 0.25);
+  EXPECT_NEAR(va.by_demand.Recall(), 0.82, 0.1);
+  // B: near-perfect on both axes.
+  EXPECT_GT(vb.by_cidr.Precision(), 0.97);
+  EXPECT_GT(vb.by_cidr.Recall(), 0.9);
+  EXPECT_GT(vb.by_demand.Recall(), 0.93);
+}
+
+TEST(PaperShapes, Ipv6SparseAndNorthAmerican) {
+  const Experiment& e = PaperExp();
+  std::size_t v6_ases = 0;
+  for (const core::AsAggregate& as : e.filtered.kept) {
+    if (as.cell_blocks_v6 >= 2) ++v6_ases;
+  }
+  // Paper: 52 of 668 (7.7%).
+  EXPECT_NEAR(static_cast<double>(v6_ases) / e.filtered.kept.size(), 0.077, 0.04);
+
+  const auto rows = ContinentSubnetReport(e);
+  const auto& na = rows[static_cast<std::size_t>(geo::Continent::kNorthAmerica)];
+  EXPECT_NEAR(na.pct_active_v6, 0.099, 0.04);  // paper: 9.9%
+  std::size_t total_v6 = 0;
+  for (const auto& row : rows) total_v6 += row.cell_v6;
+  EXPECT_GT(na.cell_v6 * 2, total_v6);  // NA holds the majority of v6 cellular
+}
+
+}  // namespace
+}  // namespace cellspot::analysis

@@ -1,0 +1,137 @@
+#include "cellspot/simnet/world_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::simnet {
+namespace {
+
+TEST(WorldConfigPaper, ValidatesAndCoversWorld) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  EXPECT_GT(cfg.countries.size(), 100u);
+  EXPECT_NO_THROW(cfg.Validate());
+}
+
+TEST(WorldConfigPaper, GlobalCellularShareNearPaper) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  const double share = cfg.TotalCellularDemand() / cfg.TotalCountryDemand();
+  // Configured truth share is 0.19: the pipeline observes ~85% of cellular
+  // demand (no-JS gateways, dormant space), landing the *measured* share
+  // at the paper's 16.2%.
+  EXPECT_NEAR(share, 0.175, 0.012);
+}
+
+TEST(WorldConfigPaper, UsDominatesCellularDemand) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  double us_cell = 0.0;
+  for (const CountryProfile& p : cfg.countries) {
+    if (p.iso2 == "US") us_cell = p.cell_demand_du;
+  }
+  // Fig 11: the U.S. accounts for ~30% of global cellular demand.
+  EXPECT_NEAR(us_cell / cfg.TotalCellularDemand(), 0.30, 0.04);
+}
+
+TEST(WorldConfigPaper, PinnedCountryFractionsSurviveCalibration) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  auto fraction_of = [&](const std::string& iso) {
+    for (const CountryProfile& p : cfg.countries) {
+      if (p.iso2 == iso) return p.cell_demand_du / (p.cell_demand_du + p.fixed_demand_du);
+    }
+    ADD_FAILURE() << "missing country " << iso;
+    return 0.0;
+  };
+  EXPECT_NEAR(fraction_of("GH"), 0.959, 1e-6);  // Ghana, paper abstract
+  EXPECT_NEAR(fraction_of("FR"), 0.121, 1e-6);  // France, paper abstract
+  EXPECT_NEAR(fraction_of("ID"), 0.63, 1e-6);   // Indonesia (§7.2)
+  EXPECT_NEAR(fraction_of("LA"), 0.871, 1e-6);  // Laos (§7.2)
+  EXPECT_NEAR(fraction_of("US"), 0.166, 1e-6);  // U.S. (§7.2)
+}
+
+TEST(WorldConfigPaper, CellularAsTotalsNearTable6) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  std::array<int, geo::kContinentCount> totals{};
+  for (const CountryProfile& p : cfg.countries) {
+    totals[static_cast<std::size_t>(p.continent)] += p.cellular_as_count;
+  }
+  // Table 6: AF 114, AS 213, EU 185, NA 93, OC 16, SA 48. Configured
+  // counts should land within ~25% (detection/filtering trims them too).
+  EXPECT_NEAR(totals[0], 114, 30);  // AF
+  EXPECT_NEAR(totals[1], 213, 55);  // AS
+  EXPECT_NEAR(totals[2], 185, 48);  // EU
+  EXPECT_NEAR(totals[3], 93, 25);   // NA
+  EXPECT_NEAR(totals[4], 16, 8);    // OC
+  EXPECT_NEAR(totals[5], 48, 15);   // SA
+}
+
+TEST(WorldConfigPaper, Ipv6DeploymentSparse) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  int v6_as = 0;
+  std::set<std::string> v6_countries;
+  for (const CountryProfile& p : cfg.countries) {
+    if (p.v6_cellular_as_count > 0) {
+      v6_as += p.v6_cellular_as_count;
+      v6_countries.insert(p.iso2);
+    }
+  }
+  // Paper: 52 cellular ASes with IPv6 across 24 countries.
+  EXPECT_NEAR(v6_as, 52, 10);
+  EXPECT_NEAR(static_cast<double>(v6_countries.size()), 24.0, 6.0);
+}
+
+TEST(WorldConfigPaper, ChinaExcludedFromAnalysis) {
+  const WorldConfig cfg = WorldConfig::Paper();
+  bool found = false;
+  for (const CountryProfile& p : cfg.countries) {
+    if (p.iso2 == "CN") {
+      found = true;
+      EXPECT_TRUE(p.exclude_from_analysis);
+    } else {
+      EXPECT_FALSE(p.exclude_from_analysis) << p.iso2;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorldConfigPaper, BeaconRateScalesWithWorldScale) {
+  EXPECT_DOUBLE_EQ(WorldConfig::Paper(0.05).beacon_hits_per_du, 1500.0);
+  EXPECT_DOUBLE_EQ(WorldConfig::Paper(0.1).beacon_hits_per_du, 3000.0);
+}
+
+TEST(WorldConfigTiny, SmallAndValid) {
+  const WorldConfig cfg = WorldConfig::Tiny();
+  EXPECT_EQ(cfg.countries.size(), 6u);
+  EXPECT_NO_THROW(cfg.Validate());
+}
+
+TEST(WorldConfigValidate, CatchesBadConfigs) {
+  WorldConfig cfg = WorldConfig::Tiny();
+  cfg.scale = 0.0;
+  EXPECT_THROW(cfg.Validate(), ConfigError);
+
+  cfg = WorldConfig::Tiny();
+  cfg.countries.clear();
+  EXPECT_THROW(cfg.Validate(), ConfigError);
+
+  cfg = WorldConfig::Tiny();
+  cfg.countries.push_back(cfg.countries.front());  // duplicate ISO
+  EXPECT_THROW(cfg.Validate(), ConfigError);
+
+  cfg = WorldConfig::Tiny();
+  cfg.countries.front().mixed_share = 1.5;
+  EXPECT_THROW(cfg.Validate(), ConfigError);
+
+  cfg = WorldConfig::Tiny();
+  cfg.countries.front().cell_demand_du = -1.0;
+  EXPECT_THROW(cfg.Validate(), ConfigError);
+
+  cfg = WorldConfig::Tiny();
+  cfg.continent_blocks[0].cell_v4 = 100.0;
+  cfg.continent_blocks[0].active_v4 = 50.0;  // cell > active
+  EXPECT_THROW(cfg.Validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace cellspot::simnet

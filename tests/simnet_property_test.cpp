@@ -1,0 +1,96 @@
+// World-generation invariants across seeds and scales.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::simnet {
+namespace {
+
+class WorldSeedProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static World Make(std::uint64_t seed) {
+    WorldConfig config = WorldConfig::Tiny();
+    config.seed = seed;
+    return World::Generate(config);
+  }
+};
+
+TEST_P(WorldSeedProperty, StructuralInvariantsHoldForAnySeed) {
+  const World w = Make(GetParam());
+
+  // Blocks unique and indexed; operator ranges partition the subnets.
+  std::unordered_set<netaddr::Prefix> seen;
+  for (const Subnet& s : w.subnets()) {
+    EXPECT_TRUE(seen.insert(s.block).second);
+  }
+  std::size_t covered = 0;
+  for (const OperatorInfo& op : w.operators()) {
+    EXPECT_LE(op.subnet_begin, op.subnet_end);
+    covered += op.subnet_end - op.subnet_begin;
+    EXPECT_NE(w.as_db().Find(op.asn), nullptr);
+  }
+  EXPECT_EQ(covered, w.subnets().size());
+
+  // Demand conservation within tolerance.
+  double cell = 0.0;
+  for (const Subnet& s : w.subnets()) {
+    EXPECT_GE(s.demand_du, 0.0);
+    EXPECT_GE(s.beacon_scale, 0.0);
+    if (s.truth_cellular) cell += s.demand_du;
+  }
+  EXPECT_NEAR(cell / w.config().TotalCellularDemand(), 1.0, 0.06);
+}
+
+TEST_P(WorldSeedProperty, AsnsAreUniqueAndNonZero) {
+  const World w = Make(GetParam());
+  std::unordered_set<asdb::AsNumber> asns;
+  for (const OperatorInfo& op : w.operators()) {
+    EXPECT_NE(op.asn, 0u);
+    EXPECT_TRUE(asns.insert(op.asn).second);
+  }
+}
+
+TEST_P(WorldSeedProperty, SeedChangesLayoutButNotShape) {
+  const World a = Make(GetParam());
+  const World b = Make(GetParam() + 1);
+  // Same country plan => similar sizes...
+  EXPECT_NEAR(static_cast<double>(a.subnets().size()) / b.subnets().size(), 1.0, 0.1);
+  // ...but different operator identities.
+  EXPECT_NE(a.operators()[0].asn, b.operators()[0].asn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldSeedProperty,
+                         ::testing::Values(7u, 8u, 12345u, 999983u));
+
+class WorldScaleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WorldScaleProperty, BlockCountsScaleLinearly) {
+  const double scale = GetParam();
+  WorldConfig config = WorldConfig::Paper(scale);
+  // Restrict to a handful of countries to keep the test fast.
+  std::erase_if(config.countries, [](const CountryProfile& p) {
+    return p.iso2 != "US" && p.iso2 != "DE" && p.iso2 != "IN" && p.iso2 != "GH";
+  });
+  const World w = World::Generate(config);
+  std::size_t active = 0;
+  for (const Subnet& s : w.subnets()) {
+    if (s.demand_du > 0.0) ++active;
+  }
+  // Roughly linear in scale: the four kept countries absorb their
+  // continents' whole budgets, so compare against the continent totals.
+  double expected = 0.0;
+  for (geo::Continent c : {geo::Continent::kNorthAmerica, geo::Continent::kEurope,
+                           geo::Continent::kAsia, geo::Continent::kAfrica}) {
+    expected += config.continent_blocks[static_cast<std::size_t>(c)].active_v4 * scale;
+  }
+  EXPECT_GT(static_cast<double>(active), expected * 0.8);
+  EXPECT_LT(static_cast<double>(active), expected * 2.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WorldScaleProperty,
+                         ::testing::Values(0.001, 0.003, 0.01));
+
+}  // namespace
+}  // namespace cellspot::simnet

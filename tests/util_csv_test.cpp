@@ -1,0 +1,74 @@
+#include "cellspot/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::util {
+namespace {
+
+TEST(ParseCsvLine, PlainFields) {
+  const auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLine, QuotedFieldWithComma) {
+  const auto fields = ParseCsvLine(R"(one,"two, three",four)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "two, three");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  const auto fields = ParseCsvLine(R"("say ""hi""")");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(ParseCsvLine(R"("oops)"), cellspot::ParseError);
+}
+
+TEST(ParseCsvLine, EmptyLineIsOneEmptyField) {
+  const auto fields = ParseCsvLine("");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(EscapeCsvField, OnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(EscapeCsvField(" lead"), "\" lead\"");
+}
+
+TEST(RoundTrip, JoinThenParse) {
+  const std::vector<std::string> fields{"a", "b,c", "d\"e", ""};
+  const auto parsed = ParseCsvLine(JoinCsvLine(fields));
+  EXPECT_EQ(parsed, fields);
+}
+
+TEST(CsvWriterAndReader, RoundTripThroughStream) {
+  std::stringstream ss;
+  CsvWriter writer(ss);
+  writer.WriteRow({"prefix", "ratio"});
+  writer.WriteRow({"203.0.113.0/24", "0.93"});
+  const auto rows = ReadCsv(ss);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "203.0.113.0/24");
+  EXPECT_EQ(rows[1][1], "0.93");
+}
+
+TEST(ReadCsv, SkipsBlankAndHandlesCrlf) {
+  std::stringstream ss("a,b\r\n\r\nc,d\n");
+  const auto rows = ReadCsv(ss);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+}  // namespace
+}  // namespace cellspot::util

@@ -1,0 +1,46 @@
+#include "cellspot/util/date.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::util {
+namespace {
+
+TEST(YearMonth, Ordering) {
+  EXPECT_LT((YearMonth{2015, 9}), (YearMonth{2016, 12}));
+  EXPECT_LT((YearMonth{2016, 11}), (YearMonth{2016, 12}));
+  EXPECT_EQ((YearMonth{2016, 12}), (YearMonth{2016, 12}));
+}
+
+TEST(YearMonth, PlusWrapsYears) {
+  const YearMonth start{2015, 9};
+  EXPECT_EQ(start.Plus(3), (YearMonth{2015, 12}));
+  EXPECT_EQ(start.Plus(4), (YearMonth{2016, 1}));
+  EXPECT_EQ(start.Plus(21), (YearMonth{2017, 6}));
+  EXPECT_EQ(start.Plus(0), start);
+}
+
+TEST(YearMonth, PlusNegative) {
+  const YearMonth start{2016, 1};
+  EXPECT_EQ(start.Plus(-1), (YearMonth{2015, 12}));
+  EXPECT_EQ(start.Plus(-13), (YearMonth{2014, 12}));
+}
+
+TEST(YearMonth, MonthsBetween) {
+  EXPECT_EQ(MonthsBetween({2015, 9}, {2017, 6}), 21);
+  EXPECT_EQ(MonthsBetween({2016, 12}, {2016, 12}), 0);
+  EXPECT_EQ(MonthsBetween({2017, 1}, {2016, 12}), -1);
+}
+
+TEST(YearMonth, ToStringPadsMonth) {
+  EXPECT_EQ((YearMonth{2016, 3}).ToString(), "2016-03");
+  EXPECT_EQ((YearMonth{2016, 12}).ToString(), "2016-12");
+}
+
+TEST(StudyWindows, PaperConstants) {
+  // BEACON: Dec 1-31 = 31 days; DEMAND: Dec 24-31 = 8 days starting day 23.
+  EXPECT_EQ(kBeaconWindowDays, 31);
+  EXPECT_EQ(kDemandWindowFirstDay + kDemandWindowDays, kBeaconWindowDays);
+}
+
+}  // namespace
+}  // namespace cellspot::util

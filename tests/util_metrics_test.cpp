@@ -1,0 +1,77 @@
+#include "cellspot/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::util {
+namespace {
+
+TEST(ConfusionMatrix, EmptyIsAllZero) {
+  ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(ConfusionMatrix, QuadrantRouting) {
+  ConfusionMatrix m;
+  m.Add(true, true);    // tp
+  m.Add(false, true);   // fp
+  m.Add(false, false);  // tn
+  m.Add(true, false);   // fn
+  EXPECT_DOUBLE_EQ(m.tp(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fp(), 1.0);
+  EXPECT_DOUBLE_EQ(m.tn(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fn(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  ConfusionMatrix m;
+  for (int i = 0; i < 10; ++i) m.Add(true, true);
+  for (int i = 0; i < 90; ++i) m.Add(false, false);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, WeightsActAsDemand) {
+  // Mirrors Table 3: demand-weighted rows differ from count rows when the
+  // misclassified items carry little traffic.
+  ConfusionMatrix m;
+  m.Add(true, true, 70.0);
+  m.Add(true, false, 15.0);  // missed cellular, low demand
+  m.Add(false, false, 1300.0);
+  m.Add(false, true, 0.14);
+  EXPECT_NEAR(m.Precision(), 70.0 / 70.14, 1e-9);
+  EXPECT_NEAR(m.Recall(), 70.0 / 85.0, 1e-9);
+  EXPECT_GT(m.F1(), 0.85);
+}
+
+TEST(ConfusionMatrix, PaperCarrierBShape) {
+  // Carrier B (dedicated): 2937 TP, 0 FP, 0 TN, 35 FN -> P=1, R~0.99.
+  ConfusionMatrix m;
+  for (int i = 0; i < 2937; ++i) m.Add(true, true);
+  for (int i = 0; i < 35; ++i) m.Add(true, false);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_NEAR(m.Recall(), 0.988, 0.001);
+  EXPECT_GT(m.F1(), 0.99);
+}
+
+TEST(ConfusionMatrix, RecallZeroWhenNoPositivesPredicted) {
+  ConfusionMatrix m;
+  m.Add(true, false);
+  m.Add(false, false);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.5);
+}
+
+}  // namespace
+}  // namespace cellspot::util

@@ -1,0 +1,163 @@
+// Property tests of the statistics toolkit over random samples,
+// parameterised by RNG seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cellspot/util/rng.hpp"
+#include "cellspot/util/stats.hpp"
+
+namespace cellspot::util {
+namespace {
+
+class UtilProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<double> RandomSample(Rng& rng, std::size_t n, double scale = 100.0) {
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.UniformDouble() * scale;
+  return out;
+}
+
+TEST_P(UtilProperty, RunningStatsMatchesNaive) {
+  Rng rng(GetParam());
+  const auto sample = RandomSample(rng, 1000);
+  RunningStats stats;
+  for (double v : sample) stats.Add(v);
+
+  const double mean = std::accumulate(sample.begin(), sample.end(), 0.0) / sample.size();
+  double var = 0.0;
+  for (double v : sample) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(sample.size());
+
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-7);
+  EXPECT_DOUBLE_EQ(stats.min(), *std::min_element(sample.begin(), sample.end()));
+  EXPECT_DOUBLE_EQ(stats.max(), *std::max_element(sample.begin(), sample.end()));
+}
+
+TEST_P(UtilProperty, PercentileIsMonotoneAndBounded) {
+  Rng rng(GetParam());
+  const auto sample = RandomSample(rng, 200);
+  double prev = Percentile(sample, 0.0);
+  EXPECT_DOUBLE_EQ(prev, *std::min_element(sample.begin(), sample.end()));
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double v = Percentile(sample, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(prev, *std::max_element(sample.begin(), sample.end()));
+}
+
+TEST_P(UtilProperty, CdfIsMonotoneReachesOne) {
+  Rng rng(GetParam());
+  const auto sample = RandomSample(rng, 400);
+  const EmpiricalCdf cdf(sample);
+  double prev = 0.0;
+  for (double x = -10.0; x <= 110.0; x += 2.5) {
+    const double f = cdf.At(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.At(1e9), 1.0);
+}
+
+TEST_P(UtilProperty, QuantileIsGeneralisedInverse) {
+  Rng rng(GetParam());
+  const auto sample = RandomSample(rng, 300);
+  const EmpiricalCdf cdf(sample);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double x = cdf.Quantile(q);
+    // F(x) >= q and F of anything smaller than x is < q.
+    EXPECT_GE(cdf.At(x), q - 1e-12);
+    EXPECT_LT(cdf.At(x - 1e-9), q);
+  }
+}
+
+TEST_P(UtilProperty, WeightedCdfMatchesReplication) {
+  // Integer weights: the weighted CDF equals the unweighted CDF of the
+  // sample with each value replicated weight times.
+  Rng rng(GetParam());
+  std::vector<double> values;
+  std::vector<double> weights;
+  std::vector<double> replicated;
+  for (int i = 0; i < 60; ++i) {
+    const double v = rng.UniformDouble() * 50.0;
+    const auto w = rng.UniformInt(1, 4);
+    values.push_back(v);
+    weights.push_back(static_cast<double>(w));
+    for (std::uint64_t k = 0; k < w; ++k) replicated.push_back(v);
+  }
+  const EmpiricalCdf weighted(values, weights);
+  const EmpiricalCdf plain(replicated);
+  for (double x = 0.0; x <= 50.0; x += 1.7) {
+    EXPECT_NEAR(weighted.At(x), plain.At(x), 1e-12);
+  }
+}
+
+TEST_P(UtilProperty, GiniBoundsAndScaleInvariance) {
+  Rng rng(GetParam());
+  const auto sample = RandomSample(rng, 150);
+  const double g = GiniCoefficient(sample);
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, 1.0);
+  // Scale invariance.
+  std::vector<double> scaled(sample);
+  for (double& v : scaled) v *= 7.5;
+  EXPECT_NEAR(GiniCoefficient(scaled), g, 1e-9);
+}
+
+TEST_P(UtilProperty, TopKShareIsMonotoneInK) {
+  Rng rng(GetParam());
+  const auto sample = RandomSample(rng, 80);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= sample.size(); ++k) {
+    const double share = TopKShare(sample, k);
+    EXPECT_GE(share, prev);
+    EXPECT_LE(share, 1.0 + 1e-12);
+    prev = share;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST_P(UtilProperty, HistogramConservesWeight) {
+  Rng rng(GetParam());
+  Histogram h(0.0, 100.0, 13);
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double w = rng.UniformDouble() * 3.0;
+    h.Add(rng.UniformDouble() * 130.0 - 15.0, w);  // includes out-of-range
+    total += w;
+  }
+  double binned = 0.0;
+  double fractions = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    binned += h.bin_weight(b);
+    fractions += h.bin_fraction(b);
+  }
+  EXPECT_NEAR(binned, total, 1e-9);
+  EXPECT_NEAR(fractions, 1.0, 1e-9);
+}
+
+TEST_P(UtilProperty, ZipfSamplesMatchPmfChiSquared) {
+  Rng rng(GetParam());
+  const ZipfDistribution zipf(20, 1.1);
+  std::vector<int> counts(20, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  // Loose chi-squared-style bound: every bucket within 5 sigma.
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    const double expected = zipf.Pmf(k) * n;
+    const double sigma = std::sqrt(expected * (1.0 - zipf.Pmf(k)));
+    EXPECT_NEAR(counts[k], expected, 5.0 * sigma + 5.0) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtilProperty,
+                         ::testing::Values(3u, 99u, 4242u, 1048576u));
+
+}  // namespace
+}  // namespace cellspot::util

@@ -1,0 +1,123 @@
+#include "cellspot/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cellspot::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.UniformDouble(), b.UniformDouble());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformDouble() == b.UniformDouble()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+  EXPECT_FALSE(rng.Chance(-0.5));
+  EXPECT_TRUE(rng.Chance(1.5));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentOfStream) {
+  Rng parent(99);
+  Rng c0 = parent.Fork(0);
+  Rng parent2(99);
+  Rng c1 = parent2.Fork(1);
+  // Different streams from identical parents must diverge.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (c0.UniformDouble() == c1.UniformDouble()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, RejectsEmpty) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.1);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, HeadDominates) {
+  ZipfDistribution z(1000, 1.2);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(10));
+  EXPECT_GT(z.Pmf(10), z.Pmf(500));
+}
+
+TEST(Zipf, SampleDistributionMatchesPmf) {
+  ZipfDistribution z(50, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(50, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.Pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, z.Pmf(1), 0.01);
+}
+
+TEST(Zipf, PmfOutOfRangeThrows) {
+  ZipfDistribution z(10, 1.0);
+  EXPECT_THROW((void)z.Pmf(10), std::out_of_range);
+}
+
+TEST(WeightedSampler, RejectsBadWeights) {
+  EXPECT_THROW(WeightedSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(WeightedSampler(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedSampler(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(WeightedSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  WeightedSampler s(w);
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.Sample(rng), 1u);
+}
+
+TEST(WeightedSampler, ProportionalSampling) {
+  const std::vector<double> w{1.0, 3.0};
+  WeightedSampler s(w);
+  Rng rng(17);
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ones += s.Sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+}  // namespace
+}  // namespace cellspot::util

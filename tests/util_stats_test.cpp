@@ -1,0 +1,183 @@
+#include "cellspot/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cellspot::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValuesTrackMinMax) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(1.0);
+  s.Add(-10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)Percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Percentile, ThrowsOnBadP) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)Percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)Percentile(v, 100.5), std::invalid_argument);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 10.0);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.0);
+  EXPECT_THROW((void)cdf.Quantile(0.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, UnweightedSteps) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, DuplicateValuesCollapse) {
+  EmpiricalCdf cdf({2.0, 2.0, 2.0, 5.0});
+  ASSERT_EQ(cdf.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.At(5.0), 1.0);
+}
+
+TEST(EmpiricalCdf, WeightedMatchesManual) {
+  EmpiricalCdf cdf({1.0, 2.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.total_weight(), 4.0);
+}
+
+TEST(EmpiricalCdf, WeightedRejectsMismatch) {
+  EXPECT_THROW(EmpiricalCdf({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalCdf({1.0}, {-1.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 40.0);
+  EXPECT_THROW((void)cdf.Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)cdf.Quantile(1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, ZeroTotalWeightIsEmpty) {
+  EmpiricalCdf cdf({1.0, 2.0}, {0.0, 0.0});
+  EXPECT_TRUE(cdf.empty());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndFractions) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.3);
+  h.Add(0.3);
+  h.Add(0.9);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 2.0);
+  EXPECT_THROW((void)h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Gini, UniformIsZero) {
+  const std::vector<double> v{5.0, 5.0, 5.0, 5.0};
+  EXPECT_NEAR(GiniCoefficient(v), 0.0, 1e-12);
+}
+
+TEST(Gini, FullConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1.0;
+  EXPECT_NEAR(GiniCoefficient(v), 0.99, 1e-9);
+}
+
+TEST(Gini, EmptyAndZeroTotals) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(GiniCoefficient(zeros), 0.0);
+}
+
+TEST(TopKShare, BasicShares) {
+  const std::vector<double> v{10.0, 30.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(TopKShare(v, 1), 0.4);
+  EXPECT_DOUBLE_EQ(TopKShare(v, 2), 0.7);
+  EXPECT_DOUBLE_EQ(TopKShare(v, 10), 1.0);
+  EXPECT_DOUBLE_EQ(TopKShare(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(TopKShare({}, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace cellspot::util

@@ -1,0 +1,91 @@
+#include "cellspot/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldNoDelim) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, TrailingDelimYieldsEmptyTail) {
+  const auto parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(Trim("  abc \t"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ParseUint, ValidAndInvalid) {
+  EXPECT_EQ(ParseUint("123"), 123u);
+  EXPECT_EQ(ParseUint(" 42 "), 42u);
+  EXPECT_EQ(ParseUint("0"), 0u);
+  EXPECT_FALSE(ParseUint("").has_value());
+  EXPECT_FALSE(ParseUint("-1").has_value());
+  EXPECT_FALSE(ParseUint("12x").has_value());
+  EXPECT_FALSE(ParseUint("99999999999999999999999").has_value());
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5junk").has_value());
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(FormatPercent, MatchesPaperStyle) {
+  EXPECT_EQ(FormatPercent(0.162, 1), "16.2%");
+  EXPECT_EQ(FormatPercent(0.959, 1), "95.9%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatWithCommas, Grouping) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(350687), "350,687");
+  EXPECT_EQ(FormatWithCommas(1234567890), "1,234,567,890");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("google-proxy-1.google.com", "google-proxy"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(ToLower("CeLLuLar"), "cellular");
+  EXPECT_EQ(ToLower("WIFI-5"), "wifi-5");
+}
+
+}  // namespace
+}  // namespace cellspot::util

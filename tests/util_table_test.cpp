@@ -1,0 +1,60 @@
+#include "cellspot/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::util {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsOversizedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, PadsShortRow) {
+  TextTable t({"a", "b"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.Render().find("only"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string out = t.Render();
+  // Every line must be equally wide up to trailing content.
+  const auto first_nl = out.find('\n');
+  const std::string header_line = out.substr(0, first_nl);
+  EXPECT_NE(header_line.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Separator exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RightAlignmentPadsLeft) {
+  TextTable t({"k", "num"});
+  t.AddRow({"a", "5"});
+  t.AddRow({"b", "500"});
+  const std::string out = t.Render();
+  // "5" in a 3-wide right-aligned column appears as "  5".
+  EXPECT_NE(out.find("  5\n"), std::string::npos);
+}
+
+TEST(TextTable, TitleBanner) {
+  TextTable t({"x"});
+  const std::string out = t.RenderWithTitle("Table 4");
+  EXPECT_EQ(out.rfind("== Table 4 ==", 0), 0u);
+}
+
+TEST(TextTable, SetAlignmentsValidates) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.SetAlignments({Align::kLeft}), std::invalid_argument);
+  t.SetAlignments({Align::kRight, Align::kLeft});  // no throw
+}
+
+}  // namespace
+}  // namespace cellspot::util

@@ -1,0 +1,65 @@
+#include "cellspot/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellspot::util {
+namespace {
+
+TEST(WilsonScore, ZeroTrialsIsVacuous) {
+  const auto i = WilsonScoreInterval(0, 0);
+  EXPECT_DOUBLE_EQ(i.lower, 0.0);
+  EXPECT_DOUBLE_EQ(i.upper, 1.0);
+}
+
+TEST(WilsonScore, RejectsBadInput) {
+  EXPECT_THROW((void)WilsonScoreInterval(5, 3), std::invalid_argument);
+  EXPECT_THROW((void)WilsonScoreInterval(1, 2, -1.0), std::invalid_argument);
+}
+
+TEST(WilsonScore, SmallSampleIsHumble) {
+  // 1-of-1 cellular: the point estimate is 1.0 but the 95% lower bound
+  // is ~0.2 — the whole reason for the conservative classifier variant.
+  const auto i = WilsonScoreInterval(1, 1);
+  EXPECT_NEAR(i.lower, 0.2065, 0.01);
+  EXPECT_DOUBLE_EQ(i.upper, 1.0);
+}
+
+TEST(WilsonScore, LargeSampleConvergesToRatio) {
+  const auto i = WilsonScoreInterval(900, 1000);
+  EXPECT_NEAR(i.lower, 0.88, 0.01);
+  EXPECT_NEAR(i.upper, 0.917, 0.01);
+  EXPECT_LT(i.upper - i.lower, 0.05);
+}
+
+TEST(WilsonScore, ContainsPointEstimate) {
+  for (std::uint64_t trials : {1ULL, 5ULL, 20ULL, 500ULL}) {
+    for (std::uint64_t successes = 0; successes <= trials;
+         successes += std::max<std::uint64_t>(1, trials / 4)) {
+      const auto i = WilsonScoreInterval(successes, trials);
+      const double p = static_cast<double>(successes) / trials;
+      EXPECT_LE(i.lower, p + 1e-12);
+      EXPECT_GE(i.upper, p - 1e-12);
+      EXPECT_GE(i.lower, 0.0);
+      EXPECT_LE(i.upper, 1.0);
+    }
+  }
+}
+
+TEST(WilsonScore, IntervalShrinksWithSamples) {
+  double prev_width = 1.0;
+  for (std::uint64_t n : {2ULL, 10ULL, 50ULL, 250ULL, 1000ULL}) {
+    const auto i = WilsonScoreInterval(n / 2, n);
+    const double width = i.upper - i.lower;
+    EXPECT_LT(width, prev_width);
+    prev_width = width;
+  }
+}
+
+TEST(WilsonScore, ZeroZGivesPointInterval) {
+  const auto i = WilsonScoreInterval(3, 10, 0.0);
+  EXPECT_NEAR(i.lower, 0.3, 1e-12);
+  EXPECT_NEAR(i.upper, 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace cellspot::util

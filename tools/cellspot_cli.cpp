@@ -1,0 +1,436 @@
+// cellspot — command-line frontend to the Cell-Spotting pipeline.
+//
+// Subcommands:
+//   generate  build a synthetic world and export its datasets as CSV
+//             (beacon.csv, demand.csv, rib.csv, asdb.csv, truth.csv)
+//   classify  per-block cellular classification from a beacon CSV
+//   ases      run the AS pipeline (aggregate + the three filters)
+//   report    continent/country summary tables
+//
+// classify/ases/report never touch the simulator: point them at CSVs
+// exported from `generate`, or at files you produced from your own RUM
+// logs and RIB dumps (the §2 "easily replicated" workflow).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cellspot/analysis/export.hpp"
+#include "cellspot/asdb/serialization.hpp"
+#include "cellspot/cdn/beacon_generator.hpp"
+#include "cellspot/cdn/demand_generator.hpp"
+#include "cellspot/core/aggregation.hpp"
+#include "cellspot/core/as_pipeline.hpp"
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/core/validation.hpp"
+#include "cellspot/simnet/world.hpp"
+#include "cellspot/util/csv.hpp"
+#include "cellspot/util/strings.hpp"
+#include "cellspot/util/table.hpp"
+
+namespace {
+
+using namespace cellspot;
+
+/// Minimal "--flag value" option parser.
+class Options {
+ public:
+  Options(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+        ok_ = false;
+        return;
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string GetOr(const std::string& key, std::string fallback) const {
+    return Get(key).value_or(std::move(fallback));
+  }
+
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback) const {
+    const auto v = Get(key);
+    if (!v) return fallback;
+    const auto parsed = util::ParseDouble(*v);
+    return parsed ? *parsed : fallback;
+  }
+
+  [[nodiscard]] std::uint64_t GetUint(const std::string& key, std::uint64_t fallback) const {
+    const auto v = Get(key);
+    if (!v) return fallback;
+    const auto parsed = util::ParseUint(*v);
+    return parsed ? *parsed : fallback;
+  }
+
+  [[nodiscard]] bool Has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cellspot generate --out DIR [--scale S] [--seed N] [--tiny]\n"
+               "  cellspot classify --beacons F [--threshold T] [--min-hits N] [--out F]\n"
+               "  cellspot ases --beacons F --demand F --rib F --asdb F\n"
+               "                [--threshold T] [--min-demand D] [--min-hits N]\n"
+               "                [--no-class-rule]\n"
+               "  cellspot report --beacons F --demand F --rib F --asdb F\n"
+               "  cellspot validate --beacons F --demand F --truth F [--threshold T]\n"
+               "  cellspot compress --classified F   (output of `classify`)\n"
+               "  cellspot figures --out DIR [--scale S] [--seed N]\n");
+  return 2;
+}
+
+template <typename T, typename Loader>
+std::optional<T> LoadFile(const Options& opts, const std::string& key, Loader loader) {
+  const auto path = opts.Get(key);
+  if (!path || path->empty()) {
+    std::fprintf(stderr, "missing --%s FILE\n", key.c_str());
+    return std::nullopt;
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path->c_str());
+    return std::nullopt;
+  }
+  try {
+    return loader(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path->c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+// ---- generate --------------------------------------------------------------
+
+int CmdGenerate(const Options& opts) {
+  const auto dir = opts.Get("out");
+  if (!dir || dir->empty()) {
+    std::fprintf(stderr, "generate: missing --out DIR (must exist)\n");
+    return 2;
+  }
+  simnet::WorldConfig config = opts.Has("tiny")
+                                   ? simnet::WorldConfig::Tiny()
+                                   : simnet::WorldConfig::Paper(opts.GetDouble("scale", 0.01));
+  config.seed = opts.GetUint("seed", config.seed);
+
+  std::printf("generating world (scale %.3g, seed %llu)...\n", config.scale,
+              static_cast<unsigned long long>(config.seed));
+  const simnet::World world = simnet::World::Generate(config);
+  const auto beacons = cdn::BeaconGenerator(world).GenerateDataset();
+  const auto demand = cdn::DemandGenerator(world).GenerateDataset();
+
+  auto save = [&](const std::string& name, auto writer) -> bool {
+    const std::string path = *dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    writer(out);
+    std::printf("  wrote %s\n", path.c_str());
+    return true;
+  };
+
+  const bool ok =
+      save("beacon.csv", [&](std::ostream& out) { beacons.SaveCsv(out); }) &&
+      save("demand.csv", [&](std::ostream& out) { demand.SaveCsv(out); }) &&
+      save("asdb.csv",
+           [&](std::ostream& out) { asdb::SaveAsDatabaseCsv(world.as_db(), out); }) &&
+      save("rib.csv",
+           [&](std::ostream& out) {
+             asdb::SaveRoutingTableCsv(world.rib(), world.as_db(), out);
+           }) &&
+      save("truth.csv", [&](std::ostream& out) {
+        util::CsvWriter writer(out);
+        writer.WriteRow({"block", "asn", "cellular"});
+        for (const simnet::Subnet& s : world.subnets()) {
+          writer.WriteRow({s.block.ToString(), std::to_string(s.asn),
+                           s.truth_cellular ? "1" : "0"});
+        }
+      });
+  return ok ? 0 : 1;
+}
+
+// ---- classify ----------------------------------------------------------------
+
+int CmdClassify(const Options& opts) {
+  const auto beacons = LoadFile<dataset::BeaconDataset>(
+      opts, "beacons", [](std::istream& in) { return dataset::BeaconDataset::LoadCsv(in); });
+  if (!beacons) return 1;
+
+  core::ClassifierConfig config;
+  config.threshold = opts.GetDouble("threshold", 0.5);
+  config.min_netinfo_hits = opts.GetUint("min-hits", 1);
+  const core::SubnetClassifier classifier(config);
+  const auto classified = classifier.Classify(*beacons);
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (const auto path = opts.Get("out"); path && !path->empty()) {
+    file.open(*path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    out = &file;
+  }
+  util::CsvWriter writer(*out);
+  writer.WriteRow({"block", "ratio", "netinfo_hits", "cellular"});
+  beacons->ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& s) {
+    if (s.netinfo_hits < config.min_netinfo_hits) return;
+    writer.WriteRow({block.ToString(), util::FormatDouble(s.CellularRatio(), 4),
+                     std::to_string(s.netinfo_hits),
+                     classified.IsCellular(block) ? "1" : "0"});
+  });
+  std::fprintf(stderr, "classified %zu blocks, %zu cellular (threshold %.2f)\n",
+               classified.ratios().size(), classified.cellular().size(),
+               config.threshold);
+  return 0;
+}
+
+// ---- shared loading for ases/report -------------------------------------------
+
+struct PipelineInputs {
+  dataset::BeaconDataset beacons;
+  dataset::DemandDataset demand;
+  asdb::RoutingTable rib;
+  asdb::AsDatabase as_db;
+};
+
+std::optional<PipelineInputs> LoadInputs(const Options& opts) {
+  auto beacons = LoadFile<dataset::BeaconDataset>(
+      opts, "beacons", [](std::istream& in) { return dataset::BeaconDataset::LoadCsv(in); });
+  auto demand = LoadFile<dataset::DemandDataset>(
+      opts, "demand", [](std::istream& in) { return dataset::DemandDataset::LoadCsv(in); });
+  auto rib = LoadFile<asdb::RoutingTable>(
+      opts, "rib", [](std::istream& in) { return asdb::LoadRoutingTableCsv(in); });
+  auto as_db = LoadFile<asdb::AsDatabase>(
+      opts, "asdb", [](std::istream& in) { return asdb::LoadAsDatabaseCsv(in); });
+  if (!beacons || !demand || !rib || !as_db) return std::nullopt;
+  PipelineInputs inputs{std::move(*beacons), std::move(*demand), std::move(*rib),
+                        std::move(*as_db)};
+  return inputs;
+}
+
+// ---- ases ---------------------------------------------------------------------
+
+int CmdAses(const Options& opts) {
+  auto inputs = LoadInputs(opts);
+  if (!inputs) return 1;
+
+  core::ClassifierConfig classifier_config;
+  classifier_config.threshold = opts.GetDouble("threshold", 0.5);
+  const auto classified =
+      core::SubnetClassifier(classifier_config).Classify(inputs->beacons);
+  auto candidates = core::AggregateCandidateAses(inputs->rib, classified,
+                                                 inputs->beacons, inputs->demand);
+
+  core::AsFilterConfig filter_config;
+  filter_config.min_cell_demand_du = opts.GetDouble("min-demand", 0.1);
+  filter_config.min_beacon_hits = opts.GetUint("min-hits", 300);
+  filter_config.require_transit_access_class = !opts.Has("no-class-rule");
+  const auto outcome =
+      core::ApplyAsFilters(std::move(candidates), inputs->as_db, filter_config);
+
+  std::fprintf(stderr,
+               "candidates %zu -> removed %zu (demand) + %zu (hits) + %zu (class) "
+               "-> kept %zu\n",
+               outcome.input_count, outcome.removed_low_demand,
+               outcome.removed_low_hits, outcome.removed_class, outcome.kept.size());
+
+  util::CsvWriter writer(std::cout);
+  writer.WriteRow({"asn", "name", "country", "cell_blocks", "cell_demand_du", "cfd",
+                   "dedicated"});
+  for (const core::AsAggregate& as : outcome.kept) {
+    const asdb::AsRecord* record = inputs->as_db.Find(as.asn);
+    writer.WriteRow({std::to_string(as.asn), record != nullptr ? record->name : "",
+                     record != nullptr ? record->country_iso : "",
+                     std::to_string(as.cell_blocks_v4 + as.cell_blocks_v6),
+                     util::FormatDouble(as.cell_demand_du, 4),
+                     util::FormatDouble(as.Cfd(), 4),
+                     core::IsDedicated(as) ? "1" : "0"});
+  }
+  return 0;
+}
+
+// ---- report --------------------------------------------------------------------
+
+int CmdReport(const Options& opts) {
+  auto inputs = LoadInputs(opts);
+  if (!inputs) return 1;
+
+  const auto classified = core::SubnetClassifier().Classify(inputs->beacons);
+  auto candidates = core::AggregateCandidateAses(inputs->rib, classified,
+                                                 inputs->beacons, inputs->demand);
+  const auto outcome = core::ApplyAsFilters(std::move(candidates), inputs->as_db);
+
+  std::map<std::string, std::pair<double, double>> by_country;  // cell, total
+  std::set<asdb::AsNumber> kept;
+  for (const core::AsAggregate& as : outcome.kept) kept.insert(as.asn);
+  inputs->demand.ForEach([&](const netaddr::Prefix& block, double du) {
+    const auto origin = inputs->rib.OriginOf(block.address());
+    if (!origin) return;
+    const asdb::AsRecord* record = inputs->as_db.Find(*origin);
+    if (record == nullptr || record->country_iso.empty()) return;
+    auto& [cell, total] = by_country[record->country_iso];
+    total += du;
+    if (kept.contains(*origin) && classified.IsCellular(block)) cell += du;
+  });
+
+  util::TextTable t({"Country", "Total DU", "Cellular DU", "Cellular %"});
+  double world_cell = 0.0;
+  double world_total = 0.0;
+  for (const auto& [iso, pair] : by_country) {
+    const auto& [cell, total] = pair;
+    world_cell += cell;
+    world_total += total;
+    t.AddRow({iso, util::FormatDouble(total, 1), util::FormatDouble(cell, 1),
+              util::FormatPercent(total > 0 ? cell / total : 0.0, 1)});
+  }
+  std::printf("%s", t.RenderWithTitle("Cellular demand by country").c_str());
+  std::printf("\nGlobal: %s cellular of %.0f DU | cellular ASes kept: %zu\n",
+              util::FormatPercent(world_total > 0 ? world_cell / world_total : 0.0, 1)
+                  .c_str(),
+              world_total, outcome.kept.size());
+  return 0;
+}
+
+// ---- validate -----------------------------------------------------------------
+
+int CmdValidate(const Options& opts) {
+  const auto beacons = LoadFile<dataset::BeaconDataset>(
+      opts, "beacons", [](std::istream& in) { return dataset::BeaconDataset::LoadCsv(in); });
+  const auto demand = LoadFile<dataset::DemandDataset>(
+      opts, "demand", [](std::istream& in) { return dataset::DemandDataset::LoadCsv(in); });
+  if (!beacons || !demand) return 1;
+
+  // Truth CSV: block,asn,cellular (the format `generate` writes) or a
+  // two-column block,cellular list from an operator.
+  core::CarrierGroundTruth truth;
+  truth.label = "truth";
+  {
+    const auto path = opts.Get("truth");
+    if (!path || path->empty()) {
+      std::fprintf(stderr, "validate: missing --truth FILE\n");
+      return 1;
+    }
+    std::ifstream in(*path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path->c_str());
+      return 1;
+    }
+    const auto rows = util::ReadCsv(in);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      if (row.size() < 2) continue;
+      const std::string& flag = row.back();
+      truth.blocks.emplace(netaddr::Prefix::Parse(row[0]), flag == "1");
+    }
+  }
+
+  core::ClassifierConfig config;
+  config.threshold = opts.GetDouble("threshold", 0.5);
+  const auto classified = core::SubnetClassifier(config).Classify(*beacons);
+  const auto v = core::Validate(truth, classified, *demand);
+  std::printf("blocks in truth list: %zu\n", truth.blocks.size());
+  std::printf("by CIDR:   TP=%.0f FP=%.0f TN=%.0f FN=%.0f  P=%.3f R=%.3f F1=%.3f\n",
+              v.by_cidr.tp(), v.by_cidr.fp(), v.by_cidr.tn(), v.by_cidr.fn(),
+              v.by_cidr.Precision(), v.by_cidr.Recall(), v.by_cidr.F1());
+  std::printf("by demand: TP=%.2f FP=%.2f TN=%.2f FN=%.2f  P=%.3f R=%.3f F1=%.3f\n",
+              v.by_demand.tp(), v.by_demand.fp(), v.by_demand.tn(), v.by_demand.fn(),
+              v.by_demand.Precision(), v.by_demand.Recall(), v.by_demand.F1());
+  return 0;
+}
+
+// ---- compress -------------------------------------------------------------------
+
+int CmdCompress(const Options& opts) {
+  const auto path = opts.Get("classified");
+  if (!path || path->empty()) {
+    std::fprintf(stderr, "compress: missing --classified FILE (from `classify`)\n");
+    return 1;
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path->c_str());
+    return 1;
+  }
+  std::vector<netaddr::Prefix> blocks;
+  const auto rows = util::ReadCsv(in);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() >= 4 && rows[i][3] == "1") {
+      blocks.push_back(netaddr::Prefix::Parse(rows[i][0]));
+    }
+  }
+  const auto compressed = core::CompressPrefixes(blocks);
+  for (const netaddr::Prefix& p : compressed) std::printf("%s\n", p.ToString().c_str());
+  std::fprintf(stderr, "compressed %zu blocks into %zu prefixes\n", blocks.size(),
+               compressed.size());
+  return 0;
+}
+
+// ---- figures ---------------------------------------------------------------------
+
+int CmdFigures(const Options& opts) {
+  const auto dir = opts.Get("out");
+  if (!dir || dir->empty()) {
+    std::fprintf(stderr, "figures: missing --out DIR (must exist)\n");
+    return 2;
+  }
+  simnet::WorldConfig config = simnet::WorldConfig::Paper(opts.GetDouble("scale", 0.01));
+  config.seed = opts.GetUint("seed", config.seed);
+  std::printf("running pipeline (scale %.3g)...\n", config.scale);
+  const analysis::Experiment exp = analysis::RunExperiment(config);
+  const dns::DnsSimulator dns_sim(exp.world);
+  try {
+    for (const std::string& file : analysis::ExportAllFigures(exp, dns_sim, *dir)) {
+      std::printf("  wrote %s\n", file.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Options opts(argc, argv, 2);
+  if (!opts.ok()) return Usage();
+  if (command == "generate") return CmdGenerate(opts);
+  if (command == "classify") return CmdClassify(opts);
+  if (command == "ases") return CmdAses(opts);
+  if (command == "report") return CmdReport(opts);
+  if (command == "validate") return CmdValidate(opts);
+  if (command == "compress") return CmdCompress(opts);
+  if (command == "figures") return CmdFigures(opts);
+  return Usage();
+}
