@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_min_hits.dir/bench_ablation_min_hits.cpp.o"
+  "CMakeFiles/bench_ablation_min_hits.dir/bench_ablation_min_hits.cpp.o.d"
+  "bench_ablation_min_hits"
+  "bench_ablation_min_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_min_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

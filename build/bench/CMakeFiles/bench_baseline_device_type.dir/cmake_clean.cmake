@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_device_type.dir/bench_baseline_device_type.cpp.o"
+  "CMakeFiles/bench_baseline_device_type.dir/bench_baseline_device_type.cpp.o.d"
+  "bench_baseline_device_type"
+  "bench_baseline_device_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_device_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

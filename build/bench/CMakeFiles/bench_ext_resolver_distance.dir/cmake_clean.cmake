@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_resolver_distance.dir/bench_ext_resolver_distance.cpp.o"
+  "CMakeFiles/bench_ext_resolver_distance.dir/bench_ext_resolver_distance.cpp.o.d"
+  "bench_ext_resolver_distance"
+  "bench_ext_resolver_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_resolver_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

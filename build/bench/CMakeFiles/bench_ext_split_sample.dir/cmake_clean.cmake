@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_split_sample.dir/bench_ext_split_sample.cpp.o"
+  "CMakeFiles/bench_ext_split_sample.dir/bench_ext_split_sample.cpp.o.d"
+  "bench_ext_split_sample"
+  "bench_ext_split_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_split_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

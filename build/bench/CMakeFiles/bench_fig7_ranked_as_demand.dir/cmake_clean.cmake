@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ranked_as_demand.dir/bench_fig7_ranked_as_demand.cpp.o"
+  "CMakeFiles/bench_fig7_ranked_as_demand.dir/bench_fig7_ranked_as_demand.cpp.o.d"
+  "bench_fig7_ranked_as_demand"
+  "bench_fig7_ranked_as_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ranked_as_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_findings_summary.dir/bench_findings_summary.cpp.o"
+  "CMakeFiles/bench_findings_summary.dir/bench_findings_summary.cpp.o.d"
+  "bench_findings_summary"
+  "bench_findings_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_findings_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

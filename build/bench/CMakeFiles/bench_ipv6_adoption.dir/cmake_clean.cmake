@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipv6_adoption.dir/bench_ipv6_adoption.cpp.o"
+  "CMakeFiles/bench_ipv6_adoption.dir/bench_ipv6_adoption.cpp.o.d"
+  "bench_ipv6_adoption"
+  "bench_ipv6_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipv6_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

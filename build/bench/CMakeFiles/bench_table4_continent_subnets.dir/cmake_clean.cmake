@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_continent_subnets.dir/bench_table4_continent_subnets.cpp.o"
+  "CMakeFiles/bench_table4_continent_subnets.dir/bench_table4_continent_subnets.cpp.o.d"
+  "bench_table4_continent_subnets"
+  "bench_table4_continent_subnets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_continent_subnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_continent_ases.dir/bench_table6_continent_ases.cpp.o"
+  "CMakeFiles/bench_table6_continent_ases.dir/bench_table6_continent_ases.cpp.o.d"
+  "bench_table6_continent_ases"
+  "bench_table6_continent_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_continent_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_continent_demand.dir/bench_table8_continent_demand.cpp.o"
+  "CMakeFiles/bench_table8_continent_demand.dir/bench_table8_continent_demand.cpp.o.d"
+  "bench_table8_continent_demand"
+  "bench_table8_continent_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_continent_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

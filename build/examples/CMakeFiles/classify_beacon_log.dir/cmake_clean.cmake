@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_beacon_log.dir/classify_beacon_log.cpp.o"
+  "CMakeFiles/classify_beacon_log.dir/classify_beacon_log.cpp.o.d"
+  "classify_beacon_log"
+  "classify_beacon_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_beacon_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

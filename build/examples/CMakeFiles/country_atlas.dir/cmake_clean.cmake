@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/country_atlas.dir/country_atlas.cpp.o"
+  "CMakeFiles/country_atlas.dir/country_atlas.cpp.o.d"
+  "country_atlas"
+  "country_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/country_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_lookup.dir/ip_lookup.cpp.o"
+  "CMakeFiles/ip_lookup.dir/ip_lookup.cpp.o.d"
+  "ip_lookup"
+  "ip_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

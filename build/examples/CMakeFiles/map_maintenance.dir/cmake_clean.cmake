@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_maintenance.dir/map_maintenance.cpp.o"
+  "CMakeFiles/map_maintenance.dir/map_maintenance.cpp.o.d"
+  "map_maintenance"
+  "map_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_report.dir/operator_report.cpp.o"
+  "CMakeFiles/operator_report.dir/operator_report.cpp.o.d"
+  "operator_report"
+  "operator_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

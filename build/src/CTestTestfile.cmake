@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netaddr")
+subdirs("geo")
+subdirs("asdb")
+subdirs("netinfo")
+subdirs("simnet")
+subdirs("cdn")
+subdirs("dns")
+subdirs("dataset")
+subdirs("core")
+subdirs("analysis")
+subdirs("evolution")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/cellspot_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/cellspot_analysis.dir/export.cpp.o"
+  "CMakeFiles/cellspot_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/cellspot_analysis.dir/reports.cpp.o"
+  "CMakeFiles/cellspot_analysis.dir/reports.cpp.o.d"
+  "libcellspot_analysis.a"
+  "libcellspot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asdb/as_database.cpp" "src/asdb/CMakeFiles/cellspot_asdb.dir/as_database.cpp.o" "gcc" "src/asdb/CMakeFiles/cellspot_asdb.dir/as_database.cpp.o.d"
+  "/root/repo/src/asdb/serialization.cpp" "src/asdb/CMakeFiles/cellspot_asdb.dir/serialization.cpp.o" "gcc" "src/asdb/CMakeFiles/cellspot_asdb.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netaddr/CMakeFiles/cellspot_netaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellspot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

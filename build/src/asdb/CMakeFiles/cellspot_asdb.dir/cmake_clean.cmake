@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_asdb.dir/as_database.cpp.o"
+  "CMakeFiles/cellspot_asdb.dir/as_database.cpp.o.d"
+  "CMakeFiles/cellspot_asdb.dir/serialization.cpp.o"
+  "CMakeFiles/cellspot_asdb.dir/serialization.cpp.o.d"
+  "libcellspot_asdb.a"
+  "libcellspot_asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

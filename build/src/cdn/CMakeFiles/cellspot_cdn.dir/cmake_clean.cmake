@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_cdn.dir/beacon_generator.cpp.o"
+  "CMakeFiles/cellspot_cdn.dir/beacon_generator.cpp.o.d"
+  "CMakeFiles/cellspot_cdn.dir/beacon_log.cpp.o"
+  "CMakeFiles/cellspot_cdn.dir/beacon_log.cpp.o.d"
+  "CMakeFiles/cellspot_cdn.dir/demand_generator.cpp.o"
+  "CMakeFiles/cellspot_cdn.dir/demand_generator.cpp.o.d"
+  "CMakeFiles/cellspot_cdn.dir/netinfo_series.cpp.o"
+  "CMakeFiles/cellspot_cdn.dir/netinfo_series.cpp.o.d"
+  "libcellspot_cdn.a"
+  "libcellspot_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

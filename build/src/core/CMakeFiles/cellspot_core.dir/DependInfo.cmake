@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/cellspot_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/cellspot_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/as_pipeline.cpp" "src/core/CMakeFiles/cellspot_core.dir/as_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cellspot_core.dir/as_pipeline.cpp.o.d"
+  "/root/repo/src/core/cellular_map.cpp" "src/core/CMakeFiles/cellspot_core.dir/cellular_map.cpp.o" "gcc" "src/core/CMakeFiles/cellspot_core.dir/cellular_map.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/cellspot_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/cellspot_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/device_baseline.cpp" "src/core/CMakeFiles/cellspot_core.dir/device_baseline.cpp.o" "gcc" "src/core/CMakeFiles/cellspot_core.dir/device_baseline.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/cellspot_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/cellspot_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/cellspot_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/cellspot_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netaddr/CMakeFiles/cellspot_netaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellspot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellspot_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

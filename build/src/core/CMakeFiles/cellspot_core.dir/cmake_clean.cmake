@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_core.dir/aggregation.cpp.o"
+  "CMakeFiles/cellspot_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/cellspot_core.dir/as_pipeline.cpp.o"
+  "CMakeFiles/cellspot_core.dir/as_pipeline.cpp.o.d"
+  "CMakeFiles/cellspot_core.dir/cellular_map.cpp.o"
+  "CMakeFiles/cellspot_core.dir/cellular_map.cpp.o.d"
+  "CMakeFiles/cellspot_core.dir/classifier.cpp.o"
+  "CMakeFiles/cellspot_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/cellspot_core.dir/device_baseline.cpp.o"
+  "CMakeFiles/cellspot_core.dir/device_baseline.cpp.o.d"
+  "CMakeFiles/cellspot_core.dir/validation.cpp.o"
+  "CMakeFiles/cellspot_core.dir/validation.cpp.o.d"
+  "libcellspot_core.a"
+  "libcellspot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

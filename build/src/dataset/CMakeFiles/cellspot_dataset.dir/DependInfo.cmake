@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/beacon_dataset.cpp" "src/dataset/CMakeFiles/cellspot_dataset.dir/beacon_dataset.cpp.o" "gcc" "src/dataset/CMakeFiles/cellspot_dataset.dir/beacon_dataset.cpp.o.d"
+  "/root/repo/src/dataset/demand_dataset.cpp" "src/dataset/CMakeFiles/cellspot_dataset.dir/demand_dataset.cpp.o" "gcc" "src/dataset/CMakeFiles/cellspot_dataset.dir/demand_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netaddr/CMakeFiles/cellspot_netaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

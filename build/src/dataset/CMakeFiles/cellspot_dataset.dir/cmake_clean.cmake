@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_dataset.dir/beacon_dataset.cpp.o"
+  "CMakeFiles/cellspot_dataset.dir/beacon_dataset.cpp.o.d"
+  "CMakeFiles/cellspot_dataset.dir/demand_dataset.cpp.o"
+  "CMakeFiles/cellspot_dataset.dir/demand_dataset.cpp.o.d"
+  "libcellspot_dataset.a"
+  "libcellspot_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

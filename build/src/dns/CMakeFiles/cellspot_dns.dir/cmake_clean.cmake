@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_dns.dir/distance.cpp.o"
+  "CMakeFiles/cellspot_dns.dir/distance.cpp.o.d"
+  "CMakeFiles/cellspot_dns.dir/dns_simulator.cpp.o"
+  "CMakeFiles/cellspot_dns.dir/dns_simulator.cpp.o.d"
+  "CMakeFiles/cellspot_dns.dir/resolver.cpp.o"
+  "CMakeFiles/cellspot_dns.dir/resolver.cpp.o.d"
+  "libcellspot_dns.a"
+  "libcellspot_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

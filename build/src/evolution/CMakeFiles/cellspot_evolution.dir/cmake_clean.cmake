@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_evolution.dir/churn.cpp.o"
+  "CMakeFiles/cellspot_evolution.dir/churn.cpp.o.d"
+  "CMakeFiles/cellspot_evolution.dir/stability.cpp.o"
+  "CMakeFiles/cellspot_evolution.dir/stability.cpp.o.d"
+  "libcellspot_evolution.a"
+  "libcellspot_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

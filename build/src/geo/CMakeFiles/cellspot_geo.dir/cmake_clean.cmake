@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_geo.dir/continent.cpp.o"
+  "CMakeFiles/cellspot_geo.dir/continent.cpp.o.d"
+  "CMakeFiles/cellspot_geo.dir/country.cpp.o"
+  "CMakeFiles/cellspot_geo.dir/country.cpp.o.d"
+  "CMakeFiles/cellspot_geo.dir/location.cpp.o"
+  "CMakeFiles/cellspot_geo.dir/location.cpp.o.d"
+  "libcellspot_geo.a"
+  "libcellspot_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_netaddr.dir/ip_address.cpp.o"
+  "CMakeFiles/cellspot_netaddr.dir/ip_address.cpp.o.d"
+  "CMakeFiles/cellspot_netaddr.dir/prefix.cpp.o"
+  "CMakeFiles/cellspot_netaddr.dir/prefix.cpp.o.d"
+  "libcellspot_netaddr.a"
+  "libcellspot_netaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_netaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

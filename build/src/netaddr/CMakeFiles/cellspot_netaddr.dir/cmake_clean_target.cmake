@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcellspot_netaddr.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netinfo/availability.cpp" "src/netinfo/CMakeFiles/cellspot_netinfo.dir/availability.cpp.o" "gcc" "src/netinfo/CMakeFiles/cellspot_netinfo.dir/availability.cpp.o.d"
+  "/root/repo/src/netinfo/connection.cpp" "src/netinfo/CMakeFiles/cellspot_netinfo.dir/connection.cpp.o" "gcc" "src/netinfo/CMakeFiles/cellspot_netinfo.dir/connection.cpp.o.d"
+  "/root/repo/src/netinfo/noise.cpp" "src/netinfo/CMakeFiles/cellspot_netinfo.dir/noise.cpp.o" "gcc" "src/netinfo/CMakeFiles/cellspot_netinfo.dir/noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cellspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_netinfo.dir/availability.cpp.o"
+  "CMakeFiles/cellspot_netinfo.dir/availability.cpp.o.d"
+  "CMakeFiles/cellspot_netinfo.dir/connection.cpp.o"
+  "CMakeFiles/cellspot_netinfo.dir/connection.cpp.o.d"
+  "CMakeFiles/cellspot_netinfo.dir/noise.cpp.o"
+  "CMakeFiles/cellspot_netinfo.dir/noise.cpp.o.d"
+  "libcellspot_netinfo.a"
+  "libcellspot_netinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_netinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

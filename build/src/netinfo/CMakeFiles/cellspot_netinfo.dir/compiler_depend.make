@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cellspot_netinfo.
+# This may be replaced when dependencies are built.

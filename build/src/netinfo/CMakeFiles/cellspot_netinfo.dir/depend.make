@@ -1,0 +1,2 @@
+# Empty dependencies file for cellspot_netinfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/block_allocator.cpp" "src/simnet/CMakeFiles/cellspot_simnet.dir/block_allocator.cpp.o" "gcc" "src/simnet/CMakeFiles/cellspot_simnet.dir/block_allocator.cpp.o.d"
+  "/root/repo/src/simnet/world.cpp" "src/simnet/CMakeFiles/cellspot_simnet.dir/world.cpp.o" "gcc" "src/simnet/CMakeFiles/cellspot_simnet.dir/world.cpp.o.d"
+  "/root/repo/src/simnet/world_config.cpp" "src/simnet/CMakeFiles/cellspot_simnet.dir/world_config.cpp.o" "gcc" "src/simnet/CMakeFiles/cellspot_simnet.dir/world_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asdb/CMakeFiles/cellspot_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellspot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/netaddr/CMakeFiles/cellspot_netaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/netinfo/CMakeFiles/cellspot_netinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

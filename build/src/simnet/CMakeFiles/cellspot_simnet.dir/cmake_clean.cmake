@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_simnet.dir/block_allocator.cpp.o"
+  "CMakeFiles/cellspot_simnet.dir/block_allocator.cpp.o.d"
+  "CMakeFiles/cellspot_simnet.dir/world.cpp.o"
+  "CMakeFiles/cellspot_simnet.dir/world.cpp.o.d"
+  "CMakeFiles/cellspot_simnet.dir/world_config.cpp.o"
+  "CMakeFiles/cellspot_simnet.dir/world_config.cpp.o.d"
+  "libcellspot_simnet.a"
+  "libcellspot_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

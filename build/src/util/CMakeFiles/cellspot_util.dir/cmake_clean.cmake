@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_util.dir/csv.cpp.o"
+  "CMakeFiles/cellspot_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cellspot_util.dir/date.cpp.o"
+  "CMakeFiles/cellspot_util.dir/date.cpp.o.d"
+  "CMakeFiles/cellspot_util.dir/metrics.cpp.o"
+  "CMakeFiles/cellspot_util.dir/metrics.cpp.o.d"
+  "CMakeFiles/cellspot_util.dir/stats.cpp.o"
+  "CMakeFiles/cellspot_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cellspot_util.dir/strings.cpp.o"
+  "CMakeFiles/cellspot_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cellspot_util.dir/table.cpp.o"
+  "CMakeFiles/cellspot_util.dir/table.cpp.o.d"
+  "libcellspot_util.a"
+  "libcellspot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

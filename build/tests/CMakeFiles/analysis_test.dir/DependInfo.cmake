@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cellspot_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cellspot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/cellspot_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cellspot_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cellspot_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/cellspot_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netinfo/CMakeFiles/cellspot_netinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/cellspot_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/netaddr/CMakeFiles/cellspot_netaddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellspot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cellspot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_consistency_test.dir/cdn_consistency_test.cpp.o"
+  "CMakeFiles/cdn_consistency_test.dir/cdn_consistency_test.cpp.o.d"
+  "cdn_consistency_test"
+  "cdn_consistency_test.pdb"
+  "cdn_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

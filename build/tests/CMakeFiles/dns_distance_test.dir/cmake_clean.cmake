@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_distance_test.dir/dns_distance_test.cpp.o"
+  "CMakeFiles/dns_distance_test.dir/dns_distance_test.cpp.o.d"
+  "dns_distance_test"
+  "dns_distance_test.pdb"
+  "dns_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_location_test.dir/geo_location_test.cpp.o"
+  "CMakeFiles/geo_location_test.dir/geo_location_test.cpp.o.d"
+  "geo_location_test"
+  "geo_location_test.pdb"
+  "geo_location_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_location_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

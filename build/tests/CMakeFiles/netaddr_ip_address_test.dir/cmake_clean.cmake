@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netaddr_ip_address_test.dir/netaddr_ip_address_test.cpp.o"
+  "CMakeFiles/netaddr_ip_address_test.dir/netaddr_ip_address_test.cpp.o.d"
+  "netaddr_ip_address_test"
+  "netaddr_ip_address_test.pdb"
+  "netaddr_ip_address_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netaddr_ip_address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

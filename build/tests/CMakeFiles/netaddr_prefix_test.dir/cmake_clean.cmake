@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netaddr_prefix_test.dir/netaddr_prefix_test.cpp.o"
+  "CMakeFiles/netaddr_prefix_test.dir/netaddr_prefix_test.cpp.o.d"
+  "netaddr_prefix_test"
+  "netaddr_prefix_test.pdb"
+  "netaddr_prefix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netaddr_prefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for netaddr_prefix_trie_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netaddr_property_test.dir/netaddr_property_test.cpp.o"
+  "CMakeFiles/netaddr_property_test.dir/netaddr_property_test.cpp.o.d"
+  "netaddr_property_test"
+  "netaddr_property_test.pdb"
+  "netaddr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netaddr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netinfo_test.dir/netinfo_test.cpp.o"
+  "CMakeFiles/netinfo_test.dir/netinfo_test.cpp.o.d"
+  "netinfo_test"
+  "netinfo_test.pdb"
+  "netinfo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netinfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

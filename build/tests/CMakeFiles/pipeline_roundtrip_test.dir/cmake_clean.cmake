@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_roundtrip_test.dir/pipeline_roundtrip_test.cpp.o"
+  "CMakeFiles/pipeline_roundtrip_test.dir/pipeline_roundtrip_test.cpp.o.d"
+  "pipeline_roundtrip_test"
+  "pipeline_roundtrip_test.pdb"
+  "pipeline_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

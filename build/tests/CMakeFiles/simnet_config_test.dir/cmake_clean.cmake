@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_config_test.dir/simnet_config_test.cpp.o"
+  "CMakeFiles/simnet_config_test.dir/simnet_config_test.cpp.o.d"
+  "simnet_config_test"
+  "simnet_config_test.pdb"
+  "simnet_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

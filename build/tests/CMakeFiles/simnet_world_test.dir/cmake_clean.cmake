@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_world_test.dir/simnet_world_test.cpp.o"
+  "CMakeFiles/simnet_world_test.dir/simnet_world_test.cpp.o.d"
+  "simnet_world_test"
+  "simnet_world_test.pdb"
+  "simnet_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_property_test.dir/util_property_test.cpp.o"
+  "CMakeFiles/util_property_test.dir/util_property_test.cpp.o.d"
+  "util_property_test"
+  "util_property_test.pdb"
+  "util_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

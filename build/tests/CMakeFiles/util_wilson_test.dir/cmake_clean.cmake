@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_wilson_test.dir/util_wilson_test.cpp.o"
+  "CMakeFiles/util_wilson_test.dir/util_wilson_test.cpp.o.d"
+  "util_wilson_test"
+  "util_wilson_test.pdb"
+  "util_wilson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_wilson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellspot_cli.dir/cellspot_cli.cpp.o"
+  "CMakeFiles/cellspot_cli.dir/cellspot_cli.cpp.o.d"
+  "cellspot"
+  "cellspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellspot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
