@@ -6,6 +6,7 @@
 #include <iosfwd>
 
 #include "cellspot/asdb/as_database.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::asdb {
 
@@ -13,7 +14,12 @@ namespace cellspot::asdb {
 void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out);
 
 /// Inverse of SaveAsDatabaseCsv. Throws cellspot::ParseError on bad rows.
+/// The report variant routes row-level faults through the ingest policy
+/// (a missing/garbled header is itself one rejected line; an empty stream
+/// always throws).
 [[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in);
+[[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in,
+                                           util::IngestReport& report);
 
 /// prefix,asn — one announcement per row.
 void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
@@ -21,6 +27,8 @@ void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
 
 /// Inverse of SaveRoutingTableCsv.
 [[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in);
+[[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in,
+                                               util::IngestReport& report);
 
 /// Textual names used in the CSV round trip.
 [[nodiscard]] std::optional<AsClass> AsClassFromName(std::string_view name) noexcept;

@@ -45,32 +45,61 @@ void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out) {
 }
 
 AsDatabase LoadAsDatabaseCsv(std::istream& in) {
+  util::IngestReport strict;
+  return LoadAsDatabaseCsv(in, strict);
+}
+
+AsDatabase LoadAsDatabaseCsv(std::istream& in, util::IngestReport& report) {
   AsDatabase db;
-  const auto rows = util::ReadCsv(in);
-  if (rows.empty() || util::JoinCsvLine(rows[0]) != kAsDbHeader) {
-    throw ParseError("AS database CSV: missing or wrong header");
-  }
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != 6) throw ParseError("AS database CSV: bad column count");
+  bool saw_header = false;
+  util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
+    const auto row = util::ParseCsvLine(line);
+    if (!saw_header) {
+      saw_header = true;  // consumed even when wrong, so data rows still parse
+      if (util::JoinCsvLine(row) != kAsDbHeader) {
+        throw ParseError("AS database CSV: missing or wrong header",
+                         ParseErrorCategory::kBadHeader);
+      }
+      return;
+    }
+    if (row.size() != 6) {
+      throw ParseError("AS database CSV: expected 6 columns, got " +
+                           std::to_string(row.size()),
+                       row.size() < 6 ? ParseErrorCategory::kTruncatedLine
+                                      : ParseErrorCategory::kBadFieldCount);
+    }
     AsRecord record;
     const auto asn = util::ParseUint(row[0]);
     if (!asn || *asn == 0 || *asn > 0xFFFFFFFFULL) {
-      throw ParseError("AS database CSV: bad asn '" + row[0] + "'");
+      throw ParseError("AS database CSV: bad asn '" + row[0] + "'",
+                       ParseErrorCategory::kBadNumber);
     }
     record.asn = static_cast<AsNumber>(*asn);
     record.name = row[1];
     record.country_iso = row[2];
     const auto continent = geo::ContinentFromCode(row[3]);
-    if (!continent) throw ParseError("AS database CSV: bad continent '" + row[3] + "'");
+    if (!continent) {
+      throw ParseError("AS database CSV: bad continent '" + row[3] + "'",
+                       ParseErrorCategory::kBadEnumValue);
+    }
     record.continent = *continent;
     const auto cls = AsClassFromName(row[4]);
-    if (!cls) throw ParseError("AS database CSV: bad class '" + row[4] + "'");
+    if (!cls) {
+      throw ParseError("AS database CSV: bad class '" + row[4] + "'",
+                       ParseErrorCategory::kBadEnumValue);
+    }
     record.cls = *cls;
     const auto kind = OperatorKindFromName(row[5]);
-    if (!kind) throw ParseError("AS database CSV: bad kind '" + row[5] + "'");
+    if (!kind) {
+      throw ParseError("AS database CSV: bad kind '" + row[5] + "'",
+                       ParseErrorCategory::kBadEnumValue);
+    }
     record.kind = *kind;
     db.Upsert(std::move(record));
+  });
+  if (!saw_header) {
+    throw ParseError("AS database CSV: missing or wrong header",
+                     ParseErrorCategory::kBadHeader);
   }
   return db;
 }
@@ -87,19 +116,39 @@ void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
 }
 
 RoutingTable LoadRoutingTableCsv(std::istream& in) {
+  util::IngestReport strict;
+  return LoadRoutingTableCsv(in, strict);
+}
+
+RoutingTable LoadRoutingTableCsv(std::istream& in, util::IngestReport& report) {
   RoutingTable rib;
-  const auto rows = util::ReadCsv(in);
-  if (rows.empty() || util::JoinCsvLine(rows[0]) != kRibHeader) {
-    throw ParseError("RIB CSV: missing or wrong header");
-  }
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != 2) throw ParseError("RIB CSV: bad column count");
+  bool saw_header = false;
+  util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
+    const auto row = util::ParseCsvLine(line);
+    if (!saw_header) {
+      saw_header = true;
+      if (util::JoinCsvLine(row) != kRibHeader) {
+        throw ParseError("RIB CSV: missing or wrong header",
+                         ParseErrorCategory::kBadHeader);
+      }
+      return;
+    }
+    if (row.size() != 2) {
+      throw ParseError("RIB CSV: expected 2 columns, got " +
+                           std::to_string(row.size()),
+                       row.size() < 2 ? ParseErrorCategory::kTruncatedLine
+                                      : ParseErrorCategory::kBadFieldCount);
+    }
     const auto asn = util::ParseUint(row[1]);
     if (!asn || *asn == 0 || *asn > 0xFFFFFFFFULL) {
-      throw ParseError("RIB CSV: bad asn '" + row[1] + "'");
+      throw ParseError("RIB CSV: bad asn '" + row[1] + "'",
+                       ParseErrorCategory::kBadNumber);
     }
     rib.Announce(netaddr::Prefix::Parse(row[0]), static_cast<AsNumber>(*asn));
+  });
+  if (!saw_header) {
+    throw ParseError("RIB CSV: missing or wrong header",
+                     ParseErrorCategory::kBadHeader);
   }
   return rib;
 }

@@ -23,24 +23,33 @@ BeaconHit ParseBeaconLogLine(std::string_view line) {
   const auto fields = util::Split(line, ',');
   if (fields.size() != 4) {
     throw ParseError("beacon log: expected 4 fields, got " +
-                     std::to_string(fields.size()));
+                         std::to_string(fields.size()),
+                     fields.size() < 4 ? ParseErrorCategory::kTruncatedLine
+                                       : ParseErrorCategory::kBadFieldCount);
   }
   BeaconHit hit;
   const auto day = util::ParseUint(fields[0]);
   if (!day || *day >= static_cast<std::uint64_t>(util::kBeaconWindowDays)) {
-    throw ParseError("beacon log: bad day '" + std::string(fields[0]) + "'");
+    throw ParseError("beacon log: bad day '" + std::string(fields[0]) + "'",
+                     ParseErrorCategory::kBadNumber);
   }
   hit.day = static_cast<std::int32_t>(*day);
   hit.client_ip = netaddr::IpAddress::Parse(fields[1]);
   const auto browser = netinfo::BrowserFromName(fields[2]);
-  if (!browser) throw ParseError("beacon log: bad browser '" + std::string(fields[2]) + "'");
+  if (!browser) {
+    throw ParseError("beacon log: bad browser '" + std::string(fields[2]) + "'",
+                     ParseErrorCategory::kBadEnumValue);
+  }
   hit.browser = *browser;
   if (fields[3] == "-") {
     hit.has_netinfo = false;
     hit.connection = netinfo::ConnectionType::kUnknown;
   } else {
     const auto conn = netinfo::ConnectionTypeFromName(fields[3]);
-    if (!conn) throw ParseError("beacon log: bad connection '" + std::string(fields[3]) + "'");
+    if (!conn) {
+      throw ParseError("beacon log: bad connection '" + std::string(fields[3]) + "'",
+                       ParseErrorCategory::kBadEnumValue);
+    }
     hit.has_netinfo = true;
     hit.connection = *conn;
   }
@@ -64,13 +73,16 @@ void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit) {
 }
 
 dataset::BeaconDataset AggregateBeaconLog(std::istream& in) {
+  util::IngestReport strict;
+  return AggregateBeaconLog(in, strict);
+}
+
+dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
+                                          util::IngestReport& report) {
   dataset::BeaconDataset out;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
+  util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
     AccumulateHit(out, ParseBeaconLogLine(line));
-  }
+  });
   return out;
 }
 

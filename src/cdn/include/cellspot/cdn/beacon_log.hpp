@@ -11,6 +11,7 @@
 
 #include "cellspot/cdn/beacon_generator.hpp"
 #include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::cdn {
 
@@ -27,6 +28,13 @@ namespace cellspot::cdn {
 void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit);
 
 /// Read a whole log stream into a dataset; blank lines are skipped.
+/// Throws on the first malformed line (strict ingestion).
 [[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(std::istream& in);
+
+/// Fault-tolerant variant: malformed lines are routed through `report`
+/// per its policy (throw / skip-and-count / quarantine) and the error
+/// budget is enforced at end of stream.
+[[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
+                                                        util::IngestReport& report);
 
 }  // namespace cellspot::cdn

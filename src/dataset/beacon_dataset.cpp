@@ -70,16 +70,33 @@ void BeaconDataset::SaveCsv(std::ostream& out) const {
 }
 
 BeaconDataset BeaconDataset::LoadCsv(std::istream& in) {
+  util::IngestReport strict;
+  return LoadCsv(in, strict);
+}
+
+BeaconDataset BeaconDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
   BeaconDataset out;
-  const auto rows = util::ReadCsv(in);
-  for (std::size_t i = 1; i < rows.size(); ++i) {  // row 0 is the header
-    const auto& row = rows[i];
-    if (row.size() != 8) throw ParseError("BeaconDataset: bad column count");
+  bool saw_header = false;
+  util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
+    const auto row = util::ParseCsvLine(line);
+    if (!saw_header) {  // the first non-blank line is the header
+      saw_header = true;
+      return;
+    }
+    if (row.size() != 8) {
+      throw ParseError("BeaconDataset: expected 8 columns, got " +
+                           std::to_string(row.size()),
+                       row.size() < 8 ? ParseErrorCategory::kTruncatedLine
+                                      : ParseErrorCategory::kBadFieldCount);
+    }
     BeaconBlockStats s;
     const auto block = netaddr::Prefix::Parse(row[0]);
     auto field = [&](std::size_t idx) {
       const auto v = util::ParseUint(row[idx]);
-      if (!v) throw ParseError("BeaconDataset: bad count '" + row[idx] + "'");
+      if (!v) {
+        throw ParseError("BeaconDataset: bad count '" + row[idx] + "'",
+                         ParseErrorCategory::kBadNumber);
+      }
       return *v;
     };
     s.hits = field(1);
@@ -89,8 +106,12 @@ BeaconDataset BeaconDataset::LoadCsv(std::istream& in) {
     s.ethernet_labels = field(5);
     s.other_labels = field(6);
     s.mobile_browser_hits = field(7);
-    out.Add(block, s);
-  }
+    try {
+      out.Add(block, s);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(e.what(), ParseErrorCategory::kInconsistentRecord);
+    }
+  });
   return out;
 }
 

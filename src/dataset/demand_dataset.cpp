@@ -6,6 +6,7 @@
 
 #include "cellspot/util/csv.hpp"
 #include "cellspot/util/error.hpp"
+#include "cellspot/util/ingest.hpp"
 #include "cellspot/util/strings.hpp"
 
 namespace cellspot::dataset {
@@ -55,15 +56,37 @@ void DemandDataset::SaveCsv(std::ostream& out) const {
 }
 
 DemandDataset DemandDataset::LoadCsv(std::istream& in) {
+  util::IngestReport strict;
+  return LoadCsv(in, strict);
+}
+
+DemandDataset DemandDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
   DemandDataset out;
-  const auto rows = util::ReadCsv(in);
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != 2) throw ParseError("DemandDataset: bad column count");
+  bool saw_header = false;
+  util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
+    const auto row = util::ParseCsvLine(line);
+    if (!saw_header) {
+      saw_header = true;
+      return;
+    }
+    if (row.size() != 2) {
+      throw ParseError("DemandDataset: expected 2 columns, got " +
+                           std::to_string(row.size()),
+                       row.size() < 2 ? ParseErrorCategory::kTruncatedLine
+                                      : ParseErrorCategory::kBadFieldCount);
+    }
     const auto du = util::ParseDouble(row[1]);
-    if (!du) throw ParseError("DemandDataset: bad demand '" + row[1] + "'");
-    out.Add(netaddr::Prefix::Parse(row[0]), *du);
-  }
+    if (!du) {
+      throw ParseError("DemandDataset: bad demand '" + row[1] + "'",
+                       ParseErrorCategory::kBadNumber);
+    }
+    const auto block = netaddr::Prefix::Parse(row[0]);
+    try {
+      out.Add(block, *du);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(e.what(), ParseErrorCategory::kInconsistentRecord);
+    }
+  });
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "cellspot/netaddr/prefix.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::dataset {
 
@@ -67,9 +68,13 @@ class BeaconDataset {
   /// different servers combine associatively).
   void Merge(const BeaconDataset& other);
 
-  /// CSV persistence: header + one row per block.
+  /// CSV persistence: header + one row per block. The strict LoadCsv
+  /// throws on the first malformed row; the report variant routes faults
+  /// through the report's ingest policy.
   void SaveCsv(std::ostream& out) const;
   [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in);
+  [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in,
+                                             util::IngestReport& report);
 
  private:
   std::unordered_map<netaddr::Prefix, BeaconBlockStats> blocks_;

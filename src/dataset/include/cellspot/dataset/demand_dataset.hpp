@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "cellspot/netaddr/prefix.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::dataset {
 
@@ -39,9 +40,12 @@ class DemandDataset {
   /// Merge another (un-normalised) dataset into this one.
   void Merge(const DemandDataset& other);
 
-  /// CSV persistence.
+  /// CSV persistence. The strict LoadCsv throws on the first malformed
+  /// row; the report variant routes faults through the ingest policy.
   void SaveCsv(std::ostream& out) const;
   [[nodiscard]] static DemandDataset LoadCsv(std::istream& in);
+  [[nodiscard]] static DemandDataset LoadCsv(std::istream& in,
+                                             util::IngestReport& report);
 
  private:
   std::unordered_map<netaddr::Prefix, double> blocks_;

@@ -105,7 +105,10 @@ std::optional<IpAddress> IpAddress::TryParse(std::string_view text) noexcept {
 
 IpAddress IpAddress::Parse(std::string_view text) {
   auto parsed = TryParse(text);
-  if (!parsed) throw cellspot::ParseError("bad IP address: '" + std::string(text) + "'");
+  if (!parsed) {
+    throw cellspot::ParseError("bad IP address: '" + std::string(text) + "'",
+                               cellspot::ParseErrorCategory::kBadAddress);
+  }
   return *parsed;
 }
 

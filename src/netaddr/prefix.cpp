@@ -36,7 +36,10 @@ std::optional<Prefix> Prefix::TryParse(std::string_view text) noexcept {
 
 Prefix Prefix::Parse(std::string_view text) {
   auto parsed = TryParse(text);
-  if (!parsed) throw cellspot::ParseError("bad prefix: '" + std::string(text) + "'");
+  if (!parsed) {
+    throw cellspot::ParseError("bad prefix: '" + std::string(text) + "'",
+                               cellspot::ParseErrorCategory::kBadAddress);
+  }
   return *parsed;
 }
 

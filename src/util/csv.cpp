@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "cellspot/util/error.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::util {
 
@@ -37,7 +38,10 @@ std::vector<std::string> ParseCsvLine(std::string_view line) {
     }
     ++i;
   }
-  if (in_quotes) throw cellspot::ParseError("CSV: unterminated quoted field");
+  if (in_quotes) {
+    throw cellspot::ParseError("CSV: unterminated quoted field",
+                               cellspot::ParseErrorCategory::kUnterminatedQuote);
+  }
   fields.push_back(std::move(current));
   return fields;
 }
@@ -79,6 +83,14 @@ std::vector<std::vector<std::string>> ReadCsv(std::istream& in) {
     if (line.empty()) continue;
     rows.push_back(ParseCsvLine(line));
   }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& in, IngestReport& report) {
+  std::vector<std::vector<std::string>> rows;
+  IngestLines(in, report, [&](std::size_t, std::string_view line) {
+    rows.push_back(ParseCsvLine(line));
+  });
   return rows;
 }
 

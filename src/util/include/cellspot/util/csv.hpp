@@ -39,4 +39,12 @@ class CsvWriter {
 /// Whole-file CSV reader; returns rows of fields, skipping blank lines.
 [[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(std::istream& in);
 
+class IngestReport;
+
+/// Fault-tolerant variant: malformed lines (unterminated quotes) are
+/// routed through `report` per its policy instead of unconditionally
+/// throwing; rejected lines are not returned.
+[[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(std::istream& in,
+                                                            IngestReport& report);
+
 }  // namespace cellspot::util

@@ -1,0 +1,127 @@
+// Fault-tolerant ingestion: skip-and-account semantics for every loader.
+//
+// At CDN scale raw RUM logs and demand aggregates are never clean; one
+// corrupt record out of millions must not abort a whole run. Loaders take
+// an IngestReport configured with a policy:
+//
+//   kStrict     — first malformed line throws ParseError annotated with
+//                 its line number (the historical behavior, now with
+//                 context).
+//   kSkip       — malformed lines are counted per category and dropped.
+//   kQuarantine — as kSkip, and every rejected line is written verbatim
+//                 to a quarantine stream for later replay.
+//
+// Even in lenient modes an error *budget* applies: when the fraction of
+// rejected lines exceeds IngestLimits::max_error_rate, the load fails
+// with IngestBudgetError — silently eating half a log is worse than
+// failing loudly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::util {
+
+enum class IngestPolicy : std::uint8_t { kStrict = 0, kSkip, kQuarantine };
+
+[[nodiscard]] std::string_view IngestPolicyName(IngestPolicy p) noexcept;
+
+/// Knobs shared by all lenient loads.
+struct IngestLimits {
+  /// Maximum tolerated rejected/(accepted+rejected) fraction. The default
+  /// accepts anything; callers that care set a real budget (e.g. 0.01).
+  double max_error_rate = 1.0;
+
+  /// How many exemplar lines to keep per category for diagnostics.
+  std::size_t max_exemplars = 5;
+};
+
+/// Thrown when a lenient load rejects more than the configured budget.
+class IngestBudgetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One retained rejected line (first max_exemplars per category).
+struct IngestExemplar {
+  std::size_t line_no = 0;   // 1-based within the source stream
+  std::string line;          // the raw line, verbatim
+  std::string reason;        // the ParseError message
+};
+
+/// Accumulates per-category rejection counters and exemplars across one or
+/// more loads, enforces the error budget, and optionally writes rejected
+/// lines verbatim to a quarantine stream.
+class IngestReport {
+ public:
+  /// Default report: strict policy, so retrofitted loaders keep their
+  /// historical throw-on-first-fault contract.
+  IngestReport() = default;
+
+  explicit IngestReport(IngestPolicy policy, IngestLimits limits = {},
+                        std::ostream* quarantine = nullptr)
+      : policy_(policy), limits_(limits), quarantine_(quarantine) {}
+
+  [[nodiscard]] IngestPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const IngestLimits& limits() const noexcept { return limits_; }
+
+  /// Count one successfully parsed line.
+  void RecordOk() noexcept { ++ok_; }
+
+  /// Account one rejected raw line. Under kStrict this rethrows `err`
+  /// annotated with `line_no`; under kQuarantine the raw line is written
+  /// verbatim to the quarantine stream first.
+  void RecordError(const ParseError& err, std::string_view raw_line,
+                   std::size_t line_no);
+
+  /// Throws IngestBudgetError when the rejected fraction exceeds the
+  /// budget. Loaders call this at end of stream; callers sharing one
+  /// report across files get a cumulative check per file.
+  void CheckBudget() const;
+
+  [[nodiscard]] std::uint64_t lines_ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint64_t lines_rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t lines_seen() const noexcept { return ok_ + rejected_; }
+
+  /// Rejected fraction over all non-blank lines seen so far (0 when empty).
+  [[nodiscard]] double error_rate() const noexcept;
+
+  [[nodiscard]] std::uint64_t count(ParseErrorCategory c) const noexcept {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const std::vector<IngestExemplar>& exemplars(
+      ParseErrorCategory c) const noexcept {
+    return exemplars_[static_cast<std::size_t>(c)];
+  }
+
+  /// Render the per-category summary table (categories with rejects only,
+  /// plus a totals line). Empty-ish but valid when nothing was rejected.
+  [[nodiscard]] std::string RenderTable() const;
+
+ private:
+  IngestPolicy policy_ = IngestPolicy::kStrict;
+  IngestLimits limits_;
+  std::ostream* quarantine_ = nullptr;
+  std::uint64_t ok_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::array<std::uint64_t, kParseErrorCategoryCount> counts_{};
+  std::array<std::vector<IngestExemplar>, kParseErrorCategoryCount> exemplars_;
+};
+
+/// Drive `fn` over every non-blank line of `in` (CRs stripped, 1-based
+/// line numbers). A ParseError thrown by `fn` is routed to
+/// `report.RecordError` — which rethrows under kStrict — and the stream
+/// continues under lenient policies. Ends with `report.CheckBudget()`.
+/// Other exception types propagate unchanged: they indicate caller bugs,
+/// not dirty input.
+void IngestLines(std::istream& in, IngestReport& report,
+                 const std::function<void(std::size_t line_no, std::string_view line)>& fn);
+
+}  // namespace cellspot::util

@@ -1,0 +1,107 @@
+#include "cellspot/util/ingest.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "cellspot/util/strings.hpp"
+#include "cellspot/util/table.hpp"
+
+namespace cellspot {
+
+std::string_view ParseErrorCategoryName(ParseErrorCategory c) noexcept {
+  switch (c) {
+    case ParseErrorCategory::kTruncatedLine: return "truncated-line";
+    case ParseErrorCategory::kBadFieldCount: return "bad-field-count";
+    case ParseErrorCategory::kBadAddress: return "bad-address";
+    case ParseErrorCategory::kBadNumber: return "bad-number";
+    case ParseErrorCategory::kBadEnumValue: return "bad-enum-value";
+    case ParseErrorCategory::kDuplicateKey: return "duplicate-key";
+    case ParseErrorCategory::kUnterminatedQuote: return "unterminated-quote";
+    case ParseErrorCategory::kBadHeader: return "bad-header";
+    case ParseErrorCategory::kInconsistentRecord: return "inconsistent-record";
+    case ParseErrorCategory::kOther: return "other";
+  }
+  return "other";
+}
+
+}  // namespace cellspot
+
+namespace cellspot::util {
+
+std::string_view IngestPolicyName(IngestPolicy p) noexcept {
+  switch (p) {
+    case IngestPolicy::kStrict: return "strict";
+    case IngestPolicy::kSkip: return "skip";
+    case IngestPolicy::kQuarantine: return "quarantine";
+  }
+  return "strict";
+}
+
+void IngestReport::RecordError(const ParseError& err, std::string_view raw_line,
+                               std::size_t line_no) {
+  if (policy_ == IngestPolicy::kStrict) {
+    if (err.line_number()) throw err;
+    throw ParseError(err.what(), err.category(), line_no);
+  }
+  ++rejected_;
+  const auto idx = static_cast<std::size_t>(err.category());
+  ++counts_[idx];
+  if (exemplars_[idx].size() < limits_.max_exemplars) {
+    exemplars_[idx].push_back(
+        IngestExemplar{line_no, std::string(raw_line), err.what()});
+  }
+  if (policy_ == IngestPolicy::kQuarantine && quarantine_ != nullptr) {
+    *quarantine_ << raw_line << '\n';
+  }
+}
+
+double IngestReport::error_rate() const noexcept {
+  const std::uint64_t seen = ok_ + rejected_;
+  return seen > 0 ? static_cast<double>(rejected_) / static_cast<double>(seen) : 0.0;
+}
+
+void IngestReport::CheckBudget() const {
+  if (rejected_ == 0 || error_rate() <= limits_.max_error_rate) return;
+  throw IngestBudgetError(
+      "ingest error budget exceeded: rejected " + std::to_string(rejected_) + " of " +
+      std::to_string(lines_seen()) + " lines (" + FormatPercent(error_rate(), 2) +
+      " > budget " + FormatPercent(limits_.max_error_rate, 2) + ")");
+}
+
+std::string IngestReport::RenderTable() const {
+  TextTable t({"Category", "Rejected", "First at", "Example"});
+  for (std::size_t i = 0; i < kParseErrorCategoryCount; ++i) {
+    if (counts_[i] == 0) continue;
+    const auto cat = static_cast<ParseErrorCategory>(i);
+    const auto& ex = exemplars_[i];
+    t.AddRow({std::string(ParseErrorCategoryName(cat)),
+              FormatWithCommas(counts_[i]),
+              ex.empty() ? "" : "line " + std::to_string(ex.front().line_no),
+              ex.empty() ? "" : ex.front().reason});
+  }
+  t.AddRow({"total", FormatWithCommas(rejected_), "",
+            "of " + FormatWithCommas(lines_seen()) + " lines (" +
+                FormatPercent(error_rate(), 3) + ")"});
+  return t.RenderWithTitle("Ingest summary (" + std::string(IngestPolicyName(policy_)) +
+                           ")");
+}
+
+void IngestLines(std::istream& in, IngestReport& report,
+                 const std::function<void(std::size_t, std::string_view)>& fn) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    try {
+      fn(line_no, line);
+      report.RecordOk();
+    } catch (const ParseError& e) {
+      report.RecordError(e, line, line_no);
+    }
+  }
+  report.CheckBudget();
+}
+
+}  // namespace cellspot::util

@@ -1,0 +1,159 @@
+#include "cellspot/faultsim/stream_corruptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::faultsim {
+namespace {
+
+constexpr std::string_view kLine = "3,198.51.100.7,chrome-mobile,cellular";
+
+std::string MakeStream(std::size_t lines) {
+  std::string s;
+  for (std::size_t i = 0; i < lines; ++i) {
+    s += kLine;
+    s += '\n';
+  }
+  return s;
+}
+
+std::string CorruptString(const FaultMix& mix, std::uint64_t seed, const std::string& in,
+                          bool preserve = false, CorruptionStats* stats = nullptr) {
+  StreamCorruptor corruptor(mix, seed, preserve);
+  std::istringstream is(in);
+  std::ostringstream os;
+  const CorruptionStats pass = corruptor.Corrupt(is, os);
+  if (stats != nullptr) *stats = pass;
+  return os.str();
+}
+
+TEST(StreamCorruptor, ZeroMixIsIdentity) {
+  const std::string in = MakeStream(100);
+  CorruptionStats stats;
+  EXPECT_EQ(CorruptString(FaultMix{}, 42, in, false, &stats), in);
+  EXPECT_EQ(stats.lines_in, 100u);
+  EXPECT_EQ(stats.lines_out, 100u);
+  EXPECT_EQ(stats.total_faults(), 0u);
+}
+
+TEST(StreamCorruptor, DeterministicForSeed) {
+  const std::string in = MakeStream(500);
+  const FaultMix mix = FaultMix::Destructive(0.05);
+  EXPECT_EQ(CorruptString(mix, 7, in), CorruptString(mix, 7, in));
+  EXPECT_NE(CorruptString(mix, 7, in), CorruptString(mix, 8, in));
+}
+
+TEST(StreamCorruptor, RejectsOverfullMix) {
+  FaultMix mix;
+  mix.truncate = 0.7;
+  mix.garble_bytes = 0.6;
+  EXPECT_THROW(StreamCorruptor(mix, 1), std::invalid_argument);
+  FaultMix negative;
+  negative.blank_line = -0.1;
+  EXPECT_THROW(StreamCorruptor(negative, 1), std::invalid_argument);
+}
+
+TEST(StreamCorruptor, TruncateShortensTheLine) {
+  FaultMix mix;
+  mix.truncate = 1.0;
+  StreamCorruptor corruptor(mix, 3);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LT(out[0].size(), kLine.size());
+  EXPECT_FALSE(out[0].empty());
+  EXPECT_EQ(out[0], kLine.substr(0, out[0].size()));
+}
+
+TEST(StreamCorruptor, DropFieldRemovesOneField) {
+  FaultMix mix;
+  mix.drop_field = 1.0;
+  StreamCorruptor corruptor(mix, 3);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(util::Split(out[0], ',').size(), 3u);
+}
+
+TEST(StreamCorruptor, GarblePreservesLengthAndChangesContent) {
+  FaultMix mix;
+  mix.garble_bytes = 1.0;
+  StreamCorruptor corruptor(mix, 3);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), kLine.size());
+  EXPECT_NE(out[0], kLine);
+}
+
+TEST(StreamCorruptor, ShuffleRotatesFields) {
+  FaultMix mix;
+  mix.shuffle_columns = 1.0;
+  StreamCorruptor corruptor(mix, 3);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto fields = util::Split(out[0], ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_NE(fields[0], "3");  // a rotation moves every field
+}
+
+TEST(StreamCorruptor, DuplicateEmitsTheLineTwice) {
+  FaultMix mix;
+  mix.duplicate_row = 1.0;
+  StreamCorruptor corruptor(mix, 3);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], kLine);
+  EXPECT_EQ(out[1], kLine);
+}
+
+TEST(StreamCorruptor, BlankReplacesWithEmptyOrWhitespace) {
+  FaultMix mix;
+  mix.blank_line = 1.0;
+  StreamCorruptor corruptor(mix, 3);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty() || out[0].find_first_not_of(" \t") == std::string::npos);
+}
+
+TEST(StreamCorruptor, PreserveOriginalsKeepsTheRecord) {
+  FaultMix mix;
+  mix.garble_bytes = 1.0;
+  StreamCorruptor corruptor(mix, 3, /*preserve_originals=*/true);
+  std::vector<std::string> out;
+  corruptor.CorruptLine(kLine, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0], kLine);
+  EXPECT_EQ(out[1], kLine);
+}
+
+TEST(StreamCorruptor, FaultRateTracksTheMix) {
+  const std::string in = MakeStream(10000);
+  CorruptionStats stats;
+  (void)CorruptString(FaultMix::Destructive(0.01), 11, in, false, &stats);
+  EXPECT_EQ(stats.lines_in, 10000u);
+  // ~100 expected; a generous window keeps the test deterministic-robust.
+  EXPECT_GT(stats.total_faults(), 40u);
+  EXPECT_LT(stats.total_faults(), 250u);
+}
+
+TEST(StreamCorruptor, StatsAccumulateAcrossPasses) {
+  StreamCorruptor corruptor(FaultMix::Destructive(0.5), 5);
+  for (int pass = 0; pass < 2; ++pass) {
+    std::istringstream is(MakeStream(100));
+    std::ostringstream os;
+    (void)corruptor.Corrupt(is, os);
+  }
+  EXPECT_EQ(corruptor.stats().lines_in, 200u);
+}
+
+}  // namespace
+}  // namespace cellspot::faultsim

@@ -1,0 +1,116 @@
+// Round-trip properties: formatting followed by parsing is the identity,
+// for the CSV line codec and the beacon log line codec, over seeded
+// randomized inputs plus hand-picked edge cases.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cellspot/cdn/beacon_generator.hpp"
+#include "cellspot/cdn/beacon_log.hpp"
+#include "cellspot/netaddr/ip_address.hpp"
+#include "cellspot/netinfo/connection.hpp"
+#include "cellspot/util/csv.hpp"
+#include "cellspot/util/date.hpp"
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot {
+namespace {
+
+// ---- CSV line codec --------------------------------------------------------
+
+// Alphabet that exercises quoting: commas, double quotes, spaces, and
+// plain characters. Newlines are excluded — the codec is line-based.
+std::string RandomField(util::Rng& rng) {
+  static constexpr std::string_view kAlphabet = "ab,\"z 9.-_";
+  const std::size_t len = rng.UniformInt(0, 8);  // empty fields included
+  std::string field;
+  for (std::size_t i = 0; i < len; ++i) {
+    field += kAlphabet[rng.UniformInt(0, kAlphabet.size() - 1)];
+  }
+  return field;
+}
+
+TEST(CsvRoundTrip, RandomizedFieldsSurviveJoinThenParse) {
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::string> fields;
+    const std::size_t n = rng.UniformInt(1, 8);
+    for (std::size_t i = 0; i < n; ++i) fields.push_back(RandomField(rng));
+    const std::string line = util::JoinCsvLine(fields);
+    EXPECT_EQ(util::ParseCsvLine(line), fields) << "line: " << line;
+  }
+}
+
+TEST(CsvRoundTrip, EdgeCases) {
+  const std::vector<std::vector<std::string>> cases = {
+      {""},                       // single empty field
+      {"", ""},                   // two empty fields
+      {"a,b", "c"},               // embedded comma
+      {"say \"hi\""},             // embedded quotes
+      {"\""},                     // a lone quote
+      {" leading", "trailing "},  // whitespace preserved
+      {",", "\",\""},             // quoting metacharacters together
+  };
+  for (const auto& fields : cases) {
+    EXPECT_EQ(util::ParseCsvLine(util::JoinCsvLine(fields)), fields);
+  }
+}
+
+// ---- beacon log line codec -------------------------------------------------
+
+cdn::BeaconHit RandomHit(util::Rng& rng) {
+  cdn::BeaconHit hit;
+  hit.day = static_cast<std::int32_t>(
+      rng.UniformInt(0, static_cast<std::uint64_t>(util::kBeaconWindowDays) - 1));
+  if (rng.Chance(0.5)) {
+    hit.client_ip =
+        netaddr::IpAddress::V4(static_cast<std::uint32_t>(rng.UniformInt(0, 0xFFFFFFFFULL)));
+  } else {
+    std::array<std::uint8_t, 16> bytes;
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    hit.client_ip = netaddr::IpAddress::V6(bytes);
+  }
+  const auto browsers = netinfo::AllBrowsers();
+  hit.browser = browsers[rng.UniformInt(0, browsers.size() - 1)];
+  hit.has_netinfo = rng.Chance(0.7);
+  // The log writes "-" for hits without API data, so connection only
+  // round-trips when has_netinfo; it must come back kUnknown otherwise.
+  hit.connection =
+      hit.has_netinfo
+          ? static_cast<netinfo::ConnectionType>(
+                rng.UniformInt(0, netinfo::kConnectionTypeCount - 1))
+          : netinfo::ConnectionType::kUnknown;
+  return hit;
+}
+
+TEST(BeaconLogRoundTrip, RandomizedHitsSurviveFormatThenParse) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const cdn::BeaconHit hit = RandomHit(rng);
+    const std::string line = cdn::FormatBeaconLogLine(hit);
+    const cdn::BeaconHit parsed = cdn::ParseBeaconLogLine(line);
+    EXPECT_EQ(parsed.day, hit.day) << line;
+    EXPECT_EQ(parsed.client_ip, hit.client_ip) << line;
+    EXPECT_EQ(parsed.browser, hit.browser) << line;
+    EXPECT_EQ(parsed.has_netinfo, hit.has_netinfo) << line;
+    EXPECT_EQ(parsed.connection, hit.connection) << line;
+  }
+}
+
+TEST(BeaconLogRoundTrip, NoNetinfoFormatsAsDash) {
+  cdn::BeaconHit hit;
+  hit.client_ip = netaddr::IpAddress::Parse("198.51.100.7");
+  hit.day = 3;
+  hit.has_netinfo = false;
+  hit.connection = netinfo::ConnectionType::kWifi;  // stale value, not logged
+  const std::string line = cdn::FormatBeaconLogLine(hit);
+  EXPECT_EQ(line, "3,198.51.100.7,chrome-mobile,-");
+  const cdn::BeaconHit parsed = cdn::ParseBeaconLogLine(line);
+  EXPECT_FALSE(parsed.has_netinfo);
+  EXPECT_EQ(parsed.connection, netinfo::ConnectionType::kUnknown);
+}
+
+}  // namespace
+}  // namespace cellspot

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -30,6 +31,7 @@
 #include "cellspot/core/validation.hpp"
 #include "cellspot/simnet/world.hpp"
 #include "cellspot/util/csv.hpp"
+#include "cellspot/util/ingest.hpp"
 #include "cellspot/util/strings.hpp"
 #include "cellspot/util/table.hpp"
 
@@ -37,7 +39,24 @@ namespace {
 
 using namespace cellspot;
 
-/// Minimal "--flag value" option parser.
+// Exit codes. Distinct values for strict parse failures vs a blown error
+// budget so batch drivers can tell "one bad line" from "half the log is
+// garbage" without scraping stderr.
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParseFailure = 3;
+constexpr int kExitBudgetExceeded = 4;
+
+/// Thrown by Options getters on a malformed value; mapped to kExitUsage.
+class OptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal "--flag value" option parser. A token after a flag is consumed
+/// as that flag's value unless it is itself a "--flag"; negative numbers
+/// ("--threshold -0.5") therefore parse as values, not flags.
 class Options {
  public:
   Options(int argc, char** argv, int first) {
@@ -49,7 +68,7 @@ class Options {
         return;
       }
       arg = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (i + 1 < argc && !IsFlag(argv[i + 1])) {
         values_[arg] = argv[++i];
       } else {
         values_[arg] = "";  // boolean flag
@@ -69,23 +88,38 @@ class Options {
     return Get(key).value_or(std::move(fallback));
   }
 
+  /// Absent keys use the fallback; a present-but-malformed value is an
+  /// error (silently substituting the default would mask typos like
+  /// "--threshold abc").
   [[nodiscard]] double GetDouble(const std::string& key, double fallback) const {
     const auto v = Get(key);
     if (!v) return fallback;
     const auto parsed = util::ParseDouble(*v);
-    return parsed ? *parsed : fallback;
+    if (!parsed) {
+      throw OptionError("--" + key + ": expected a number, got '" + *v + "'");
+    }
+    return *parsed;
   }
 
   [[nodiscard]] std::uint64_t GetUint(const std::string& key, std::uint64_t fallback) const {
     const auto v = Get(key);
     if (!v) return fallback;
     const auto parsed = util::ParseUint(*v);
-    return parsed ? *parsed : fallback;
+    if (!parsed) {
+      throw OptionError("--" + key + ": expected a non-negative integer, got '" + *v +
+                        "'");
+    }
+    return *parsed;
   }
 
   [[nodiscard]] bool Has(const std::string& key) const { return values_.contains(key); }
 
  private:
+  /// "--threshold" is a flag; "-0.5", "-", and "ordinary" are values.
+  [[nodiscard]] static bool IsFlag(std::string_view token) {
+    return token.rfind("--", 0) == 0;
+  }
+
   std::map<std::string, std::string> values_;
   bool ok_ = true;
 };
@@ -101,8 +135,78 @@ int Usage() {
                "  cellspot report --beacons F --demand F --rib F --asdb F\n"
                "  cellspot validate --beacons F --demand F --truth F [--threshold T]\n"
                "  cellspot compress --classified F   (output of `classify`)\n"
-               "  cellspot figures --out DIR [--scale S] [--seed N]\n");
-  return 2;
+               "  cellspot figures --out DIR [--scale S] [--seed N]\n"
+               "\n"
+               "ingestion options (classify/ases/report/validate/compress):\n"
+               "  --on-error {fail,skip,quarantine}  first-fault abort (default),\n"
+               "                                     skip-and-account, or skip + write\n"
+               "                                     rejected lines verbatim\n"
+               "  --max-error-rate R                 lenient-mode budget; rejecting more\n"
+               "                                     than this fraction of lines exits %d\n"
+               "  --quarantine-file F                where quarantined lines go\n"
+               "                                     (default: cellspot.quarantine)\n"
+               "\n"
+               "exit codes: 0 ok, 1 error, 2 usage, %d parse failure (strict),\n"
+               "            %d error budget exceeded\n",
+               kExitBudgetExceeded, kExitParseFailure, kExitBudgetExceeded);
+  return kExitUsage;
+}
+
+/// Per-run ingestion state built from --on-error / --max-error-rate /
+/// --quarantine-file. One report (and budget) spans every input file of
+/// the command.
+struct IngestSetup {
+  util::IngestReport report;
+  std::ofstream quarantine;
+  std::string quarantine_path;
+
+  /// Print the per-category rejection table to stderr (lenient modes).
+  void PrintSummary() const {
+    if (report.policy() == util::IngestPolicy::kStrict) return;
+    std::fprintf(stderr, "%s", report.RenderTable().c_str());
+    if (!quarantine_path.empty() && report.lines_rejected() > 0) {
+      std::fprintf(stderr, "quarantined %llu lines to %s\n",
+                   static_cast<unsigned long long>(report.lines_rejected()),
+                   quarantine_path.c_str());
+    }
+  }
+};
+
+// Heap-allocated: the report holds a pointer to the quarantine stream,
+// so the setup's address must outlive and never move under it.
+std::unique_ptr<IngestSetup> MakeIngestSetup(const Options& opts) {
+  const std::string on_error = opts.GetOr("on-error", "fail");
+  util::IngestPolicy policy;
+  if (on_error == "fail") policy = util::IngestPolicy::kStrict;
+  else if (on_error == "skip") policy = util::IngestPolicy::kSkip;
+  else if (on_error == "quarantine") policy = util::IngestPolicy::kQuarantine;
+  else {
+    std::fprintf(stderr, "--on-error: expected fail|skip|quarantine, got '%s'\n",
+                 on_error.c_str());
+    return nullptr;
+  }
+
+  util::IngestLimits limits;
+  limits.max_error_rate = opts.GetDouble("max-error-rate", 0.05);
+  if (limits.max_error_rate < 0.0 || limits.max_error_rate > 1.0) {
+    std::fprintf(stderr, "--max-error-rate: expected a fraction in [0,1]\n");
+    return nullptr;
+  }
+
+  auto setup = std::make_unique<IngestSetup>();
+  std::ostream* quarantine = nullptr;
+  if (policy == util::IngestPolicy::kQuarantine) {
+    setup->quarantine_path = opts.GetOr("quarantine-file", "cellspot.quarantine");
+    setup->quarantine.open(setup->quarantine_path);
+    if (!setup->quarantine) {
+      std::fprintf(stderr, "cannot write quarantine file %s\n",
+                   setup->quarantine_path.c_str());
+      return nullptr;
+    }
+    quarantine = &setup->quarantine;
+  }
+  setup->report = util::IngestReport(policy, limits, quarantine);
+  return setup;
 }
 
 template <typename T, typename Loader>
@@ -119,9 +223,14 @@ std::optional<T> LoadFile(const Options& opts, const std::string& key, Loader lo
   }
   try {
     return loader(in);
+  } catch (const util::IngestBudgetError& e) {
+    // Prepend the path; main maps the exception type to its exit code.
+    throw util::IngestBudgetError(*path + ": " + e.what());
+  } catch (const ParseError& e) {
+    throw ParseError(*path + ": " + e.what(), e.category());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "failed to load %s: %s\n", path->c_str(), e.what());
-    return std::nullopt;
+    throw;
   }
 }
 
@@ -179,9 +288,19 @@ int CmdGenerate(const Options& opts) {
 // ---- classify ----------------------------------------------------------------
 
 int CmdClassify(const Options& opts) {
-  const auto beacons = LoadFile<dataset::BeaconDataset>(
-      opts, "beacons", [](std::istream& in) { return dataset::BeaconDataset::LoadCsv(in); });
-  if (!beacons) return 1;
+  auto ingest = MakeIngestSetup(opts);
+  if (!ingest) return kExitUsage;
+  std::optional<dataset::BeaconDataset> beacons;
+  try {
+    beacons = LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
+      return dataset::BeaconDataset::LoadCsv(in, ingest->report);
+    });
+  } catch (...) {
+    ingest->PrintSummary();
+    throw;
+  }
+  ingest->PrintSummary();
+  if (!beacons) return kExitError;
 
   core::ClassifierConfig config;
   config.threshold = opts.GetDouble("threshold", 0.5);
@@ -223,18 +342,34 @@ struct PipelineInputs {
 };
 
 std::optional<PipelineInputs> LoadInputs(const Options& opts) {
-  auto beacons = LoadFile<dataset::BeaconDataset>(
-      opts, "beacons", [](std::istream& in) { return dataset::BeaconDataset::LoadCsv(in); });
-  auto demand = LoadFile<dataset::DemandDataset>(
-      opts, "demand", [](std::istream& in) { return dataset::DemandDataset::LoadCsv(in); });
-  auto rib = LoadFile<asdb::RoutingTable>(
-      opts, "rib", [](std::istream& in) { return asdb::LoadRoutingTableCsv(in); });
-  auto as_db = LoadFile<asdb::AsDatabase>(
-      opts, "asdb", [](std::istream& in) { return asdb::LoadAsDatabaseCsv(in); });
-  if (!beacons || !demand || !rib || !as_db) return std::nullopt;
-  PipelineInputs inputs{std::move(*beacons), std::move(*demand), std::move(*rib),
-                        std::move(*as_db)};
-  return inputs;
+  auto ingest = MakeIngestSetup(opts);
+  if (!ingest) return std::nullopt;
+  std::optional<PipelineInputs> result;
+  try {
+    auto beacons =
+        LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
+          return dataset::BeaconDataset::LoadCsv(in, ingest->report);
+        });
+    auto demand =
+        LoadFile<dataset::DemandDataset>(opts, "demand", [&](std::istream& in) {
+          return dataset::DemandDataset::LoadCsv(in, ingest->report);
+        });
+    auto rib = LoadFile<asdb::RoutingTable>(opts, "rib", [&](std::istream& in) {
+      return asdb::LoadRoutingTableCsv(in, ingest->report);
+    });
+    auto as_db = LoadFile<asdb::AsDatabase>(opts, "asdb", [&](std::istream& in) {
+      return asdb::LoadAsDatabaseCsv(in, ingest->report);
+    });
+    if (beacons && demand && rib && as_db) {
+      result = PipelineInputs{std::move(*beacons), std::move(*demand), std::move(*rib),
+                              std::move(*as_db)};
+    }
+  } catch (...) {
+    ingest->PrintSummary();
+    throw;
+  }
+  ingest->PrintSummary();
+  return result;
 }
 
 // ---- ases ---------------------------------------------------------------------
@@ -323,35 +458,52 @@ int CmdReport(const Options& opts) {
 // ---- validate -----------------------------------------------------------------
 
 int CmdValidate(const Options& opts) {
-  const auto beacons = LoadFile<dataset::BeaconDataset>(
-      opts, "beacons", [](std::istream& in) { return dataset::BeaconDataset::LoadCsv(in); });
-  const auto demand = LoadFile<dataset::DemandDataset>(
-      opts, "demand", [](std::istream& in) { return dataset::DemandDataset::LoadCsv(in); });
-  if (!beacons || !demand) return 1;
+  auto ingest = MakeIngestSetup(opts);
+  if (!ingest) return kExitUsage;
 
   // Truth CSV: block,asn,cellular (the format `generate` writes) or a
   // two-column block,cellular list from an operator.
   core::CarrierGroundTruth truth;
   truth.label = "truth";
-  {
-    const auto path = opts.Get("truth");
-    if (!path || path->empty()) {
-      std::fprintf(stderr, "validate: missing --truth FILE\n");
-      return 1;
+  std::optional<dataset::BeaconDataset> beacons;
+  std::optional<dataset::DemandDataset> demand;
+  try {
+    beacons = LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
+      return dataset::BeaconDataset::LoadCsv(in, ingest->report);
+    });
+    demand = LoadFile<dataset::DemandDataset>(opts, "demand", [&](std::istream& in) {
+      return dataset::DemandDataset::LoadCsv(in, ingest->report);
+    });
+    const auto loaded = LoadFile<bool>(opts, "truth", [&](std::istream& in) {
+      bool saw_header = false;
+      util::IngestLines(in, ingest->report, [&](std::size_t, std::string_view line) {
+        const auto row = util::ParseCsvLine(line);
+        if (!saw_header) {
+          saw_header = true;
+          return;
+        }
+        if (row.size() < 2) {
+          throw ParseError("truth CSV: expected at least 2 columns",
+                           ParseErrorCategory::kTruncatedLine);
+        }
+        const bool cellular = row.back() == "1";
+        if (!truth.blocks.emplace(netaddr::Prefix::Parse(row[0]), cellular).second) {
+          throw ParseError("truth CSV: duplicate block '" + row[0] + "'",
+                           ParseErrorCategory::kDuplicateKey);
+        }
+      });
+      return true;
+    });
+    if (!loaded) {
+      ingest->PrintSummary();
+      return kExitError;
     }
-    std::ifstream in(*path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path->c_str());
-      return 1;
-    }
-    const auto rows = util::ReadCsv(in);
-    for (std::size_t i = 1; i < rows.size(); ++i) {
-      const auto& row = rows[i];
-      if (row.size() < 2) continue;
-      const std::string& flag = row.back();
-      truth.blocks.emplace(netaddr::Prefix::Parse(row[0]), flag == "1");
-    }
+  } catch (...) {
+    ingest->PrintSummary();
+    throw;
   }
+  ingest->PrintSummary();
+  if (!beacons || !demand) return kExitError;
 
   core::ClassifierConfig config;
   config.threshold = opts.GetDouble("threshold", 0.5);
@@ -370,23 +522,38 @@ int CmdValidate(const Options& opts) {
 // ---- compress -------------------------------------------------------------------
 
 int CmdCompress(const Options& opts) {
+  auto ingest = MakeIngestSetup(opts);
+  if (!ingest) return kExitUsage;
   const auto path = opts.Get("classified");
   if (!path || path->empty()) {
     std::fprintf(stderr, "compress: missing --classified FILE (from `classify`)\n");
-    return 1;
+    return kExitError;
   }
   std::ifstream in(*path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path->c_str());
-    return 1;
+    return kExitError;
   }
   std::vector<netaddr::Prefix> blocks;
-  const auto rows = util::ReadCsv(in);
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i].size() >= 4 && rows[i][3] == "1") {
-      blocks.push_back(netaddr::Prefix::Parse(rows[i][0]));
-    }
+  try {
+    bool saw_header = false;
+    util::IngestLines(in, ingest->report, [&](std::size_t, std::string_view line) {
+      const auto row = util::ParseCsvLine(line);
+      if (!saw_header) {
+        saw_header = true;
+        return;
+      }
+      if (row.size() < 4) {
+        throw ParseError("classified CSV: expected 4 columns",
+                         ParseErrorCategory::kTruncatedLine);
+      }
+      if (row[3] == "1") blocks.push_back(netaddr::Prefix::Parse(row[0]));
+    });
+  } catch (...) {
+    ingest->PrintSummary();
+    throw;
   }
+  ingest->PrintSummary();
   const auto compressed = core::CompressPrefixes(blocks);
   for (const netaddr::Prefix& p : compressed) std::printf("%s\n", p.ToString().c_str());
   std::fprintf(stderr, "compressed %zu blocks into %zu prefixes\n", blocks.size(),
@@ -425,12 +592,26 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Options opts(argc, argv, 2);
   if (!opts.ok()) return Usage();
-  if (command == "generate") return CmdGenerate(opts);
-  if (command == "classify") return CmdClassify(opts);
-  if (command == "ases") return CmdAses(opts);
-  if (command == "report") return CmdReport(opts);
-  if (command == "validate") return CmdValidate(opts);
-  if (command == "compress") return CmdCompress(opts);
-  if (command == "figures") return CmdFigures(opts);
+  try {
+    if (command == "generate") return CmdGenerate(opts);
+    if (command == "classify") return CmdClassify(opts);
+    if (command == "ases") return CmdAses(opts);
+    if (command == "report") return CmdReport(opts);
+    if (command == "validate") return CmdValidate(opts);
+    if (command == "compress") return CmdCompress(opts);
+    if (command == "figures") return CmdFigures(opts);
+  } catch (const OptionError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitUsage;
+  } catch (const util::IngestBudgetError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitBudgetExceeded;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitParseFailure;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitError;
+  }
   return Usage();
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the plain and ASan+UBSan variants.
+#
+#   tools/ci.sh            # both variants
+#   tools/ci.sh plain      # RelWithDebInfo only
+#   tools/ci.sh sanitize   # ASan+UBSan only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+variant="${1:-all}"
+
+run() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+case "$variant" in
+  plain)    run build ;;
+  sanitize) run build-asan -DCELLSPOT_SANITIZE=ON ;;
+  all)      run build
+            run build-asan -DCELLSPOT_SANITIZE=ON ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|all]" >&2; exit 2 ;;
+esac
