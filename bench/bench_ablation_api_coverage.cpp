@@ -13,7 +13,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   PrintHeader("Ablation: API coverage",
               "Classification quality vs Network Information coverage");
 
@@ -54,5 +54,8 @@ int main() {
   std::printf("\nPaper operating point: 13.2%% coverage. Precision is flat across\n"
               "the sweep; block recall falls with coverage while demand-weighted\n"
               "recall stays high — the map loses tail blocks first.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ablation_api_coverage", Run);
 }

@@ -4,6 +4,7 @@
 // cellular access networks) and how much spurious "cellular demand" the
 // disabled rule would have let through.
 #include "bench_common.hpp"
+#include "cellspot/analysis/pipeline.hpp"
 
 using namespace cellspot;
 using namespace cellspot::bench;
@@ -17,8 +18,12 @@ struct Purity {
   double spurious_cell_du = 0.0;  // cellular demand attributed to non-access ASes
 };
 
-Purity Evaluate(const analysis::Experiment& e, const core::AsFilterConfig& config) {
-  const auto outcome = core::ApplyAsFilters(e.candidates, e.world.as_db(), config);
+Purity Evaluate(analysis::Pipeline& pipeline, const core::AsFilterConfig& config) {
+  // set_filters invalidates only the Filter stage: the world, datasets,
+  // classification and candidate aggregation are all reused.
+  pipeline.set_filters(config);
+  const core::AsFilterOutcome& outcome = pipeline.Filter();
+  const analysis::Experiment& e = pipeline.experiment();
   Purity p;
   p.kept = outcome.kept.size();
   for (const core::AsAggregate& as : outcome.kept) {
@@ -38,9 +43,15 @@ Purity Evaluate(const analysis::Experiment& e, const core::AsFilterConfig& confi
 
 }  // namespace
 
-int main() {
-  const analysis::Experiment& e = analysis::SharedPaperExperiment();
-  PrintHeader("Ablation: AS filter rules", "Kept-set purity with rules disabled");
+static void Run() {
+  // One pipeline through Aggregate; each variant re-runs only Filter.
+  analysis::Pipeline pipeline(
+      {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
+       .classifier = {},
+       .filters = {}});
+  pipeline.Aggregate();
+  PrintHeader("Ablation: AS filter rules", "Kept-set purity with rules disabled",
+              pipeline.config().world);
 
   struct Variant {
     const char* name;
@@ -67,12 +78,15 @@ int main() {
   util::TextTable t({"Variant", "Kept", "True access", "Proxies/clouds",
                      "Spurious cell DU"});
   for (const Variant& v : variants) {
-    const Purity p = Evaluate(e, v.config);
+    const Purity p = Evaluate(pipeline, v.config);
     t.AddRow({v.name, Num(p.kept), Num(p.true_access), Num(p.proxies_clouds),
               Dbl(p.spurious_cell_du, 1)});
   }
   std::printf("%s", t.Render().c_str());
   std::printf("\nRule 3 is what keeps proxy/cloud demand out of the map; rules 1-2\n"
               "mostly control list size and label confidence (paper §5.1).\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ablation_filters", Run);
 }

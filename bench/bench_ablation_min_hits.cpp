@@ -3,24 +3,29 @@
 // recall (tail blocks observed a handful of times) for marginally fewer
 // noise-driven false positives. This quantifies that trade-off.
 #include "bench_common.hpp"
+#include "cellspot/analysis/pipeline.hpp"
 #include "cellspot/util/metrics.hpp"
 
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
-  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+static void Run() {
+  // One world + datasets; each gate re-runs only the Classify stage.
+  analysis::Pipeline pipeline(
+      {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
+       .classifier = {},
+       .filters = {}});
+  pipeline.GenerateDatasets();
   PrintHeader("Ablation: minimum API hits per block",
-              "Evidence gate vs classification quality");
+              "Evidence gate vs classification quality", pipeline.config().world);
 
   std::printf("%-10s %-10s %-10s %-10s %-12s %-12s\n", "min-hits", "precision",
               "recall", "F1", "detected", "observed");
   for (const std::uint64_t min_hits : {1ULL, 2ULL, 3ULL, 5ULL, 10ULL, 25ULL, 100ULL}) {
-    const auto classified =
-        core::SubnetClassifier({.threshold = 0.5, .min_netinfo_hits = min_hits})
-            .Classify(e.beacons);
+    pipeline.set_classifier({.threshold = 0.5, .min_netinfo_hits = min_hits});
+    const core::ClassifiedSubnets& classified = pipeline.Classify();
     util::ConfusionMatrix m;
-    for (const simnet::Subnet& s : e.world.subnets()) {
+    for (const simnet::Subnet& s : pipeline.experiment().world.subnets()) {
       if (s.proxy_terminating || s.demand_du <= 0.0) continue;
       m.Add(s.truth_cellular, classified.IsCellular(s.block));
     }
@@ -31,5 +36,8 @@ int main() {
   std::printf("\nThe paper's >= 1 gate maximises recall; precision is already near 1\n"
               "there because false cellular labels are rare (§4.2), so stricter\n"
               "gates only shrink the map.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ablation_min_hits", Run);
 }

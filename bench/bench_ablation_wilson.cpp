@@ -7,6 +7,7 @@
 // cost concentrates in exactly the low-evidence tail blocks the map
 // exists to cover.
 #include "bench_common.hpp"
+#include "cellspot/analysis/pipeline.hpp"
 #include "cellspot/util/metrics.hpp"
 
 using namespace cellspot;
@@ -26,10 +27,17 @@ util::ConfusionMatrix Score(const analysis::Experiment& e,
 
 }  // namespace
 
-int main() {
-  const analysis::Experiment& e = analysis::SharedPaperExperiment();
+static void Run() {
+  // One world + datasets; each variant re-runs only the Classify stage.
+  analysis::Pipeline pipeline(
+      {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
+       .classifier = {},
+       .filters = {}});
+  pipeline.GenerateDatasets();
+  const analysis::Experiment& e = pipeline.experiment();
   PrintHeader("Ablation: Wilson lower bound",
-              "Point-estimate vs confidence-bound classification");
+              "Point-estimate vs confidence-bound classification",
+              pipeline.config().world);
 
   util::TextTable t({"Variant", "Detected", "Precision", "Recall", "F1"});
   struct Variant {
@@ -46,7 +54,8 @@ int main() {
        {.threshold = 0.5, .use_wilson_lower_bound = true, .wilson_z = 2.576}},
   };
   for (const Variant& v : variants) {
-    const auto classified = core::SubnetClassifier(v.config).Classify(e.beacons);
+    pipeline.set_classifier(v.config);
+    const core::ClassifiedSubnets& classified = pipeline.Classify();
     const auto m = Score(e, classified);
     t.AddRow({v.name, Num(classified.cellular().size()), Dbl(m.Precision(), 4),
               Dbl(m.Recall(), 4), Dbl(m.F1(), 4)});
@@ -55,5 +64,8 @@ int main() {
   std::printf("\nThe confidence bound buys a fraction of a precision point and costs\n"
               "several recall points — consistent with §4.2's argument that the\n"
               "cellular label itself already carries the confidence.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ablation_wilson", Run);
 }

@@ -25,7 +25,7 @@ util::ConfusionMatrix Score(const analysis::Experiment& e,
 
 }  // namespace
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Baseline: device type vs Network Information API",
               "Why §1 rejects the device-type signal");
@@ -62,5 +62,8 @@ int main() {
   std::printf("\nThe device signal saturates: phones are everywhere, so mobile-heavy\n"
               "blocks include vast fixed-line space. The API's cellular label is the\n"
               "only signal whose false-positive rate is structurally near zero.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "baseline_device_type", Run);
 }

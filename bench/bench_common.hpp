@@ -4,25 +4,73 @@
 // ones so the shape comparison is immediate.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <string_view>
 
 #include "cellspot/analysis/experiment.hpp"
 #include "cellspot/analysis/reports.hpp"
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/util/stats.hpp"
 #include "cellspot/util/strings.hpp"
 #include "cellspot/util/table.hpp"
 
 namespace cellspot::bench {
 
-inline void PrintHeader(const std::string& experiment, const std::string& what) {
+/// Shared bench entry point. Parses `--threads N` (same effect as
+/// CELLSPOT_THREADS, applied before the shared executor is built), runs
+/// `body` once, then emits a single machine-readable line:
+///
+///   {"bench":"table2_datasets","wall_ms":1234.567,"threads":8}
+///
+/// so sweep harnesses can scrape wall time per thread count without
+/// parsing the human-facing tables above it.
+inline int RunBench(int argc, char** argv, const std::string& name,
+                    const std::function<void()>& body) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.starts_with("--threads=")) {
+      value = arg.substr(std::string_view("--threads=").size());
+    } else {
+      continue;
+    }
+    const std::string value_str(value);
+    char* end = nullptr;
+    const unsigned long threads = std::strtoul(value_str.c_str(), &end, 10);
+    if (value_str.empty() || end == nullptr || *end != '\0' || threads == 0) {
+      std::fprintf(stderr, "--threads: expected a positive integer, got '%.*s'\n",
+                   static_cast<int>(value.size()), value.data());
+      return 2;
+    }
+    exec::Executor::SetDefaultThreadCount(static_cast<unsigned>(threads));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u}\n", name.c_str(),
+              wall_ms, exec::Executor::Shared().thread_count());
+  return 0;
+}
+
+inline void PrintHeader(const std::string& experiment, const std::string& what,
+                        const simnet::WorldConfig& config) {
   std::printf("=================================================================\n");
   std::printf("%s — %s\n", experiment.c_str(), what.c_str());
-  std::printf("World: scale %.3g (CELLSPOT_SCALE overrides), seed %llu\n",
-              analysis::SharedPaperExperiment().world.config().scale,
-              static_cast<unsigned long long>(
-                  analysis::SharedPaperExperiment().world.config().seed));
+  std::printf("World: scale %.3g (CELLSPOT_SCALE overrides), seed %llu\n", config.scale,
+              static_cast<unsigned long long>(config.seed));
   std::printf("=================================================================\n");
+}
+
+inline void PrintHeader(const std::string& experiment, const std::string& what) {
+  PrintHeader(experiment, what, analysis::SharedPaperExperiment().world.config());
 }
 
 /// "paper X / measured Y" cell pair.

@@ -11,7 +11,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Extension: cellular map compression",
               "Minimal CIDR list for the detected cellular space");
@@ -49,5 +49,8 @@ int main() {
   std::printf("\nPer the paper's Finding 3, cellular space is operated as a small\n"
               "number of contiguous pools: the deployable list is ~%.0fx smaller\n"
               "than the raw /24 map.\n", v4_stats.Ratio());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ext_map_compression", Run);
 }

@@ -12,7 +12,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Extension: resolver distance",
               "Client-to-resolver distance, cellular vs fixed, in mixed ASes");
@@ -61,5 +61,8 @@ int main() {
   std::printf("\nFinding 4 (shape): cellular clients resolve much farther from\n"
               "their resolvers than the fixed clients sharing those resolvers —\n"
               "shared resolvers are proximal only to the fixed population.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ext_resolver_distance", Run);
 }

@@ -12,7 +12,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   PrintHeader("Extension: split-sample robustness",
               "Two independent half-month samples, same world");
 
@@ -62,5 +62,8 @@ int main() {
   std::printf("\nReading: the block *list* carries sampling noise in its tail, but\n"
               "the demand-weighted map is stable — one month of beacons is ample\n"
               "for the high-confidence lower bound the paper claims.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ext_split_sample", Run);
 }

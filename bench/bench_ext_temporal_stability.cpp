@@ -15,7 +15,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   PrintHeader("Extension: temporal stability",
               "Detected cellular map across 12 months of churn");
 
@@ -37,5 +37,8 @@ int main() {
               last.jaccard_vs_base, last.demand_overlap_vs_base);
   std::printf("=> the address *list* churns, the demand-bearing core persists;\n"
               "   quarterly map refreshes retain most covered traffic.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ext_temporal_stability", Run);
 }

@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 10", "Public DNS usage in selected cellular operators");
 
@@ -37,5 +37,8 @@ int main() {
   std::printf("%s", t.Render().c_str());
   std::printf("\nNote: cell networks imply operator adoption — unlike broadband,\n"
               "handset users cannot easily override their carrier's resolvers.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig10_public_dns", Run);
 }

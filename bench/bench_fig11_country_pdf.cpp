@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 11", "Global cellular demand share by country, per continent");
 
@@ -49,5 +49,8 @@ int main() {
               Pct(top5 / global_cell).c_str());
   std::printf("Top-20 countries:                     paper ~80%% | measured %s\n",
               Pct(top20 / global_cell).c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig11_country_pdf", Run);
 }

@@ -11,7 +11,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 12", "Country cellular demand vs cellular fraction");
 
@@ -57,5 +57,8 @@ int main() {
   }
   std::printf("\nEU/NA/SA countries below ~0.2-0.25 cellular: %d of %d "
               "(paper: the majority cluster on the far left)\n", low, western);
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig12_country_scatter", Run);
 }

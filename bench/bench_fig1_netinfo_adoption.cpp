@@ -9,7 +9,7 @@ using namespace cellspot;
 using namespace cellspot::bench;
 using netinfo::Browser;
 
-int main() {
+static void Run() {
   PrintHeader("Figure 1", "Network Information API adoption by month and browser");
 
   const auto series =
@@ -41,5 +41,8 @@ int main() {
               Pct(google / dec2016->total).c_str());
   std::printf("Jun 2017 total:        paper ~15%%   measured %s\n",
               Pct(series.back().total).c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig1_netinfo_adoption", Run);
 }

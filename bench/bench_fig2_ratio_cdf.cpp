@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 2", "Distribution of cellular ratios (subnets and demand)");
 
@@ -29,5 +29,8 @@ int main() {
             Pct(r.v4_demand.At(0.9) - r.v4_demand.At(0.0999))});
   t.AddRow({"IPv6 demand with ratio > 0.9", "6.4%", Pct(1.0 - r.v6_demand.At(0.9))});
   std::printf("\n%s", t.Render().c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig2_ratio_cdf", Run);
 }

@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 3", "F1 vs classification threshold, per validation carrier");
 
@@ -43,5 +43,8 @@ int main() {
     std::printf("  plateau (0.1-0.9): F1(CIDR) in [%.3f, %.3f] — paper: stable\n",
                 lo, hi);
   }
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig3_threshold_sweep", Run);
 }

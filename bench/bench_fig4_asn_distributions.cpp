@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 4", "Demand and beacon responses per candidate AS");
 
@@ -31,5 +31,8 @@ int main() {
   }
   std::printf("  ASes under 300 hits: %s (rule-2 pool; paper removes 53 of 770)\n",
               Pct(d.beacon_hits.At(299.0)).c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig4_asn_distributions", Run);
 }

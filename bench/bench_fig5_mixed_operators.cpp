@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 5", "Cellular demand fraction vs subnet fraction per AS");
 
@@ -30,5 +30,8 @@ int main() {
   t.AddRow({"median gap (demand - subnet curves)", "> 0.5",
             Dbl(r.cfd.Quantile(0.5) - r.subnet_fraction.Quantile(0.5), 3)});
   std::printf("\n%s", t.Render().c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig5_mixed_operators", Run);
 }

@@ -47,7 +47,7 @@ void Breakdown(const analysis::Experiment& e, const simnet::OperatorInfo* op,
 
 }  // namespace
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 6", "Block-level breakdown of a dedicated and a mixed carrier");
 
@@ -57,5 +57,8 @@ int main() {
   std::printf("\nPaper anchors: (a) most demand from high-ratio CGNAT gateways;\n"
               "(b) the tiny high-ratio slice captures ~all cellular demand while\n"
               "being a sliver of the AS's blocks and total demand.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig6_operator_breakdown", Run);
 }

@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 7", "Ranked cellular demand across cellular ASes");
 
@@ -32,5 +32,8 @@ int main() {
               Dbl(ranked[0].share_of_global_cell / ranked[9].share_of_global_cell, 1) + "x"});
   }
   std::printf("\n%s", t.Render().c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig7_ranked_as_demand", Run);
 }

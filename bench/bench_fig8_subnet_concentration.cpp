@@ -8,14 +8,14 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 8", "Subnet demand concentration in a mixed European ISP");
 
   const simnet::OperatorInfo* op = analysis::FindCarrier(e, 'A');
   if (op == nullptr) {
     std::printf("mixed European carrier not present in this world\n");
-    return 1;
+    return;
   }
   const auto conc = analysis::SubnetConcentrationReport(e, op->asn);
 
@@ -54,5 +54,8 @@ int main() {
   t.AddRow({"Gini of cellular vs fixed block demand", "cell >> fixed",
             Dbl(conc.cellular_gini, 2) + " vs " + Dbl(conc.fixed_gini, 2)});
   std::printf("\n%s", t.Render().c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "fig8_subnet_concentration", Run);
 }

@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   const dns::DnsSimulator dns_sim(e.world);
   PrintHeader("Findings summary", "Paper findings (§6.4, §7.3) vs this reproduction");
@@ -91,5 +91,8 @@ int main() {
             "several (GH, LA, ID, ...)", Num(primary) + " countries"});
 
   std::printf("%s", t.Render().c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "findings_summary", Run);
 }

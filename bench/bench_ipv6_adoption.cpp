@@ -11,7 +11,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("IPv6 adoption (§4.3)", "Cellular IPv6 deployment across ASes");
 
@@ -55,5 +55,8 @@ int main() {
                 record != nullptr ? record->name.c_str() : "?",
                 ranked[i]->cell_blocks_v6);
   }
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "ipv6_adoption", Run);
 }

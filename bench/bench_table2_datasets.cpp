@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   const double scale = e.world.config().scale;
   PrintHeader("Table 2", "CDN datasets used for cellular address analysis");
@@ -32,5 +32,8 @@ int main() {
               Pct(static_cast<double>(e.beacons.total_netinfo_hits()) /
                   static_cast<double>(e.beacons.total_hits()))
                   .c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table2_datasets", Run);
 }

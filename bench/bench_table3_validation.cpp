@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Table 3", "Classification accuracy per validation carrier");
 
@@ -46,5 +46,8 @@ int main() {
   std::printf("%s", t.Render().c_str());
   std::printf("\nNote: carriers are the generated archetypes — A: large mixed\n"
               "European, B: large dedicated U.S., C: mixed Middle-East MNO.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table3_validation", Run);
 }

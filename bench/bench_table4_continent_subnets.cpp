@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   const double scale = e.world.config().scale;
   PrintHeader("Table 4", "Detected cellular subnets by continent");
@@ -54,5 +54,8 @@ int main() {
             Vs(Num(static_cast<std::uint64_t>(23230 * scale)), Num(total_v6)),
             Vs("7.3%", Pct(total_pct4)), Vs("1.2%", Pct(total_pct6))});
   std::printf("%s", t.Render().c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table4_continent_subnets", Run);
 }

@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Table 5", "Application of the AS filtering rules");
 
@@ -55,5 +55,8 @@ int main() {
   std::printf("Removed, by ground-truth kind: %zu proxy ASes, %zu cloud ASes,\n"
               "%zu access networks (tiny pools / JS-poor clienteles).\n",
               proxies, clouds, access);
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table5_as_filtering", Run);
 }

@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Table 6", "Detected cellular ASes by continent");
 
@@ -31,5 +31,8 @@ int main() {
   std::printf("%s", t.Render().c_str());
   std::printf("\nNote: measured averages run higher than the paper's because the\n"
               "embedded world table carries ~140 countries vs the ~170 the CDN saw.\n");
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table6_continent_ases", Run);
 }

@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Table 7", "Top ten ASes by cellular demand");
 
@@ -40,5 +40,8 @@ int main() {
   }
   std::printf("\nU.S. ASes in the top ten: paper 5 (incl. top 3) | measured %d\n", us);
   std::printf("Dedicated among the top six: paper 6 | measured %d\n", dedicated_top6);
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table7_top_ases", Run);
 }

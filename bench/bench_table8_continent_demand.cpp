@@ -7,7 +7,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-int main() {
+static void Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Table 8", "Cellular demand statistics by continent (China excluded)");
 
@@ -49,5 +49,8 @@ int main() {
   }
   std::printf("\nOverall cellular fraction: paper 16.2%% | measured %s\n",
               Pct(cell / total).c_str());
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  return RunBench(argc, argv, "table8_continent_demand", Run);
 }

@@ -1,36 +1,20 @@
 #include "cellspot/analysis/experiment.hpp"
 
-#include <cstdlib>
-
-#include "cellspot/util/strings.hpp"
+#include "cellspot/analysis/pipeline.hpp"
 
 namespace cellspot::analysis {
 
 Experiment RunExperiment(const simnet::WorldConfig& config,
                          const core::ClassifierConfig& classifier_config,
                          const core::AsFilterConfig& filter_config) {
-  Experiment exp;
-  exp.world = simnet::World::Generate(config);
-  exp.beacons = cdn::BeaconGenerator(exp.world).GenerateDataset();
-  exp.demand = cdn::DemandGenerator(exp.world).GenerateDataset();
-  const core::SubnetClassifier classifier(classifier_config);
-  exp.classified = classifier.Classify(exp.beacons);
-  exp.candidates = core::AggregateCandidateAses(exp.world.rib(), exp.classified,
-                                                exp.beacons, exp.demand);
-  exp.filtered = core::ApplyAsFilters(exp.candidates, exp.world.as_db(), filter_config);
-  return exp;
+  Pipeline pipeline({config, classifier_config, filter_config});
+  pipeline.Run();
+  return std::move(pipeline).TakeExperiment();
 }
 
 const Experiment& SharedPaperExperiment() {
-  static const Experiment experiment = [] {
-    double scale = 0.05;
-    if (const char* env = std::getenv("CELLSPOT_SCALE")) {
-      if (const auto parsed = util::ParseDouble(env); parsed && *parsed > 0.0) {
-        scale = *parsed;
-      }
-    }
-    return RunExperiment(simnet::WorldConfig::Paper(scale));
-  }();
+  static const Experiment experiment =
+      RunExperiment(simnet::WorldConfig::Paper(PaperScaleFromEnv(0.05)));
   return experiment;
 }
 

@@ -22,7 +22,9 @@ struct Experiment {
   core::AsFilterOutcome filtered;             // after Table-5 heuristics
 };
 
-/// Run the full pipeline on a fresh world.
+/// Run the full pipeline on a fresh world. Thin wrapper over
+/// analysis::Pipeline (see pipeline.hpp) — use the Pipeline directly
+/// when you need per-stage timings or want to re-run later stages.
 [[nodiscard]] Experiment RunExperiment(const simnet::WorldConfig& config,
                                        const core::ClassifierConfig& classifier = {},
                                        const core::AsFilterConfig& filters = {});
@@ -30,7 +32,9 @@ struct Experiment {
 /// Cached default-world experiment shared by the benchmark binaries (the
 /// world takes a second or two to build; every bench needs the same one).
 /// The scale can be overridden once via the CELLSPOT_SCALE environment
-/// variable (e.g. CELLSPOT_SCALE=0.02 for quicker runs).
+/// variable (e.g. CELLSPOT_SCALE=0.02 for quicker runs); a value that is
+/// not a positive number throws std::invalid_argument instead of being
+/// silently ignored.
 [[nodiscard]] const Experiment& SharedPaperExperiment();
 
 /// Ground-truth subnet list for one operator in a generated world

@@ -1,0 +1,112 @@
+// Staged pipeline API over the paper's end-to-end flow:
+//
+//   BuildWorld -> GenerateDatasets -> Classify -> Aggregate -> Filter
+//
+// Each stage runs its prerequisites on demand, caches its result and
+// records wall time + item count. Later stages can be re-run with a
+// different configuration without rebuilding the earlier ones — the
+// threshold/filter ablation benches re-classify one world dozens of
+// times instead of regenerating it per variant.
+//
+// Every stage executes on the pipeline's executor and produces output
+// byte-identical at any thread count (see DESIGN.md: per-shard RNG
+// streams are precomputed sequentially and all order-sensitive work
+// happens in ordered sequential merges).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cellspot/analysis/experiment.hpp"
+
+namespace cellspot::exec {
+class Executor;
+}
+
+namespace cellspot::analysis {
+
+/// Wall time and output size of one executed stage, in execution order.
+/// Stages re-run after an invalidation append new entries.
+struct StageTiming {
+  std::string stage;
+  double wall_ms = 0.0;
+  std::size_t items = 0;
+};
+
+class Pipeline {
+ public:
+  struct Config {
+    simnet::WorldConfig world = {};
+    core::ClassifierConfig classifier = {};
+    core::AsFilterConfig filters = {};
+  };
+
+  /// Uses the shared process-wide executor.
+  explicit Pipeline(Config config);
+  Pipeline(Config config, exec::Executor& executor);
+
+  // ---- stages ----------------------------------------------------------
+
+  /// Stage 1: generate the synthetic world.
+  const simnet::World& BuildWorld();
+
+  /// Stage 2: BEACON and DEMAND datasets from the world.
+  void GenerateDatasets();
+
+  /// Stage 3: per-block classification.
+  const core::ClassifiedSubnets& Classify();
+
+  /// Stage 4: candidate AS aggregation (the §5 straw-man set).
+  const std::vector<core::AsAggregate>& Aggregate();
+
+  /// Stage 5: Table-5 filter heuristics.
+  const core::AsFilterOutcome& Filter();
+
+  /// Run every remaining stage.
+  const Experiment& Run();
+
+  // ---- re-running stages -----------------------------------------------
+
+  /// Replace the classifier config; invalidates Classify and everything
+  /// after it (the world and datasets are kept).
+  void set_classifier(const core::ClassifierConfig& classifier);
+
+  /// Replace the filter config; invalidates only Filter.
+  void set_filters(const core::AsFilterConfig& filters);
+
+  // ---- results ---------------------------------------------------------
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] exec::Executor& executor() const noexcept { return *executor_; }
+
+  /// Results so far (stages that have not run hold default values).
+  [[nodiscard]] const Experiment& experiment() const noexcept { return exp_; }
+
+  /// Move the accumulated results out; the pipeline must not be used
+  /// afterwards.
+  [[nodiscard]] Experiment TakeExperiment() && { return std::move(exp_); }
+
+  /// One entry per executed stage, in execution order.
+  [[nodiscard]] const std::vector<StageTiming>& timings() const noexcept {
+    return timings_;
+  }
+
+ private:
+  Config config_;
+  exec::Executor* executor_;
+  Experiment exp_;
+  std::vector<StageTiming> timings_;
+  bool has_world_ = false;
+  bool has_datasets_ = false;
+  bool has_classified_ = false;
+  bool has_candidates_ = false;
+  bool has_filtered_ = false;
+};
+
+/// Scale for the shared paper experiment: CELLSPOT_SCALE if set, else
+/// `fallback`. Throws std::invalid_argument when the variable is set to
+/// anything but a positive number.
+[[nodiscard]] double PaperScaleFromEnv(double fallback);
+
+}  // namespace cellspot::analysis

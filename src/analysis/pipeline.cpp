@@ -1,0 +1,129 @@
+#include "cellspot/analysis/pipeline.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::analysis {
+
+namespace {
+
+class StageClock {
+ public:
+  explicit StageClock(std::vector<StageTiming>& timings, std::string stage)
+      : timings_(timings), stage_(std::move(stage)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void Finish(std::size_t items) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timings_.push_back(
+        {std::move(stage_),
+         std::chrono::duration<double, std::milli>(elapsed).count(), items});
+  }
+
+ private:
+  std::vector<StageTiming>& timings_;
+  std::string stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Pipeline::Pipeline(Config config) : Pipeline(std::move(config), exec::Executor::Shared()) {}
+
+Pipeline::Pipeline(Config config, exec::Executor& executor)
+    : config_(std::move(config)), executor_(&executor) {}
+
+const simnet::World& Pipeline::BuildWorld() {
+  if (!has_world_) {
+    StageClock clock(timings_, "build_world");
+    exp_.world = simnet::World::Generate(config_.world, *executor_);
+    has_world_ = true;
+    clock.Finish(exp_.world.subnets().size());
+  }
+  return exp_.world;
+}
+
+void Pipeline::GenerateDatasets() {
+  if (has_datasets_) return;
+  BuildWorld();
+  StageClock clock(timings_, "generate_datasets");
+  exp_.beacons = cdn::BeaconGenerator(exp_.world).GenerateDataset(*executor_);
+  exp_.demand = cdn::DemandGenerator(exp_.world).GenerateDataset(*executor_);
+  has_datasets_ = true;
+  clock.Finish(exp_.beacons.block_count() + exp_.demand.block_count());
+}
+
+const core::ClassifiedSubnets& Pipeline::Classify() {
+  if (!has_classified_) {
+    GenerateDatasets();
+    StageClock clock(timings_, "classify");
+    const core::SubnetClassifier classifier(config_.classifier);
+    exp_.classified = classifier.Classify(exp_.beacons, *executor_);
+    has_classified_ = true;
+    clock.Finish(exp_.classified.ratios().size());
+  }
+  return exp_.classified;
+}
+
+const std::vector<core::AsAggregate>& Pipeline::Aggregate() {
+  if (!has_candidates_) {
+    Classify();
+    StageClock clock(timings_, "aggregate");
+    exp_.candidates = core::AggregateCandidateAses(
+        exp_.world.rib(), exp_.classified, exp_.beacons, exp_.demand, *executor_);
+    has_candidates_ = true;
+    clock.Finish(exp_.candidates.size());
+  }
+  return exp_.candidates;
+}
+
+const core::AsFilterOutcome& Pipeline::Filter() {
+  if (!has_filtered_) {
+    Aggregate();
+    StageClock clock(timings_, "filter");
+    exp_.filtered =
+        core::ApplyAsFilters(exp_.candidates, exp_.world.as_db(), config_.filters);
+    has_filtered_ = true;
+    clock.Finish(exp_.filtered.kept.size());
+  }
+  return exp_.filtered;
+}
+
+const Experiment& Pipeline::Run() {
+  Filter();
+  return exp_;
+}
+
+void Pipeline::set_classifier(const core::ClassifierConfig& classifier) {
+  config_.classifier = classifier;
+  has_classified_ = false;
+  has_candidates_ = false;
+  has_filtered_ = false;
+  exp_.classified = {};
+  exp_.candidates.clear();
+  exp_.filtered = {};
+}
+
+void Pipeline::set_filters(const core::AsFilterConfig& filters) {
+  config_.filters = filters;
+  has_filtered_ = false;
+  exp_.filtered = {};
+}
+
+double PaperScaleFromEnv(double fallback) {
+  const char* env = std::getenv("CELLSPOT_SCALE");
+  if (env == nullptr || *env == '\0') return fallback;
+  const auto parsed = util::ParseDouble(env);
+  if (!parsed || *parsed <= 0.0) {
+    throw std::invalid_argument(
+        std::string("CELLSPOT_SCALE: expected a positive number, got '") + env + "'");
+  }
+  return *parsed;
+}
+
+}  // namespace cellspot::analysis

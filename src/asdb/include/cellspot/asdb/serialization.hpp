@@ -13,11 +13,14 @@ namespace cellspot::asdb {
 /// asn,name,country_iso,continent_code,class,kind
 void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out);
 
-/// Inverse of SaveAsDatabaseCsv. Throws cellspot::ParseError on bad rows.
-/// The report variant routes row-level faults through the ingest policy
-/// (a missing/garbled header is itself one rejected line; an empty stream
-/// always throws).
-[[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in);
+/// Inverse of SaveAsDatabaseCsv. Row-level faults go through the ingest
+/// policy in `options` — strict by default, so bad rows throw
+/// cellspot::ParseError. A missing/garbled header is itself one rejected
+/// line; an empty stream always throws.
+[[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in,
+                                           const util::LoadOptions& options = {});
+
+[[deprecated("use LoadAsDatabaseCsv(in, util::LoadOptions{.report = &report})")]]
 [[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in,
                                            util::IngestReport& report);
 
@@ -25,8 +28,12 @@ void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out);
 void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
                          std::ostream& out);
 
-/// Inverse of SaveRoutingTableCsv.
-[[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in);
+/// Inverse of SaveRoutingTableCsv. Same ingest-policy contract as
+/// LoadAsDatabaseCsv.
+[[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in,
+                                               const util::LoadOptions& options = {});
+
+[[deprecated("use LoadRoutingTableCsv(in, util::LoadOptions{.report = &report})")]]
 [[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in,
                                                util::IngestReport& report);
 

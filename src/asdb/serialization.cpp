@@ -44,12 +44,9 @@ void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out) {
   }
 }
 
-AsDatabase LoadAsDatabaseCsv(std::istream& in) {
-  util::IngestReport strict;
-  return LoadAsDatabaseCsv(in, strict);
-}
+namespace {
 
-AsDatabase LoadAsDatabaseCsv(std::istream& in, util::IngestReport& report) {
+AsDatabase LoadAsDatabaseCsvImpl(std::istream& in, util::IngestReport& report) {
   AsDatabase db;
   bool saw_header = false;
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
@@ -104,6 +101,17 @@ AsDatabase LoadAsDatabaseCsv(std::istream& in, util::IngestReport& report) {
   return db;
 }
 
+}  // namespace
+
+AsDatabase LoadAsDatabaseCsv(std::istream& in, const util::LoadOptions& options) {
+  util::ScopedLoadReport scoped(options);
+  return LoadAsDatabaseCsvImpl(in, scoped.get());
+}
+
+AsDatabase LoadAsDatabaseCsv(std::istream& in, util::IngestReport& report) {
+  return LoadAsDatabaseCsvImpl(in, report);
+}
+
 void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
                          std::ostream& out) {
   util::CsvWriter writer(out);
@@ -115,12 +123,9 @@ void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
   }
 }
 
-RoutingTable LoadRoutingTableCsv(std::istream& in) {
-  util::IngestReport strict;
-  return LoadRoutingTableCsv(in, strict);
-}
+namespace {
 
-RoutingTable LoadRoutingTableCsv(std::istream& in, util::IngestReport& report) {
+RoutingTable LoadRoutingTableCsvImpl(std::istream& in, util::IngestReport& report) {
   RoutingTable rib;
   bool saw_header = false;
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
@@ -151,6 +156,17 @@ RoutingTable LoadRoutingTableCsv(std::istream& in, util::IngestReport& report) {
                      ParseErrorCategory::kBadHeader);
   }
   return rib;
+}
+
+}  // namespace
+
+RoutingTable LoadRoutingTableCsv(std::istream& in, const util::LoadOptions& options) {
+  util::ScopedLoadReport scoped(options);
+  return LoadRoutingTableCsvImpl(in, scoped.get());
+}
+
+RoutingTable LoadRoutingTableCsv(std::istream& in, util::IngestReport& report) {
+  return LoadRoutingTableCsvImpl(in, report);
 }
 
 }  // namespace cellspot::asdb

@@ -1,7 +1,10 @@
 #include "cellspot/cdn/beacon_generator.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/netinfo/availability.hpp"
 
 namespace cellspot::cdn {
@@ -101,22 +104,45 @@ BeaconGenerator::BlockDraws BeaconGenerator::DrawBlock(const simnet::Subnet& s,
 }
 
 dataset::BeaconDataset BeaconGenerator::GenerateDataset() const {
+  return GenerateDataset(exec::Executor::Shared());
+}
+
+dataset::BeaconDataset BeaconGenerator::GenerateDataset(exec::Executor& executor) const {
   dataset::BeaconDataset out;
   util::Rng root(seed_);
   const auto subnets = subnets_;
-  for (std::size_t i = 0; i < subnets.size(); ++i) {
-    util::Rng rng = root.Fork(i);
-    const BlockDraws d = DrawBlock(subnets[i], rng);
-    if (d.hits == 0) continue;
-    dataset::BeaconBlockStats stats;
-    stats.hits = d.hits;
-    stats.netinfo_hits = d.netinfo;
-    stats.cellular_labels = d.cellular;
-    stats.wifi_labels = d.wifi;
-    stats.ethernet_labels = d.ethernet;
-    stats.other_labels = d.other;
-    stats.mobile_browser_hits = d.mobile;
-    out.Add(subnets[i].block, stats);
+
+  // Sequential fork-seed prepass: each subnet's stream is the one a
+  // sequential root.Fork(i) loop would have produced.
+  std::vector<std::uint64_t> fork_seeds(subnets.size());
+  for (std::size_t i = 0; i < subnets.size(); ++i) fork_seeds[i] = root.ForkSeed(i);
+
+  constexpr std::size_t kGrain = 2048;
+  const std::size_t chunks = exec::Executor::ChunkCount(subnets.size(), kGrain);
+  std::vector<std::vector<std::pair<std::size_t, dataset::BeaconBlockStats>>> partials(chunks);
+  executor.ParallelForChunks(
+      subnets.size(), kGrain, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto& local = partials[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          util::Rng rng(fork_seeds[i]);
+          const BlockDraws d = DrawBlock(subnets[i], rng);
+          if (d.hits == 0) continue;
+          dataset::BeaconBlockStats stats;
+          stats.hits = d.hits;
+          stats.netinfo_hits = d.netinfo;
+          stats.cellular_labels = d.cellular;
+          stats.wifi_labels = d.wifi;
+          stats.ethernet_labels = d.ethernet;
+          stats.other_labels = d.other;
+          stats.mobile_browser_hits = d.mobile;
+          local.emplace_back(i, stats);
+        }
+      });
+
+  // Ordered merge: chunk order is index order, so the dataset sees the
+  // same insertion sequence as the sequential loop.
+  for (auto& local : partials) {
+    for (auto& [i, stats] : local) out.Add(subnets[i].block, stats);
   }
   return out;
 }

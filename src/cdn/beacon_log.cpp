@@ -72,18 +72,28 @@ void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit) {
   dataset.Add(netaddr::BlockOf(hit.client_ip), stats);
 }
 
-dataset::BeaconDataset AggregateBeaconLog(std::istream& in) {
-  util::IngestReport strict;
-  return AggregateBeaconLog(in, strict);
-}
+namespace {
 
-dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
-                                          util::IngestReport& report) {
+dataset::BeaconDataset AggregateBeaconLogImpl(std::istream& in,
+                                              util::IngestReport& report) {
   dataset::BeaconDataset out;
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
     AccumulateHit(out, ParseBeaconLogLine(line));
   });
   return out;
+}
+
+}  // namespace
+
+dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
+                                          const util::LoadOptions& options) {
+  util::ScopedLoadReport scoped(options);
+  return AggregateBeaconLogImpl(in, scoped.get());
+}
+
+dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
+                                          util::IngestReport& report) {
+  return AggregateBeaconLogImpl(in, report);
 }
 
 }  // namespace cellspot::cdn

@@ -1,7 +1,10 @@
 #include "cellspot/cdn/demand_generator.hpp"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/util/date.hpp"
 #include "cellspot/util/rng.hpp"
 
@@ -36,18 +39,46 @@ double DemandGenerator::DailyDemand(const simnet::Subnet& subnet, int day,
 }
 
 dataset::DemandDataset DemandGenerator::GenerateDataset() const {
+  return GenerateDataset(exec::Executor::Shared());
+}
+
+dataset::DemandDataset DemandGenerator::GenerateDataset(exec::Executor& executor) const {
   dataset::DemandDataset out;
   util::Rng root(seed_);
   const auto subnets = subnets_;
+
+  // Sequential prepass replicating the snapshot filter: the root engine
+  // advances only for included subnets, exactly like the sequential
+  // loop's conditional Fork(i).
+  std::vector<std::pair<std::size_t, std::uint64_t>> work;  // (subnet index, fork seed)
+  work.reserve(subnets.size());
   for (std::size_t i = 0; i < subnets.size(); ++i) {
     const simnet::Subnet& s = subnets[i];
     if (s.demand_du <= 0.0 || !s.in_demand_snapshot) continue;
-    util::Rng rng = root.Fork(i);
-    double total = 0.0;
-    for (int day = 0; day < util::kDemandWindowDays; ++day) {
-      total += DailyDemand(s, day, rng);
-    }
-    out.Add(s.block, total);
+    work.emplace_back(i, root.ForkSeed(i));
+  }
+
+  constexpr std::size_t kGrain = 2048;
+  const std::size_t chunks = exec::Executor::ChunkCount(work.size(), kGrain);
+  std::vector<std::vector<std::pair<std::size_t, double>>> partials(chunks);
+  executor.ParallelForChunks(
+      work.size(), kGrain, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto& local = partials[chunk];
+        local.reserve(end - begin);
+        for (std::size_t w = begin; w < end; ++w) {
+          const auto [i, seed] = work[w];
+          const simnet::Subnet& s = subnets[i];
+          util::Rng rng(seed);
+          double total = 0.0;
+          for (int day = 0; day < util::kDemandWindowDays; ++day) {
+            total += DailyDemand(s, day, rng);
+          }
+          local.emplace_back(i, total);
+        }
+      });
+
+  for (auto& local : partials) {
+    for (const auto& [i, total] : local) out.Add(subnets[i].block, total);
   }
   out.Normalize();
   return out;

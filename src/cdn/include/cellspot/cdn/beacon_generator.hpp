@@ -12,6 +12,10 @@
 #include "cellspot/simnet/world.hpp"
 #include "cellspot/util/rng.hpp"
 
+namespace cellspot::exec {
+class Executor;
+}
+
 namespace cellspot::cdn {
 
 /// One beacon page-load record, as the RUM system logs it.
@@ -43,8 +47,14 @@ class BeaconGenerator {
                   std::span<const simnet::Subnet> subnets, std::uint64_t seed);
 
   /// Per-block aggregates over the whole study month. Deterministic for
-  /// a given world and seed offset.
+  /// a given world and seed offset, and byte-identical at any thread
+  /// count: per-subnet RNG streams are forked sequentially up front,
+  /// blocks are drawn in parallel, and the dataset is assembled by a
+  /// sequential merge in subnet order.
   [[nodiscard]] dataset::BeaconDataset GenerateDataset() const;
+
+  /// Same, on an explicit executor.
+  [[nodiscard]] dataset::BeaconDataset GenerateDataset(exec::Executor& executor) const;
 
   /// Stream individual hit records to `sink`, at most `max_hits` in
   /// total (large worlds produce hundreds of millions of hits; cap what

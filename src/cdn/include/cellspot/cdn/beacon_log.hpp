@@ -28,12 +28,13 @@ namespace cellspot::cdn {
 void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit);
 
 /// Read a whole log stream into a dataset; blank lines are skipped.
-/// Throws on the first malformed line (strict ingestion).
-[[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(std::istream& in);
+/// Malformed lines are routed through the ingest policy in `options`
+/// (throw / skip-and-count / quarantine; strict by default) and the
+/// error budget is enforced at end of stream.
+[[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(
+    std::istream& in, const util::LoadOptions& options = {});
 
-/// Fault-tolerant variant: malformed lines are routed through `report`
-/// per its policy (throw / skip-and-count / quarantine) and the error
-/// budget is enforced at end of stream.
+[[deprecated("use AggregateBeaconLog(in, util::LoadOptions{.report = &report})")]]
 [[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
                                                         util::IngestReport& report);
 

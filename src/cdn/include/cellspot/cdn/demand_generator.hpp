@@ -8,6 +8,10 @@
 #include "cellspot/dataset/demand_dataset.hpp"
 #include "cellspot/simnet/world.hpp"
 
+namespace cellspot::exec {
+class Executor;
+}
+
 namespace cellspot::cdn {
 
 class DemandGenerator {
@@ -20,7 +24,12 @@ class DemandGenerator {
 
   /// Normalised DEMAND snapshot. Blocks with zero expected demand or
   /// outside the snapshot window (fast-churning v6 space) are absent.
+  /// Byte-identical at any thread count (sequential fork-seed prepass,
+  /// parallel draws, ordered merge).
   [[nodiscard]] dataset::DemandDataset GenerateDataset() const;
+
+  /// Same, on an explicit executor.
+  [[nodiscard]] dataset::DemandDataset GenerateDataset(exec::Executor& executor) const;
 
   /// Raw daily request weight for one subnet and day (before smoothing),
   /// exposed for tests of the weekly aggregation.

@@ -1,6 +1,9 @@
 #include "cellspot/core/as_pipeline.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "cellspot/exec/executor.hpp"
 
 namespace cellspot::core {
 
@@ -20,6 +23,62 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
                                                 const ClassifiedSubnets& classified,
                                                 const dataset::BeaconDataset& beacons,
                                                 const dataset::DemandDataset& demand) {
+  return AggregateCandidateAses(rib, classified, beacons, demand,
+                                exec::Executor::Shared());
+}
+
+std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
+                                                const ClassifiedSubnets& classified,
+                                                const dataset::BeaconDataset& beacons,
+                                                const dataset::DemandDataset& demand,
+                                                exec::Executor& executor) {
+  // Materialise both datasets in iteration order, then resolve every
+  // block's origin AS (the longest-prefix-match walk dominates this
+  // stage) in parallel. Accumulation stays sequential below so per-AS
+  // floating-point sums and map layout match the sequential path.
+  struct BeaconItem {
+    const netaddr::Prefix* block;
+    const dataset::BeaconBlockStats* stats;
+    AsNumber origin = 0;
+    bool routed = false;
+  };
+  struct DemandItem {
+    const netaddr::Prefix* block;
+    double du;
+    AsNumber origin = 0;
+    bool routed = false;
+  };
+  std::vector<BeaconItem> beacon_items;
+  beacon_items.reserve(beacons.block_count());
+  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
+    beacon_items.push_back({&block, &stats, 0, false});
+  });
+  std::vector<DemandItem> demand_items;
+  demand_items.reserve(demand.block_count());
+  demand.ForEach([&](const netaddr::Prefix& block, double du) {
+    demand_items.push_back({&block, du, 0, false});
+  });
+
+  constexpr std::size_t kGrain = 4096;
+  executor.ParallelFor(beacon_items.size(), kGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const auto origin = OriginOfBlock(rib, *beacon_items[i].block);
+                           if (!origin) continue;
+                           beacon_items[i].origin = *origin;
+                           beacon_items[i].routed = true;
+                         }
+                       });
+  executor.ParallelFor(demand_items.size(), kGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const auto origin = OriginOfBlock(rib, *demand_items[i].block);
+                           if (!origin) continue;
+                           demand_items[i].origin = *origin;
+                           demand_items[i].routed = true;
+                         }
+                       });
+
   std::unordered_map<AsNumber, AsAggregate> by_asn;
   auto slot = [&](AsNumber asn) -> AsAggregate& {
     AsAggregate& agg = by_asn[asn];
@@ -28,11 +87,11 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
   };
 
   // Beacon-side aggregation: observed blocks, hits, cellular detections.
-  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
-    const auto origin = OriginOfBlock(rib, block);
-    if (!origin) return;
-    AsAggregate& agg = slot(*origin);
-    agg.beacon_hits += stats.hits;
+  for (const BeaconItem& item : beacon_items) {
+    if (!item.routed) continue;
+    const netaddr::Prefix& block = *item.block;
+    AsAggregate& agg = slot(item.origin);
+    agg.beacon_hits += item.stats->hits;
     if (classified.RatioOf(block) != nullptr) {
       if (block.family() == netaddr::Family::kIpv4) ++agg.observed_blocks_v4;
       else ++agg.observed_blocks_v6;
@@ -43,16 +102,15 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
       agg.cellular_blocks.push_back(block);
       agg.cell_demand_du += demand.DemandOf(block);
     }
-  });
+  }
 
   // Demand-side aggregation covers blocks with no beacons at all.
-  demand.ForEach([&](const netaddr::Prefix& block, double du) {
-    const auto origin = OriginOfBlock(rib, block);
-    if (!origin) return;
-    AsAggregate& agg = slot(*origin);
-    agg.total_demand_du += du;
+  for (const DemandItem& item : demand_items) {
+    if (!item.routed) continue;
+    AsAggregate& agg = slot(item.origin);
+    agg.total_demand_du += item.du;
     ++agg.demand_blocks;
-  });
+  }
 
   std::vector<AsAggregate> candidates;
   candidates.reserve(by_asn.size());

@@ -1,7 +1,9 @@
 #include "cellspot/core/classifier.hpp"
 
 #include <stdexcept>
+#include <vector>
 
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/util/metrics.hpp"
 
 namespace cellspot::core {
@@ -60,15 +62,48 @@ bool SubnetClassifier::IsCellular(const dataset::BeaconBlockStats& stats) const 
 }
 
 ClassifiedSubnets SubnetClassifier::Classify(const dataset::BeaconDataset& beacons) const {
+  return Classify(beacons, exec::Executor::Shared());
+}
+
+ClassifiedSubnets SubnetClassifier::Classify(const dataset::BeaconDataset& beacons,
+                                             exec::Executor& executor) const {
+  // Materialise the dataset in its iteration order; the map's element
+  // references are stable, so the parallel phase can read through them.
+  struct Item {
+    const netaddr::Prefix* block;
+    const dataset::BeaconBlockStats* stats;
+  };
+  std::vector<Item> items;
+  items.reserve(beacons.block_count());
+  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
+    items.push_back({&block, &stats});
+  });
+
+  struct Verdict {
+    bool observed = false;
+    bool cellular = false;
+  };
+  std::vector<Verdict> verdicts(items.size());
+  executor.ParallelFor(items.size(), 4096, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const dataset::BeaconBlockStats& stats = *items[i].stats;
+      if (stats.netinfo_hits < config_.min_netinfo_hits) continue;
+      verdicts[i].observed = true;
+      verdicts[i].cellular = Score(stats, config_) >= config_.threshold;
+    }
+  });
+
+  // Ordered merge in dataset iteration order, so the output containers
+  // see the same insertion sequence as the sequential implementation.
   ClassifiedSubnets out;
   out.ratios_.reserve(beacons.block_count());
-  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
-    if (stats.netinfo_hits < config_.min_netinfo_hits) return;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!verdicts[i].observed) continue;
     // The recorded ratio is always the point estimate (it feeds Fig 2);
     // only the decision uses the configured score.
-    out.ratios_.emplace(block, stats.CellularRatio());
-    if (Score(stats, config_) >= config_.threshold) out.cellular_.insert(block);
-  });
+    out.ratios_.emplace(*items[i].block, items[i].stats->CellularRatio());
+    if (verdicts[i].cellular) out.cellular_.insert(*items[i].block);
+  }
   return out;
 }
 

@@ -52,6 +52,15 @@ struct AsAggregate {
     const asdb::RoutingTable& rib, const ClassifiedSubnets& classified,
     const dataset::BeaconDataset& beacons, const dataset::DemandDataset& demand);
 
+/// Same, on an explicit executor. Longest-prefix-match lookups run in
+/// parallel; the per-AS accumulation happens in a sequential merge in
+/// dataset iteration order, so sums and map layout are byte-identical
+/// at any thread count.
+[[nodiscard]] std::vector<AsAggregate> AggregateCandidateAses(
+    const asdb::RoutingTable& rib, const ClassifiedSubnets& classified,
+    const dataset::BeaconDataset& beacons, const dataset::DemandDataset& demand,
+    exec::Executor& executor);
+
 /// §5.1 filter heuristics with the paper's default cut-offs.
 struct AsFilterConfig {
   double min_cell_demand_du = 0.1;  // rule 1

@@ -10,6 +10,10 @@
 #include "cellspot/dataset/beacon_dataset.hpp"
 #include "cellspot/netaddr/prefix.hpp"
 
+namespace cellspot::exec {
+class Executor;
+}
+
 namespace cellspot::core {
 
 struct ClassifierConfig {
@@ -63,7 +67,13 @@ class SubnetClassifier {
   [[nodiscard]] const ClassifierConfig& config() const noexcept { return config_; }
 
   /// Classify every block in the dataset with enough API-enabled hits.
+  /// Byte-identical at any thread count: blocks are scored in parallel
+  /// but inserted in the dataset's iteration order by an ordered merge.
   [[nodiscard]] ClassifiedSubnets Classify(const dataset::BeaconDataset& beacons) const;
+
+  /// Same, on an explicit executor.
+  [[nodiscard]] ClassifiedSubnets Classify(const dataset::BeaconDataset& beacons,
+                                           exec::Executor& executor) const;
 
   /// Single-block decision (given its aggregate stats).
   [[nodiscard]] bool IsCellular(const dataset::BeaconBlockStats& stats) const noexcept;

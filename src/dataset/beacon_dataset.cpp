@@ -69,12 +69,9 @@ void BeaconDataset::SaveCsv(std::ostream& out) const {
   }
 }
 
-BeaconDataset BeaconDataset::LoadCsv(std::istream& in) {
-  util::IngestReport strict;
-  return LoadCsv(in, strict);
-}
+namespace {
 
-BeaconDataset BeaconDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
+BeaconDataset LoadBeaconCsvImpl(std::istream& in, util::IngestReport& report) {
   BeaconDataset out;
   bool saw_header = false;
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
@@ -113,6 +110,18 @@ BeaconDataset BeaconDataset::LoadCsv(std::istream& in, util::IngestReport& repor
     }
   });
   return out;
+}
+
+}  // namespace
+
+BeaconDataset BeaconDataset::LoadCsv(std::istream& in,
+                                     const util::LoadOptions& options) {
+  util::ScopedLoadReport scoped(options);
+  return LoadBeaconCsvImpl(in, scoped.get());
+}
+
+BeaconDataset BeaconDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
+  return LoadBeaconCsvImpl(in, report);
 }
 
 }  // namespace cellspot::dataset

@@ -55,12 +55,9 @@ void DemandDataset::SaveCsv(std::ostream& out) const {
   }
 }
 
-DemandDataset DemandDataset::LoadCsv(std::istream& in) {
-  util::IngestReport strict;
-  return LoadCsv(in, strict);
-}
+namespace {
 
-DemandDataset DemandDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
+DemandDataset LoadDemandCsvImpl(std::istream& in, util::IngestReport& report) {
   DemandDataset out;
   bool saw_header = false;
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
@@ -88,6 +85,18 @@ DemandDataset DemandDataset::LoadCsv(std::istream& in, util::IngestReport& repor
     }
   });
   return out;
+}
+
+}  // namespace
+
+DemandDataset DemandDataset::LoadCsv(std::istream& in,
+                                     const util::LoadOptions& options) {
+  util::ScopedLoadReport scoped(options);
+  return LoadDemandCsvImpl(in, scoped.get());
+}
+
+DemandDataset DemandDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
+  return LoadDemandCsvImpl(in, report);
 }
 
 }  // namespace cellspot::dataset

@@ -68,11 +68,14 @@ class BeaconDataset {
   /// different servers combine associatively).
   void Merge(const BeaconDataset& other);
 
-  /// CSV persistence: header + one row per block. The strict LoadCsv
-  /// throws on the first malformed row; the report variant routes faults
-  /// through the report's ingest policy.
+  /// CSV persistence: header + one row per block. LoadCsv routes
+  /// malformed rows through the ingest policy in `options` (strict by
+  /// default: throw on the first fault).
   void SaveCsv(std::ostream& out) const;
-  [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in);
+  [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in,
+                                             const util::LoadOptions& options = {});
+
+  [[deprecated("use LoadCsv(in, util::LoadOptions{.report = &report})")]]
   [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in,
                                              util::IngestReport& report);
 

@@ -40,10 +40,13 @@ class DemandDataset {
   /// Merge another (un-normalised) dataset into this one.
   void Merge(const DemandDataset& other);
 
-  /// CSV persistence. The strict LoadCsv throws on the first malformed
-  /// row; the report variant routes faults through the ingest policy.
+  /// CSV persistence. LoadCsv routes malformed rows through the ingest
+  /// policy in `options` (strict by default: throw on the first fault).
   void SaveCsv(std::ostream& out) const;
-  [[nodiscard]] static DemandDataset LoadCsv(std::istream& in);
+  [[nodiscard]] static DemandDataset LoadCsv(std::istream& in,
+                                             const util::LoadOptions& options = {});
+
+  [[deprecated("use LoadCsv(in, util::LoadOptions{.report = &report})")]]
   [[nodiscard]] static DemandDataset LoadCsv(std::istream& in,
                                              util::IngestReport& report);
 

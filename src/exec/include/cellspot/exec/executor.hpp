@@ -1,0 +1,121 @@
+// Deterministic parallel execution engine for the analysis pipeline.
+//
+// The contract every stage builds on: work over [0, n) is split into
+// fixed-size chunks derived from `grain` alone — never from the thread
+// count — and chunk results are merged in chunk-index order. Threads
+// only decide *when* a chunk runs, not *what* it computes or *where*
+// its output lands, so every pipeline stage produces byte-identical
+// results at any thread count (including 1).
+//
+// Scheduling is work-stealing over chunk ranges: each participant
+// (the calling thread plus the pool workers) starts with an even span
+// of chunk indices and steals half of the largest remaining span of a
+// victim when its own runs dry. Skewed per-chunk costs (e.g. a country
+// with 10x the subnets of its neighbours) therefore balance out
+// without affecting the output.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace cellspot::exec {
+
+class Executor {
+ public:
+  /// `threads == 0` picks DefaultThreadCount(). A 1-thread executor
+  /// spawns no workers and runs every chunk inline on the caller.
+  explicit Executor(unsigned threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+  /// Run `body(begin, end)` over every chunk of [0, n). Chunks are
+  /// [k*grain, min(n, (k+1)*grain)); a grain of 0 is treated as 1.
+  /// Blocks until every chunk has completed. Not reentrant: `body` must
+  /// not call back into the same executor.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// As ParallelFor, but `body` also receives the chunk index — the
+  /// shard id used to key per-shard staging buffers and RNG streams.
+  void ParallelForChunks(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t begin, std::size_t end, std::size_t chunk)>&
+          body);
+
+  /// Map every chunk to a partial result, then fold the partials in
+  /// chunk-index order: reduce(reduce(init, map(chunk 0)), map(chunk 1))
+  /// and so on. The ordered fold is what keeps floating-point sums and
+  /// container insertion order independent of the thread count.
+  template <typename T, typename MapFn, typename ReduceFn>
+  [[nodiscard]] T ParallelReduce(std::size_t n, std::size_t grain, T init, MapFn&& map,
+                                 ReduceFn&& reduce) {
+    const std::size_t chunks = ChunkCount(n, grain);
+    std::vector<std::optional<T>> partials(chunks);
+    ParallelForChunks(n, grain,
+                      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                        partials[chunk].emplace(map(begin, end));
+                      });
+    T acc = std::move(init);
+    for (std::optional<T>& partial : partials) {
+      acc = reduce(std::move(acc), std::move(*partial));
+    }
+    return acc;
+  }
+
+  [[nodiscard]] static std::size_t ChunkCount(std::size_t n, std::size_t grain) noexcept {
+    if (grain == 0) grain = 1;
+    return n == 0 ? 0 : (n + grain - 1) / grain;
+  }
+
+  /// Thread count used when none is given explicitly: the programmatic
+  /// override (SetDefaultThreadCount) if set, else the CELLSPOT_THREADS
+  /// environment variable, else std::thread::hardware_concurrency().
+  /// Throws std::invalid_argument on a non-numeric or zero
+  /// CELLSPOT_THREADS value.
+  [[nodiscard]] static unsigned DefaultThreadCount();
+
+  /// Programmatic override for DefaultThreadCount (what --threads sets).
+  /// 0 clears the override. Must be called before the first Shared()
+  /// use to affect the shared executor.
+  static void SetDefaultThreadCount(unsigned threads);
+
+  /// Lazily constructed process-wide executor with DefaultThreadCount()
+  /// threads. Never destroyed (workers outlive static teardown).
+  [[nodiscard]] static Executor& Shared();
+
+ private:
+  /// Span of chunk indices owned by one participant.
+  struct Range {
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+
+  struct Job;
+
+  void WorkerLoop(unsigned participant);
+  static void RunJob(Job& job, unsigned participant);
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;   // the caller waits here for drain
+  Job* job_ = nullptr;                // current job, nullptr when idle
+  std::uint64_t job_seq_ = 0;         // bumped per job so workers run each once
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  // serialises concurrent ParallelFor callers
+};
+
+}  // namespace cellspot::exec

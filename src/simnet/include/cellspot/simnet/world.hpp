@@ -18,6 +18,10 @@
 #include "cellspot/netaddr/prefix.hpp"
 #include "cellspot/simnet/world_config.hpp"
 
+namespace cellspot::exec {
+class Executor;
+}
+
 namespace cellspot::simnet {
 
 /// One announced /24 (IPv4) or /48 (IPv6) block and its ground truth.
@@ -58,8 +62,16 @@ struct OperatorInfo {
 class World {
  public:
   /// Build the full world from a validated config. Deterministic in
-  /// config.seed.
+  /// config.seed. Runs on the shared executor; the result is
+  /// byte-identical at any thread count (countries are generated in
+  /// parallel from precomputed RNG streams, then merged in a fixed
+  /// order that performs every order-sensitive step — ASN assignment,
+  /// block allocation, RIB announcement, shared-stream draws — exactly
+  /// as the sequential generator did).
   [[nodiscard]] static World Generate(const WorldConfig& config);
+
+  /// Same, on an explicit executor.
+  [[nodiscard]] static World Generate(const WorldConfig& config, exec::Executor& executor);
 
   [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
   [[nodiscard]] const asdb::AsDatabase& as_db() const noexcept { return as_db_; }

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/netinfo/availability.hpp"
 #include "cellspot/simnet/block_allocator.hpp"
 #include "cellspot/util/rng.hpp"
@@ -72,6 +73,19 @@ const std::set<std::string>& MiddleEastIsos() {
 }  // namespace
 
 /// Stateful generator; friend of World so it can fill the private fields.
+///
+/// Generation is split into two phases so countries can run on any
+/// thread while the result stays byte-identical to a sequential build:
+///
+///  1. Emit (parallel): each country, seeded from a sequentially
+///     precomputed fork of the master RNG, stages its operators and
+///     subnets into a private CountryYield. Nothing order-sensitive
+///     happens here — ASNs, address blocks, RIB announcements and the
+///     shared mobile-share stream are all deferred.
+///  2. Merge (sequential, country order): ASN gaps are resolved
+///     cumulatively, AS records upserted, blocks allocated and
+///     subnets pushed in exactly the order the old single-threaded
+///     generator produced them.
 class WorldBuilder {
  public:
   explicit WorldBuilder(const WorldConfig& cfg) : rng_(cfg.seed) {
@@ -79,11 +93,40 @@ class WorldBuilder {
     world_.config_ = cfg;
   }
 
-  World Build() {
+  World Build(exec::Executor& executor) {
     PlanBlocks();
-    for (std::size_t ci = 0; ci < world_.config_.countries.size(); ++ci) {
-      EmitCountry(static_cast<std::uint16_t>(ci));
+    const std::size_t n_countries = world_.config_.countries.size();
+
+    // Fork seeds are drawn sequentially (one engine step each) so the
+    // per-country streams match a sequential Fork loop exactly.
+    std::vector<std::uint64_t> country_seeds(n_countries);
+    for (std::size_t ci = 0; ci < n_countries; ++ci) {
+      country_seeds[ci] = rng_.ForkSeed(1000 + ci);
     }
+
+    std::vector<CountryYield> yields(n_countries);
+    executor.ParallelFor(n_countries, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t ci = begin; ci < end; ++ci) {
+        util::Rng rng(country_seeds[ci]);
+        EmitCountry(static_cast<std::uint16_t>(ci), rng, yields[ci]);
+      }
+    });
+
+    // The sequential generator emitted the Asian proxy blocks for the
+    // first qualifying operator in country order; replicate that by
+    // picking the first country holding a candidate.
+    std::size_t proxy_country = n_countries;
+    for (std::size_t ci = 0; ci < n_countries; ++ci) {
+      if (yields[ci].proxy_slot >= 0) {
+        proxy_country = ci;
+        break;
+      }
+    }
+    for (std::size_t ci = 0; ci < n_countries; ++ci) {
+      if (ci == proxy_country) SpliceAsianProxy(yields[ci]);
+      MergeCountry(yields[ci]);
+    }
+
     EmitInfrastructure();
     PickValidationCarriers();
     BuildIndexes();
@@ -96,6 +139,30 @@ class WorldBuilder {
     int fixed_v4 = 0;
     int cell_v6 = 0;
     int fixed_v6 = 0;
+  };
+
+  /// A subnet staged by the parallel phase: address block and ASN are
+  /// assigned at merge time (both are order-sensitive global streams).
+  struct StagedSubnet {
+    Subnet s;
+    bool v6 = false;
+    std::uint32_t op_slot = 0;  // index into CountryYield::ops
+  };
+
+  /// An operator staged by the parallel phase. The ASN is represented
+  /// as a gap over the previous operator's ASN (the amount NextAsn
+  /// would have advanced), resolved cumulatively at merge time.
+  struct StagedOperator {
+    OperatorInfo op;        // asn unset; subnet range country-local
+    asdb::AsRecord record;  // asn unset
+    asdb::AsNumber asn_gap = 0;
+  };
+
+  struct CountryYield {
+    std::vector<StagedOperator> ops;
+    std::vector<StagedSubnet> subnets;
+    int proxy_slot = -1;  // first Asian-proxy candidate, -1 if none
+    std::size_t proxy_insert_pos = 0;
   };
 
   const WorldConfig& cfg() const { return world_.config_; }
@@ -136,10 +203,11 @@ class WorldBuilder {
 
   // ---- per-country operators -------------------------------------------
 
-  void EmitCountry(std::uint16_t country_index) {
+  // Stage one country into `y`. Runs on any thread: touches only the
+  // yield, the (frozen) config/budgets and the country-private rng.
+  void EmitCountry(std::uint16_t country_index, util::Rng& rng, CountryYield& y) const {
     const CountryProfile& p = cfg().countries[country_index];
     const CountryBudget& budget = budgets_[country_index];
-    util::Rng rng = rng_.Fork(1000 + country_index);
 
     const int n_cell_as = p.cellular_as_count;
     const int n_fixed_as = p.fixed_as_count;
@@ -241,11 +309,13 @@ class WorldBuilder {
     // Incumbent mixed carriers take the top Zipf ranks of the remaining
     // fixed pool (they are the national fixed-line telcos), fixed-only
     // ISPs the rest.
-    std::vector<std::size_t> op_ids;
+    std::vector<std::uint32_t> op_ids;
     int incumbent_cursor = 0;
     for (int i = 0; i < n_cell_as; ++i) {
       OperatorInfo op;
-      op.asn = NextAsn(rng);
+      // Same draw NextAsn would have made; the cumulative ASN is
+      // resolved at merge time from the recorded gap.
+      const AsNumber asn_gap = 1 + static_cast<AsNumber>(rng.UniformInt(0, 40));
       op.kind = mixed[static_cast<std::size_t>(i)] ? OperatorKind::kMixed
                                                    : OperatorKind::kDedicatedCellular;
       op.country = country_index;
@@ -263,12 +333,12 @@ class WorldBuilder {
         // Dedicated: tiny corporate arm, ~0.3% of cellular demand.
         op.fixed_demand_du = op.cell_demand_du * 0.003;
       }
-      op_ids.push_back(StartOperator(op, rng, p.iso2, i));
+      op_ids.push_back(StageOperator(y, op, rng, p.iso2, i, asn_gap));
       fixed_sides.push_back({static_cast<int>(op_ids.size()) - 1, op.fixed_demand_du});
     }
     for (int i = 0; i < n_fixed_as; ++i) {
       OperatorInfo op;
-      op.asn = NextAsn(rng);
+      const AsNumber asn_gap = 1 + static_cast<AsNumber>(rng.UniformInt(0, 40));
       op.kind = OperatorKind::kFixedOnly;
       op.country = country_index;
       op.country_iso = p.iso2;
@@ -278,7 +348,7 @@ class WorldBuilder {
                                ? fixed_du[static_cast<std::size_t>(rank)]
                                : 0.0;
       op.public_dns_fraction = p.public_dns_fraction;
-      op_ids.push_back(StartOperator(op, rng, p.iso2, n_cell_as + i));
+      op_ids.push_back(StageOperator(y, op, rng, p.iso2, n_cell_as + i, asn_gap));
       fixed_sides.push_back({static_cast<int>(op_ids.size()) - 1, op.fixed_demand_du});
     }
 
@@ -311,18 +381,18 @@ class WorldBuilder {
 
     // Emit subnets operator by operator (keeps each AS contiguous).
     for (std::size_t slot = 0; slot < op_ids.size(); ++slot) {
-      OperatorInfo& op = world_.operators_[op_ids[slot]];
+      OperatorInfo& op = y.ops[op_ids[slot]].op;
       util::Rng op_rng = rng.Fork(900 + slot);
-      op.subnet_begin = static_cast<std::uint32_t>(world_.subnets_.size());
+      op.subnet_begin = static_cast<std::uint32_t>(y.subnets.size());
       const bool is_cell_op = slot < static_cast<std::size_t>(n_cell_as);
       if (is_cell_op) {
-        EmitCellularSide(op, cell_blocks[slot], v6_cell_blocks[slot], op_rng);
+        EmitCellularSide(y, op_ids[slot], cell_blocks[slot], v6_cell_blocks[slot], op_rng);
       }
-      EmitFixedSide(op, fixed_blocks[slot], v6_fixed_blocks[slot], op_rng);
+      EmitFixedSide(y, op_ids[slot], fixed_blocks[slot], v6_fixed_blocks[slot], op_rng);
       if (op.kind == OperatorKind::kFixedOnly && op_rng.Chance(cfg().stray_cell_block_prob)) {
-        EmitStrayCellPool(op, op_rng);
+        EmitStrayCellPool(y, op_ids[slot], op_rng);
       }
-      op.subnet_end = static_cast<std::uint32_t>(world_.subnets_.size());
+      op.subnet_end = static_cast<std::uint32_t>(y.subnets.size());
 
       // Some small carriers serve JS-poor clienteles: enough demand to
       // survive rule 1 but too few beacon responses for rule 2 (§5.1's
@@ -330,9 +400,64 @@ class WorldBuilder {
       if (is_cell_op && op.cell_demand_du > 0.15 && op.cell_demand_du < 2.0 &&
           op_rng.Chance(cfg().low_beacon_as_prob)) {
         for (std::uint32_t i = op.subnet_begin; i < op.subnet_end; ++i) {
-          Subnet& s = world_.subnets_[i];
+          Subnet& s = y.subnets[i].s;
           if (s.beacon_scale > 0.0) s.beacon_scale *= 0.02;
         }
+      }
+    }
+  }
+
+  // ---- merge phase (sequential, country order) -------------------------
+
+  // Replay one country's staged output against the global state in the
+  // exact order the sequential generator used: all operators first
+  // (ASNs, AS records, operator table), then every subnet (address
+  // block, mobile-share draw, RIB announcement).
+  void MergeCountry(CountryYield& y) {
+    const std::uint32_t subnet_base = static_cast<std::uint32_t>(world_.subnets_.size());
+    for (StagedOperator& so : y.ops) {
+      next_asn_ += so.asn_gap;
+      so.op.asn = next_asn_;
+      so.record.asn = next_asn_;
+      world_.as_db_.Upsert(std::move(so.record));
+      world_.op_index_.emplace(so.op.asn, world_.operators_.size());
+      OperatorInfo op = so.op;
+      op.subnet_begin += subnet_base;
+      op.subnet_end += subnet_base;
+      world_.operators_.push_back(std::move(op));
+    }
+    for (StagedSubnet& ss : y.subnets) {
+      Subnet s = std::move(ss.s);
+      s.asn = y.ops[ss.op_slot].op.asn;
+      s.block = ss.v6 ? alloc_.NextV6Block() : alloc_.NextV4Block();
+      PushSubnet(std::move(s));
+    }
+  }
+
+  // Insert the two terminating-proxy blocks for the winning candidate,
+  // exactly where the sequential generator would have emitted them (the
+  // end of that operator's fixed side), shifting later staged ranges.
+  void SpliceAsianProxy(CountryYield& y) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(y.proxy_slot);
+    OperatorInfo& op = y.ops[slot].op;
+    const std::size_t pos = y.proxy_insert_pos;
+    for (int i = 0; i < 2; ++i) {
+      Subnet s;
+      s.country = op.country;
+      s.truth_cellular = false;
+      s.demand_du = op.cell_demand_du * 0.05;
+      s.beacon_scale = 0.0;
+      y.subnets.insert(y.subnets.begin() + static_cast<std::ptrdiff_t>(pos + i),
+                       StagedSubnet{std::move(s), /*v6=*/false, slot});
+      op.fixed_demand_du += op.cell_demand_du * 0.05;
+    }
+    for (std::size_t k = 0; k < y.ops.size(); ++k) {
+      OperatorInfo& o = y.ops[k].op;
+      if (k == slot) {
+        o.subnet_end += 2;
+      } else if (o.subnet_begin >= pos) {
+        o.subnet_begin += 2;
+        o.subnet_end += 2;
       }
     }
   }
@@ -358,7 +483,9 @@ class WorldBuilder {
   // Cellular side of a carrier: a small CGNAT "heavy" pool carrying
   // almost all demand, a long active tail, and (for mixed legacy
   // carriers) a large allocated-but-inactive range.
-  void EmitCellularSide(OperatorInfo& op, int n_active_v4, int n_v6, util::Rng& rng) {
+  void EmitCellularSide(CountryYield& y, std::uint32_t slot, int n_active_v4, int n_v6,
+                        util::Rng& rng) const {
+    OperatorInfo& op = y.ops[slot].op;
     // Portion of cellular demand that rides IPv6 where deployed.
     double v6_demand = 0.0;
     double v4_demand = op.cell_demand_du;
@@ -381,8 +508,8 @@ class WorldBuilder {
       no_js_share = 0.18;
     }
 
-    EmitCellularPool(op, n_active_v4, v4_demand, no_js_share, /*v6=*/false, rng);
-    if (n_v6 > 0) EmitCellularPool(op, n_v6, v6_demand, no_js_share * 0.5, /*v6=*/true, rng);
+    EmitCellularPool(y, slot, n_active_v4, v4_demand, no_js_share, /*v6=*/false, rng);
+    if (n_v6 > 0) EmitCellularPool(y, slot, n_v6, v6_demand, no_js_share * 0.5, /*v6=*/true, rng);
 
     // Allocated-but-inactive cellular space (legacy allocations). Large
     // European mixed incumbents hold vast dormant ranges (Carrier A's
@@ -398,19 +525,18 @@ class WorldBuilder {
     const int n_inactive = static_cast<int>(std::lround(n_active_v4 * inactive_factor));
     for (int i = 0; i < n_inactive; ++i) {
       Subnet s;
-      s.block = alloc_.NextV4Block();
-      s.asn = op.asn;
       s.country = op.country;
       s.truth_cellular = true;
       s.in_demand_snapshot = false;
       s.demand_du = 0.0;
       s.beacon_scale = 0.0;
-      PushSubnet(std::move(s));
+      PushStaged(y, std::move(s), /*v6=*/false, slot);
     }
   }
 
-  void EmitCellularPool(OperatorInfo& op, int n_blocks, double demand, double no_js_share,
-                        bool v6, util::Rng& rng) {
+  void EmitCellularPool(CountryYield& y, std::uint32_t slot, int n_blocks, double demand,
+                        double no_js_share, bool v6, util::Rng& rng) const {
+    OperatorInfo& op = y.ops[slot].op;
     if (n_blocks <= 0) return;
     const int heavy = std::max(
         1, static_cast<int>(std::lround(n_blocks * cfg().cgnat_heavy_block_fraction)));
@@ -433,8 +559,6 @@ class WorldBuilder {
 
     for (int i = 0; i < n_blocks; ++i) {
       Subnet s;
-      s.block = v6 ? alloc_.NextV6Block() : alloc_.NextV4Block();
-      s.asn = op.asn;
       s.country = op.country;
       s.truth_cellular = true;
       s.demand_du = demand_per_block[static_cast<std::size_t>(i)];
@@ -461,7 +585,7 @@ class WorldBuilder {
       if (expected > 0.0 && expected < want) {
         s.beacon_scale = std::min(want / expected, 60.0);
       }
-      PushSubnet(std::move(s));
+      PushStaged(y, std::move(s), v6, slot);
     }
 
     // Apply the no-JS demand share: walk heavy blocks from the smallest
@@ -471,9 +595,9 @@ class WorldBuilder {
     double covered = 0.0;
     const double target = demand * no_js_share;
     const double ceiling = std::max(target * 1.6, target + 0.3);
-    const std::size_t base = world_.subnets_.size() - static_cast<std::size_t>(n_blocks);
+    const std::size_t base = y.subnets.size() - static_cast<std::size_t>(n_blocks);
     for (int i = heavy - 1; i >= 1 && covered < target; --i) {
-      Subnet& s = world_.subnets_[base + static_cast<std::size_t>(i)];
+      Subnet& s = y.subnets[base + static_cast<std::size_t>(i)].s;
       if (covered + s.demand_du > ceiling) continue;
       s.beacon_scale = 0.0;
       covered += s.demand_du;
@@ -482,25 +606,25 @@ class WorldBuilder {
     // worlds), carve the no-JS demand into its own gateway block instead,
     // taken out of the top gateway.
     if (target > 0.05 && covered < target * 0.5) {
-      Subnet& top = world_.subnets_[base];
+      Subnet& top = y.subnets[base].s;
       const double carve = std::min(target - covered, top.demand_du * 0.5);
       if (carve > 0.0) {
         top.demand_du -= carve;
         Subnet gateway;
-        gateway.block = v6 ? alloc_.NextV6Block() : alloc_.NextV4Block();
-        gateway.asn = op.asn;
         gateway.country = op.country;
         gateway.truth_cellular = true;
         gateway.demand_du = carve;
         gateway.beacon_scale = 0.0;
         gateway.tether_rate = top.tether_rate;
         if (v6) gateway.in_demand_snapshot = top.in_demand_snapshot;
-        PushSubnet(std::move(gateway));
+        PushStaged(y, std::move(gateway), v6, slot);
       }
     }
   }
 
-  void EmitFixedSide(OperatorInfo& op, int n_blocks, int n_v6, util::Rng& rng) {
+  void EmitFixedSide(CountryYield& y, std::uint32_t slot, int n_blocks, int n_v6,
+                     util::Rng& rng) const {
+    OperatorInfo& op = y.ops[slot].op;
     double v6_demand = 0.0;
     double v4_demand = op.fixed_demand_du;
     if (n_v6 > 0) {
@@ -512,7 +636,7 @@ class WorldBuilder {
     // cellular footprint (Fig 6a: ~40% of a dedicated AS's blocks have
     // cellular ratio 0 and near-zero demand).
     if (op.kind == OperatorKind::kDedicatedCellular) {
-      const int cell_active = CountActiveCellBlocks(op);
+      const int cell_active = CountActiveCellBlocks(y, slot, op.subnet_begin);
       n_blocks = std::max(n_blocks, static_cast<int>(std::lround(cell_active * 0.67)));
     }
     if (n_blocks <= 0 && v4_demand <= 0.0) return;
@@ -544,8 +668,6 @@ class WorldBuilder {
 
     for (int i = 0; i < total; ++i) {
       Subnet s;
-      s.block = alloc_.NextV4Block();
-      s.asn = op.asn;
       s.country = op.country;
       s.truth_cellular = false;
       s.demand_du = demand_per_block[static_cast<std::size_t>(i)];
@@ -556,7 +678,7 @@ class WorldBuilder {
         s.tether_rate = 0.75;  // reused as P(cellular label) for fixed blocks
         s.demand_du = std::min(s.demand_du, 0.01 + rng.UniformDouble() * 0.01);
       }
-      PushSubnet(std::move(s));
+      PushStaged(y, std::move(s), /*v6=*/false, slot);
     }
 
     // IPv6 fixed blocks.
@@ -565,54 +687,44 @@ class WorldBuilder {
       ScaleTo(w6, v6_demand);
       for (int i = 0; i < n_v6; ++i) {
         Subnet s;
-        s.block = alloc_.NextV6Block();
-        s.asn = op.asn;
         s.country = op.country;
         s.truth_cellular = false;
         s.demand_du = w6[static_cast<std::size_t>(i)];
         s.in_demand_snapshot = rng.Chance(cfg().v6_demand_coverage);
-        PushSubnet(std::move(s));
+        PushStaged(y, std::move(s), /*v6=*/true, slot);
       }
     }
 
     // One large Asian dedicated carrier hosts two busy terminating HTTP
     // proxies: demand with no browsers (the §6.1 anecdote that motivated
-    // the CFD >= 0.9 dedicated threshold).
+    // the CFD >= 0.9 dedicated threshold). Only a candidate is recorded
+    // here (emission draws no randomness); the merge phase splices the
+    // blocks into the globally first candidate, matching the sequential
+    // generator's single cross-country flag.
     if (op.kind == OperatorKind::kDedicatedCellular &&
         op.continent == Continent::kAsia && op.cell_demand_du > 100.0 &&
         op.cell_demand_du < 260.0 &&
-        !asian_proxy_emitted_) {
-      asian_proxy_emitted_ = true;
-      for (int i = 0; i < 2; ++i) {
-        Subnet s;
-        s.block = alloc_.NextV4Block();
-        s.asn = op.asn;
-        s.country = op.country;
-        s.truth_cellular = false;
-        s.demand_du = op.cell_demand_du * 0.05;
-        s.beacon_scale = 0.0;
-        PushSubnet(std::move(s));
-        op.fixed_demand_du += s.demand_du;
-      }
+        y.proxy_slot < 0) {
+      y.proxy_slot = static_cast<int>(slot);
+      y.proxy_insert_pos = y.subnets.size();
     }
   }
 
   // Tiny genuine cellular pool inside a fixed-only ISP (M2M resale):
   // detected as cellular but carrying < 0.1 DU, so heuristic 1 filters
   // the AS (the bulk of Table 5's 493 exclusions).
-  void EmitStrayCellPool(OperatorInfo& op, util::Rng& rng) {
+  void EmitStrayCellPool(CountryYield& y, std::uint32_t slot, util::Rng& rng) const {
+    OperatorInfo& op = y.ops[slot].op;
     const int n = 1 + static_cast<int>(rng.UniformInt(0, 1));
     for (int i = 0; i < n; ++i) {
       Subnet s;
-      s.block = alloc_.NextV4Block();
-      s.asn = op.asn;
       s.country = op.country;
       s.truth_cellular = true;
       s.demand_du = 0.002 + rng.UniformDouble() * 0.04;
       s.beacon_scale = 20.0;  // hotspot users are JS-heavy
       s.tether_rate = 0.05;
-      PushSubnet(std::move(s));
       op.cell_demand_du += s.demand_du;
+      PushStaged(y, std::move(s), /*v6=*/false, slot);
     }
   }
 
@@ -751,6 +863,25 @@ class WorldBuilder {
     label(c, 'C');
   }
 
+  // Stage a country operator: the record and class draw happen exactly
+  // where StartOperator made them, but nothing touches global state.
+  std::uint32_t StageOperator(CountryYield& y, OperatorInfo op, util::Rng& rng,
+                              const std::string& tag, int ordinal, AsNumber asn_gap) const {
+    StagedOperator so;
+    so.asn_gap = asn_gap;
+    so.record.country_iso = op.country_iso;
+    so.record.continent = op.continent;
+    so.record.kind = op.kind;
+    so.record.name = tag + "-" + OperatorSuffix(op.kind) + "-" + std::to_string(ordinal + 1);
+    so.record.cls = ClassFor(op, rng);
+    op.subnet_begin = static_cast<std::uint32_t>(y.subnets.size());
+    op.subnet_end = op.subnet_begin;
+    so.op = std::move(op);
+    y.ops.push_back(std::move(so));
+    return static_cast<std::uint32_t>(y.ops.size() - 1);
+  }
+
+  /// Global-state variant, used by the (sequential) infrastructure pass.
   std::size_t StartOperator(OperatorInfo op, util::Rng& rng, const std::string& tag, int ordinal) {
     asdb::AsRecord record;
     record.asn = op.asn;
@@ -781,7 +912,7 @@ class WorldBuilder {
     return "AS";
   }
 
-  asdb::AsClass ClassFor(const OperatorInfo& op, util::Rng& rng) {
+  asdb::AsClass ClassFor(const OperatorInfo& op, util::Rng& rng) const {
     switch (op.kind) {
       case OperatorKind::kMobileProxy:
         return asdb::AsClass::kContent;
@@ -805,14 +936,19 @@ class WorldBuilder {
     return next_asn_;
   }
 
-  int CountActiveCellBlocks(const OperatorInfo& op) const {
+  static int CountActiveCellBlocks(const CountryYield& y, std::uint32_t slot,
+                                   std::uint32_t begin) {
     int n = 0;
-    for (std::uint32_t i = op.subnet_begin; i < world_.subnets_.size(); ++i) {
-      const Subnet& s = world_.subnets_[i];
-      if (s.asn != op.asn) break;
-      if (s.truth_cellular && s.demand_du > 0.0) ++n;
+    for (std::size_t i = begin; i < y.subnets.size(); ++i) {
+      const StagedSubnet& ss = y.subnets[i];
+      if (ss.op_slot != slot) break;
+      if (ss.s.truth_cellular && ss.s.demand_du > 0.0) ++n;
     }
     return n;
+  }
+
+  static void PushStaged(CountryYield& y, Subnet s, bool v6, std::uint32_t slot) {
+    y.subnets.push_back(StagedSubnet{std::move(s), v6, slot});
   }
 
   void PushSubnet(Subnet s) {
@@ -848,12 +984,15 @@ class WorldBuilder {
   World world_;
   std::vector<CountryBudget> budgets_;
   AsNumber next_asn_ = 2000;
-  bool asian_proxy_emitted_ = false;
 };
 
 World World::Generate(const WorldConfig& config) {
+  return Generate(config, exec::Executor::Shared());
+}
+
+World World::Generate(const WorldConfig& config, exec::Executor& executor) {
   WorldBuilder builder(config);
-  return builder.Build();
+  return builder.Build(executor);
 }
 
 const OperatorInfo* World::FindOperator(asdb::AsNumber asn) const noexcept {

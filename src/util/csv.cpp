@@ -75,23 +75,27 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   out_ << JoinCsvLine(fields) << '\n';
 }
 
-std::vector<std::vector<std::string>> ReadCsv(std::istream& in) {
-  std::vector<std::vector<std::string>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    rows.push_back(ParseCsvLine(line));
-  }
-  return rows;
-}
+namespace {
 
-std::vector<std::vector<std::string>> ReadCsv(std::istream& in, IngestReport& report) {
+std::vector<std::vector<std::string>> ReadCsvImpl(std::istream& in,
+                                                  IngestReport& report) {
   std::vector<std::vector<std::string>> rows;
   IngestLines(in, report, [&](std::size_t, std::string_view line) {
     rows.push_back(ParseCsvLine(line));
   });
   return rows;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& in,
+                                              const LoadOptions& options) {
+  ScopedLoadReport scoped(options);
+  return ReadCsvImpl(in, scoped.get());
+}
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& in, IngestReport& report) {
+  return ReadCsvImpl(in, report);
 }
 
 }  // namespace cellspot::util

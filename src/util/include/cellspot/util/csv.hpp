@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "cellspot/util/ingest.hpp"
+
 namespace cellspot::util {
 
 /// Parse one CSV line into fields. Throws cellspot::ParseError on an
@@ -37,13 +39,13 @@ class CsvWriter {
 };
 
 /// Whole-file CSV reader; returns rows of fields, skipping blank lines.
-[[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(std::istream& in);
+/// Malformed lines (unterminated quotes) are routed through the ingest
+/// policy in `options` — strict by default — and rejected lines are not
+/// returned.
+[[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(
+    std::istream& in, const LoadOptions& options = {});
 
-class IngestReport;
-
-/// Fault-tolerant variant: malformed lines (unterminated quotes) are
-/// routed through `report` per its policy instead of unconditionally
-/// throwing; rejected lines are not returned.
+[[deprecated("use ReadCsv(in, LoadOptions{.report = &report})")]]
 [[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(std::istream& in,
                                                             IngestReport& report);
 

@@ -115,6 +115,44 @@ class IngestReport {
   std::array<std::vector<IngestExemplar>, kParseErrorCategoryCount> exemplars_;
 };
 
+/// One-struct loader configuration, collapsing the historical
+/// (stream) / (stream, report) overload pairs into a single signature:
+///
+///   auto db = LoadAsDatabaseCsv(in);                          // strict
+///   auto db = LoadAsDatabaseCsv(in, {.policy = kSkip});       // lenient
+///   auto db = LoadAsDatabaseCsv(in, {.report = &my_report});  // accumulate
+///
+/// When `report` is set it takes precedence over the inline fields and
+/// accumulates across loads (the CLI shares one report over every input
+/// file); otherwise the loader builds a private report from
+/// policy/limits/quarantine.
+struct LoadOptions {
+  IngestPolicy policy = IngestPolicy::kStrict;
+  IngestLimits limits{};
+  std::ostream* quarantine = nullptr;
+  IngestReport* report = nullptr;
+};
+
+/// Resolves LoadOptions for the duration of one load: hands out the
+/// external accumulator when set, else an owned report built from the
+/// inline fields. Loaders use this so the overload collapse stays a
+/// three-line wrapper.
+class ScopedLoadReport {
+ public:
+  explicit ScopedLoadReport(const LoadOptions& options)
+      : owned_(options.policy, options.limits, options.quarantine),
+        report_(options.report != nullptr ? *options.report : owned_) {}
+
+  ScopedLoadReport(const ScopedLoadReport&) = delete;
+  ScopedLoadReport& operator=(const ScopedLoadReport&) = delete;
+
+  [[nodiscard]] IngestReport& get() noexcept { return report_; }
+
+ private:
+  IngestReport owned_;
+  IngestReport& report_;
+};
+
 /// Drive `fn` over every non-blank line of `in` (CRs stripped, 1-based
 /// line numbers). A ParseError thrown by `fn` is routed to
 /// `report.RecordError` — which rethrows under kStrict — and the stream

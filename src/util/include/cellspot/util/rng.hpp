@@ -23,9 +23,17 @@ class Rng {
 
   /// Derive an independent child generator; `stream` distinguishes
   /// multiple children forked from the same parent state.
-  [[nodiscard]] Rng Fork(std::uint64_t stream) {
-    std::uint64_t base = engine_();
-    return Rng(base ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+  [[nodiscard]] Rng Fork(std::uint64_t stream) { return Rng(ForkSeed(stream)); }
+
+  /// The seed Fork(stream) would use, advancing this generator the same
+  /// way. Splitting fork-seed derivation from child construction lets a
+  /// sequential loop precompute one seed per shard (cheap: one engine
+  /// step each) so the shards themselves can then run on any thread —
+  /// the per-shard streams, and therefore every draw, are identical to
+  /// a plain sequential Fork loop.
+  [[nodiscard]] std::uint64_t ForkSeed(std::uint64_t stream) {
+    const std::uint64_t base = engine_();
+    return base ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
   }
 
   /// Uniform in [0, 1).

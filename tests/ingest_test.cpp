@@ -127,7 +127,7 @@ TEST(IngestLines, SkipsBlankLinesAndRoutesErrors) {
 TEST(ReadCsv, LenientSkipsUnterminatedQuote) {
   std::istringstream in("a,b\n\"oops\nc,d\n");
   IngestReport report(IngestPolicy::kSkip, {});
-  const auto rows = util::ReadCsv(in, report);
+  const auto rows = util::ReadCsv(in, {.report = &report});
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[1][1], "d");
   EXPECT_EQ(report.count(ParseErrorCategory::kUnterminatedQuote), 1u);
@@ -143,7 +143,7 @@ TEST(BeaconDatasetLoad, LenientSkipsBadRows) {
       "10.0.3.0/24,10,20,4,1,0,0,6\n"  // netinfo_hits > hits
       "10.0.4.0/24,8,4,4,0,0,0,2\n");
   IngestReport report(IngestPolicy::kSkip, {});
-  const auto loaded = dataset::BeaconDataset::LoadCsv(in, report);
+  const auto loaded = dataset::BeaconDataset::LoadCsv(in, {.report = &report});
   EXPECT_EQ(loaded.block_count(), 2u);
   EXPECT_EQ(report.count(ParseErrorCategory::kBadAddress), 1u);
   EXPECT_EQ(report.count(ParseErrorCategory::kTruncatedLine), 1u);
@@ -160,7 +160,7 @@ TEST(DemandDatasetLoad, LenientSkipsBadRows) {
       "10.0.2.0/24,-3.0\n"  // negative demand is inconsistent
       "10.0.3.0/24,1.5\n");
   IngestReport report(IngestPolicy::kSkip, {});
-  const auto loaded = dataset::DemandDataset::LoadCsv(in, report);
+  const auto loaded = dataset::DemandDataset::LoadCsv(in, {.report = &report});
   EXPECT_EQ(loaded.block_count(), 2u);
   EXPECT_EQ(report.count(ParseErrorCategory::kBadNumber), 1u);
   EXPECT_EQ(report.count(ParseErrorCategory::kInconsistentRecord), 1u);
@@ -175,7 +175,7 @@ TEST(AsDatabaseLoad, LenientSkipsBadRowsAndMissingHeader) {
       "3,BadKind,US,NA,Transit/Access,flying-saucer\n"
       "4,AlsoGood,DE,EU,Content,FixedOnly\n");
   IngestReport report(IngestPolicy::kSkip, {});
-  const auto db = asdb::LoadAsDatabaseCsv(in, report);
+  const auto db = asdb::LoadAsDatabaseCsv(in, {.report = &report});
   EXPECT_EQ(report.count(ParseErrorCategory::kBadHeader), 1u);
   EXPECT_EQ(report.count(ParseErrorCategory::kBadEnumValue), 2u);
   EXPECT_EQ(db.Find(4) != nullptr, true);
@@ -185,7 +185,7 @@ TEST(AsDatabaseLoad, LenientSkipsBadRowsAndMissingHeader) {
 TEST(AsDatabaseLoad, EmptyStreamThrowsEvenWhenLenient) {
   std::istringstream in("");
   IngestReport report(IngestPolicy::kSkip, {});
-  EXPECT_THROW((void)asdb::LoadAsDatabaseCsv(in, report), ParseError);
+  EXPECT_THROW((void)asdb::LoadAsDatabaseCsv(in, {.report = &report}), ParseError);
 }
 
 TEST(RoutingTableLoad, LenientSkipsBadRows) {
@@ -196,10 +196,56 @@ TEST(RoutingTableLoad, LenientSkipsBadRows) {
       "garbage/99,1\n"
       "10.0.2.0/24,2\n");
   IngestReport report(IngestPolicy::kSkip, {});
-  const auto rib = asdb::LoadRoutingTableCsv(in, report);
+  const auto rib = asdb::LoadRoutingTableCsv(in, {.report = &report});
   EXPECT_EQ(report.count(ParseErrorCategory::kBadNumber), 1u);
   EXPECT_EQ(report.count(ParseErrorCategory::kBadAddress), 1u);
   EXPECT_TRUE(rib.OriginOf(netaddr::IpAddress::Parse("10.0.2.9")).has_value());
+}
+
+// ---- LoadOptions -----------------------------------------------------------
+
+TEST(LoadOptions, InlinePolicyNeedsNoExternalReport) {
+  std::istringstream in("a,b\n\"oops\nc,d\n");
+  const auto rows = util::ReadCsv(in, {.policy = IngestPolicy::kSkip});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(LoadOptions, InlineQuarantineStream) {
+  std::istringstream in("a,b\n\"oops\nc,d\n");
+  std::ostringstream quarantine;
+  const auto rows = util::ReadCsv(
+      in, {.policy = IngestPolicy::kQuarantine, .quarantine = &quarantine});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(quarantine.str(), "\"oops\n");
+}
+
+TEST(LoadOptions, InlineBudgetEnforced) {
+  std::istringstream in("\"oops\n\"oops\nc,d\n");  // 2 of 3 lines rejected
+  EXPECT_THROW(
+      (void)util::ReadCsv(in, {.policy = IngestPolicy::kSkip,
+                               .limits = {.max_error_rate = 0.5}}),
+      util::IngestBudgetError);
+}
+
+TEST(LoadOptions, ExternalReportWinsOverInlineFields) {
+  // The report's own (strict) policy governs, not the inline kSkip.
+  std::istringstream in("\"oops\n");
+  IngestReport report;  // strict
+  EXPECT_THROW(
+      (void)util::ReadCsv(in, {.policy = IngestPolicy::kSkip, .report = &report}),
+      ParseError);
+}
+
+TEST(LoadOptions, DeprecatedReportOverloadStillForwards) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  std::istringstream in("a,b\n\"oops\nc,d\n");
+  IngestReport report(IngestPolicy::kSkip, {});
+  const auto rows = util::ReadCsv(in, report);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(report.count(ParseErrorCategory::kUnterminatedQuote), 1u);
+#pragma GCC diagnostic pop
 }
 
 // ---- end-to-end: corrupted beacon log --------------------------------------
@@ -240,7 +286,7 @@ TEST(CorruptedIngest, SkipPolicyReproducesCleanClassification) {
   std::istringstream dirty_in(CorruptedTinyLog(&stats));
   ASSERT_GT(stats.total_faults(), 0u);
   IngestReport report(IngestPolicy::kSkip, IngestLimits{.max_error_rate = 0.05});
-  const auto dirty = cdn::AggregateBeaconLog(dirty_in, report);
+  const auto dirty = cdn::AggregateBeaconLog(dirty_in, {.report = &report});
 
   // Every injected fault was rejected; every clean record survived.
   EXPECT_EQ(report.lines_rejected(), stats.total_faults());
@@ -279,7 +325,7 @@ TEST(CorruptedIngest, QuarantineCollectsExactlyTheRejectedLines) {
   IngestReport report(IngestPolicy::kQuarantine,
                       IngestLimits{.max_error_rate = 0.05}, &quarantine);
   std::istringstream in(dirty);
-  const auto dataset = cdn::AggregateBeaconLog(in, report);
+  const auto dataset = cdn::AggregateBeaconLog(in, {.report = &report});
   EXPECT_GT(dataset.block_count(), 0u);
   EXPECT_EQ(quarantine.str(), expected);
 
@@ -287,7 +333,7 @@ TEST(CorruptedIngest, QuarantineCollectsExactlyTheRejectedLines) {
   // skipping them) — replaying after an upstream fix would re-ingest.
   std::istringstream replay(quarantine.str());
   IngestReport replay_report(IngestPolicy::kSkip, {});
-  const auto replayed = cdn::AggregateBeaconLog(replay, replay_report);
+  const auto replayed = cdn::AggregateBeaconLog(replay, {.report = &replay_report});
   EXPECT_EQ(replayed.block_count(), 0u);
   EXPECT_EQ(replay_report.lines_ok(), 0u);
   EXPECT_EQ(replay_report.lines_rejected(), report.lines_rejected());
@@ -307,7 +353,7 @@ TEST(CorruptedIngest, StrictModeFailsWithLineNumber) {
 TEST(CorruptedIngest, ExceedingTheBudgetThrows) {
   std::istringstream in(CorruptedTinyLog());
   IngestReport report(IngestPolicy::kSkip, IngestLimits{.max_error_rate = 0.0001});
-  EXPECT_THROW((void)cdn::AggregateBeaconLog(in, report), util::IngestBudgetError);
+  EXPECT_THROW((void)cdn::AggregateBeaconLog(in, {.report = &report}), util::IngestBudgetError);
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// The pipeline's central guarantee: every stage produces byte-identical
+// output at any thread count, so "turn on threads" is never a science
+// decision. Also covers the staged API itself — on-demand prerequisites,
+// stage timings, re-run invalidation — and the CELLSPOT_SCALE guard.
+#include "cellspot/analysis/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cellspot/exec/executor.hpp"
+
+namespace cellspot {
+namespace {
+
+analysis::Pipeline::Config TestConfig() {
+  return {.world = simnet::WorldConfig::Tiny(), .classifier = {}, .filters = {}};
+}
+
+std::string BeaconCsv(const analysis::Experiment& e) {
+  std::ostringstream out;
+  e.beacons.SaveCsv(out);
+  return out.str();
+}
+
+std::string DemandCsv(const analysis::Experiment& e) {
+  std::ostringstream out;
+  e.demand.SaveCsv(out);
+  return out.str();
+}
+
+std::vector<asdb::AsNumber> KeptAsns(const analysis::Experiment& e) {
+  std::vector<asdb::AsNumber> asns;
+  for (const core::AsAggregate& as : e.filtered.kept) asns.push_back(as.asn);
+  return asns;
+}
+
+TEST(PipelineDeterminism, IdenticalResultsAtOneTwoAndEightThreads) {
+  exec::Executor ex1(1);
+  analysis::Pipeline reference(TestConfig(), ex1);
+  reference.Run();
+  const analysis::Experiment& ref = reference.experiment();
+
+  for (const unsigned threads : {2u, 8u}) {
+    exec::Executor ex(threads);
+    analysis::Pipeline pipeline(TestConfig(), ex);
+    pipeline.Run();
+    const analysis::Experiment& e = pipeline.experiment();
+
+    // World: same subnets in the same order with the same labels.
+    ASSERT_EQ(e.world.subnets().size(), ref.world.subnets().size());
+    for (std::size_t i = 0; i < ref.world.subnets().size(); ++i) {
+      const simnet::Subnet& a = ref.world.subnets()[i];
+      const simnet::Subnet& b = e.world.subnets()[i];
+      ASSERT_EQ(a.block, b.block) << "subnet " << i << " threads " << threads;
+      ASSERT_EQ(a.asn, b.asn);
+      ASSERT_EQ(a.truth_cellular, b.truth_cellular);
+      ASSERT_EQ(a.demand_du, b.demand_du);
+    }
+
+    // Datasets: CSV exports are byte-identical (same content AND same
+    // unordered-map iteration order, i.e. same insertion sequence).
+    EXPECT_EQ(BeaconCsv(e), BeaconCsv(ref)) << "threads " << threads;
+    EXPECT_EQ(DemandCsv(e), DemandCsv(ref)) << "threads " << threads;
+
+    // Classification: identical cellular sets and per-block ratios.
+    EXPECT_EQ(e.classified.cellular(), ref.classified.cellular());
+    EXPECT_EQ(e.classified.ratios(), ref.classified.ratios());
+
+    // Aggregation + filtering: identical candidate and kept AS lists in
+    // identical order, and identical removal accounting.
+    ASSERT_EQ(e.candidates.size(), ref.candidates.size());
+    for (std::size_t i = 0; i < ref.candidates.size(); ++i) {
+      ASSERT_EQ(e.candidates[i].asn, ref.candidates[i].asn);
+      ASSERT_EQ(e.candidates[i].cell_demand_du, ref.candidates[i].cell_demand_du);
+    }
+    EXPECT_EQ(KeptAsns(e), KeptAsns(ref));
+    EXPECT_EQ(e.filtered.removed_low_demand, ref.filtered.removed_low_demand);
+    EXPECT_EQ(e.filtered.removed_low_hits, ref.filtered.removed_low_hits);
+    EXPECT_EQ(e.filtered.removed_class, ref.filtered.removed_class);
+  }
+}
+
+TEST(PipelineDeterminism, MatchesRunExperimentWrapper) {
+  const analysis::Experiment direct = analysis::RunExperiment(TestConfig().world);
+
+  exec::Executor ex(2);
+  analysis::Pipeline pipeline(TestConfig(), ex);
+  pipeline.Run();
+  const analysis::Experiment& staged = pipeline.experiment();
+
+  EXPECT_EQ(BeaconCsv(staged), BeaconCsv(direct));
+  EXPECT_EQ(staged.classified.cellular(), direct.classified.cellular());
+  EXPECT_EQ(KeptAsns(staged), KeptAsns(direct));
+}
+
+TEST(PipelineStages, RunOnDemandAndRecordTimings) {
+  analysis::Pipeline pipeline(TestConfig());
+  // Asking for the last stage pulls in all five prerequisites, once each.
+  pipeline.Filter();
+  std::vector<std::string> stages;
+  for (const analysis::StageTiming& t : pipeline.timings()) {
+    stages.push_back(t.stage);
+    EXPECT_GE(t.wall_ms, 0.0);
+    EXPECT_GT(t.items, 0u) << t.stage;
+  }
+  EXPECT_EQ(stages,
+            (std::vector<std::string>{"build_world", "generate_datasets", "classify",
+                                      "aggregate", "filter"}));
+
+  // Re-running a cached stage is a no-op: no new timing entries.
+  pipeline.Filter();
+  pipeline.Classify();
+  EXPECT_EQ(pipeline.timings().size(), 5u);
+}
+
+TEST(PipelineStages, SetClassifierInvalidatesDownstreamOnly) {
+  analysis::Pipeline pipeline(TestConfig());
+  pipeline.Run();
+  const std::size_t baseline_cellular = pipeline.experiment().classified.cellular().size();
+
+  // A maximally strict classifier: no block has this much evidence.
+  pipeline.set_classifier({.threshold = 1.0, .min_netinfo_hits = 1000000000});
+  EXPECT_EQ(pipeline.timings().size(), 5u);  // nothing re-ran yet
+  pipeline.Run();
+  EXPECT_EQ(pipeline.experiment().classified.cellular().size(), 0u);
+  EXPECT_TRUE(pipeline.experiment().filtered.kept.empty());
+  // World + datasets were kept: only classify/aggregate/filter re-ran.
+  EXPECT_EQ(pipeline.timings().size(), 8u);
+
+  // Restoring the default reproduces the original classification.
+  pipeline.set_classifier({});
+  pipeline.Run();
+  EXPECT_EQ(pipeline.experiment().classified.cellular().size(), baseline_cellular);
+}
+
+TEST(PipelineStages, SetFiltersInvalidatesOnlyFilter) {
+  analysis::Pipeline pipeline(TestConfig());
+  pipeline.Run();
+  const std::size_t candidates = pipeline.experiment().candidates.size();
+  ASSERT_GT(candidates, 0u);
+
+  core::AsFilterConfig none;
+  none.min_cell_demand_du = 0.0;
+  none.min_beacon_hits = 0;
+  none.require_transit_access_class = false;
+  pipeline.set_filters(none);
+  pipeline.Run();
+  // With every rule disabled the kept set is exactly the candidate set.
+  EXPECT_EQ(pipeline.experiment().filtered.kept.size(), candidates);
+  EXPECT_EQ(pipeline.timings().size(), 6u);  // only filter re-ran
+}
+
+TEST(PaperScale, EnvOverridesAndRejectsGarbage) {
+  ::unsetenv("CELLSPOT_SCALE");
+  EXPECT_EQ(analysis::PaperScaleFromEnv(0.05), 0.05);
+
+  ::setenv("CELLSPOT_SCALE", "0.02", 1);
+  EXPECT_EQ(analysis::PaperScaleFromEnv(0.05), 0.02);
+
+  for (const char* bad : {"abc", "0", "-1", "0x5"}) {
+    ::setenv("CELLSPOT_SCALE", bad, 1);
+    EXPECT_THROW((void)analysis::PaperScaleFromEnv(0.05), std::invalid_argument)
+        << "value '" << bad << "'";
+  }
+  ::unsetenv("CELLSPOT_SCALE");
+}
+
+}  // namespace
+}  // namespace cellspot

@@ -29,6 +29,7 @@
 #include "cellspot/core/as_pipeline.hpp"
 #include "cellspot/core/classifier.hpp"
 #include "cellspot/core/validation.hpp"
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/simnet/world.hpp"
 #include "cellspot/util/csv.hpp"
 #include "cellspot/util/ingest.hpp"
@@ -136,6 +137,12 @@ int Usage() {
                "  cellspot validate --beacons F --demand F --truth F [--threshold T]\n"
                "  cellspot compress --classified F   (output of `classify`)\n"
                "  cellspot figures --out DIR [--scale S] [--seed N]\n"
+               "\n"
+               "global options:\n"
+               "  --threads N                        worker threads for parallel stages\n"
+               "                                     (default: CELLSPOT_THREADS, else\n"
+               "                                     hardware concurrency); results are\n"
+               "                                     identical at any thread count\n"
                "\n"
                "ingestion options (classify/ases/report/validate/compress):\n"
                "  --on-error {fail,skip,quarantine}  first-fault abort (default),\n"
@@ -293,7 +300,7 @@ int CmdClassify(const Options& opts) {
   std::optional<dataset::BeaconDataset> beacons;
   try {
     beacons = LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
-      return dataset::BeaconDataset::LoadCsv(in, ingest->report);
+      return dataset::BeaconDataset::LoadCsv(in, util::LoadOptions{.report = &ingest->report});
     });
   } catch (...) {
     ingest->PrintSummary();
@@ -348,17 +355,17 @@ std::optional<PipelineInputs> LoadInputs(const Options& opts) {
   try {
     auto beacons =
         LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
-          return dataset::BeaconDataset::LoadCsv(in, ingest->report);
+          return dataset::BeaconDataset::LoadCsv(in, util::LoadOptions{.report = &ingest->report});
         });
     auto demand =
         LoadFile<dataset::DemandDataset>(opts, "demand", [&](std::istream& in) {
-          return dataset::DemandDataset::LoadCsv(in, ingest->report);
+          return dataset::DemandDataset::LoadCsv(in, util::LoadOptions{.report = &ingest->report});
         });
     auto rib = LoadFile<asdb::RoutingTable>(opts, "rib", [&](std::istream& in) {
-      return asdb::LoadRoutingTableCsv(in, ingest->report);
+      return asdb::LoadRoutingTableCsv(in, util::LoadOptions{.report = &ingest->report});
     });
     auto as_db = LoadFile<asdb::AsDatabase>(opts, "asdb", [&](std::istream& in) {
-      return asdb::LoadAsDatabaseCsv(in, ingest->report);
+      return asdb::LoadAsDatabaseCsv(in, util::LoadOptions{.report = &ingest->report});
     });
     if (beacons && demand && rib && as_db) {
       result = PipelineInputs{std::move(*beacons), std::move(*demand), std::move(*rib),
@@ -469,10 +476,10 @@ int CmdValidate(const Options& opts) {
   std::optional<dataset::DemandDataset> demand;
   try {
     beacons = LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
-      return dataset::BeaconDataset::LoadCsv(in, ingest->report);
+      return dataset::BeaconDataset::LoadCsv(in, util::LoadOptions{.report = &ingest->report});
     });
     demand = LoadFile<dataset::DemandDataset>(opts, "demand", [&](std::istream& in) {
-      return dataset::DemandDataset::LoadCsv(in, ingest->report);
+      return dataset::DemandDataset::LoadCsv(in, util::LoadOptions{.report = &ingest->report});
     });
     const auto loaded = LoadFile<bool>(opts, "truth", [&](std::istream& in) {
       bool saw_header = false;
@@ -593,6 +600,15 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv, 2);
   if (!opts.ok()) return Usage();
   try {
+    // Global: worker count for every parallel stage (same effect as
+    // CELLSPOT_THREADS). Must be applied before the first use of the
+    // shared executor.
+    const auto threads = opts.GetUint("threads", 0);
+    if (opts.Has("threads") && (threads == 0 || threads > 1024)) {
+      throw OptionError("--threads: expected a positive thread count, got '" +
+                        opts.GetOr("threads", "") + "'");
+    }
+    exec::Executor::SetDefaultThreadCount(static_cast<unsigned>(threads));
     if (command == "generate") return CmdGenerate(opts);
     if (command == "classify") return CmdClassify(opts);
     if (command == "ases") return CmdAses(opts);

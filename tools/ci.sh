@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: build and test the plain and ASan+UBSan variants.
+# CI entry point: build and test the plain, ASan+UBSan, and TSan variants.
 #
-#   tools/ci.sh            # both variants
+#   tools/ci.sh            # all variants
 #   tools/ci.sh plain      # RelWithDebInfo only
 #   tools/ci.sh sanitize   # ASan+UBSan only
+#   tools/ci.sh tsan       # ThreadSanitizer (executor + pipeline tests)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,10 +18,26 @@ run() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+# The TSan variant concentrates on the threaded surface: the executor's
+# own tests plus the pipeline determinism suite, driven with a forced
+# multi-worker pool so the work-stealing paths actually interleave.
+# tools/tsan.supp silences the one known-benign report (lgamma's
+# POSIX-mandated signgam store, see the comment there).
+run_tsan() {
+  local dir="build-tsan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=thread
+  cmake --build "$dir" -j "$jobs" --target exec_test pipeline_determinism_test
+  local tsan_opts="suppressions=$PWD/tools/tsan.supp halt_on_error=1"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/exec_test"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/pipeline_determinism_test"
+}
+
 case "$variant" in
   plain)    run build ;;
-  sanitize) run build-asan -DCELLSPOT_SANITIZE=ON ;;
+  sanitize) run build-asan -DCELLSPOT_SANITIZE=address ;;
+  tsan)     run_tsan ;;
   all)      run build
-            run build-asan -DCELLSPOT_SANITIZE=ON ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|all]" >&2; exit 2 ;;
+            run build-asan -DCELLSPOT_SANITIZE=address
+            run_tsan ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|all]" >&2; exit 2 ;;
 esac
