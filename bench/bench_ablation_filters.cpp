@@ -43,7 +43,7 @@ Purity Evaluate(analysis::Pipeline& pipeline, const core::AsFilterConfig& config
 
 }  // namespace
 
-static void Run() {
+static std::uint64_t Run() {
   // One pipeline through Aggregate; each variant re-runs only Filter.
   analysis::Pipeline pipeline(
       {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
@@ -77,14 +77,17 @@ static void Run() {
 
   util::TextTable t({"Variant", "Kept", "True access", "Proxies/clouds",
                      "Spurious cell DU"});
+  std::uint64_t kept_total = 0;
   for (const Variant& v : variants) {
     const Purity p = Evaluate(pipeline, v.config);
+    kept_total += p.kept;
     t.AddRow({v.name, Num(p.kept), Num(p.true_access), Num(p.proxies_clouds),
               Dbl(p.spurious_cell_du, 1)});
   }
   std::printf("%s", t.Render().c_str());
   std::printf("\nRule 3 is what keeps proxy/cloud demand out of the map; rules 1-2\n"
               "mostly control list size and label confidence (paper §5.1).\n");
+  return kept_total;
 }
 
 int main(int argc, char** argv) {

@@ -12,7 +12,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   // Staged pipeline: the world and datasets are built once; each sweep
   // step swaps the classifier config and re-runs only the Classify stage.
   analysis::Pipeline pipeline(
@@ -23,6 +23,7 @@ static void Run() {
   PrintHeader("Ablation: global threshold sweep",
               "Block-level P/R against full world truth", pipeline.config().world);
 
+  std::uint64_t detected_total = 0;
   std::printf("%-10s %-10s %-10s %-10s %-12s\n", "threshold", "precision", "recall",
               "F1", "detected");
   for (int step = 1; step <= 20; ++step) {
@@ -37,10 +38,12 @@ static void Run() {
     }
     std::printf("%-10.2f %-10.3f %-10.3f %-10.3f %-12zu\n", threshold, m.Precision(),
                 m.Recall(), m.F1(), classified.cellular().size());
+    detected_total += classified.cellular().size();
   }
   std::printf("\nPaper's operating point is 0.5 (a conservative 'simple majority');\n"
               "the sweep shows any threshold in ~[0.1, 0.9] would have produced an\n"
               "equivalent map — Fig 3's robustness claim, now at world scale.\n");
+  return detected_total;
 }
 
 int main(int argc, char** argv) {

@@ -11,7 +11,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Extension: cellular map compression",
               "Minimal CIDR list for the detected cellular space");
@@ -49,6 +49,7 @@ static void Run() {
   std::printf("\nPer the paper's Finding 3, cellular space is operated as a small\n"
               "number of contiguous pools: the deployable list is ~%.0fx smaller\n"
               "than the raw /24 map.\n", v4_stats.Ratio());
+  return v4_stats.output_count + v6_stats.output_count;
 }
 
 int main(int argc, char** argv) {

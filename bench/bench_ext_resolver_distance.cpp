@@ -12,7 +12,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Extension: resolver distance",
               "Client-to-resolver distance, cellular vs fixed, in mixed ASes");
@@ -61,6 +61,7 @@ static void Run() {
   std::printf("\nFinding 4 (shape): cellular clients resolve much farther from\n"
               "their resolvers than the fixed clients sharing those resolvers —\n"
               "shared resolvers are proximal only to the fixed population.\n");
+  return rows.size();
 }
 
 int main(int argc, char** argv) {

@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 10", "Public DNS usage in selected cellular operators");
 
@@ -37,6 +37,7 @@ static void Run() {
   std::printf("%s", t.Render().c_str());
   std::printf("\nNote: cell networks imply operator adoption — unlike broadband,\n"
               "handset users cannot easily override their carrier's resolvers.\n");
+  return rows.size();
 }
 
 int main(int argc, char** argv) {

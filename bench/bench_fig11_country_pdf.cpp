@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 11", "Global cellular demand share by country, per continent");
 
@@ -49,6 +49,7 @@ static void Run() {
               Pct(top5 / global_cell).c_str());
   std::printf("Top-20 countries:                     paper ~80%% | measured %s\n",
               Pct(top20 / global_cell).c_str());
+  return countries.size();
 }
 
 int main(int argc, char** argv) {

@@ -11,7 +11,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 12", "Country cellular demand vs cellular fraction");
 
@@ -57,6 +57,7 @@ static void Run() {
   }
   std::printf("\nEU/NA/SA countries below ~0.2-0.25 cellular: %d of %d "
               "(paper: the majority cluster on the far left)\n", low, western);
+  return countries.size();
 }
 
 int main(int argc, char** argv) {

@@ -9,7 +9,7 @@ using namespace cellspot;
 using namespace cellspot::bench;
 using netinfo::Browser;
 
-static void Run() {
+static std::uint64_t Run() {
   PrintHeader("Figure 1", "Network Information API adoption by month and browser");
 
   const auto series =
@@ -41,6 +41,7 @@ static void Run() {
               Pct(google / dec2016->total).c_str());
   std::printf("Jun 2017 total:        paper ~15%%   measured %s\n",
               Pct(series.back().total).c_str());
+  return series.size();
 }
 
 int main(int argc, char** argv) {

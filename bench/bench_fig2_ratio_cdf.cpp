@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 2", "Distribution of cellular ratios (subnets and demand)");
 
@@ -29,6 +29,8 @@ static void Run() {
             Pct(r.v4_demand.At(0.9) - r.v4_demand.At(0.0999))});
   t.AddRow({"IPv6 demand with ratio > 0.9", "6.4%", Pct(1.0 - r.v6_demand.At(0.9))});
   std::printf("\n%s", t.Render().c_str());
+  return r.v4_subnets.points().size() + r.v6_subnets.points().size() +
+         r.v4_demand.points().size() + r.v6_demand.points().size();
 }
 
 int main(int argc, char** argv) {

@@ -8,10 +8,11 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 3", "F1 vs classification threshold, per validation carrier");
 
+  std::uint64_t points = 0;
   for (char label : {'A', 'B', 'C'}) {
     const simnet::OperatorInfo* op = analysis::FindCarrier(e, label);
     if (op == nullptr) {
@@ -21,6 +22,7 @@ static void Run() {
     const auto truth =
         analysis::BuildCarrierTruth(e.world, op->asn, std::string("Carrier ") + label);
     const auto sweep = core::ThresholdSweep(truth, e.beacons, e.demand, 20);
+    points += sweep.size();
 
     std::printf("\nCarrier %c (%s, AS%u):\n", label, op->country_iso.c_str(), op->asn);
     std::printf("  %-10s %-10s %-10s %-10s\n", "threshold", "F1(cidr)", "F1(demand)",
@@ -43,6 +45,7 @@ static void Run() {
     std::printf("  plateau (0.1-0.9): F1(CIDR) in [%.3f, %.3f] — paper: stable\n",
                 lo, hi);
   }
+  return points;
 }
 
 int main(int argc, char** argv) {

@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 4", "Demand and beacon responses per candidate AS");
 
@@ -31,6 +31,7 @@ static void Run() {
   }
   std::printf("  ASes under 300 hits: %s (rule-2 pool; paper removes 53 of 770)\n",
               Pct(d.beacon_hits.At(299.0)).c_str());
+  return e.candidates.size();
 }
 
 int main(int argc, char** argv) {

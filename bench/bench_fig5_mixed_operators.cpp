@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 5", "Cellular demand fraction vs subnet fraction per AS");
 
@@ -30,6 +30,7 @@ static void Run() {
   t.AddRow({"median gap (demand - subnet curves)", "> 0.5",
             Dbl(r.cfd.Quantile(0.5) - r.subnet_fraction.Quantile(0.5), 3)});
   std::printf("\n%s", t.Render().c_str());
+  return static_cast<std::uint64_t>(r.mixed_count) + r.dedicated_count;
 }
 
 int main(int argc, char** argv) {

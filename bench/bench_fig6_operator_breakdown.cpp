@@ -12,16 +12,16 @@ using namespace cellspot::bench;
 
 namespace {
 
-void Breakdown(const analysis::Experiment& e, const simnet::OperatorInfo* op,
-               const char* title) {
+std::uint64_t Breakdown(const analysis::Experiment& e, const simnet::OperatorInfo* op,
+                        const char* title) {
   if (op == nullptr) {
     std::printf("%s: carrier not present in this world\n", title);
-    return;
+    return 0;
   }
   const auto points = analysis::OperatorRatioBreakdown(e, op->asn);
   if (points.empty()) {
     std::printf("%s: no observed blocks\n", title);
-    return;
+    return 0;
   }
   double total_demand = 0.0;
   for (const auto& p : points) total_demand += p.demand_du;
@@ -43,20 +43,23 @@ void Breakdown(const analysis::Experiment& e, const simnet::OperatorInfo* op,
                 static_cast<double>(subnets) / points.size(),
                 total_demand > 0.0 ? demand / total_demand : 0.0);
   }
+  return points.size();
 }
 
 }  // namespace
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 6", "Block-level breakdown of a dedicated and a mixed carrier");
 
-  Breakdown(e, analysis::FindCarrier(e, 'B'), "(a) Large U.S. dedicated network");
-  Breakdown(e, analysis::FindCarrier(e, 'A'), "(b) Large European mixed network");
+  std::uint64_t blocks = 0;
+  blocks += Breakdown(e, analysis::FindCarrier(e, 'B'), "(a) Large U.S. dedicated network");
+  blocks += Breakdown(e, analysis::FindCarrier(e, 'A'), "(b) Large European mixed network");
 
   std::printf("\nPaper anchors: (a) most demand from high-ratio CGNAT gateways;\n"
               "(b) the tiny high-ratio slice captures ~all cellular demand while\n"
               "being a sliver of the AS's blocks and total demand.\n");
+  return blocks;
 }
 
 int main(int argc, char** argv) {

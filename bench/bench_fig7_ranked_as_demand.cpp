@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 7", "Ranked cellular demand across cellular ASes");
 
@@ -32,6 +32,7 @@ static void Run() {
               Dbl(ranked[0].share_of_global_cell / ranked[9].share_of_global_cell, 1) + "x"});
   }
   std::printf("\n%s", t.Render().c_str());
+  return ranked.size();
 }
 
 int main(int argc, char** argv) {

@@ -8,14 +8,14 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 8", "Subnet demand concentration in a mixed European ISP");
 
   const simnet::OperatorInfo* op = analysis::FindCarrier(e, 'A');
   if (op == nullptr) {
     std::printf("mixed European carrier not present in this world\n");
-    return;
+    return 0;
   }
   const auto conc = analysis::SubnetConcentrationReport(e, op->asn);
 
@@ -54,6 +54,7 @@ static void Run() {
   t.AddRow({"Gini of cellular vs fixed block demand", "cell >> fixed",
             Dbl(conc.cellular_gini, 2) + " vs " + Dbl(conc.fixed_gini, 2)});
   std::printf("\n%s", t.Render().c_str());
+  return conc.cellular_demands.size() + conc.fixed_demands.size();
 }
 
 int main(int argc, char** argv) {

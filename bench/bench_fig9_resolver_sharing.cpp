@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Figure 9", "Cellular fraction per resolver in mixed networks");
 
@@ -17,7 +17,7 @@ static void Run() {
   const auto cdf = analysis::ResolverSharingReport(e, dns_sim);
   if (cdf.empty()) {
     std::printf("no resolvers in mixed ASes\n");
-    return;
+    return 0;
   }
   PrintCdfSeries("Resolver cellular fraction", cdf, 0.0, 1.0, 10);
 
@@ -29,6 +29,7 @@ static void Run() {
   t.AddRow({"cellular-only resolvers (fraction ~1)", "~20%", Pct(1.0 - up_to_99)});
   t.AddRow({"median resolver cellular fraction", "~25%", Pct(cdf.Quantile(0.5))});
   std::printf("\n%s", t.Render().c_str());
+  return cdf.sample_count();
 }
 
 int main(int argc, char** argv) {

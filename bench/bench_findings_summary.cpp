@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   const dns::DnsSimulator dns_sim(e.world);
   PrintHeader("Findings summary", "Paper findings (§6.4, §7.3) vs this reproduction");
@@ -91,6 +91,7 @@ static void Run() {
             "several (GH, LA, ID, ...)", Num(primary) + " countries"});
 
   std::printf("%s", t.Render().c_str());
+  return ranked.size() + countries.size();
 }
 
 int main(int argc, char** argv) {

@@ -11,7 +11,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("IPv6 adoption (§4.3)", "Cellular IPv6 deployment across ASes");
 
@@ -55,6 +55,7 @@ static void Run() {
                 record != nullptr ? record->name.c_str() : "?",
                 ranked[i]->cell_blocks_v6);
   }
+  return v6_ases;
 }
 
 int main(int argc, char** argv) {

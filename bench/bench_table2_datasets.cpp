@@ -6,7 +6,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   const double scale = e.world.config().scale;
   PrintHeader("Table 2", "CDN datasets used for cellular address analysis");
@@ -32,6 +32,8 @@ static void Run() {
               Pct(static_cast<double>(e.beacons.total_netinfo_hits()) /
                   static_cast<double>(e.beacons.total_hits()))
                   .c_str());
+  return s.beacon_v4_blocks + s.beacon_v6_blocks + s.demand_v4_blocks +
+         s.demand_v6_blocks;
 }
 
 int main(int argc, char** argv) {

@@ -9,7 +9,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   PrintHeader("Table 3", "Classification accuracy per validation carrier");
 
@@ -26,9 +26,11 @@ static void Run() {
 
   util::TextTable t({"Carrier", "Row", "TP", "FP", "TN", "FN", "Precision",
                      "Recall", "F1", "paper"});
+  std::uint64_t validated = 0;
   for (const PaperRow& row : kPaper) {
     const simnet::OperatorInfo* op = analysis::FindCarrier(e, row.label);
     if (op == nullptr) continue;
+    ++validated;
     const auto truth = analysis::BuildCarrierTruth(
         e.world, op->asn, std::string("Carrier ") + row.label);
     const auto v = core::Validate(truth, e.classified, e.demand);
@@ -46,6 +48,7 @@ static void Run() {
   std::printf("%s", t.Render().c_str());
   std::printf("\nNote: carriers are the generated archetypes — A: large mixed\n"
               "European, B: large dedicated U.S., C: mixed Middle-East MNO.\n");
+  return validated;
 }
 
 int main(int argc, char** argv) {

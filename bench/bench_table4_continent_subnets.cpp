@@ -8,7 +8,7 @@
 using namespace cellspot;
 using namespace cellspot::bench;
 
-static void Run() {
+static std::uint64_t Run() {
   const analysis::Experiment& e = analysis::SharedPaperExperiment();
   const double scale = e.world.config().scale;
   PrintHeader("Table 4", "Detected cellular subnets by continent");
@@ -54,6 +54,7 @@ static void Run() {
             Vs(Num(static_cast<std::uint64_t>(23230 * scale)), Num(total_v6)),
             Vs("7.3%", Pct(total_pct4)), Vs("1.2%", Pct(total_pct6))});
   std::printf("%s", t.Render().c_str());
+  return total_v4 + total_v6;
 }
 
 int main(int argc, char** argv) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cellspot/exec/executor.hpp"
+#include "cellspot/obs/trace.hpp"
 #include "cellspot/util/strings.hpp"
 
 namespace cellspot::analysis {
@@ -16,10 +17,12 @@ class StageClock {
  public:
   explicit StageClock(std::vector<StageTiming>& timings, std::string stage)
       : timings_(timings), stage_(std::move(stage)),
+        span_("pipeline." + stage_),
         start_(std::chrono::steady_clock::now()) {}
 
   void Finish(std::size_t items) {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
+    span_.set_items(static_cast<std::uint64_t>(items));
     timings_.push_back(
         {std::move(stage_),
          std::chrono::duration<double, std::milli>(elapsed).count(), items});
@@ -28,6 +31,7 @@ class StageClock {
  private:
   std::vector<StageTiming>& timings_;
   std::string stage_;
+  obs::TraceSpan span_;  // nests exec.batch spans under pipeline.<stage>
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -20,10 +20,6 @@ void SaveAsDatabaseCsv(const AsDatabase& db, std::ostream& out);
 [[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in,
                                            const util::LoadOptions& options = {});
 
-[[deprecated("use LoadAsDatabaseCsv(in, util::LoadOptions{.report = &report})")]]
-[[nodiscard]] AsDatabase LoadAsDatabaseCsv(std::istream& in,
-                                           util::IngestReport& report);
-
 /// prefix,asn — one announcement per row.
 void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
                          std::ostream& out);
@@ -32,10 +28,6 @@ void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
 /// LoadAsDatabaseCsv.
 [[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in,
                                                const util::LoadOptions& options = {});
-
-[[deprecated("use LoadRoutingTableCsv(in, util::LoadOptions{.report = &report})")]]
-[[nodiscard]] RoutingTable LoadRoutingTableCsv(std::istream& in,
-                                               util::IngestReport& report);
 
 /// Textual names used in the CSV round trip.
 [[nodiscard]] std::optional<AsClass> AsClassFromName(std::string_view name) noexcept;

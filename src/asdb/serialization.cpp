@@ -108,10 +108,6 @@ AsDatabase LoadAsDatabaseCsv(std::istream& in, const util::LoadOptions& options)
   return LoadAsDatabaseCsvImpl(in, scoped.get());
 }
 
-AsDatabase LoadAsDatabaseCsv(std::istream& in, util::IngestReport& report) {
-  return LoadAsDatabaseCsvImpl(in, report);
-}
-
 void SaveRoutingTableCsv(const RoutingTable& rib, const AsDatabase& db,
                          std::ostream& out) {
   util::CsvWriter writer(out);
@@ -163,10 +159,6 @@ RoutingTable LoadRoutingTableCsvImpl(std::istream& in, util::IngestReport& repor
 RoutingTable LoadRoutingTableCsv(std::istream& in, const util::LoadOptions& options) {
   util::ScopedLoadReport scoped(options);
   return LoadRoutingTableCsvImpl(in, scoped.get());
-}
-
-RoutingTable LoadRoutingTableCsv(std::istream& in, util::IngestReport& report) {
-  return LoadRoutingTableCsvImpl(in, report);
 }
 
 }  // namespace cellspot::asdb

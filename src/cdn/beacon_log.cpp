@@ -91,9 +91,4 @@ dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
   return AggregateBeaconLogImpl(in, scoped.get());
 }
 
-dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
-                                          util::IngestReport& report) {
-  return AggregateBeaconLogImpl(in, report);
-}
-
 }  // namespace cellspot::cdn

@@ -34,8 +34,4 @@ void AccumulateHit(dataset::BeaconDataset& dataset, const BeaconHit& hit);
 [[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(
     std::istream& in, const util::LoadOptions& options = {});
 
-[[deprecated("use AggregateBeaconLog(in, util::LoadOptions{.report = &report})")]]
-[[nodiscard]] dataset::BeaconDataset AggregateBeaconLog(std::istream& in,
-                                                        util::IngestReport& report);
-
 }  // namespace cellspot::cdn

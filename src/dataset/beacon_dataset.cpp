@@ -120,8 +120,4 @@ BeaconDataset BeaconDataset::LoadCsv(std::istream& in,
   return LoadBeaconCsvImpl(in, scoped.get());
 }
 
-BeaconDataset BeaconDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
-  return LoadBeaconCsvImpl(in, report);
-}
-
 }  // namespace cellspot::dataset

@@ -95,8 +95,4 @@ DemandDataset DemandDataset::LoadCsv(std::istream& in,
   return LoadDemandCsvImpl(in, scoped.get());
 }
 
-DemandDataset DemandDataset::LoadCsv(std::istream& in, util::IngestReport& report) {
-  return LoadDemandCsvImpl(in, report);
-}
-
 }  // namespace cellspot::dataset

@@ -75,10 +75,6 @@ class BeaconDataset {
   [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in,
                                              const util::LoadOptions& options = {});
 
-  [[deprecated("use LoadCsv(in, util::LoadOptions{.report = &report})")]]
-  [[nodiscard]] static BeaconDataset LoadCsv(std::istream& in,
-                                             util::IngestReport& report);
-
  private:
   std::unordered_map<netaddr::Prefix, BeaconBlockStats> blocks_;
   std::uint64_t total_hits_ = 0;

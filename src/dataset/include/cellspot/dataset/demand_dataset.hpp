@@ -46,10 +46,6 @@ class DemandDataset {
   [[nodiscard]] static DemandDataset LoadCsv(std::istream& in,
                                              const util::LoadOptions& options = {});
 
-  [[deprecated("use LoadCsv(in, util::LoadOptions{.report = &report})")]]
-  [[nodiscard]] static DemandDataset LoadCsv(std::istream& in,
-                                             util::IngestReport& report);
-
  private:
   std::unordered_map<netaddr::Prefix, double> blocks_;
   double total_ = 0.0;

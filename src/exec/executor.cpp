@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "cellspot/obs/metrics.hpp"
+#include "cellspot/obs/trace.hpp"
 #include "cellspot/util/strings.hpp"
 
 namespace cellspot::exec {
@@ -13,6 +15,24 @@ namespace cellspot::exec {
 namespace {
 
 std::atomic<unsigned> g_thread_override{0};
+
+// Registered once, then lock-free increments on the hot path. The
+// registry hands out node-stable references, so caching them here is
+// safe even across MetricsRegistry::ResetForTest.
+obs::Counter& JobsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter("exec.jobs");
+  return c;
+}
+
+obs::Counter& ChunksCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter("exec.chunks");
+  return c;
+}
+
+obs::Counter& StealsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter("exec.steals");
+  return c;
+}
 
 }  // namespace
 
@@ -27,6 +47,7 @@ struct Executor::Job {
   std::vector<Range> ranges;            // one span of chunk indices per participant
   std::vector<std::unique_ptr<std::mutex>> range_mu;
   std::atomic<std::size_t> chunks_left{0};
+  std::atomic<std::uint64_t> steals{0};  // successful range steals, all participants
   unsigned active = 0;  // workers currently inside RunJob (guarded by mu_)
 };
 
@@ -62,6 +83,11 @@ void Executor::ParallelForChunks(
   if (grain == 0) grain = 1;
   const std::size_t chunks = ChunkCount(n, grain);
   if (chunks == 0) return;
+
+  obs::TraceSpan batch_span("exec.batch");
+  batch_span.set_items(static_cast<std::uint64_t>(n));
+  JobsCounter().Increment();
+  ChunksCounter().Increment(static_cast<std::uint64_t>(chunks));
 
   auto run_chunk = [&](std::size_t chunk) {
     const std::size_t begin = chunk * grain;
@@ -105,6 +131,8 @@ void Executor::ParallelForChunks(
   std::unique_lock<std::mutex> lock(mu_);
   job_ = nullptr;
   done_cv_.wait(lock, [&] { return job.active == 0; });
+  lock.unlock();
+  StealsCounter().Increment(job.steals.load(std::memory_order_relaxed));
 }
 
 void Executor::RunJob(Job& job, unsigned participant) {
@@ -133,6 +161,7 @@ void Executor::RunJob(Job& job, unsigned participant) {
         mine.end = theirs.end;
         theirs.end -= take;
         stole = true;
+        job.steals.fetch_add(1, std::memory_order_relaxed);
       }
       if (!stole) {
         // Someone else is finishing the last chunks; don't spin hard.

@@ -1,0 +1,210 @@
+#include "cellspot/obs/bench.hpp"
+
+#include <ctime>
+#include <stdexcept>
+
+#include "cellspot/util/stats.hpp"
+
+namespace cellspot::obs {
+
+BenchStats SummarizeReps(std::span<const double> wall_ms) {
+  if (wall_ms.empty()) {
+    throw std::invalid_argument("SummarizeReps: no measured repetitions");
+  }
+  util::RunningStats running;
+  for (const double v : wall_ms) running.Add(v);
+  BenchStats stats;
+  stats.reps = running.count();
+  stats.min = running.min();
+  stats.max = running.max();
+  stats.mean = running.mean();
+  stats.stddev = running.stddev();
+  stats.median = util::Percentile(wall_ms, 50.0);
+  stats.p90 = util::Percentile(wall_ms, 90.0);
+  return stats;
+}
+
+namespace {
+
+/// Leaf segment of a '/'-joined span path.
+[[nodiscard]] std::string_view LeafName(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+const JsonValue& Require(const JsonValue& doc, std::string_view key,
+                         std::string_view what) {
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument(std::string(what) + ": missing field '" +
+                                std::string(key) + "'");
+  }
+  return *v;
+}
+
+double RequireNumber(const JsonValue& doc, std::string_view key,
+                     std::string_view what) {
+  return Require(doc, key, what).as_number();
+}
+
+}  // namespace
+
+JsonValue BenchRunToJson(const BenchRun& run) {
+  const BenchStats stats = SummarizeReps(run.rep_wall_ms);
+
+  JsonValue wall;
+  wall.Set("min", stats.min);
+  wall.Set("median", stats.median);
+  wall.Set("p90", stats.p90);
+  wall.Set("mean", stats.mean);
+  wall.Set("stddev", stats.stddev);
+  wall.Set("max", stats.max);
+
+  JsonValue::Array reps;
+  reps.reserve(run.rep_wall_ms.size());
+  for (const double v : run.rep_wall_ms) reps.emplace_back(v);
+
+  // Pipeline stage spans, in snapshot (path-sorted) order. Stage names
+  // drop the "pipeline." prefix so the trajectory reads "classify", not
+  // "pipeline.classify".
+  JsonValue::Array stages;
+  for (const MetricsSnapshot::SpanRow& row : run.metrics.spans) {
+    const std::string_view leaf = LeafName(row.path);
+    if (!leaf.starts_with("pipeline.")) continue;
+    JsonValue stage;
+    stage.Set("stage", std::string(leaf.substr(std::string_view("pipeline.").size())));
+    stage.Set("wall_ms", row.total_ms);
+    stage.Set("count", row.count);
+    stage.Set("items", row.items);
+    stages.push_back(std::move(stage));
+  }
+
+  JsonValue doc;
+  doc.Set("schema", std::string(kBenchRunSchema));
+  doc.Set("bench", run.bench);
+  doc.Set("threads", static_cast<std::uint64_t>(run.threads));
+  doc.Set("warmup", run.warmup);
+  doc.Set("reps", static_cast<std::uint64_t>(run.rep_wall_ms.size()));
+  if (run.scale > 0.0) doc.Set("scale", run.scale);
+  doc.Set("items", run.items);
+  doc.Set("items_consistent", run.items_consistent);
+  if (!run.timestamp.empty()) doc.Set("timestamp", run.timestamp);
+  doc.Set("wall_ms", std::move(wall));
+  doc.Set("rep_wall_ms", std::move(reps));
+  doc.Set("stages", std::move(stages));
+  doc.Set("metrics", MetricsSnapshotToJson(run.metrics));
+  return doc;
+}
+
+void ValidateBenchRun(const JsonValue& run) {
+  constexpr std::string_view kWhat = "bench run";
+  if (Require(run, "schema", kWhat).as_string() != kBenchRunSchema) {
+    throw std::invalid_argument("bench run: unknown schema '" +
+                                Require(run, "schema", kWhat).as_string() + "'");
+  }
+  if (Require(run, "bench", kWhat).as_string().empty()) {
+    throw std::invalid_argument("bench run: empty bench name");
+  }
+  if (RequireNumber(run, "threads", kWhat) < 1.0) {
+    throw std::invalid_argument("bench run: threads must be >= 1");
+  }
+  if (RequireNumber(run, "warmup", kWhat) < 0.0) {
+    throw std::invalid_argument("bench run: negative warmup");
+  }
+  const double reps = RequireNumber(run, "reps", kWhat);
+  if (reps < 1.0) throw std::invalid_argument("bench run: reps must be >= 1");
+  if (RequireNumber(run, "items", kWhat) < 0.0) {
+    throw std::invalid_argument("bench run: negative items");
+  }
+  (void)Require(run, "items_consistent", kWhat).as_bool();
+
+  const JsonValue& wall = Require(run, "wall_ms", kWhat);
+  const double min = RequireNumber(wall, "min", "bench run wall_ms");
+  const double median = RequireNumber(wall, "median", "bench run wall_ms");
+  const double p90 = RequireNumber(wall, "p90", "bench run wall_ms");
+  const double max = RequireNumber(wall, "max", "bench run wall_ms");
+  (void)RequireNumber(wall, "mean", "bench run wall_ms");
+  (void)RequireNumber(wall, "stddev", "bench run wall_ms");
+  if (!(min <= median && median <= p90 && p90 <= max)) {
+    throw std::invalid_argument(
+        "bench run: wall_ms stats out of order (expect min <= median <= p90 <= max)");
+  }
+
+  const JsonValue::Array& rep_arr = Require(run, "rep_wall_ms", kWhat).as_array();
+  if (rep_arr.size() != static_cast<std::size_t>(reps)) {
+    throw std::invalid_argument("bench run: rep_wall_ms length != reps");
+  }
+  for (const JsonValue& v : rep_arr) {
+    if (v.as_number() < 0.0) {
+      throw std::invalid_argument("bench run: negative rep wall time");
+    }
+  }
+
+  for (const JsonValue& stage : Require(run, "stages", kWhat).as_array()) {
+    if (Require(stage, "stage", "bench run stage").as_string().empty()) {
+      throw std::invalid_argument("bench run: empty stage name");
+    }
+    (void)RequireNumber(stage, "wall_ms", "bench run stage");
+    if (RequireNumber(stage, "count", "bench run stage") < 1.0) {
+      throw std::invalid_argument("bench run: stage count must be >= 1");
+    }
+    (void)RequireNumber(stage, "items", "bench run stage");
+  }
+
+  // The embedded registry snapshot must itself round-trip.
+  (void)MetricsSnapshotFromJsonValue(Require(run, "metrics", kWhat));
+}
+
+JsonValue AppendToTrajectory(const JsonValue* existing, JsonValue run) {
+  ValidateBenchRun(run);
+  const std::string bench = run.Find("bench")->as_string();
+
+  JsonValue::Array runs;
+  if (existing != nullptr) {
+    ValidateTrajectory(*existing);
+    if (existing->Find("bench")->as_string() != bench) {
+      throw std::invalid_argument("trajectory is for bench '" +
+                                  existing->Find("bench")->as_string() +
+                                  "', refusing to append run for '" + bench + "'");
+    }
+    runs = existing->Find("runs")->as_array();
+  }
+  runs.push_back(std::move(run));
+
+  JsonValue doc;
+  doc.Set("schema", std::string(kBenchTrajectorySchema));
+  doc.Set("bench", bench);
+  doc.Set("runs", std::move(runs));
+  return doc;
+}
+
+void ValidateTrajectory(const JsonValue& doc) {
+  constexpr std::string_view kWhat = "bench trajectory";
+  if (Require(doc, "schema", kWhat).as_string() != kBenchTrajectorySchema) {
+    throw std::invalid_argument("bench trajectory: unknown schema '" +
+                                Require(doc, "schema", kWhat).as_string() + "'");
+  }
+  const std::string& bench = Require(doc, "bench", kWhat).as_string();
+  if (bench.empty()) throw std::invalid_argument("bench trajectory: empty bench name");
+  const JsonValue::Array& runs = Require(doc, "runs", kWhat).as_array();
+  if (runs.empty()) throw std::invalid_argument("bench trajectory: no runs");
+  for (const JsonValue& run : runs) {
+    ValidateBenchRun(run);
+    if (run.Find("bench")->as_string() != bench) {
+      throw std::invalid_argument("bench trajectory: run for '" +
+                                  run.Find("bench")->as_string() +
+                                  "' inside trajectory for '" + bench + "'");
+    }
+  }
+}
+
+std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace cellspot::obs

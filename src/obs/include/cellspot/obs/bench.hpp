@@ -1,0 +1,80 @@
+// Core of the bench regression harness: repetition statistics, the
+// schema-versioned bench-run JSON record, and the BENCH_<name>.json
+// trajectory documents that accumulate one run per commit so the perf
+// history of every experiment is a diffable file (see README "Perf
+// trajectory").
+//
+// Split out of bench/bench_common.hpp so the arithmetic and the schema
+// are unit-testable and shared with tools/bench_json (the validator /
+// appender used by tools/bench.sh and `ci.sh bench-smoke`).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cellspot/obs/json.hpp"
+#include "cellspot/obs/metrics.hpp"
+
+namespace cellspot::obs {
+
+/// Summary statistics over the measured (non-warmup) repetitions.
+struct BenchStats {
+  std::size_t reps = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double stddev = 0.0;
+
+  friend bool operator==(const BenchStats&, const BenchStats&) = default;
+};
+
+/// min/median/p90/stddev over per-rep wall times, via util::RunningStats
+/// and util::Percentile. Deterministic for a fixed input vector. Throws
+/// std::invalid_argument on an empty sample.
+[[nodiscard]] BenchStats SummarizeReps(std::span<const double> wall_ms);
+
+/// One harness execution of one bench binary.
+struct BenchRun {
+  std::string bench;
+  unsigned threads = 1;
+  int warmup = 0;
+  double scale = 0.0;  // world scale actually used (0 = not applicable)
+  std::uint64_t items = 0;
+  bool items_consistent = true;  // every rep reported the same item count
+  std::string timestamp;         // ISO-8601 UTC; empty omits the field
+  std::vector<double> rep_wall_ms;
+  MetricsSnapshot metrics;  // registry snapshot taken after the last rep
+};
+
+inline constexpr std::string_view kBenchRunSchema = "cellspot-bench-run/1";
+inline constexpr std::string_view kBenchTrajectorySchema = "cellspot-bench/2";
+
+/// Render one run as a JSON object:
+///   schema, bench, threads, warmup, reps, scale, items, items_consistent,
+///   [timestamp], wall_ms{min,median,p90,mean,stddev,max}, rep_wall_ms[],
+///   stages[{stage,wall_ms,count,items}], metrics{...snapshot...}
+/// `stages` is derived from the snapshot's span aggregates whose leaf
+/// name starts with "pipeline." (the analysis::Pipeline stage spans).
+[[nodiscard]] JsonValue BenchRunToJson(const BenchRun& run);
+
+/// Schema check for one run object; throws std::invalid_argument naming
+/// the offending field.
+void ValidateBenchRun(const JsonValue& run);
+
+/// Append `run` to a trajectory document (creating one when `existing`
+/// is nullptr). Throws std::invalid_argument when the trajectory is for
+/// a different bench or either document fails validation.
+[[nodiscard]] JsonValue AppendToTrajectory(const JsonValue* existing, JsonValue run);
+
+/// Schema check for a BENCH_<name>.json trajectory document.
+void ValidateTrajectory(const JsonValue& doc);
+
+/// Current time as "2026-08-05T12:34:56Z".
+[[nodiscard]] std::string IsoTimestampUtc();
+
+}  // namespace cellspot::obs

@@ -1,0 +1,82 @@
+// Minimal JSON document model for the observability exports: the
+// metrics snapshot, the bench-run records and the BENCH_<name>.json
+// trajectory files. Supports objects (insertion-ordered), arrays,
+// strings, numbers, booleans and null — the subset our own writers
+// produce — and parses it back for round-trip tests and schema
+// validation in tools/bench_json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace cellspot::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered so Dump() reproduces the writer's field order.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return Holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const noexcept { return Holds<bool>(); }
+  [[nodiscard]] bool is_number() const noexcept { return Holds<double>(); }
+  [[nodiscard]] bool is_string() const noexcept { return Holds<std::string>(); }
+  [[nodiscard]] bool is_array() const noexcept { return Holds<Array>(); }
+  [[nodiscard]] bool is_object() const noexcept { return Holds<Object>(); }
+
+  /// Typed accessors; throw std::invalid_argument on a type mismatch so
+  /// schema validation failures carry a reason instead of crashing.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object field lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const noexcept;
+
+  /// Object field append (creates an object from null).
+  void Set(std::string key, JsonValue value);
+
+  /// Compact single-line serialization. Doubles use the shortest
+  /// round-trippable form; integral values print without a decimal point.
+  [[nodiscard]] std::string Dump() const;
+
+  /// Parse `text` (must be a single JSON value, trailing whitespace ok).
+  /// Throws std::invalid_argument with a byte offset on malformed input.
+  [[nodiscard]] static JsonValue Parse(std::string_view text);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) = default;
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool Holds() const noexcept {
+    return std::holds_alternative<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Escape a string for embedding in JSON output (no surrounding quotes).
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+/// Shortest round-trippable decimal form of `v` ("1", "0.25", "1e+30").
+/// NaN/Inf are not valid JSON and render as null.
+[[nodiscard]] std::string JsonNumber(double v);
+
+}  // namespace cellspot::obs

@@ -1,0 +1,301 @@
+#include "cellspot/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cellspot::obs {
+
+namespace {
+
+[[noreturn]] void TypeError(const char* wanted) {
+  throw std::invalid_argument(std::string("JsonValue: not a ") + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  TypeError("bool");
+}
+
+double JsonValue::as_number() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  TypeError("number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  TypeError("string");
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  TypeError("array");
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  TypeError("object");
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const noexcept {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) return nullptr;
+  for (const auto& [k, v] : *o) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  if (is_null()) value_ = Object{};
+  Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) TypeError("object");
+  for (auto& [k, v] : *o) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  o->emplace_back(std::move(key), std::move(value));
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+std::string JsonValue::Dump() const {
+  struct Visitor {
+    std::string operator()(std::nullptr_t) const { return "null"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(double d) const { return JsonNumber(d); }
+    std::string operator()(const std::string& s) const {
+      return "\"" + JsonEscape(s) + "\"";
+    }
+    std::string operator()(const Array& a) const {
+      std::string out = "[";
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out += ",";
+        out += a[i].Dump();
+      }
+      return out + "]";
+    }
+    std::string operator()(const Object& o) const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(o[i].first) + "\":" + o[i].second.Dump();
+      }
+      return out + "}";
+    }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::invalid_argument("json parse error at byte " + std::to_string(pos_) +
+                                ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return JsonValue(ParseString());
+    if (Consume("true")) return JsonValue(true);
+    if (Consume("false")) return JsonValue(false);
+    if (Consume("null")) return JsonValue(nullptr);
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue::Object o;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(o));
+    }
+    for (;;) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      o.emplace_back(std::move(key), ParseValue());
+      SkipWs();
+      const char sep = Peek();
+      ++pos_;
+      if (sep == '}') return JsonValue(std::move(o));
+      if (sep != ',') Fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue::Array a;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(a));
+    }
+    for (;;) {
+      a.push_back(ParseValue());
+      SkipWs();
+      const char sep = Peek();
+      ++pos_;
+      if (sep == ']') return JsonValue(std::move(a));
+      if (sep != ',') Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad \\u escape digit");
+          }
+          // UTF-8 encode (no surrogate-pair recombination; our writers
+          // only emit \u00xx control-character escapes).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      Fail("bad number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace cellspot::obs

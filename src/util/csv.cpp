@@ -94,8 +94,4 @@ std::vector<std::vector<std::string>> ReadCsv(std::istream& in,
   return ReadCsvImpl(in, scoped.get());
 }
 
-std::vector<std::vector<std::string>> ReadCsv(std::istream& in, IngestReport& report) {
-  return ReadCsvImpl(in, report);
-}
-
 }  // namespace cellspot::util

@@ -45,8 +45,4 @@ class CsvWriter {
 [[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(
     std::istream& in, const LoadOptions& options = {});
 
-[[deprecated("use ReadCsv(in, LoadOptions{.report = &report})")]]
-[[nodiscard]] std::vector<std::vector<std::string>> ReadCsv(std::istream& in,
-                                                            IngestReport& report);
-
 }  // namespace cellspot::util

@@ -52,10 +52,16 @@ class EmpiricalCdf {
   /// Throws std::invalid_argument on size mismatch or negative weight.
   EmpiricalCdf(std::vector<double> values, std::vector<double> weights);
 
-  /// Fraction of total weight at observations <= x. 0 for empty CDFs.
+  /// Fraction of total weight at observations <= x. Returns 0 both for a
+  /// genuinely-empty CDF and for a degenerate one (observations present
+  /// but zero total weight) — check degenerate() to tell them apart.
   [[nodiscard]] double At(double x) const noexcept;
 
   /// Smallest observed x with F(x) >= q, q in (0, 1].
+  /// The asymmetric range is intentional: F is a right-continuous step
+  /// function, so the generalized inverse is well defined at q = 1 (the
+  /// largest observation) but not at q = 0 — every x below the smallest
+  /// observation satisfies F(x) >= 0, so there is no "smallest" one.
   /// Throws std::invalid_argument if q is out of range or the CDF is empty.
   [[nodiscard]] double Quantile(double q) const;
 
@@ -65,6 +71,19 @@ class EmpiricalCdf {
   }
 
   [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  /// True when the CDF was built from one or more observations whose
+  /// weights sum to zero: it has no usable steps (empty() is also true)
+  /// but, unlike a genuinely-empty CDF, the zeros returned by At() mean
+  /// "all weight vanished", not "nothing was observed".
+  [[nodiscard]] bool degenerate() const noexcept {
+    return sample_count_ > 0 && total_weight_ <= 0.0;
+  }
+
+  /// Number of observations supplied at construction (including
+  /// zero-weight ones).
+  [[nodiscard]] std::size_t sample_count() const noexcept { return sample_count_; }
+
   [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
 
  private:
@@ -72,23 +91,45 @@ class EmpiricalCdf {
 
   std::vector<std::pair<double, double>> points_;  // (x, cumulative fraction)
   double total_weight_ = 0.0;
+  std::size_t sample_count_ = 0;
 };
 
-/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
-/// samples are clamped into the first/last bucket. Used for the PDF bars
-/// of Fig 11.
+/// Fixed-width histogram over [lo, hi) with `bins` buckets. Out-of-range
+/// samples are NOT folded into the edge buckets (that silently distorted
+/// distribution tails): they accumulate in explicit underflow()/overflow()
+/// weights instead. Used for the PDF bars of Fig 11.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// x < lo counts toward underflow(); x >= hi toward overflow() (the
+  /// range is half-open, so x == hi is overflow). Throws
+  /// std::invalid_argument on a negative weight.
   void Add(double x, double weight = 1.0);
 
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
   [[nodiscard]] double bin_weight(std::size_t i) const;
-  /// Bucket weight / total weight; 0 when the histogram is empty.
-  [[nodiscard]] double bin_fraction(std::size_t i) const;
+
+  /// Bucket weight as a fraction; 0 when the histogram is empty.
+  /// By default the denominator is total_weight() — everything Add()
+  /// ever saw, so fractions of a histogram with spill sum to < 1 and
+  /// tails are not silently inflated. Pass in_range_only = true to opt
+  /// in to normalizing over the in-range weight alone (fractions then
+  /// sum to 1 whenever any sample landed in range).
+  [[nodiscard]] double bin_fraction(std::size_t i, bool in_range_only = false) const;
+
+  /// Weight of samples below lo / at-or-above hi.
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+
+  /// Weight that landed inside [lo, hi).
+  [[nodiscard]] double in_range_weight() const noexcept {
+    return total_ - underflow_ - overflow_;
+  }
+
+  /// Everything Add() ever saw, spill included.
   [[nodiscard]] double total_weight() const noexcept { return total_; }
 
  private:
@@ -96,16 +137,23 @@ class Histogram {
   double hi_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
 };
 
 /// Gini coefficient of a non-negative sample; 0 = perfectly even,
 /// -> 1 = fully concentrated. Used to quantify the demand-concentration
 /// findings (Finding 3, Fig 8). Returns 0 for empty/all-zero samples.
+/// Throws std::invalid_argument on any negative value — the index is
+/// only defined for non-negative quantities, and negative inputs used
+/// to yield out-of-range results (Gini > 1) instead of an error.
 [[nodiscard]] double GiniCoefficient(std::span<const double> sample);
 
 /// Share of the total held by the top k elements of the sample
 /// (the "top 10 ASes hold 38% of demand" style statements).
 /// Returns 0 for an empty sample; k >= size returns 1 (if total > 0).
+/// Throws std::invalid_argument on negative values, which would make a
+/// "share" exceed 1.
 [[nodiscard]] double TopKShare(std::span<const double> sample, std::size_t k);
 
 }  // namespace cellspot::util

@@ -65,6 +65,7 @@ EmpiricalCdf::EmpiricalCdf(std::vector<double> values, std::vector<double> weigh
 void EmpiricalCdf::Build(std::vector<std::pair<double, double>> weighted) {
   std::sort(weighted.begin(), weighted.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  sample_count_ = weighted.size();
   total_weight_ = 0.0;
   for (const auto& [x, w] : weighted) total_weight_ += w;
   if (total_weight_ <= 0.0) {
@@ -107,11 +108,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 
 void Histogram::Add(double x, double weight) {
   if (weight < 0.0) throw std::invalid_argument("Histogram::Add: negative weight");
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
   total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
+  // Floating-point roundoff can push (x - lo_) / width to exactly
+  // bins for x just below hi_; keep such samples in the last bucket.
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += weight;
 }
 
 double Histogram::bin_lo(std::size_t i) const {
@@ -131,13 +142,19 @@ double Histogram::bin_weight(std::size_t i) const {
   return counts_[i];
 }
 
-double Histogram::bin_fraction(std::size_t i) const {
+double Histogram::bin_fraction(std::size_t i, bool in_range_only) const {
   if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_fraction");
-  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+  const double denom = in_range_only ? in_range_weight() : total_;
+  return denom > 0.0 ? counts_[i] / denom : 0.0;
 }
 
 double GiniCoefficient(std::span<const double> sample) {
   if (sample.empty()) return 0.0;
+  for (const double v : sample) {
+    if (v < 0.0) {
+      throw std::invalid_argument("GiniCoefficient: negative value in sample");
+    }
+  }
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end());
   const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
@@ -152,6 +169,11 @@ double GiniCoefficient(std::span<const double> sample) {
 }
 
 double TopKShare(std::span<const double> sample, std::size_t k) {
+  for (const double v : sample) {
+    if (v < 0.0) {
+      throw std::invalid_argument("TopKShare: negative value in sample");
+    }
+  }
   if (sample.empty() || k == 0) return 0.0;
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end(), std::greater<>());

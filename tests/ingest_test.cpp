@@ -237,15 +237,17 @@ TEST(LoadOptions, ExternalReportWinsOverInlineFields) {
       ParseError);
 }
 
-TEST(LoadOptions, DeprecatedReportOverloadStillForwards) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(LoadOptions, ExternalReportAccumulatesAcrossCalls) {
+  // LoadOptions{.report = &report} is the migration target of the old
+  // (istream, IngestReport&) overloads: one report spans many loads.
   std::istringstream in("a,b\n\"oops\nc,d\n");
   IngestReport report(IngestPolicy::kSkip, {});
-  const auto rows = util::ReadCsv(in, report);
+  const auto rows = util::ReadCsv(in, {.report = &report});
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(report.count(ParseErrorCategory::kUnterminatedQuote), 1u);
-#pragma GCC diagnostic pop
+  std::istringstream in2("\"oops again\n");
+  EXPECT_TRUE(util::ReadCsv(in2, {.report = &report}).empty());
+  EXPECT_EQ(report.count(ParseErrorCategory::kUnterminatedQuote), 2u);
 }
 
 // ---- end-to-end: corrupted beacon log --------------------------------------

@@ -1,0 +1,140 @@
+// Bench-harness core tests: SummarizeReps arithmetic and determinism,
+// the cellspot-bench-run/1 record (JSON shape, schema validation, stage
+// derivation from pipeline spans) and the cellspot-bench/2 trajectory
+// append/validate cycle used by tools/bench_json and tools/bench.sh.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "cellspot/obs/bench.hpp"
+#include "cellspot/obs/json.hpp"
+#include "cellspot/obs/metrics.hpp"
+
+namespace cellspot {
+namespace {
+
+using obs::BenchRun;
+using obs::BenchStats;
+using obs::JsonValue;
+
+BenchRun MakeRun() {
+  BenchRun run;
+  run.bench = "unit_test";
+  run.threads = 4;
+  run.warmup = 1;
+  run.scale = 0.05;
+  run.items = 1234;
+  run.timestamp = "2026-08-05T00:00:00Z";
+  run.rep_wall_ms = {10.0, 12.0, 11.0, 13.0, 10.5};
+  obs::MetricsRegistry reg;
+  reg.counter("exec.jobs").Increment(5);
+  reg.RecordSpan("pipeline.classify", 0, 7.5, 1000);
+  reg.RecordSpan("pipeline.classify/exec.batch", 1, 7.0, 1000);
+  run.metrics = reg.Snapshot();
+  return run;
+}
+
+TEST(SummarizeReps, ComputesOrderStatistics) {
+  const std::vector<double> reps = {10.0, 12.0, 11.0, 13.0, 10.5};
+  const BenchStats stats = obs::SummarizeReps(reps);
+  EXPECT_EQ(stats.reps, 5u);
+  EXPECT_DOUBLE_EQ(stats.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max, 13.0);
+  EXPECT_DOUBLE_EQ(stats.median, 11.0);
+  EXPECT_NEAR(stats.mean, 11.3, 1e-9);
+  EXPECT_GE(stats.p90, stats.median);
+  EXPECT_LE(stats.p90, stats.max);
+  EXPECT_GT(stats.stddev, 0.0);
+}
+
+TEST(SummarizeReps, DeterministicForFixedInput) {
+  const std::vector<double> reps = {3.25, 1.5, 2.75, 9.0, 4.125, 2.0, 8.5};
+  const BenchStats a = obs::SummarizeReps(reps);
+  const BenchStats b = obs::SummarizeReps(reps);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SummarizeReps, SingleRepAndEmpty) {
+  const std::vector<double> one = {42.0};
+  const BenchStats stats = obs::SummarizeReps(one);
+  EXPECT_DOUBLE_EQ(stats.min, 42.0);
+  EXPECT_DOUBLE_EQ(stats.median, 42.0);
+  EXPECT_DOUBLE_EQ(stats.max, 42.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_THROW((void)obs::SummarizeReps(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(BenchRunJson, ValidatesAndCarriesStages) {
+  const JsonValue doc = obs::BenchRunToJson(MakeRun());
+  obs::ValidateBenchRun(doc);  // must not throw
+
+  EXPECT_EQ(doc.Find("schema")->as_string(), obs::kBenchRunSchema);
+  EXPECT_EQ(doc.Find("bench")->as_string(), "unit_test");
+  EXPECT_EQ(doc.Find("reps")->as_number(), 5.0);
+  EXPECT_TRUE(doc.Find("items_consistent")->as_bool());
+
+  // Stage rows are derived from the "pipeline.*" root spans only.
+  const auto& stages = doc.Find("stages")->as_array();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].Find("stage")->as_string(), "classify");
+  EXPECT_EQ(stages[0].Find("items")->as_number(), 1000.0);
+
+  const auto* wall = doc.Find("wall_ms");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->Find("min")->as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(wall->Find("median")->as_number(), 11.0);
+}
+
+TEST(BenchRunJson, DumpParsesBackIdentically) {
+  const JsonValue doc = obs::BenchRunToJson(MakeRun());
+  const JsonValue reparsed = JsonValue::Parse(doc.Dump());
+  EXPECT_EQ(reparsed, doc);
+  obs::ValidateBenchRun(reparsed);
+}
+
+TEST(BenchRunJson, ValidateRejectsMissingFields) {
+  JsonValue doc = obs::BenchRunToJson(MakeRun());
+  JsonValue::Object stripped;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key != "rep_wall_ms") stripped.emplace_back(key, value);
+  }
+  EXPECT_THROW(obs::ValidateBenchRun(JsonValue(std::move(stripped))),
+               std::invalid_argument);
+  EXPECT_THROW(obs::ValidateBenchRun(JsonValue::Parse(R"({"schema":"bogus/1"})")),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, AppendCreatesThenExtends) {
+  const JsonValue run = obs::BenchRunToJson(MakeRun());
+  const JsonValue first = obs::AppendToTrajectory(nullptr, run);
+  obs::ValidateTrajectory(first);
+  EXPECT_EQ(first.Find("schema")->as_string(), obs::kBenchTrajectorySchema);
+  EXPECT_EQ(first.Find("bench")->as_string(), "unit_test");
+  EXPECT_EQ(first.Find("runs")->as_array().size(), 1u);
+
+  const JsonValue second = obs::AppendToTrajectory(&first, run);
+  obs::ValidateTrajectory(second);
+  EXPECT_EQ(second.Find("runs")->as_array().size(), 2u);
+}
+
+TEST(Trajectory, AppendRejectsBenchMismatch) {
+  const JsonValue run = obs::BenchRunToJson(MakeRun());
+  const JsonValue traj = obs::AppendToTrajectory(nullptr, run);
+  BenchRun other = MakeRun();
+  other.bench = "different_bench";
+  EXPECT_THROW((void)obs::AppendToTrajectory(&traj, obs::BenchRunToJson(other)),
+               std::invalid_argument);
+}
+
+TEST(IsoTimestampUtc, LooksLikeIso8601) {
+  const std::string ts = obs::IsoTimestampUtc();
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+}  // namespace
+}  // namespace cellspot

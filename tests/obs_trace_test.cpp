@@ -1,0 +1,137 @@
+// TraceSpan contract tests: per-thread nesting produces '/'-joined
+// aggregate paths, worker threads do not inherit the caller's stack, and
+// running the analysis pipeline emits one span aggregate per stage (plus
+// nested exec.batch spans) into the global registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cellspot/analysis/pipeline.hpp"
+#include "cellspot/obs/metrics.hpp"
+#include "cellspot/obs/trace.hpp"
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TraceSpan;
+
+const MetricsSnapshot::SpanRow* FindSpan(const MetricsSnapshot& snap,
+                                         std::string_view path) {
+  const auto it = std::find_if(snap.spans.begin(), snap.spans.end(),
+                               [&](const auto& row) { return row.path == path; });
+  return it == snap.spans.end() ? nullptr : &*it;
+}
+
+TEST(TraceSpan, NestingJoinsPathsWithSlash) {
+  MetricsRegistry reg;
+  {
+    TraceSpan outer("outer", reg);
+    EXPECT_EQ(outer.path(), "outer");
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(TraceSpan::Current(), &outer);
+    {
+      TraceSpan inner("inner", reg);
+      EXPECT_EQ(inner.path(), "outer/inner");
+      EXPECT_EQ(inner.depth(), 1);
+      inner.set_items(5);
+      EXPECT_EQ(TraceSpan::Current(), &inner);
+    }
+    EXPECT_EQ(TraceSpan::Current(), &outer);
+    outer.AddItems(2);
+    outer.AddItems(3);
+  }
+  EXPECT_EQ(TraceSpan::Current(), nullptr);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const auto* outer_row = FindSpan(snap, "outer");
+  const auto* inner_row = FindSpan(snap, "outer/inner");
+  ASSERT_NE(outer_row, nullptr);
+  ASSERT_NE(inner_row, nullptr);
+  EXPECT_EQ(outer_row->count, 1u);
+  EXPECT_EQ(outer_row->depth, 0);
+  EXPECT_EQ(outer_row->items, 5u);
+  EXPECT_EQ(inner_row->count, 1u);
+  EXPECT_EQ(inner_row->depth, 1);
+  EXPECT_EQ(inner_row->items, 5u);
+  // The parent's wall time covers the child's.
+  EXPECT_GE(outer_row->total_ms, inner_row->total_ms);
+}
+
+TEST(TraceSpan, RepeatedOccurrencesFoldIntoOneRow) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span("repeat", reg);
+    span.set_items(10);
+  }
+  const MetricsSnapshot snap = reg.Snapshot();
+  const auto* row = FindSpan(snap, "repeat");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 3u);
+  EXPECT_EQ(row->items, 30u);
+  EXPECT_GE(row->max_ms, row->min_ms);
+  EXPECT_GE(row->total_ms, row->max_ms);
+}
+
+TEST(TraceSpan, OtherThreadsDoNotInheritTheCallersStack) {
+  MetricsRegistry reg;
+  TraceSpan outer("outer", reg);
+  std::string other_path;
+  std::thread worker([&] {
+    EXPECT_EQ(TraceSpan::Current(), nullptr);
+    TraceSpan mine("worker", reg);
+    other_path = mine.path();
+  });
+  worker.join();
+  EXPECT_EQ(other_path, "worker");  // not "outer/worker"
+}
+
+TEST(TraceSpan, ElapsedIsMonotonic) {
+  TraceSpan span("clock");
+  const double a = span.elapsed_ms();
+  const double b = span.elapsed_ms();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(PipelineTracing, EveryStageEmitsASpanAggregate) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetForTest();
+
+  analysis::Pipeline::Config config;
+  config.world = simnet::WorldConfig::Tiny();
+  analysis::Pipeline pipeline(config);
+  (void)pipeline.Run();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (const char* stage : {"pipeline.build_world", "pipeline.generate_datasets",
+                            "pipeline.classify", "pipeline.aggregate",
+                            "pipeline.filter"}) {
+    const auto* row = FindSpan(snap, stage);
+    ASSERT_NE(row, nullptr) << stage;
+    EXPECT_EQ(row->count, 1u) << stage;
+    EXPECT_EQ(row->depth, 0) << stage;
+  }
+  // Stage spans mirror the pipeline's own timing records.
+  ASSERT_EQ(pipeline.timings().size(), 5u);
+  for (const analysis::StageTiming& timing : pipeline.timings()) {
+    const auto* row = FindSpan(snap, "pipeline." + timing.stage);
+    ASSERT_NE(row, nullptr) << timing.stage;
+    EXPECT_EQ(row->items, static_cast<std::uint64_t>(timing.items)) << timing.stage;
+  }
+  // Executor batches launched inside a stage nest under it.
+  const bool has_nested_batch =
+      std::any_of(snap.spans.begin(), snap.spans.end(), [](const auto& row) {
+        return row.depth == 1 && row.path.ends_with("/exec.batch");
+      });
+  EXPECT_TRUE(has_nested_batch);
+  reg.ResetForTest();
+}
+
+}  // namespace
+}  // namespace cellspot

@@ -132,14 +132,22 @@ TEST_P(UtilProperty, HistogramConservesWeight) {
     h.Add(rng.UniformDouble() * 130.0 - 15.0, w);  // includes out-of-range
     total += w;
   }
+  // Weight is conserved across bins + explicit under/overflow; the edge
+  // bins no longer absorb the spill.
   double binned = 0.0;
   double fractions = 0.0;
+  double in_range_fractions = 0.0;
   for (std::size_t b = 0; b < h.bin_count(); ++b) {
     binned += h.bin_weight(b);
     fractions += h.bin_fraction(b);
+    in_range_fractions += h.bin_fraction(b, /*in_range_only=*/true);
   }
-  EXPECT_NEAR(binned, total, 1e-9);
-  EXPECT_NEAR(fractions, 1.0, 1e-9);
+  EXPECT_NEAR(binned + h.underflow() + h.overflow(), total, 1e-9);
+  EXPECT_NEAR(binned, h.in_range_weight(), 1e-9);
+  EXPECT_NEAR(fractions, h.in_range_weight() / total, 1e-9);
+  EXPECT_NEAR(in_range_fractions, 1.0, 1e-9);
+  EXPECT_GT(h.underflow(), 0.0);
+  EXPECT_GT(h.overflow(), 0.0);
 }
 
 TEST_P(UtilProperty, ZipfSamplesMatchPmfChiSquared) {

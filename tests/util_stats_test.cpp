@@ -117,6 +117,35 @@ TEST(EmpiricalCdf, ZeroTotalWeightIsEmpty) {
   EXPECT_TRUE(cdf.empty());
 }
 
+TEST(EmpiricalCdf, DegenerateDistinguishableFromEmpty) {
+  // Both return 0 from At(), but only the zero-weight one is flagged
+  // degenerate: its zeros mean "all weight vanished", not "no data".
+  const EmpiricalCdf truly_empty;
+  EXPECT_TRUE(truly_empty.empty());
+  EXPECT_FALSE(truly_empty.degenerate());
+  EXPECT_EQ(truly_empty.sample_count(), 0u);
+
+  const EmpiricalCdf zero_weight({1.0, 2.0}, {0.0, 0.0});
+  EXPECT_TRUE(zero_weight.empty());
+  EXPECT_TRUE(zero_weight.degenerate());
+  EXPECT_EQ(zero_weight.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(zero_weight.At(1.5), 0.0);
+
+  const EmpiricalCdf normal({1.0});
+  EXPECT_FALSE(normal.degenerate());
+  EXPECT_EQ(normal.sample_count(), 1u);
+}
+
+TEST(EmpiricalCdf, QuantileRangeIsIntentionallyAsymmetric) {
+  // q in (0, 1]: the generalized inverse of a right-continuous step
+  // function is defined at q = 1 (largest observation) but not at q = 0.
+  EmpiricalCdf cdf({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0001), 10.0);
+  EXPECT_THROW((void)cdf.Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)cdf.Quantile(1.0 + 1e-9), std::invalid_argument);
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
@@ -136,12 +165,49 @@ TEST(Histogram, BinsAndFractions) {
   EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
 }
 
-TEST(Histogram, ClampsOutOfRange) {
+TEST(Histogram, EdgeBinsNoLongerAbsorbOutOfRange) {
   Histogram h(0.0, 1.0, 2);
   h.Add(-5.0);
   h.Add(5.0);
-  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
-  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  // Historically both samples were clamped into the edge bins, silently
+  // fattening the distribution tails; now they are tracked explicitly.
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.in_range_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+}
+
+TEST(Histogram, HiBoundaryIsOverflow) {
+  // The range is half-open [lo, hi): x == hi is out of range, where the
+  // clamping behavior used to drop it into the last bin.
+  Histogram h(0.0, 1.0, 4);
+  h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  h.Add(0.999999);
+  EXPECT_DOUBLE_EQ(h.bin_weight(3), 1.0);
+}
+
+TEST(Histogram, FractionsCountSpillUnlessOptedOut) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.25);      // bin 0
+  h.Add(0.75);      // bin 1
+  h.Add(2.0, 2.0);  // overflow, weight 2
+  // Default: spill stays in the denominator, so fractions sum to 0.5.
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.25);
+  // Opt-in: normalize over in-range weight only.
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0, /*in_range_only=*/true), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1, /*in_range_only=*/true), 0.5);
+}
+
+TEST(Histogram, OutOfRangeOnlyFractionsAreZero) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0, /*in_range_only=*/true), 0.0);
 }
 
 TEST(Histogram, BinEdges) {
@@ -168,6 +234,21 @@ TEST(Gini, EmptyAndZeroTotals) {
   EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
   const std::vector<double> zeros{0.0, 0.0};
   EXPECT_DOUBLE_EQ(GiniCoefficient(zeros), 0.0);
+}
+
+TEST(Gini, ThrowsOnNegativeValues) {
+  // A negative value used to produce Gini > 1 (out of the index's range)
+  // instead of an error.
+  const std::vector<double> v{-10.0, 1.0, 1.0};
+  EXPECT_THROW((void)GiniCoefficient(v), std::invalid_argument);
+}
+
+TEST(TopKShare, ThrowsOnNegativeValues) {
+  const std::vector<double> v{5.0, -1.0};
+  EXPECT_THROW((void)TopKShare(v, 1), std::invalid_argument);
+  // Even when k = 0 / the sample would short-circuit, negatives are
+  // rejected first so the contract does not depend on k.
+  EXPECT_THROW((void)TopKShare(v, 0), std::invalid_argument);
 }
 
 TEST(TopKShare, BasicShares) {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench regression runner: executes the named bench binaries through the
+# repetition harness and appends each run to its BENCH_<name>.json
+# trajectory, so the perf history of every experiment accumulates in a
+# diffable, schema-versioned file (see README "Perf trajectory").
+#
+#   tools/bench.sh table2_datasets fig2_ratio_cdf     # specific benches
+#   tools/bench.sh --all                              # every bench binary
+#
+# Environment:
+#   BUILD_DIR   build tree holding the binaries      (default: build)
+#   BENCH_DIR   where BENCH_<name>.json files live   (default: bench/results)
+#   REPS        measured repetitions per bench       (default: 5)
+#   WARMUP      untimed warmup executions            (default: 1)
+#   THREADS     forwarded as --threads when set
+#   CELLSPOT_SCALE is honoured by the binaries themselves.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${BUILD_DIR:-build}"
+bench_dir="${BENCH_DIR:-bench/results}"
+reps="${REPS:-5}"
+warmup="${WARMUP:-1}"
+
+bench_json="$build_dir/tools/bench_json"
+if [[ ! -x "$bench_json" ]]; then
+  echo "bench.sh: $bench_json not built (cmake --build $build_dir --target bench_json)" >&2
+  exit 1
+fi
+
+names=()
+if [[ "${1:-}" == "--all" ]]; then
+  for bin in "$build_dir"/bench/bench_*; do
+    [[ -x "$bin" ]] || continue
+    name="$(basename "$bin")"
+    [[ "$name" == "bench_micro_perf" ]] && continue  # google-benchmark, own protocol
+    names+=("${name#bench_}")
+  done
+elif [[ $# -ge 1 ]]; then
+  names=("$@")
+else
+  echo "usage: tools/bench.sh [--all | bench_name...]" >&2
+  exit 2
+fi
+
+mkdir -p "$bench_dir"
+failures=0
+for name in "${names[@]}"; do
+  bin="$build_dir/bench/bench_$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench.sh: no such bench binary: $bin" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  run_json="$(mktemp)"
+  args=(--reps "$reps" --warmup "$warmup" --json-out "$run_json")
+  [[ -n "${THREADS:-}" ]] && args+=(--threads "$THREADS")
+  echo "== $name (reps=$reps warmup=$warmup)"
+  if ! "$bin" "${args[@]}" > /dev/null; then
+    echo "bench.sh: $name failed" >&2
+    failures=$((failures + 1))
+    rm -f "$run_json"
+    continue
+  fi
+  "$bench_json" validate-run "$run_json"
+  "$bench_json" append "$bench_dir/BENCH_$name.json" "$run_json"
+  "$bench_json" validate "$bench_dir/BENCH_$name.json"
+  rm -f "$run_json"
+done
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "bench.sh: $failures bench(es) failed" >&2
+  exit 1
+fi

@@ -1,0 +1,95 @@
+// Validator / appender for the bench regression harness's JSON files.
+//
+//   bench_json validate-run RUN.json          schema-check one bench run
+//   bench_json validate BENCH_<name>.json     schema-check a trajectory
+//   bench_json append BENCH_<name>.json RUN.json
+//
+// `append` folds one cellspot-bench-run/1 record into a
+// cellspot-bench/2 trajectory, creating the trajectory file when it does
+// not exist yet. Both inputs are validated; a bench-name mismatch or a
+// malformed document fails without touching the trajectory file.
+//
+// Used by tools/bench.sh and `tools/ci.sh bench-smoke`. A compiled tool
+// (not jq/python) so the schema lives in exactly one place: src/obs.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "cellspot/obs/bench.hpp"
+#include "cellspot/obs/json.hpp"
+
+namespace {
+
+using cellspot::obs::JsonValue;
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_json validate-run RUN.json\n"
+               "       bench_json validate TRAJECTORY.json\n"
+               "       bench_json append TRAJECTORY.json RUN.json\n");
+  return 2;
+}
+
+JsonValue ParseFile(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, text)) {
+    throw std::invalid_argument("cannot read '" + path + "'");
+  }
+  return JsonValue::Parse(text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "validate-run" && argc == 3) {
+      cellspot::obs::ValidateBenchRun(ParseFile(argv[2]));
+      std::printf("%s: valid %s\n", argv[2],
+                  std::string(cellspot::obs::kBenchRunSchema).c_str());
+      return 0;
+    }
+    if (command == "validate" && argc == 3) {
+      cellspot::obs::ValidateTrajectory(ParseFile(argv[2]));
+      std::printf("%s: valid %s\n", argv[2],
+                  std::string(cellspot::obs::kBenchTrajectorySchema).c_str());
+      return 0;
+    }
+    if (command == "append" && argc == 4) {
+      const JsonValue run = ParseFile(argv[3]);
+      JsonValue merged;
+      std::string existing_text;
+      if (ReadFile(argv[2], existing_text)) {
+        const JsonValue existing = JsonValue::Parse(existing_text);
+        merged = cellspot::obs::AppendToTrajectory(&existing, run);
+      } else {
+        merged = cellspot::obs::AppendToTrajectory(nullptr, run);
+      }
+      std::ofstream out(argv[2], std::ios::trunc);
+      out << merged.Dump() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "bench_json: cannot write '%s'\n", argv[2]);
+        return 1;
+      }
+      std::printf("%s: %zu run(s)\n", argv[2],
+                  merged.Find("runs")->as_array().size());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_json: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

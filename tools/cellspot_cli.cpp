@@ -30,6 +30,7 @@
 #include "cellspot/core/classifier.hpp"
 #include "cellspot/core/validation.hpp"
 #include "cellspot/exec/executor.hpp"
+#include "cellspot/obs/metrics.hpp"
 #include "cellspot/simnet/world.hpp"
 #include "cellspot/util/csv.hpp"
 #include "cellspot/util/ingest.hpp"
@@ -143,6 +144,9 @@ int Usage() {
                "                                     (default: CELLSPOT_THREADS, else\n"
                "                                     hardware concurrency); results are\n"
                "                                     identical at any thread count\n"
+               "  --metrics-out F                    write a cellspot-metrics/1 JSON\n"
+               "                                     snapshot at exit (also honours\n"
+               "                                     CELLSPOT_METRICS)\n"
                "\n"
                "ingestion options (classify/ases/report/validate/compress):\n"
                "  --on-error {fail,skip,quarantine}  first-fault abort (default),\n"
@@ -609,6 +613,9 @@ int main(int argc, char** argv) {
                         opts.GetOr("threads", "") + "'");
     }
     exec::Executor::SetDefaultThreadCount(static_cast<unsigned>(threads));
+    // Global: dump a cellspot-metrics/1 snapshot at process exit when
+    // --metrics-out FILE (or $CELLSPOT_METRICS) names a destination.
+    obs::InstallMetricsExporterAtExit(opts.GetOr("metrics-out", ""));
     if (command == "generate") return CmdGenerate(opts);
     if (command == "classify") return CmdClassify(opts);
     if (command == "ases") return CmdAses(opts);

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: build and test the plain, ASan+UBSan, and TSan variants.
 #
-#   tools/ci.sh            # all variants
-#   tools/ci.sh plain      # RelWithDebInfo only
-#   tools/ci.sh sanitize   # ASan+UBSan only
-#   tools/ci.sh tsan       # ThreadSanitizer (executor + pipeline tests)
+#   tools/ci.sh              # all variants
+#   tools/ci.sh plain        # RelWithDebInfo only
+#   tools/ci.sh sanitize     # ASan+UBSan only
+#   tools/ci.sh tsan         # ThreadSanitizer (executor + pipeline + obs tests)
+#   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,18 +27,39 @@ run() {
 run_tsan() {
   local dir="build-tsan"
   cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=thread
-  cmake --build "$dir" -j "$jobs" --target exec_test pipeline_determinism_test
+  cmake --build "$dir" -j "$jobs" --target exec_test pipeline_determinism_test obs_metrics_test
   local tsan_opts="suppressions=$PWD/tools/tsan.supp halt_on_error=1"
   TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/exec_test"
   TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/pipeline_determinism_test"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=8 "$dir/tests/obs_metrics_test"
+}
+
+# Exercises the bench regression harness end to end at a tiny world
+# scale: two fast benches, 3 reps each, into a throwaway trajectory
+# directory; every JSON document is schema-validated by bench_json.
+run_bench_smoke() {
+  local dir="build"
+  cmake -B "$dir" -S .
+  cmake --build "$dir" -j "$jobs" --target \
+    bench_table2_datasets bench_fig2_ratio_cdf bench_json
+  local out
+  out=$(mktemp -d)
+  CELLSPOT_SCALE=0.01 BENCH_DIR="$out" REPS=3 WARMUP=1 \
+    tools/bench.sh table2_datasets fig2_ratio_cdf
+  for f in "$out"/BENCH_*.json; do
+    "$dir/tools/bench_json" validate "$f"
+  done
+  rm -rf "$out"
 }
 
 case "$variant" in
-  plain)    run build ;;
-  sanitize) run build-asan -DCELLSPOT_SANITIZE=address ;;
-  tsan)     run_tsan ;;
-  all)      run build
-            run build-asan -DCELLSPOT_SANITIZE=address
-            run_tsan ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|all]" >&2; exit 2 ;;
+  plain)       run build ;;
+  sanitize)    run build-asan -DCELLSPOT_SANITIZE=address ;;
+  tsan)        run_tsan ;;
+  bench-smoke) run_bench_smoke ;;
+  all)         run build
+               run build-asan -DCELLSPOT_SANITIZE=address
+               run_tsan
+               run_bench_smoke ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|all]" >&2; exit 2 ;;
 esac
