@@ -69,6 +69,7 @@ struct BenchArgs {
   int warmup = 1;
   std::string json_out;
   std::string metrics_out;
+  std::string snapshot_dir;
 };
 
 /// Parses harness flags. Returns false (after printing to stderr) on a
@@ -119,6 +120,11 @@ inline bool ParseBenchArgs(int argc, char** argv, BenchArgs& out) {
       out.json_out = std::string(value);
     } else if (flag_value(i, arg, "--metrics-out", value)) {
       out.metrics_out = std::string(value);
+    } else if (flag_value(i, arg, "--snapshot-dir", value)) {
+      out.snapshot_dir = std::string(value);
+      // SharedPaperExperiment reads CELLSPOT_SNAPSHOT_DIR on first use;
+      // export before anything touches the shared experiment.
+      ::setenv("CELLSPOT_SNAPSHOT_DIR", out.snapshot_dir.c_str(), 1);
     }
   }
   return true;
@@ -171,6 +177,9 @@ inline int RunBench(int argc, char** argv, const std::string& name,
   run.timestamp = obs::IsoTimestampUtc();
   run.rep_wall_ms = rep_wall_ms;
   run.metrics = obs::MetricsRegistry::Global().Snapshot();
+  for (const auto& counter : run.metrics.counters) {
+    if (counter.name == "snapshot.hit" && counter.value > 0) run.warm_cache = true;
+  }
 
   const obs::BenchStats stats = obs::SummarizeReps(run.rep_wall_ms);
   std::fprintf(stderr,

@@ -13,8 +13,16 @@ Experiment RunExperiment(const simnet::WorldConfig& config,
 }
 
 const Experiment& SharedPaperExperiment() {
-  static const Experiment experiment =
-      RunExperiment(simnet::WorldConfig::Paper(PaperScaleFromEnv(0.05)));
+  static const Experiment experiment = [] {
+    // Honour CELLSPOT_SNAPSHOT_DIR so repeat bench/CLI runs at the same
+    // scale skip world + dataset generation entirely.
+    Pipeline pipeline({simnet::WorldConfig::Paper(PaperScaleFromEnv(0.05)),
+                       {},
+                       {},
+                       SnapshotDirFromEnv()});
+    pipeline.Run();
+    return std::move(pipeline).TakeExperiment();
+  }();
   return experiment;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@
 
 namespace cellspot::exec {
 class Executor;
+}
+
+namespace cellspot::snapshot {
+class StageCache;
 }
 
 namespace cellspot::analysis {
@@ -40,11 +45,21 @@ class Pipeline {
     simnet::WorldConfig world = {};
     core::ClassifierConfig classifier = {};
     core::AsFilterConfig filters = {};
+    /// When non-empty, stage outputs are cached as binary snapshots in
+    /// this directory (see src/snapshot): each stage probes the cache
+    /// before computing and a hit skips the stage entirely — no
+    /// pipeline.<stage> span, no timings() entry, byte-identical
+    /// results. Corrupt or stale snapshots are quarantined and the
+    /// stage recomputes.
+    std::string snapshot_dir;
   };
 
   /// Uses the shared process-wide executor.
   explicit Pipeline(Config config);
   Pipeline(Config config, exec::Executor& executor);
+  Pipeline(Pipeline&&) noexcept;
+  Pipeline& operator=(Pipeline&&) noexcept;
+  ~Pipeline();
 
   // ---- stages ----------------------------------------------------------
 
@@ -95,6 +110,7 @@ class Pipeline {
  private:
   Config config_;
   exec::Executor* executor_;
+  std::unique_ptr<snapshot::StageCache> cache_;  // null = caching disabled
   Experiment exp_;
   std::vector<StageTiming> timings_;
   bool has_world_ = false;
@@ -108,5 +124,9 @@ class Pipeline {
 /// `fallback`. Throws std::invalid_argument when the variable is set to
 /// anything but a positive number.
 [[nodiscard]] double PaperScaleFromEnv(double fallback);
+
+/// Snapshot-cache directory for pipelines that honour the environment:
+/// CELLSPOT_SNAPSHOT_DIR if set and non-empty, else "" (caching off).
+[[nodiscard]] std::string SnapshotDirFromEnv();
 
 }  // namespace cellspot::analysis

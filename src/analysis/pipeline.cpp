@@ -7,7 +7,8 @@
 
 #include "cellspot/exec/executor.hpp"
 #include "cellspot/obs/trace.hpp"
-#include "cellspot/util/strings.hpp"
+#include "cellspot/snapshot/stage_cache.hpp"
+#include "cellspot/util/parse.hpp"
 
 namespace cellspot::analysis {
 
@@ -40,14 +41,30 @@ class StageClock {
 Pipeline::Pipeline(Config config) : Pipeline(std::move(config), exec::Executor::Shared()) {}
 
 Pipeline::Pipeline(Config config, exec::Executor& executor)
-    : config_(std::move(config)), executor_(&executor) {}
+    : config_(std::move(config)), executor_(&executor) {
+  if (!config_.snapshot_dir.empty()) {
+    cache_ = std::make_unique<snapshot::StageCache>(config_.snapshot_dir);
+  }
+}
+
+Pipeline::Pipeline(Pipeline&&) noexcept = default;
+Pipeline& Pipeline::operator=(Pipeline&&) noexcept = default;
+Pipeline::~Pipeline() = default;
 
 const simnet::World& Pipeline::BuildWorld() {
   if (!has_world_) {
+    if (cache_) {
+      if (auto world = cache_->TryLoadWorld(config_.world)) {
+        exp_.world = std::move(*world);
+        has_world_ = true;
+        return exp_.world;
+      }
+    }
     StageClock clock(timings_, "build_world");
     exp_.world = simnet::World::Generate(config_.world, *executor_);
     has_world_ = true;
     clock.Finish(exp_.world.subnets().size());
+    if (cache_) cache_->StoreWorld(exp_.world);
   }
   return exp_.world;
 }
@@ -55,21 +72,38 @@ const simnet::World& Pipeline::BuildWorld() {
 void Pipeline::GenerateDatasets() {
   if (has_datasets_) return;
   BuildWorld();
+  if (cache_) {
+    if (auto datasets = cache_->TryLoadDatasets(config_.world)) {
+      exp_.beacons = std::move(datasets->first);
+      exp_.demand = std::move(datasets->second);
+      has_datasets_ = true;
+      return;
+    }
+  }
   StageClock clock(timings_, "generate_datasets");
   exp_.beacons = cdn::BeaconGenerator(exp_.world).GenerateDataset(*executor_);
   exp_.demand = cdn::DemandGenerator(exp_.world).GenerateDataset(*executor_);
   has_datasets_ = true;
   clock.Finish(exp_.beacons.block_count() + exp_.demand.block_count());
+  if (cache_) cache_->StoreDatasets(config_.world, exp_.beacons, exp_.demand);
 }
 
 const core::ClassifiedSubnets& Pipeline::Classify() {
   if (!has_classified_) {
     GenerateDatasets();
+    if (cache_) {
+      if (auto classified = cache_->TryLoadClassified(config_.world, config_.classifier)) {
+        exp_.classified = std::move(*classified);
+        has_classified_ = true;
+        return exp_.classified;
+      }
+    }
     StageClock clock(timings_, "classify");
     const core::SubnetClassifier classifier(config_.classifier);
     exp_.classified = classifier.Classify(exp_.beacons, *executor_);
     has_classified_ = true;
     clock.Finish(exp_.classified.ratios().size());
+    if (cache_) cache_->StoreClassified(config_.world, config_.classifier, exp_.classified);
   }
   return exp_.classified;
 }
@@ -122,12 +156,17 @@ void Pipeline::set_filters(const core::AsFilterConfig& filters) {
 double PaperScaleFromEnv(double fallback) {
   const char* env = std::getenv("CELLSPOT_SCALE");
   if (env == nullptr || *env == '\0') return fallback;
-  const auto parsed = util::ParseDouble(env);
+  const auto parsed = util::TryParseNumber<double>(env);
   if (!parsed || *parsed <= 0.0) {
     throw std::invalid_argument(
         std::string("CELLSPOT_SCALE: expected a positive number, got '") + env + "'");
   }
   return *parsed;
+}
+
+std::string SnapshotDirFromEnv() {
+  const char* env = std::getenv("CELLSPOT_SNAPSHOT_DIR");
+  return (env == nullptr) ? std::string() : std::string(env);
 }
 
 }  // namespace cellspot::analysis

@@ -5,7 +5,7 @@
 
 #include "cellspot/util/csv.hpp"
 #include "cellspot/util/error.hpp"
-#include "cellspot/util/strings.hpp"
+#include "cellspot/util/parse.hpp"
 
 namespace cellspot::asdb {
 
@@ -54,7 +54,9 @@ AsDatabase LoadAsDatabaseCsvImpl(std::istream& in, util::IngestReport& report) {
     if (!saw_header) {
       saw_header = true;  // consumed even when wrong, so data rows still parse
       if (util::JoinCsvLine(row) != kAsDbHeader) {
-        throw ParseError("AS database CSV: missing or wrong header",
+        throw ParseError("AS database CSV: missing or wrong header (got '" +
+                             util::JoinCsvLine(row) + "', want '" +
+                             std::string(kAsDbHeader) + "')",
                          ParseErrorCategory::kBadHeader);
       }
       return;
@@ -66,12 +68,12 @@ AsDatabase LoadAsDatabaseCsvImpl(std::istream& in, util::IngestReport& report) {
                                       : ParseErrorCategory::kBadFieldCount);
     }
     AsRecord record;
-    const auto asn = util::ParseUint(row[0]);
-    if (!asn || *asn == 0 || *asn > 0xFFFFFFFFULL) {
+    const auto asn = util::TryParseNumber<AsNumber>(row[0]);
+    if (!asn || *asn == 0) {
       throw ParseError("AS database CSV: bad asn '" + row[0] + "'",
                        ParseErrorCategory::kBadNumber);
     }
-    record.asn = static_cast<AsNumber>(*asn);
+    record.asn = *asn;
     record.name = row[1];
     record.country_iso = row[2];
     const auto continent = geo::ContinentFromCode(row[3]);
@@ -95,7 +97,7 @@ AsDatabase LoadAsDatabaseCsvImpl(std::istream& in, util::IngestReport& report) {
     db.Upsert(std::move(record));
   });
   if (!saw_header) {
-    throw ParseError("AS database CSV: missing or wrong header",
+    throw ParseError("AS database CSV: missing header (empty input)",
                      ParseErrorCategory::kBadHeader);
   }
   return db;
@@ -127,9 +129,11 @@ RoutingTable LoadRoutingTableCsvImpl(std::istream& in, util::IngestReport& repor
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
     const auto row = util::ParseCsvLine(line);
     if (!saw_header) {
-      saw_header = true;
+      saw_header = true;  // consumed even when wrong, so data rows still parse
       if (util::JoinCsvLine(row) != kRibHeader) {
-        throw ParseError("RIB CSV: missing or wrong header",
+        throw ParseError("RIB CSV: missing or wrong header (got '" +
+                             util::JoinCsvLine(row) + "', want '" +
+                             std::string(kRibHeader) + "')",
                          ParseErrorCategory::kBadHeader);
       }
       return;
@@ -140,15 +144,15 @@ RoutingTable LoadRoutingTableCsvImpl(std::istream& in, util::IngestReport& repor
                        row.size() < 2 ? ParseErrorCategory::kTruncatedLine
                                       : ParseErrorCategory::kBadFieldCount);
     }
-    const auto asn = util::ParseUint(row[1]);
-    if (!asn || *asn == 0 || *asn > 0xFFFFFFFFULL) {
+    const auto asn = util::TryParseNumber<AsNumber>(row[1]);
+    if (!asn || *asn == 0) {
       throw ParseError("RIB CSV: bad asn '" + row[1] + "'",
                        ParseErrorCategory::kBadNumber);
     }
-    rib.Announce(netaddr::Prefix::Parse(row[0]), static_cast<AsNumber>(*asn));
+    rib.Announce(netaddr::Prefix::Parse(row[0]), *asn);
   });
   if (!saw_header) {
-    throw ParseError("RIB CSV: missing or wrong header",
+    throw ParseError("RIB CSV: missing header (empty input)",
                      ParseErrorCategory::kBadHeader);
   }
   return rib;

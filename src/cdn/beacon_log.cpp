@@ -3,6 +3,7 @@
 #include <istream>
 
 #include "cellspot/util/error.hpp"
+#include "cellspot/util/parse.hpp"
 #include "cellspot/util/strings.hpp"
 
 namespace cellspot::cdn {
@@ -28,12 +29,12 @@ BeaconHit ParseBeaconLogLine(std::string_view line) {
                                        : ParseErrorCategory::kBadFieldCount);
   }
   BeaconHit hit;
-  const auto day = util::ParseUint(fields[0]);
-  if (!day || *day >= static_cast<std::uint64_t>(util::kBeaconWindowDays)) {
+  const auto day = util::TryParseNumber<std::int32_t>(fields[0]);
+  if (!day || *day < 0 || *day >= util::kBeaconWindowDays) {
     throw ParseError("beacon log: bad day '" + std::string(fields[0]) + "'",
                      ParseErrorCategory::kBadNumber);
   }
-  hit.day = static_cast<std::int32_t>(*day);
+  hit.day = *day;
   hit.client_ip = netaddr::IpAddress::Parse(fields[1]);
   const auto browser = netinfo::BrowserFromName(fields[2]);
   if (!browser) {

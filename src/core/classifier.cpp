@@ -9,12 +9,11 @@
 namespace cellspot::core {
 
 const double* ClassifiedSubnets::RatioOf(const netaddr::Prefix& block) const noexcept {
-  const auto it = ratios_.find(block);
-  return it == ratios_.end() ? nullptr : &it->second;
+  return ratios_.Find(block);
 }
 
 bool ClassifiedSubnets::IsCellular(const netaddr::Prefix& block) const noexcept {
-  return cellular_.contains(block);
+  return cellular_.Contains(block);
 }
 
 std::size_t ClassifiedSubnets::observed_count(netaddr::Family f) const noexcept {
@@ -101,8 +100,8 @@ ClassifiedSubnets SubnetClassifier::Classify(const dataset::BeaconDataset& beaco
     if (!verdicts[i].observed) continue;
     // The recorded ratio is always the point estimate (it feeds Fig 2);
     // only the decision uses the configured score.
-    out.ratios_.emplace(*items[i].block, items[i].stats->CellularRatio());
-    if (verdicts[i].cellular) out.cellular_.insert(*items[i].block);
+    out.ratios_.Emplace(*items[i].block, items[i].stats->CellularRatio());
+    if (verdicts[i].cellular) out.cellular_.Insert(*items[i].block);
   }
   return out;
 }

@@ -25,8 +25,8 @@ ClassifiedSubnets DeviceTypeClassifier::Classify(
   beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
     if (stats.hits < config_.min_hits) return;
     const double ratio = stats.MobileDeviceRatio();
-    out.ratios_.emplace(block, ratio);
-    if (ratio >= config_.threshold) out.cellular_.insert(block);
+    out.ratios_.Emplace(block, ratio);
+    if (ratio >= config_.threshold) out.cellular_.Insert(block);
   });
   return out;
 }

@@ -4,14 +4,17 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "cellspot/dataset/beacon_dataset.hpp"
 #include "cellspot/netaddr/prefix.hpp"
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::exec {
 class Executor;
+}
+
+namespace cellspot::snapshot {
+struct Access;
 }
 
 namespace cellspot::core {
@@ -42,10 +45,12 @@ class ClassifiedSubnets {
   /// True if the block was observed and classified cellular.
   [[nodiscard]] bool IsCellular(const netaddr::Prefix& block) const noexcept;
 
-  [[nodiscard]] const std::unordered_map<netaddr::Prefix, double>& ratios() const noexcept {
+  /// Per-block ratios and the cellular subset, in the beacon dataset's
+  /// iteration order (stable across snapshot save/load).
+  [[nodiscard]] const util::StableMap<netaddr::Prefix, double>& ratios() const noexcept {
     return ratios_;
   }
-  [[nodiscard]] const std::unordered_set<netaddr::Prefix>& cellular() const noexcept {
+  [[nodiscard]] const util::StableSet<netaddr::Prefix>& cellular() const noexcept {
     return cellular_;
   }
 
@@ -55,8 +60,9 @@ class ClassifiedSubnets {
  private:
   friend class SubnetClassifier;
   friend class DeviceTypeClassifier;
-  std::unordered_map<netaddr::Prefix, double> ratios_;
-  std::unordered_set<netaddr::Prefix> cellular_;
+  friend struct snapshot::Access;
+  util::StableMap<netaddr::Prefix, double> ratios_;
+  util::StableSet<netaddr::Prefix> cellular_;
 };
 
 class SubnetClassifier {

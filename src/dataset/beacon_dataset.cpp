@@ -3,12 +3,18 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string_view>
 
 #include "cellspot/util/csv.hpp"
 #include "cellspot/util/error.hpp"
-#include "cellspot/util/strings.hpp"
+#include "cellspot/util/parse.hpp"
 
 namespace cellspot::dataset {
+
+namespace {
+constexpr std::string_view kBeaconCsvHeader =
+    "block,hits,netinfo_hits,cellular,wifi,ethernet,other,mobile_browser";
+}  // namespace
 
 BeaconBlockStats& BeaconBlockStats::operator+=(const BeaconBlockStats& other) noexcept {
   hits += other.hits;
@@ -44,8 +50,7 @@ void BeaconDataset::Merge(const BeaconDataset& other) {
 }
 
 const BeaconBlockStats* BeaconDataset::Find(const netaddr::Prefix& block) const noexcept {
-  const auto it = blocks_.find(block);
-  return it == blocks_.end() ? nullptr : &it->second;
+  return blocks_.Find(block);
 }
 
 std::size_t BeaconDataset::block_count(netaddr::Family f) const noexcept {
@@ -76,8 +81,14 @@ BeaconDataset LoadBeaconCsvImpl(std::istream& in, util::IngestReport& report) {
   bool saw_header = false;
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
     const auto row = util::ParseCsvLine(line);
-    if (!saw_header) {  // the first non-blank line is the header
-      saw_header = true;
+    if (!saw_header) {
+      saw_header = true;  // consumed even when wrong, so data rows still parse
+      if (util::JoinCsvLine(row) != kBeaconCsvHeader) {
+        throw ParseError("BeaconDataset: missing or wrong header (got '" +
+                             util::JoinCsvLine(row) + "', want '" +
+                             std::string(kBeaconCsvHeader) + "')",
+                         ParseErrorCategory::kBadHeader);
+      }
       return;
     }
     if (row.size() != 8) {
@@ -89,12 +100,7 @@ BeaconDataset LoadBeaconCsvImpl(std::istream& in, util::IngestReport& report) {
     BeaconBlockStats s;
     const auto block = netaddr::Prefix::Parse(row[0]);
     auto field = [&](std::size_t idx) {
-      const auto v = util::ParseUint(row[idx]);
-      if (!v) {
-        throw ParseError("BeaconDataset: bad count '" + row[idx] + "'",
-                         ParseErrorCategory::kBadNumber);
-      }
-      return *v;
+      return util::ParseNumber<std::uint64_t>(row[idx], "BeaconDataset: bad count");
     };
     s.hits = field(1);
     s.netinfo_hits = field(2);

@@ -3,13 +3,19 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string_view>
 
 #include "cellspot/util/csv.hpp"
 #include "cellspot/util/error.hpp"
 #include "cellspot/util/ingest.hpp"
+#include "cellspot/util/parse.hpp"
 #include "cellspot/util/strings.hpp"
 
 namespace cellspot::dataset {
+
+namespace {
+constexpr std::string_view kDemandCsvHeader = "block,demand_du";
+}  // namespace
 
 void DemandDataset::Add(const netaddr::Prefix& block, double raw_demand) {
   if (!netaddr::IsBlock(block)) {
@@ -35,8 +41,8 @@ void DemandDataset::Merge(const DemandDataset& other) {
 }
 
 double DemandDataset::DemandOf(const netaddr::Prefix& block) const noexcept {
-  const auto it = blocks_.find(block);
-  return it == blocks_.end() ? 0.0 : it->second;
+  const double* du = blocks_.Find(block);
+  return du == nullptr ? 0.0 : *du;
 }
 
 std::size_t DemandDataset::block_count(netaddr::Family f) const noexcept {
@@ -63,7 +69,13 @@ DemandDataset LoadDemandCsvImpl(std::istream& in, util::IngestReport& report) {
   util::IngestLines(in, report, [&](std::size_t, std::string_view line) {
     const auto row = util::ParseCsvLine(line);
     if (!saw_header) {
-      saw_header = true;
+      saw_header = true;  // consumed even when wrong, so data rows still parse
+      if (util::JoinCsvLine(row) != kDemandCsvHeader) {
+        throw ParseError("DemandDataset: missing or wrong header (got '" +
+                             util::JoinCsvLine(row) + "', want '" +
+                             std::string(kDemandCsvHeader) + "')",
+                         ParseErrorCategory::kBadHeader);
+      }
       return;
     }
     if (row.size() != 2) {
@@ -72,14 +84,10 @@ DemandDataset LoadDemandCsvImpl(std::istream& in, util::IngestReport& report) {
                        row.size() < 2 ? ParseErrorCategory::kTruncatedLine
                                       : ParseErrorCategory::kBadFieldCount);
     }
-    const auto du = util::ParseDouble(row[1]);
-    if (!du) {
-      throw ParseError("DemandDataset: bad demand '" + row[1] + "'",
-                       ParseErrorCategory::kBadNumber);
-    }
+    const double du = util::ParseNumber<double>(row[1], "DemandDataset: bad demand");
     const auto block = netaddr::Prefix::Parse(row[0]);
     try {
-      out.Add(block, *du);
+      out.Add(block, du);
     } catch (const std::invalid_argument& e) {
       throw ParseError(e.what(), ParseErrorCategory::kInconsistentRecord);
     }

@@ -5,10 +5,14 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <unordered_map>
 
 #include "cellspot/netaddr/prefix.hpp"
 #include "cellspot/util/ingest.hpp"
+#include "cellspot/util/stable_map.hpp"
+
+namespace cellspot::snapshot {
+struct Access;
+}
 
 namespace cellspot::dataset {
 
@@ -58,7 +62,9 @@ class BeaconDataset {
     return total_netinfo_hits_;
   }
 
-  /// Visit every (block, stats) pair (unordered).
+  /// Visit every (block, stats) pair in insertion order. The order is a
+  /// property of the data (it survives SaveCsv/LoadCsv and snapshot
+  /// roundtrips), which keeps downstream exports byte-identical.
   template <typename Visitor>
   void ForEach(Visitor&& visit) const {
     for (const auto& [block, stats] : blocks_) visit(block, stats);
@@ -76,7 +82,8 @@ class BeaconDataset {
                                              const util::LoadOptions& options = {});
 
  private:
-  std::unordered_map<netaddr::Prefix, BeaconBlockStats> blocks_;
+  friend struct snapshot::Access;
+  util::StableMap<netaddr::Prefix, BeaconBlockStats> blocks_;
   std::uint64_t total_hits_ = 0;
   std::uint64_t total_netinfo_hits_ = 0;
 };

@@ -5,10 +5,14 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <unordered_map>
 
 #include "cellspot/netaddr/prefix.hpp"
 #include "cellspot/util/ingest.hpp"
+#include "cellspot/util/stable_map.hpp"
+
+namespace cellspot::snapshot {
+struct Access;
+}
 
 namespace cellspot::dataset {
 
@@ -47,7 +51,8 @@ class DemandDataset {
                                              const util::LoadOptions& options = {});
 
  private:
-  std::unordered_map<netaddr::Prefix, double> blocks_;
+  friend struct snapshot::Access;
+  util::StableMap<netaddr::Prefix, double> blocks_;
   double total_ = 0.0;
 };
 

@@ -88,6 +88,7 @@ JsonValue BenchRunToJson(const BenchRun& run) {
   if (run.scale > 0.0) doc.Set("scale", run.scale);
   doc.Set("items", run.items);
   doc.Set("items_consistent", run.items_consistent);
+  doc.Set("warm_cache", run.warm_cache);
   if (!run.timestamp.empty()) doc.Set("timestamp", run.timestamp);
   doc.Set("wall_ms", std::move(wall));
   doc.Set("rep_wall_ms", std::move(reps));
@@ -117,6 +118,8 @@ void ValidateBenchRun(const JsonValue& run) {
     throw std::invalid_argument("bench run: negative items");
   }
   (void)Require(run, "items_consistent", kWhat).as_bool();
+  // Optional (absent in records written before the snapshot cache).
+  if (const JsonValue* warm = run.Find("warm_cache")) (void)warm->as_bool();
 
   const JsonValue& wall = Require(run, "wall_ms", kWhat);
   const double min = RequireNumber(wall, "min", "bench run wall_ms");

@@ -46,6 +46,7 @@ struct BenchRun {
   double scale = 0.0;  // world scale actually used (0 = not applicable)
   std::uint64_t items = 0;
   bool items_consistent = true;  // every rep reported the same item count
+  bool warm_cache = false;       // any stage served from the snapshot cache
   std::string timestamp;         // ISO-8601 UTC; empty omits the field
   std::vector<double> rep_wall_ms;
   MetricsSnapshot metrics;  // registry snapshot taken after the last rep

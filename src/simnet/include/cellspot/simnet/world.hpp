@@ -22,6 +22,10 @@ namespace cellspot::exec {
 class Executor;
 }
 
+namespace cellspot::snapshot {
+struct Access;
+}
+
 namespace cellspot::simnet {
 
 /// One announced /24 (IPv4) or /48 (IPv6) block and its ground truth.
@@ -115,6 +119,7 @@ class World {
   std::vector<Carrier> carriers_;
 
   friend class WorldBuilder;
+  friend struct snapshot::Access;  // binary snapshot serde (src/snapshot)
 };
 
 }  // namespace cellspot::simnet

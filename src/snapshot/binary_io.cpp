@@ -1,0 +1,33 @@
+#include "cellspot/snapshot/binary_io.hpp"
+
+#include <array>
+
+namespace cellspot::snapshot {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeCrcTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const char ch : data) {
+    crc = kCrcTable[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace cellspot::snapshot

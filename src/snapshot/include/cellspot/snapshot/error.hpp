@@ -1,0 +1,55 @@
+// Failure taxonomy for snapshot loads, mirroring the ParseErrorCategory
+// idiom of the CSV ingest layer: every SnapshotError carries a reason so
+// the stage cache can account misses per category
+// (snapshot.miss.<reason> counters) before falling back to regeneration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cellspot::snapshot {
+
+enum class SnapshotErrorReason : std::uint8_t {
+  kIo = 0,           // open/read/write/rename failed
+  kBadMagic,         // file does not start with the snapshot magic
+  kVersionMismatch,  // magic ok, but a different format version
+  kTruncated,        // ran out of bytes mid-structure
+  kChecksum,         // a section's CRC32 does not match its payload
+  kMalformed,        // structurally valid bytes that decode to nonsense
+};
+
+inline constexpr std::size_t kSnapshotErrorReasonCount = 6;
+
+/// Stable lowercase name, used as the counter suffix
+/// ("bad-magic" -> snapshot.miss.bad-magic).
+[[nodiscard]] constexpr std::string_view SnapshotErrorReasonName(
+    SnapshotErrorReason r) noexcept {
+  switch (r) {
+    case SnapshotErrorReason::kIo: return "io";
+    case SnapshotErrorReason::kBadMagic: return "bad-magic";
+    case SnapshotErrorReason::kVersionMismatch: return "version-mismatch";
+    case SnapshotErrorReason::kTruncated: return "truncated";
+    case SnapshotErrorReason::kChecksum: return "checksum";
+    case SnapshotErrorReason::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+/// Thrown by snapshot decoding and file I/O. The stage cache catches it,
+/// quarantines the offending file and regenerates; it only escapes to the
+/// caller when a snapshot is read directly (serde round-trip tests, tools).
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(const std::string& what, SnapshotErrorReason reason)
+      : std::runtime_error(what), reason_(reason) {}
+
+  [[nodiscard]] SnapshotErrorReason reason() const noexcept { return reason_; }
+
+ private:
+  SnapshotErrorReason reason_;
+};
+
+}  // namespace cellspot::snapshot

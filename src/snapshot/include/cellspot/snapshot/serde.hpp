@@ -1,0 +1,47 @@
+// Writers/readers between the in-memory pipeline artifacts and the
+// snapshot container: simnet::World, the BEACON/DEMAND datasets and the
+// classification output. Decoding validates as it goes (enum ranges,
+// stats consistency, full payload consumption) and throws SnapshotError;
+// a decoded artifact iterates in exactly the order its source did, so
+// downstream exports are byte-identical to a cold run.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/dataset/demand_dataset.hpp"
+#include "cellspot/simnet/world.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+
+namespace cellspot::snapshot {
+
+/// Canonical byte encoding of a WorldConfig — embedded in world
+/// snapshots and hashed (with the format version) into cache keys, so
+/// any config change, however small, keys a different snapshot.
+[[nodiscard]] std::string EncodeWorldConfig(const simnet::WorldConfig& config);
+[[nodiscard]] simnet::WorldConfig DecodeWorldConfig(std::string_view payload);
+
+/// Canonical byte encoding of a ClassifierConfig (cache-key input for
+/// the classification stage).
+[[nodiscard]] std::string EncodeClassifierConfig(const core::ClassifierConfig& config);
+
+[[nodiscard]] std::vector<Section> EncodeWorld(const simnet::World& world);
+[[nodiscard]] simnet::World DecodeWorld(const std::vector<Section>& sections);
+
+[[nodiscard]] std::vector<Section> EncodeDatasets(const dataset::BeaconDataset& beacons,
+                                                  const dataset::DemandDataset& demand);
+[[nodiscard]] std::pair<dataset::BeaconDataset, dataset::DemandDataset> DecodeDatasets(
+    const std::vector<Section>& sections);
+
+[[nodiscard]] std::vector<Section> EncodeClassified(const core::ClassifiedSubnets& classified);
+[[nodiscard]] core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections);
+
+/// Friend hook into the private state of World, DemandDataset and
+/// ClassifiedSubnets; implementation detail of the functions above.
+struct Access;
+
+}  // namespace cellspot::snapshot

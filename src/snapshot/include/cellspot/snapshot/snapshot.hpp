@@ -1,0 +1,66 @@
+// The snapshot container format and its file I/O.
+//
+//   offset  size     field
+//   0       4        magic "CSPT"
+//   4       4        format version, u32 LE (kSnapshotFormatVersion)
+//   8       varint   section count
+//           per section:
+//             varint   name length, then name bytes
+//             u64 LE   payload length
+//             u32 LE   CRC-32 (IEEE) of the payload bytes
+//             ...      payload
+//
+// Sections are self-checking (per-section CRC) and self-describing
+// (named), so a reader can skip sections it does not know and detect
+// bit-flips before decoding. A version bump invalidates every snapshot:
+// readers refuse other versions (SnapshotErrorReason::kVersionMismatch)
+// and the stage cache folds the version into its file names, so old and
+// new binaries never feed each other stale bytes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cellspot/snapshot/error.hpp"
+
+namespace cellspot::snapshot {
+
+inline constexpr std::string_view kSnapshotMagic = "CSPT";
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// One named, CRC-protected blob inside a snapshot file.
+struct Section {
+  std::string name;
+  std::string payload;
+};
+
+/// Serialize sections into the container format.
+[[nodiscard]] std::string EncodeSnapshot(std::span<const Section> sections);
+
+/// Parse a snapshot image; throws SnapshotError on any defect.
+[[nodiscard]] std::vector<Section> DecodeSnapshot(std::string_view bytes);
+
+/// The named section; throws SnapshotError{kMalformed} when absent.
+[[nodiscard]] const Section& FindSection(const std::vector<Section>& sections,
+                                         std::string_view name);
+
+/// Write atomically (tmp file + rename) so a crashed writer can never
+/// leave a half-written snapshot under the final name.
+/// Throws SnapshotError{kIo} on filesystem errors.
+void WriteSnapshotFile(const std::filesystem::path& path,
+                       std::span<const Section> sections);
+
+/// Read and parse a snapshot file. Throws SnapshotError: kIo when the
+/// file cannot be read, otherwise whatever DecodeSnapshot finds.
+[[nodiscard]] std::vector<Section> ReadSnapshotFile(const std::filesystem::path& path);
+
+/// Rename a corrupt snapshot to "<path>.corrupt" (quarantine-in-place,
+/// preserving the bytes for diagnosis). Best-effort: returns false when
+/// the rename itself fails.
+bool QuarantineSnapshotFile(const std::filesystem::path& path) noexcept;
+
+}  // namespace cellspot::snapshot

@@ -1,0 +1,75 @@
+// Persistent cache of pipeline stage outputs, one snapshot file per
+// (stage, config) pair under a caller-chosen directory:
+//
+//   <dir>/world.<key>.snap        simnet::World
+//   <dir>/datasets.<key>.snap     BEACON + DEMAND datasets
+//   <dir>/classified.<key>.snap   classification output
+//
+// <key> is 16 hex digits of FNV-1a-64 over the snapshot format version
+// and the canonical byte encoding of every config the stage depends on
+// (the world config; plus the classifier config for the classified
+// stage), so changing any knob — or bumping the format — keys a
+// different file and stale snapshots are simply never opened.
+//
+// Loads are corruption-tolerant: any SnapshotError is reported on
+// stderr, counted under obs 'snapshot.miss.<reason>', the offending
+// file is quarantined in place (renamed '*.corrupt') and the caller
+// regenerates. Saves are best-effort: failures are counted
+// ('snapshot.save_error') and swallowed. The cache never throws.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/dataset/demand_dataset.hpp"
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::snapshot {
+
+/// FNV-1a 64-bit, the cache-key hash. Exposed for tests.
+[[nodiscard]] std::uint64_t Fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+class StageCache {
+ public:
+  /// Creates `dir` (and parents) if needed. When creation fails the
+  /// cache disables itself with a stderr warning instead of throwing —
+  /// a broken cache directory must never take the pipeline down.
+  explicit StageCache(std::filesystem::path dir);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// Cache-key paths, for tests and diagnostics.
+  [[nodiscard]] std::filesystem::path WorldPath(const simnet::WorldConfig& config) const;
+  [[nodiscard]] std::filesystem::path DatasetsPath(const simnet::WorldConfig& config) const;
+  [[nodiscard]] std::filesystem::path ClassifiedPath(
+      const simnet::WorldConfig& config, const core::ClassifierConfig& classifier) const;
+
+  [[nodiscard]] std::optional<simnet::World> TryLoadWorld(
+      const simnet::WorldConfig& config);
+  void StoreWorld(const simnet::World& world);
+
+  [[nodiscard]] std::optional<std::pair<dataset::BeaconDataset, dataset::DemandDataset>>
+  TryLoadDatasets(const simnet::WorldConfig& config);
+  void StoreDatasets(const simnet::WorldConfig& config,
+                     const dataset::BeaconDataset& beacons,
+                     const dataset::DemandDataset& demand);
+
+  [[nodiscard]] std::optional<core::ClassifiedSubnets> TryLoadClassified(
+      const simnet::WorldConfig& config, const core::ClassifierConfig& classifier);
+  void StoreClassified(const simnet::WorldConfig& config,
+                       const core::ClassifierConfig& classifier,
+                       const core::ClassifiedSubnets& classified);
+
+ private:
+  std::filesystem::path dir_;
+  bool enabled_ = false;
+};
+
+}  // namespace cellspot::snapshot

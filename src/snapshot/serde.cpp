@@ -1,0 +1,613 @@
+#include "cellspot/snapshot/serde.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "cellspot/snapshot/binary_io.hpp"
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::snapshot {
+
+namespace {
+
+// ---- section names (format v1) ---------------------------------------------
+
+constexpr std::string_view kWorldConfigSection = "world.config";
+constexpr std::string_view kWorldAsDbSection = "world.asdb";
+constexpr std::string_view kWorldRibSection = "world.rib";
+constexpr std::string_view kWorldSubnetsSection = "world.subnets";
+constexpr std::string_view kWorldOperatorsSection = "world.operators";
+constexpr std::string_view kWorldCarriersSection = "world.carriers";
+constexpr std::string_view kBeaconBlocksSection = "beacon.blocks";
+constexpr std::string_view kDemandBlocksSection = "demand.blocks";
+constexpr std::string_view kClassifiedRatiosSection = "classified.ratios";
+constexpr std::string_view kClassifiedCellularSection = "classified.cellular";
+
+[[noreturn]] void Malformed(const std::string& what) {
+  throw SnapshotError(what, SnapshotErrorReason::kMalformed);
+}
+
+// ---- shared field codecs ---------------------------------------------------
+
+void PutPrefix(ByteWriter& w, const netaddr::Prefix& p) {
+  w.U8(static_cast<std::uint8_t>(p.family()));
+  w.U8(static_cast<std::uint8_t>(p.length()));
+  const auto& bytes = p.address().bytes();
+  const std::size_t n = p.family() == netaddr::Family::kIpv4 ? 4 : 16;
+  w.Bytes(std::string_view(reinterpret_cast<const char*>(bytes.data()), n));
+}
+
+netaddr::Prefix GetPrefix(ByteReader& r) {
+  const std::uint8_t family = r.U8();
+  const std::uint8_t length = r.U8();
+  if (family == static_cast<std::uint8_t>(netaddr::Family::kIpv4)) {
+    if (length > 32) Malformed("v4 prefix length " + std::to_string(length));
+    const std::string_view raw = r.Bytes(4);
+    const auto b = [&](int i) {
+      return static_cast<std::uint32_t>(static_cast<std::uint8_t>(raw[i]));
+    };
+    const std::uint32_t host = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+    return {netaddr::IpAddress::V4(host), length};
+  }
+  if (family == static_cast<std::uint8_t>(netaddr::Family::kIpv6)) {
+    if (length > 128) Malformed("v6 prefix length " + std::to_string(length));
+    const std::string_view raw = r.Bytes(16);
+    std::array<std::uint8_t, 16> bytes{};
+    for (std::size_t i = 0; i < 16; ++i) bytes[i] = static_cast<std::uint8_t>(raw[i]);
+    return {netaddr::IpAddress::V6(bytes), length};
+  }
+  Malformed("unknown address family " + std::to_string(family));
+}
+
+double GetFiniteF64(ByteReader& r, std::string_view what) {
+  const double v = r.F64();
+  if (!std::isfinite(v)) Malformed(std::string(what) + " is not finite");
+  return v;
+}
+
+geo::Continent GetContinent(ByteReader& r) {
+  const std::uint8_t v = r.U8();
+  if (v >= geo::kContinentCount) Malformed("continent code " + std::to_string(v));
+  return static_cast<geo::Continent>(v);
+}
+
+template <typename Enum>
+Enum GetEnum(ByteReader& r, std::uint8_t max_value, std::string_view what) {
+  const std::uint8_t v = r.U8();
+  if (v > max_value) Malformed(std::string(what) + " value " + std::to_string(v));
+  return static_cast<Enum>(v);
+}
+
+asdb::AsNumber GetAsn(ByteReader& r) {
+  const std::uint64_t v = r.Varint();
+  if (v == 0 || v > 0xFFFFFFFFULL) Malformed("asn " + std::to_string(v));
+  return static_cast<asdb::AsNumber>(v);
+}
+
+}  // namespace
+
+// ---- Access ----------------------------------------------------------------
+
+struct Access {
+  static simnet::World DecodeWorldSections(const std::vector<Section>& sections);
+
+  static void SetDemandTotal(dataset::DemandDataset& d, double total) {
+    d.total_ = total;
+  }
+  static util::StableMap<netaddr::Prefix, double>& Ratios(core::ClassifiedSubnets& c) {
+    return c.ratios_;
+  }
+  static util::StableSet<netaddr::Prefix>& Cellular(core::ClassifiedSubnets& c) {
+    return c.cellular_;
+  }
+};
+
+// ---- WorldConfig -----------------------------------------------------------
+
+std::string EncodeWorldConfig(const simnet::WorldConfig& c) {
+  ByteWriter w;
+  w.U64(c.seed);
+  w.F64(c.scale);
+  w.F64(c.demand_total_du);
+  w.F64(c.beacon_hits_per_du);
+  w.F64(c.demand_only_extra_v4);
+  w.F64(c.v6_demand_coverage);
+  w.F64(c.no_js_block_fraction);
+  w.F64(c.noise.tether_wifi_given_cellular);
+  w.F64(c.noise.switch_cellular_given_fixed);
+  w.F64(c.noise.ethernet_given_fixed);
+  w.F64(c.noise.exotic_label_rate);
+  w.F64(c.proxy_cell_label_fraction);
+  w.F64(c.tether_mean_tail);
+  w.F64(c.tether_mean_heavy);
+  w.F64(c.tether_mean_heavy_na_dedicated);
+  w.F64(c.tether_sigma);
+  w.F64(c.cgnat_heavy_demand_share_mixed);
+  w.F64(c.cgnat_heavy_demand_share_dedicated);
+  w.F64(c.cgnat_heavy_demand_share_floor);
+  w.F64(c.tail_target_netinfo_hits);
+  w.F64(c.cgnat_heavy_block_fraction);
+  w.F64(c.inactive_cell_factor_mixed);
+  w.F64(c.inactive_cell_factor_dedicated);
+  w.I32(c.cloud_as_count);
+  w.I32(c.proxy_as_count);
+  w.I32(c.transit_as_count);
+  w.F64(c.proxy_demand_du_each);
+  w.F64(c.cloud_demand_du_each);
+  w.F64(c.stray_cell_block_prob);
+  w.F64(c.low_beacon_as_prob);
+  w.I32(c.study_month.year);
+  w.I32(c.study_month.month);
+  w.F64(c.netinfo_coverage_scale);
+  w.Varint(c.countries.size());
+  for (const simnet::CountryProfile& p : c.countries) {
+    w.String(p.iso2);
+    w.U8(static_cast<std::uint8_t>(p.continent));
+    w.F64(p.subscribers_m);
+    w.F64(p.cell_demand_du);
+    w.F64(p.fixed_demand_du);
+    w.Bool(p.demand_pinned);
+    w.I32(p.cellular_as_count);
+    w.I32(p.fixed_as_count);
+    w.F64(p.mixed_share);
+    w.F64(p.public_dns_fraction);
+    w.I32(p.v6_cellular_as_count);
+    w.Bool(p.exclude_from_analysis);
+  }
+  for (const simnet::ContinentBlockTargets& t : c.continent_blocks) {
+    w.F64(t.cell_v4);
+    w.F64(t.active_v4);
+    w.F64(t.cell_v6);
+    w.F64(t.active_v6);
+  }
+  return std::move(w).Take();
+}
+
+simnet::WorldConfig DecodeWorldConfig(std::string_view payload) {
+  ByteReader r(payload);
+  simnet::WorldConfig c;
+  c.seed = r.U64();
+  c.scale = r.F64();
+  c.demand_total_du = r.F64();
+  c.beacon_hits_per_du = r.F64();
+  c.demand_only_extra_v4 = r.F64();
+  c.v6_demand_coverage = r.F64();
+  c.no_js_block_fraction = r.F64();
+  c.noise.tether_wifi_given_cellular = r.F64();
+  c.noise.switch_cellular_given_fixed = r.F64();
+  c.noise.ethernet_given_fixed = r.F64();
+  c.noise.exotic_label_rate = r.F64();
+  c.proxy_cell_label_fraction = r.F64();
+  c.tether_mean_tail = r.F64();
+  c.tether_mean_heavy = r.F64();
+  c.tether_mean_heavy_na_dedicated = r.F64();
+  c.tether_sigma = r.F64();
+  c.cgnat_heavy_demand_share_mixed = r.F64();
+  c.cgnat_heavy_demand_share_dedicated = r.F64();
+  c.cgnat_heavy_demand_share_floor = r.F64();
+  c.tail_target_netinfo_hits = r.F64();
+  c.cgnat_heavy_block_fraction = r.F64();
+  c.inactive_cell_factor_mixed = r.F64();
+  c.inactive_cell_factor_dedicated = r.F64();
+  c.cloud_as_count = r.I32();
+  c.proxy_as_count = r.I32();
+  c.transit_as_count = r.I32();
+  c.proxy_demand_du_each = r.F64();
+  c.cloud_demand_du_each = r.F64();
+  c.stray_cell_block_prob = r.F64();
+  c.low_beacon_as_prob = r.F64();
+  c.study_month.year = r.I32();
+  c.study_month.month = r.I32();
+  c.netinfo_coverage_scale = r.F64();
+  const std::uint64_t country_count = r.Varint();
+  c.countries.reserve(country_count);
+  for (std::uint64_t i = 0; i < country_count; ++i) {
+    simnet::CountryProfile p;
+    p.iso2 = std::string(r.String());
+    p.continent = GetContinent(r);
+    p.subscribers_m = r.F64();
+    p.cell_demand_du = r.F64();
+    p.fixed_demand_du = r.F64();
+    p.demand_pinned = r.Bool();
+    p.cellular_as_count = r.I32();
+    p.fixed_as_count = r.I32();
+    p.mixed_share = r.F64();
+    p.public_dns_fraction = r.F64();
+    p.v6_cellular_as_count = r.I32();
+    p.exclude_from_analysis = r.Bool();
+    c.countries.push_back(std::move(p));
+  }
+  for (simnet::ContinentBlockTargets& t : c.continent_blocks) {
+    t.cell_v4 = r.F64();
+    t.active_v4 = r.F64();
+    t.cell_v6 = r.F64();
+    t.active_v6 = r.F64();
+  }
+  r.ExpectEnd();
+  try {
+    c.Validate();
+  } catch (const ConfigError& e) {
+    Malformed(std::string("decoded world config fails validation: ") + e.what());
+  }
+  return c;
+}
+
+std::string EncodeClassifierConfig(const core::ClassifierConfig& c) {
+  ByteWriter w;
+  w.F64(c.threshold);
+  w.U64(c.min_netinfo_hits);
+  w.Bool(c.use_wilson_lower_bound);
+  w.F64(c.wilson_z);
+  return std::move(w).Take();
+}
+
+// ---- World -----------------------------------------------------------------
+
+std::vector<Section> EncodeWorld(const simnet::World& world) {
+  std::vector<Section> sections;
+
+  sections.push_back({std::string(kWorldConfigSection), EncodeWorldConfig(world.config())});
+
+  {
+    ByteWriter w;
+    w.Varint(world.as_db().size());
+    for (const asdb::AsRecord& rec : world.as_db().records()) {
+      w.Varint(rec.asn);
+      w.String(rec.name);
+      w.String(rec.country_iso);
+      w.U8(static_cast<std::uint8_t>(rec.continent));
+      w.U8(static_cast<std::uint8_t>(rec.cls));
+      w.U8(static_cast<std::uint8_t>(rec.kind));
+    }
+    sections.push_back({std::string(kWorldAsDbSection), std::move(w).Take()});
+  }
+
+  {
+    // Announcements grouped per origin AS in database record order, each
+    // group in announcement order (the exact iteration SaveRoutingTableCsv
+    // uses). Every origin has a database record by construction; verify,
+    // so a violation surfaces at save time instead of as a wrong RIB.
+    ByteWriter w;
+    w.Varint(world.rib().size());
+    std::uint64_t written = 0;
+    for (const asdb::AsRecord& rec : world.as_db().records()) {
+      for (const netaddr::Prefix& prefix : world.rib().PrefixesOf(rec.asn)) {
+        w.Varint(rec.asn);
+        PutPrefix(w, prefix);
+        ++written;
+      }
+    }
+    if (written != world.rib().size()) {
+      Malformed("RIB has announcements from ASNs outside the AS database");
+    }
+    sections.push_back({std::string(kWorldRibSection), std::move(w).Take()});
+  }
+
+  {
+    ByteWriter w;
+    w.Varint(world.subnets().size());
+    for (const simnet::Subnet& s : world.subnets()) {
+      PutPrefix(w, s.block);
+      w.Varint(s.asn);
+      w.U16(s.country);
+      std::uint8_t flags = 0;
+      if (s.truth_cellular) flags |= 1U;
+      if (s.proxy_terminating) flags |= 2U;
+      if (s.in_demand_snapshot) flags |= 4U;
+      w.U8(flags);
+      w.F64(s.demand_du);
+      w.F64(s.beacon_scale);
+      w.F64(s.tether_rate);
+      w.F64(s.mobile_share);
+    }
+    sections.push_back({std::string(kWorldSubnetsSection), std::move(w).Take()});
+  }
+
+  {
+    ByteWriter w;
+    w.Varint(world.operators().size());
+    for (const simnet::OperatorInfo& op : world.operators()) {
+      w.Varint(op.asn);
+      w.U8(static_cast<std::uint8_t>(op.kind));
+      w.U16(op.country);
+      w.String(op.country_iso);
+      w.U8(static_cast<std::uint8_t>(op.continent));
+      w.F64(op.cell_demand_du);
+      w.F64(op.fixed_demand_du);
+      w.F64(op.public_dns_fraction);
+      w.Bool(op.ipv6_cellular);
+      w.U8(static_cast<std::uint8_t>(op.validation_label));
+      w.U32(op.subnet_begin);
+      w.U32(op.subnet_end);
+    }
+    sections.push_back({std::string(kWorldOperatorsSection), std::move(w).Take()});
+  }
+
+  {
+    ByteWriter w;
+    w.Varint(world.validation_carriers().size());
+    for (const simnet::World::Carrier& c : world.validation_carriers()) {
+      w.Varint(c.asn);
+      w.U8(static_cast<std::uint8_t>(c.label));
+    }
+    sections.push_back({std::string(kWorldCarriersSection), std::move(w).Take()});
+  }
+
+  return sections;
+}
+
+simnet::World Access::DecodeWorldSections(const std::vector<Section>& sections) {
+  simnet::World world;
+  world.config_ = DecodeWorldConfig(FindSection(sections, kWorldConfigSection).payload);
+
+  {
+    ByteReader r(FindSection(sections, kWorldAsDbSection).payload);
+    const std::uint64_t count = r.Varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      asdb::AsRecord rec;
+      rec.asn = GetAsn(r);
+      rec.name = std::string(r.String());
+      rec.country_iso = std::string(r.String());
+      rec.continent = GetContinent(r);
+      rec.cls = GetEnum<asdb::AsClass>(r, 3, "as class");
+      rec.kind = GetEnum<asdb::OperatorKind>(r, 5, "operator kind");
+      world.as_db_.Upsert(std::move(rec));
+    }
+    r.ExpectEnd();
+    if (world.as_db_.size() != count) Malformed("duplicate ASNs in AS database");
+  }
+
+  {
+    ByteReader r(FindSection(sections, kWorldRibSection).payload);
+    const std::uint64_t count = r.Varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const asdb::AsNumber asn = GetAsn(r);
+      world.rib_.Announce(GetPrefix(r), asn);
+    }
+    r.ExpectEnd();
+    if (world.rib_.size() != count) Malformed("duplicate prefixes in RIB");
+  }
+
+  {
+    ByteReader r(FindSection(sections, kWorldSubnetsSection).payload);
+    const std::uint64_t count = r.Varint();
+    world.subnets_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      simnet::Subnet s;
+      s.block = GetPrefix(r);
+      if (!netaddr::IsBlock(s.block)) {
+        Malformed("subnet " + s.block.ToString() + " is not a /24 or /48 block");
+      }
+      s.asn = GetAsn(r);
+      s.country = r.U16();
+      const std::uint8_t flags = r.U8();
+      if (flags > 7) Malformed("subnet flags " + std::to_string(flags));
+      s.truth_cellular = (flags & 1U) != 0;
+      s.proxy_terminating = (flags & 2U) != 0;
+      s.in_demand_snapshot = (flags & 4U) != 0;
+      s.demand_du = GetFiniteF64(r, "subnet demand_du");
+      s.beacon_scale = GetFiniteF64(r, "subnet beacon_scale");
+      s.tether_rate = GetFiniteF64(r, "subnet tether_rate");
+      s.mobile_share = GetFiniteF64(r, "subnet mobile_share");
+      world.subnets_.push_back(s);
+    }
+    r.ExpectEnd();
+  }
+
+  {
+    ByteReader r(FindSection(sections, kWorldOperatorsSection).payload);
+    const std::uint64_t count = r.Varint();
+    world.operators_.reserve(count);
+    world.op_index_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      simnet::OperatorInfo op;
+      op.asn = GetAsn(r);
+      op.kind = GetEnum<asdb::OperatorKind>(r, 5, "operator kind");
+      op.country = r.U16();
+      op.country_iso = std::string(r.String());
+      op.continent = GetContinent(r);
+      op.cell_demand_du = GetFiniteF64(r, "operator cell_demand_du");
+      op.fixed_demand_du = GetFiniteF64(r, "operator fixed_demand_du");
+      op.public_dns_fraction = GetFiniteF64(r, "operator public_dns_fraction");
+      op.ipv6_cellular = r.Bool();
+      op.validation_label = static_cast<char>(r.U8());
+      op.subnet_begin = r.U32();
+      op.subnet_end = r.U32();
+      if (op.subnet_begin > op.subnet_end ||
+          op.subnet_end > world.subnets_.size()) {
+        Malformed("operator " + std::to_string(op.asn) + " has subnet range [" +
+                  std::to_string(op.subnet_begin) + ", " +
+                  std::to_string(op.subnet_end) + ") outside " +
+                  std::to_string(world.subnets_.size()) + " subnets");
+      }
+      world.op_index_.emplace(op.asn, world.operators_.size());
+      world.operators_.push_back(std::move(op));
+    }
+    r.ExpectEnd();
+    if (world.op_index_.size() != world.operators_.size()) {
+      Malformed("duplicate operator ASNs");
+    }
+  }
+
+  {
+    ByteReader r(FindSection(sections, kWorldCarriersSection).payload);
+    const std::uint64_t count = r.Varint();
+    world.carriers_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      simnet::World::Carrier c;
+      c.asn = GetAsn(r);
+      c.label = static_cast<char>(r.U8());
+      world.carriers_.push_back(c);
+    }
+    r.ExpectEnd();
+  }
+
+  world.block_index_.reserve(world.subnets_.size());
+  for (std::uint32_t i = 0; i < world.subnets_.size(); ++i) {
+    world.block_index_.emplace(world.subnets_[i].block, i);
+  }
+  if (world.block_index_.size() != world.subnets_.size()) {
+    Malformed("duplicate subnet blocks");
+  }
+  return world;
+}
+
+simnet::World DecodeWorld(const std::vector<Section>& sections) {
+  return Access::DecodeWorldSections(sections);
+}
+
+// ---- datasets --------------------------------------------------------------
+
+std::vector<Section> EncodeDatasets(const dataset::BeaconDataset& beacons,
+                                    const dataset::DemandDataset& demand) {
+  std::vector<Section> sections;
+
+  {
+    ByteWriter w;
+    w.Varint(beacons.block_count());
+    beacons.ForEach(
+        [&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& s) {
+          PutPrefix(w, block);
+          w.Varint(s.hits);
+          w.Varint(s.netinfo_hits);
+          w.Varint(s.cellular_labels);
+          w.Varint(s.wifi_labels);
+          w.Varint(s.ethernet_labels);
+          w.Varint(s.other_labels);
+          w.Varint(s.mobile_browser_hits);
+        });
+    sections.push_back({std::string(kBeaconBlocksSection), std::move(w).Take()});
+  }
+
+  {
+    ByteWriter w;
+    w.Varint(demand.block_count());
+    demand.ForEach([&](const netaddr::Prefix& block, double du) {
+      PutPrefix(w, block);
+      w.F64(du);
+    });
+    // total() is not the float sum of the rows once Normalize() has run
+    // (it is pinned to exactly kTotalDemandUnits); store it explicitly.
+    w.F64(demand.total());
+    sections.push_back({std::string(kDemandBlocksSection), std::move(w).Take()});
+  }
+
+  return sections;
+}
+
+std::pair<dataset::BeaconDataset, dataset::DemandDataset> DecodeDatasets(
+    const std::vector<Section>& sections) {
+  dataset::BeaconDataset beacons;
+  {
+    ByteReader r(FindSection(sections, kBeaconBlocksSection).payload);
+    const std::uint64_t count = r.Varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const netaddr::Prefix block = GetPrefix(r);
+      dataset::BeaconBlockStats s;
+      s.hits = r.Varint();
+      s.netinfo_hits = r.Varint();
+      s.cellular_labels = r.Varint();
+      s.wifi_labels = r.Varint();
+      s.ethernet_labels = r.Varint();
+      s.other_labels = r.Varint();
+      s.mobile_browser_hits = r.Varint();
+      try {
+        beacons.Add(block, s);  // re-checks the dataset invariants
+      } catch (const std::invalid_argument& e) {
+        Malformed(e.what());
+      }
+    }
+    r.ExpectEnd();
+    if (beacons.block_count() != count) Malformed("duplicate beacon blocks");
+  }
+
+  dataset::DemandDataset demand;
+  {
+    ByteReader r(FindSection(sections, kDemandBlocksSection).payload);
+    const std::uint64_t count = r.Varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const netaddr::Prefix block = GetPrefix(r);
+      const double du = GetFiniteF64(r, "demand du");
+      try {
+        demand.Add(block, du);
+      } catch (const std::invalid_argument& e) {
+        Malformed(e.what());
+      }
+    }
+    const double total = GetFiniteF64(r, "demand total");
+    if (total < 0.0) Malformed("negative demand total");
+    r.ExpectEnd();
+    if (demand.block_count() != count) Malformed("duplicate demand blocks");
+    Access::SetDemandTotal(demand, total);
+  }
+
+  return {std::move(beacons), std::move(demand)};
+}
+
+// ---- classification output -------------------------------------------------
+
+std::vector<Section> EncodeClassified(const core::ClassifiedSubnets& classified) {
+  std::vector<Section> sections;
+
+  {
+    ByteWriter w;
+    w.Varint(classified.ratios().size());
+    for (const auto& [block, ratio] : classified.ratios()) {
+      PutPrefix(w, block);
+      w.F64(ratio);
+    }
+    sections.push_back({std::string(kClassifiedRatiosSection), std::move(w).Take()});
+  }
+
+  {
+    ByteWriter w;
+    w.Varint(classified.cellular().size());
+    for (const netaddr::Prefix& block : classified.cellular()) {
+      PutPrefix(w, block);
+    }
+    sections.push_back({std::string(kClassifiedCellularSection), std::move(w).Take()});
+  }
+
+  return sections;
+}
+
+core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections) {
+  core::ClassifiedSubnets out;
+  {
+    ByteReader r(FindSection(sections, kClassifiedRatiosSection).payload);
+    const std::uint64_t count = r.Varint();
+    Access::Ratios(out).reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const netaddr::Prefix block = GetPrefix(r);
+      const double ratio = GetFiniteF64(r, "cellular ratio");
+      if (ratio < 0.0 || ratio > 1.0) {
+        Malformed("cellular ratio " + std::to_string(ratio) + " outside [0, 1]");
+      }
+      if (!Access::Ratios(out).Emplace(block, ratio)) {
+        Malformed("duplicate classified block " + block.ToString());
+      }
+    }
+    r.ExpectEnd();
+  }
+  {
+    ByteReader r(FindSection(sections, kClassifiedCellularSection).payload);
+    const std::uint64_t count = r.Varint();
+    Access::Cellular(out).reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const netaddr::Prefix block = GetPrefix(r);
+      if (Access::Ratios(out).Find(block) == nullptr) {
+        Malformed("cellular block " + block.ToString() + " has no recorded ratio");
+      }
+      if (!Access::Cellular(out).Insert(block)) {
+        Malformed("duplicate cellular block " + block.ToString());
+      }
+    }
+    r.ExpectEnd();
+  }
+  return out;
+}
+
+}  // namespace cellspot::snapshot

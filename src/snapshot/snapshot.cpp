@@ -1,0 +1,116 @@
+#include "cellspot/snapshot/snapshot.hpp"
+
+#include <fstream>
+#include <system_error>
+
+#include "cellspot/snapshot/binary_io.hpp"
+
+namespace cellspot::snapshot {
+
+std::string EncodeSnapshot(std::span<const Section> sections) {
+  ByteWriter w;
+  w.Bytes(kSnapshotMagic);
+  w.U32(kSnapshotFormatVersion);
+  w.Varint(sections.size());
+  for (const Section& s : sections) {
+    w.String(s.name);
+    w.U64(s.payload.size());
+    w.U32(Crc32(s.payload));
+    w.Bytes(s.payload);
+  }
+  return std::move(w).Take();
+}
+
+std::vector<Section> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kSnapshotMagic.size()) {
+    throw SnapshotError("snapshot shorter than its magic",
+                        SnapshotErrorReason::kTruncated);
+  }
+  if (bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    throw SnapshotError("not a snapshot file (bad magic)",
+                        SnapshotErrorReason::kBadMagic);
+  }
+  ByteReader r(bytes.substr(kSnapshotMagic.size()));
+  const std::uint32_t version = r.U32();
+  if (version != kSnapshotFormatVersion) {
+    throw SnapshotError("snapshot format version " + std::to_string(version) +
+                            ", this build reads version " +
+                            std::to_string(kSnapshotFormatVersion),
+                        SnapshotErrorReason::kVersionMismatch);
+  }
+  const std::uint64_t count = r.Varint();
+  std::vector<Section> sections;
+  sections.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Section s;
+    s.name = std::string(r.String());
+    const std::uint64_t payload_len = r.U64();
+    const std::uint32_t stored_crc = r.U32();
+    s.payload = std::string(r.Bytes(payload_len));
+    if (Crc32(s.payload) != stored_crc) {
+      throw SnapshotError("section '" + s.name + "' fails its CRC32 check",
+                          SnapshotErrorReason::kChecksum);
+    }
+    sections.push_back(std::move(s));
+  }
+  r.ExpectEnd();
+  return sections;
+}
+
+const Section& FindSection(const std::vector<Section>& sections,
+                           std::string_view name) {
+  for (const Section& s : sections) {
+    if (s.name == name) return s;
+  }
+  throw SnapshotError("snapshot is missing section '" + std::string(name) + "'",
+                      SnapshotErrorReason::kMalformed);
+}
+
+void WriteSnapshotFile(const std::filesystem::path& path,
+                       std::span<const Section> sections) {
+  const std::string image = EncodeSnapshot(sections);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotError("cannot open '" + tmp.string() + "' for writing",
+                          SnapshotErrorReason::kIo);
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+      throw SnapshotError("short write to '" + tmp.string() + "'",
+                          SnapshotErrorReason::kIo);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw SnapshotError("cannot rename snapshot into place at '" + path.string() + "'",
+                        SnapshotErrorReason::kIo);
+  }
+}
+
+std::vector<Section> ReadSnapshotFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("cannot open '" + path.string() + "'",
+                        SnapshotErrorReason::kIo);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw SnapshotError("read error on '" + path.string() + "'",
+                        SnapshotErrorReason::kIo);
+  }
+  return DecodeSnapshot(bytes);
+}
+
+bool QuarantineSnapshotFile(const std::filesystem::path& path) noexcept {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".corrupt", ec);
+  return !ec;
+}
+
+}  // namespace cellspot::snapshot

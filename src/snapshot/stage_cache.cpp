@@ -1,0 +1,170 @@
+#include "cellspot/snapshot/stage_cache.hpp"
+
+#include <iostream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "cellspot/obs/metrics.hpp"
+#include "cellspot/obs/trace.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+
+namespace cellspot::snapshot {
+
+namespace {
+
+void CountMiss(std::string_view reason) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.counter("snapshot.miss").Increment();
+  reg.counter("snapshot.miss." + std::string(reason)).Increment();
+}
+
+std::uint64_t ImageBytes(std::span<const Section> sections) {
+  std::uint64_t total = 0;
+  for (const Section& s : sections) total += s.payload.size();
+  return total;
+}
+
+std::string Hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Probe one snapshot file and decode it via `decode`. Absent files are
+/// quiet misses; anything corrupt is reported, counted by reason and
+/// quarantined so the next run does not trip over the same bytes.
+template <typename Artifact, typename Decode>
+std::optional<Artifact> TryLoad(const std::filesystem::path& path,
+                                std::string_view stage, Decode&& decode) {
+  auto& reg = obs::MetricsRegistry::Global();
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    CountMiss("absent");
+    return std::nullopt;
+  }
+  obs::TraceSpan span("snapshot.load");
+  try {
+    std::vector<Section> sections = ReadSnapshotFile(path);
+    Artifact artifact = decode(sections);
+    reg.counter("snapshot.hit").Increment();
+    reg.counter("snapshot.bytes_read").Increment(ImageBytes(sections));
+    span.set_items(1);
+    return artifact;
+  } catch (const SnapshotError& e) {
+    CountMiss(SnapshotErrorReasonName(e.reason()));
+    const bool quarantined = QuarantineSnapshotFile(path);
+    std::cerr << "cellspot: discarding " << stage << " snapshot '" << path.string()
+              << "': " << e.what() << " [" << SnapshotErrorReasonName(e.reason())
+              << "]" << (quarantined ? "; quarantined as *.corrupt" : "") << "\n";
+    return std::nullopt;
+  }
+}
+
+/// Best-effort store; failures are counted, never propagated.
+void TryStore(const std::filesystem::path& path, std::string_view stage,
+              std::span<const Section> sections) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::TraceSpan span("snapshot.save");
+  try {
+    WriteSnapshotFile(path, sections);
+    reg.counter("snapshot.bytes_written").Increment(ImageBytes(sections));
+    span.set_items(1);
+  } catch (const SnapshotError& e) {
+    reg.counter("snapshot.save_error").Increment();
+    std::cerr << "cellspot: cannot save " << stage << " snapshot '" << path.string()
+              << "': " << e.what() << "\n";
+  }
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::string_view bytes, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+StageCache::StageCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_, ec) || ec) {
+    std::cerr << "cellspot: cannot create snapshot directory '" << dir_.string()
+              << "' (" << ec.message() << "); snapshot cache disabled\n";
+    return;
+  }
+  enabled_ = true;
+}
+
+std::filesystem::path StageCache::WorldPath(const simnet::WorldConfig& config) const {
+  std::uint64_t key = Fnv1a64(EncodeWorldConfig(config),
+                              0xcbf29ce484222325ULL ^ kSnapshotFormatVersion);
+  return dir_ / ("world." + Hex16(key) + ".snap");
+}
+
+std::filesystem::path StageCache::DatasetsPath(const simnet::WorldConfig& config) const {
+  std::uint64_t key = Fnv1a64(EncodeWorldConfig(config),
+                              0xcbf29ce484222325ULL ^ kSnapshotFormatVersion);
+  return dir_ / ("datasets." + Hex16(key) + ".snap");
+}
+
+std::filesystem::path StageCache::ClassifiedPath(
+    const simnet::WorldConfig& config, const core::ClassifierConfig& classifier) const {
+  std::uint64_t key = Fnv1a64(EncodeWorldConfig(config),
+                              0xcbf29ce484222325ULL ^ kSnapshotFormatVersion);
+  key = Fnv1a64(EncodeClassifierConfig(classifier), key);
+  return dir_ / ("classified." + Hex16(key) + ".snap");
+}
+
+std::optional<simnet::World> StageCache::TryLoadWorld(const simnet::WorldConfig& config) {
+  if (!enabled_) return std::nullopt;
+  return TryLoad<simnet::World>(
+      WorldPath(config), "world",
+      [](const std::vector<Section>& sections) { return DecodeWorld(sections); });
+}
+
+void StageCache::StoreWorld(const simnet::World& world) {
+  if (!enabled_) return;
+  TryStore(WorldPath(world.config()), "world", EncodeWorld(world));
+}
+
+std::optional<std::pair<dataset::BeaconDataset, dataset::DemandDataset>>
+StageCache::TryLoadDatasets(const simnet::WorldConfig& config) {
+  if (!enabled_) return std::nullopt;
+  return TryLoad<std::pair<dataset::BeaconDataset, dataset::DemandDataset>>(
+      DatasetsPath(config), "datasets",
+      [](const std::vector<Section>& sections) { return DecodeDatasets(sections); });
+}
+
+void StageCache::StoreDatasets(const simnet::WorldConfig& config,
+                               const dataset::BeaconDataset& beacons,
+                               const dataset::DemandDataset& demand) {
+  if (!enabled_) return;
+  TryStore(DatasetsPath(config), "datasets", EncodeDatasets(beacons, demand));
+}
+
+std::optional<core::ClassifiedSubnets> StageCache::TryLoadClassified(
+    const simnet::WorldConfig& config, const core::ClassifierConfig& classifier) {
+  if (!enabled_) return std::nullopt;
+  return TryLoad<core::ClassifiedSubnets>(
+      ClassifiedPath(config, classifier), "classified",
+      [](const std::vector<Section>& sections) { return DecodeClassified(sections); });
+}
+
+void StageCache::StoreClassified(const simnet::WorldConfig& config,
+                                 const core::ClassifierConfig& classifier,
+                                 const core::ClassifiedSubnets& classified) {
+  if (!enabled_) return;
+  TryStore(ClassifiedPath(config, classifier), "classified",
+           EncodeClassified(classified));
+}
+
+}  // namespace cellspot::snapshot

@@ -1,0 +1,59 @@
+// Strict numeric parsing for untrusted loader input.
+//
+// ParseUint/ParseDouble (strings.hpp) Trim their input and, for doubles,
+// accept "inf"/"nan" — fine for CLI flags and env vars, too lax for data
+// files where "123abc", " 42", "+7" or an overflowing count should be a
+// rejected record, not a silently coerced value. Loaders route numeric
+// fields through ParseNumber<T> instead: the whole field must be a finite
+// number in T's range, with no sign prefix beyond '-' (signed types only),
+// no surrounding whitespace, and no trailing garbage.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <type_traits>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::util {
+
+/// Strict parse of the whole of `s` as a T; nullopt on empty input,
+/// leading '+'/whitespace, trailing garbage, out-of-range values, and
+/// (for floating point) non-finite results.
+template <typename T>
+[[nodiscard]] std::optional<T> TryParseNumber(std::string_view s) noexcept {
+  static_assert(std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+                    !std::is_same_v<T, char>,
+                "TryParseNumber expects a real numeric type");
+  if (s.empty()) return std::nullopt;
+  T value{};
+  if constexpr (std::is_integral_v<T>) {
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, 10);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  } else {
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), value, std::chars_format::general);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+    if (!std::isfinite(value)) return std::nullopt;  // reject "inf" / "nan"
+  }
+  return value;
+}
+
+/// Throwing wrapper: `what` names the field being parsed and prefixes the
+/// ParseError message ("<what> '<field>'"). The surrounding IngestLines
+/// loop annotates the error with the 1-based line number.
+template <typename T>
+[[nodiscard]] T ParseNumber(std::string_view s, std::string_view what) {
+  const auto value = TryParseNumber<T>(s);
+  if (!value) {
+    throw ParseError(std::string(what) + " '" + std::string(s) + "'",
+                     ParseErrorCategory::kBadNumber);
+  }
+  return *value;
+}
+
+}  // namespace cellspot::util

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <unordered_set>
+
 #include "cellspot/evolution/stability.hpp"
 #include "cellspot/util/error.hpp"
 

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "cellspot/obs/metrics.hpp"
+
 namespace cellspot::exec {
 namespace {
 
@@ -162,6 +164,81 @@ TEST(Executor, ZeroThreadsUsesDefault) {
   Executor ex;
   EXPECT_EQ(ex.thread_count(), 2u);
   Executor::SetDefaultThreadCount(0);
+}
+
+// ---- batch-shape observability ---------------------------------------------
+// Locks the span/counter contract for the degenerate batch shapes: an
+// empty range must not report a batch at all, while oversized grains and
+// thread counts must still report exactly one job with accurate items.
+
+std::uint64_t CounterValue(const obs::MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const obs::MetricsSnapshot::SpanRow* FindSpan(const obs::MetricsSnapshot& snap,
+                                              std::string_view path) {
+  for (const auto& s : snap.spans) {
+    if (s.path == path) return &s;
+  }
+  return nullptr;
+}
+
+TEST(BatchObservability, EmptyRangeEmitsNoSpanOrCounters) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  Executor ex(4);
+  ex.ParallelFor(0, 16, [](std::size_t, std::size_t) { FAIL(); });
+  ex.ParallelForChunks(0, 1, [](std::size_t, std::size_t, std::size_t) { FAIL(); });
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(CounterValue(snap, "exec.jobs"), 0u);
+  EXPECT_EQ(CounterValue(snap, "exec.chunks"), 0u);
+  EXPECT_EQ(FindSpan(snap, "exec.batch"), nullptr)
+      << "an empty batch must not open an exec.batch span";
+}
+
+TEST(BatchObservability, GrainLargerThanRangeIsOneChunk) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  Executor ex(4);
+  std::atomic<int> calls{0};
+  ex.ParallelForChunks(3, 1000, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+    EXPECT_EQ(chunk, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(CounterValue(snap, "exec.jobs"), 1u);
+  EXPECT_EQ(CounterValue(snap, "exec.chunks"), 1u);
+  const auto* span = FindSpan(snap, "exec.batch");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1u);
+  EXPECT_EQ(span->items, 3u);  // items reflect the range, not the grain
+}
+
+TEST(BatchObservability, MoreThreadsThanItemsCoversEachIndexOnce) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  Executor ex(8);
+  std::mutex mu;
+  std::vector<std::size_t> seen;
+  ex.ParallelFor(3, 1, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = begin; i < end; ++i) seen.push_back(i);
+  });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(CounterValue(snap, "exec.jobs"), 1u);
+  EXPECT_EQ(CounterValue(snap, "exec.chunks"), 3u);
+  const auto* span = FindSpan(snap, "exec.batch");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1u);
+  EXPECT_EQ(span->items, 3u);
 }
 
 }  // namespace

@@ -358,5 +358,75 @@ TEST(CorruptedIngest, ExceedingTheBudgetThrows) {
   EXPECT_THROW((void)cdn::AggregateBeaconLog(in, {.report = &report}), util::IngestBudgetError);
 }
 
+// ---- wrong-header recovery --------------------------------------------------
+// A file with a wrong (not just missing) header must (a) name the
+// offending header text in the strict error, and (b) in skip mode,
+// consume the bad header once and then load every data row after it —
+// in every CSV loader.
+
+TEST(WrongHeader, StrictErrorNamesTheOffendingHeader) {
+  std::istringstream in("asn,nome,pais,continente,clase,tipo\n");
+  try {
+    (void)asdb::LoadAsDatabaseCsv(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.category(), ParseErrorCategory::kBadHeader);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("asn,nome,pais,continente,clase,tipo"), std::string::npos)
+        << "error must quote the header it saw: " << what;
+    EXPECT_NE(what.find("asn,name,country,continent,class,kind"), std::string::npos)
+        << "error must name the header it wanted: " << what;
+  }
+}
+
+TEST(WrongHeader, AsDatabaseRecoversInSkipMode) {
+  std::istringstream in(
+      "asn;name;country;continent;class;kind\n"
+      "1,GoodAS,US,NA,Transit/Access,Mixed\n"
+      "2,AlsoGood,DE,EU,Content,FixedOnly\n");
+  IngestReport report(IngestPolicy::kSkip, {});
+  const auto db = asdb::LoadAsDatabaseCsv(in, {.report = &report});
+  EXPECT_EQ(report.count(ParseErrorCategory::kBadHeader), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_NE(db.Find(1), nullptr);
+  EXPECT_NE(db.Find(2), nullptr);
+}
+
+TEST(WrongHeader, RoutingTableRecoversInSkipMode) {
+  std::istringstream in(
+      "prefix,origin_asn\n"
+      "10.0.0.0/24,1\n"
+      "10.0.1.0/24,2\n");
+  IngestReport report(IngestPolicy::kSkip, {});
+  const auto rib = asdb::LoadRoutingTableCsv(in, {.report = &report});
+  EXPECT_EQ(report.count(ParseErrorCategory::kBadHeader), 1u);
+  EXPECT_EQ(rib.size(), 2u);
+  EXPECT_EQ(report.lines_ok(), 2u);
+}
+
+TEST(WrongHeader, BeaconDatasetRecoversInSkipMode) {
+  std::istringstream in(
+      "block,hits,netinfo,cellular,wifi,ethernet,other,mobile\n"
+      "10.0.0.0/24,10,8,6,2,0,0,5\n"
+      "10.0.1.0/24,4,4,0,4,0,0,1\n");
+  IngestReport report(IngestPolicy::kSkip, {});
+  const auto loaded = dataset::BeaconDataset::LoadCsv(in, {.report = &report});
+  EXPECT_EQ(report.count(ParseErrorCategory::kBadHeader), 1u);
+  EXPECT_EQ(loaded.block_count(), 2u);
+  EXPECT_EQ(report.lines_ok(), 2u);
+}
+
+TEST(WrongHeader, DemandDatasetRecoversInSkipMode) {
+  std::istringstream in(
+      "block,demand\n"
+      "10.0.0.0/24,12.5\n"
+      "10.0.1.0/24,0.5\n");
+  IngestReport report(IngestPolicy::kSkip, {});
+  const auto loaded = dataset::DemandDataset::LoadCsv(in, {.report = &report});
+  EXPECT_EQ(report.count(ParseErrorCategory::kBadHeader), 1u);
+  EXPECT_EQ(loaded.block_count(), 2u);
+  EXPECT_EQ(report.lines_ok(), 2u);
+}
+
 }  // namespace
 }  // namespace cellspot

@@ -1,0 +1,154 @@
+// The persistent stage cache through analysis::Pipeline: a second run
+// with the same config must hit every cached stage (no
+// pipeline.build_world / generate_datasets / classify spans or timings)
+// and produce byte-identical exports; any config change must key a
+// different snapshot and recompute.
+#include "cellspot/analysis/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "cellspot/obs/metrics.hpp"
+
+namespace cellspot::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t CounterValue(std::string_view name) {
+  for (const auto& c : obs::MetricsRegistry::Global().Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+bool HasPipelineSpan(std::string_view leaf) {
+  const std::string needle = "pipeline." + std::string(leaf);
+  for (const auto& s : obs::MetricsRegistry::Global().Snapshot().spans) {
+    if (s.path.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool HasTiming(const Pipeline& p, std::string_view stage) {
+  for (const StageTiming& t : p.timings()) {
+    if (t.stage == stage) return true;
+  }
+  return false;
+}
+
+std::string Exports(const Experiment& exp) {
+  std::ostringstream out;
+  exp.beacons.SaveCsv(out);
+  exp.demand.SaveCsv(out);
+  return out.str();
+}
+
+fs::path FreshDir(std::string_view name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("snapcache_" + std::string(name));
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(StageCachePipeline, WarmRunSkipsCachedStagesByteIdentically) {
+  const fs::path dir = FreshDir("warm");
+  const Pipeline::Config config{simnet::WorldConfig::Tiny(), {}, {}, dir.string()};
+
+  obs::MetricsRegistry::Global().ResetForTest();
+  Pipeline cold(config);
+  cold.Run();
+  EXPECT_TRUE(HasTiming(cold, "build_world"));
+  EXPECT_TRUE(HasTiming(cold, "generate_datasets"));
+  EXPECT_TRUE(HasTiming(cold, "classify"));
+  EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
+  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 3u);
+  EXPECT_GT(CounterValue("snapshot.bytes_written"), 0u);
+
+  obs::MetricsRegistry::Global().ResetForTest();
+  Pipeline warm(config);
+  warm.Run();
+  EXPECT_EQ(CounterValue("snapshot.hit"), 3u);
+  EXPECT_EQ(CounterValue("snapshot.miss"), 0u);
+  EXPECT_GT(CounterValue("snapshot.bytes_read"), 0u);
+  // The cached stages never ran: no spans, no timings.
+  EXPECT_FALSE(HasPipelineSpan("build_world"));
+  EXPECT_FALSE(HasPipelineSpan("generate_datasets"));
+  EXPECT_FALSE(HasPipelineSpan("classify"));
+  EXPECT_FALSE(HasTiming(warm, "build_world"));
+  EXPECT_FALSE(HasTiming(warm, "generate_datasets"));
+  EXPECT_FALSE(HasTiming(warm, "classify"));
+  // Aggregate/filter are recomputed (cheap, not snapshotted).
+  EXPECT_TRUE(HasTiming(warm, "aggregate"));
+  EXPECT_TRUE(HasTiming(warm, "filter"));
+
+  EXPECT_EQ(Exports(warm.experiment()), Exports(cold.experiment()));
+  EXPECT_EQ(warm.experiment().classified.ratios(), cold.experiment().classified.ratios());
+  EXPECT_EQ(warm.experiment().classified.cellular(),
+            cold.experiment().classified.cellular());
+  EXPECT_EQ(warm.experiment().filtered.kept.size(), cold.experiment().filtered.kept.size());
+}
+
+TEST(StageCachePipeline, DifferentSeedKeysDifferentSnapshots) {
+  const fs::path dir = FreshDir("seed");
+  Pipeline::Config config{simnet::WorldConfig::Tiny(), {}, {}, dir.string()};
+  Pipeline cold(config);
+  cold.Run();
+
+  obs::MetricsRegistry::Global().ResetForTest();
+  config.world.seed += 1;
+  Pipeline other(config);
+  other.Run();
+  EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
+  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 3u);
+  EXPECT_TRUE(HasTiming(other, "build_world"));
+}
+
+TEST(StageCachePipeline, ClassifierConfigKeysOnlyTheClassifiedStage) {
+  const fs::path dir = FreshDir("classifier");
+  Pipeline::Config config{simnet::WorldConfig::Tiny(), {}, {}, dir.string()};
+  Pipeline cold(config);
+  cold.Run();
+
+  obs::MetricsRegistry::Global().ResetForTest();
+  config.classifier.threshold = 0.9;
+  Pipeline reclass(config);
+  reclass.Run();
+  // World + datasets hit; the classified snapshot is keyed off the
+  // classifier config and must recompute.
+  EXPECT_EQ(CounterValue("snapshot.hit"), 2u);
+  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 1u);
+  EXPECT_FALSE(HasTiming(reclass, "build_world"));
+  EXPECT_TRUE(HasTiming(reclass, "classify"));
+
+  // …and set_classifier invalidation composes with the cache: switching
+  // back to the default config hits the snapshot stored by the first run.
+  obs::MetricsRegistry::Global().ResetForTest();
+  reclass.set_classifier({});
+  (void)reclass.Classify();
+  EXPECT_EQ(CounterValue("snapshot.hit"), 1u);
+}
+
+TEST(StageCachePipeline, EmptySnapshotDirDisablesCaching) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  Pipeline p({simnet::WorldConfig::Tiny(), {}, {}, std::string()});
+  (void)p.BuildWorld();
+  EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
+  EXPECT_EQ(CounterValue("snapshot.miss"), 0u);
+  EXPECT_TRUE(HasTiming(p, "build_world"));
+}
+
+TEST(SnapshotDirFromEnv, ReadsEnvironment) {
+  ::unsetenv("CELLSPOT_SNAPSHOT_DIR");
+  EXPECT_EQ(SnapshotDirFromEnv(), "");
+  ::setenv("CELLSPOT_SNAPSHOT_DIR", "/tmp/snapdir", 1);
+  EXPECT_EQ(SnapshotDirFromEnv(), "/tmp/snapdir");
+  ::unsetenv("CELLSPOT_SNAPSHOT_DIR");
+}
+
+}  // namespace
+}  // namespace cellspot::analysis

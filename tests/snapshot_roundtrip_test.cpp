@@ -1,0 +1,187 @@
+// Binary snapshot format: container/varint/CRC primitives, and the
+// save -> load -> re-encode property for every serialized artifact. The
+// load-bearing guarantee is byte identity: the encoded image is the
+// same at any thread count, and a decoded artifact re-encodes (and
+// re-exports) to exactly the bytes the original produced.
+#include "cellspot/snapshot/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cellspot/asdb/serialization.hpp"
+#include "cellspot/cdn/beacon_generator.hpp"
+#include "cellspot/cdn/demand_generator.hpp"
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/snapshot/binary_io.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+
+namespace cellspot::snapshot {
+namespace {
+
+// ---- primitives ------------------------------------------------------------
+
+TEST(Crc32, MatchesIeeeReferenceVector) {
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(ByteIo, RoundtripsEveryFieldType) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-123456);
+  w.Varint(0);
+  w.Varint(127);
+  w.Varint(128);
+  w.Varint(0xFFFFFFFFFFFFFFFFull);
+  w.F64(-2.5e-3);
+  w.Bool(true);
+  w.String("héllo");
+  const std::string bytes = std::move(w).Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I32(), -123456);
+  EXPECT_EQ(r.Varint(), 0u);
+  EXPECT_EQ(r.Varint(), 127u);
+  EXPECT_EQ(r.Varint(), 128u);
+  EXPECT_EQ(r.Varint(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(r.F64(), -2.5e-3);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.String(), "héllo");
+  EXPECT_NO_THROW(r.ExpectEnd());
+}
+
+TEST(ByteIo, TruncatedReadThrowsTruncated) {
+  ByteWriter w;
+  w.U64(42);
+  // Keep the truncated buffer alive: ByteReader views, it does not own.
+  const std::string head = std::move(w).Take().substr(0, 3);
+  ByteReader r(head);
+  try {
+    (void)r.U64();
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.reason(), SnapshotErrorReason::kTruncated);
+  }
+}
+
+TEST(ByteIo, TrailingBytesThrowMalformed) {
+  ByteReader r("abc");
+  (void)r.U8();
+  try {
+    r.ExpectEnd();
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.reason(), SnapshotErrorReason::kMalformed);
+  }
+}
+
+TEST(Container, RoundtripsSectionsThroughFile) {
+  const std::vector<Section> sections = {{"alpha", "payload-1"},
+                                         {"beta", std::string("\0\n\xff raw", 7)}};
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "container_roundtrip.snap";
+  WriteSnapshotFile(path, sections);
+  const std::vector<Section> loaded = ReadSnapshotFile(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "alpha");
+  EXPECT_EQ(loaded[0].payload, "payload-1");
+  EXPECT_EQ(loaded[1].name, "beta");
+  EXPECT_EQ(loaded[1].payload, sections[1].payload);
+  EXPECT_EQ(FindSection(loaded, "beta").payload, sections[1].payload);
+  EXPECT_THROW((void)FindSection(loaded, "gamma"), SnapshotError);
+  std::filesystem::remove(path);
+}
+
+// ---- artifact roundtrips ---------------------------------------------------
+
+struct Artifacts {
+  simnet::World world;
+  dataset::BeaconDataset beacons;
+  dataset::DemandDataset demand;
+  core::ClassifiedSubnets classified;
+};
+
+Artifacts Build(unsigned threads) {
+  exec::Executor ex(threads);
+  Artifacts a{simnet::World::Generate(simnet::WorldConfig::Tiny(), ex), {}, {}, {}};
+  a.beacons = cdn::BeaconGenerator(a.world).GenerateDataset(ex);
+  a.demand = cdn::DemandGenerator(a.world).GenerateDataset(ex);
+  a.classified = core::SubnetClassifier(core::ClassifierConfig{}).Classify(a.beacons, ex);
+  return a;
+}
+
+std::string WorldImage(const simnet::World& world) {
+  return EncodeSnapshot(EncodeWorld(world));
+}
+
+class SnapshotRoundtrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SnapshotRoundtrip, SaveLoadReencodeIsByteIdentical) {
+  const Artifacts a = Build(GetParam());
+
+  // World: decode, re-encode, compare the full container image.
+  const std::string world_image = WorldImage(a.world);
+  const simnet::World world2 = DecodeWorld(DecodeSnapshot(world_image));
+  EXPECT_EQ(WorldImage(world2), world_image);
+
+  // …and the decoded world re-exports the same CSVs.
+  std::ostringstream asdb1, asdb2, rib1, rib2;
+  asdb::SaveAsDatabaseCsv(a.world.as_db(), asdb1);
+  asdb::SaveAsDatabaseCsv(world2.as_db(), asdb2);
+  EXPECT_EQ(asdb2.str(), asdb1.str());
+  asdb::SaveRoutingTableCsv(a.world.rib(), a.world.as_db(), rib1);
+  asdb::SaveRoutingTableCsv(world2.rib(), world2.as_db(), rib2);
+  EXPECT_EQ(rib2.str(), rib1.str());
+
+  // Datasets: re-encode and re-export byte-identically.
+  const std::string ds_image = EncodeSnapshot(EncodeDatasets(a.beacons, a.demand));
+  auto [beacons2, demand2] = DecodeDatasets(DecodeSnapshot(ds_image));
+  EXPECT_EQ(EncodeSnapshot(EncodeDatasets(beacons2, demand2)), ds_image);
+  std::ostringstream bea1, bea2, dem1, dem2;
+  a.beacons.SaveCsv(bea1);
+  beacons2.SaveCsv(bea2);
+  EXPECT_EQ(bea2.str(), bea1.str());
+  a.demand.SaveCsv(dem1);
+  demand2.SaveCsv(dem2);
+  EXPECT_EQ(dem2.str(), dem1.str());
+  EXPECT_EQ(demand2.total(), a.demand.total());
+
+  // Classification output.
+  const std::string cls_image = EncodeSnapshot(EncodeClassified(a.classified));
+  const core::ClassifiedSubnets classified2 = DecodeClassified(DecodeSnapshot(cls_image));
+  EXPECT_EQ(EncodeSnapshot(EncodeClassified(classified2)), cls_image);
+  EXPECT_EQ(classified2.ratios(), a.classified.ratios());
+  EXPECT_EQ(classified2.cellular(), a.classified.cellular());
+
+  // Config alone roundtrips through its canonical encoding.
+  const std::string cfg = EncodeWorldConfig(a.world.config());
+  EXPECT_EQ(EncodeWorldConfig(DecodeWorldConfig(cfg)), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SnapshotRoundtrip, ::testing::Values(1u, 2u, 8u));
+
+TEST(SnapshotRoundtrip, ImageIsIdenticalAtAnyThreadCount) {
+  const Artifacts a1 = Build(1);
+  const Artifacts a8 = Build(8);
+  EXPECT_EQ(WorldImage(a8.world), WorldImage(a1.world));
+  EXPECT_EQ(EncodeSnapshot(EncodeDatasets(a8.beacons, a8.demand)),
+            EncodeSnapshot(EncodeDatasets(a1.beacons, a1.demand)));
+  EXPECT_EQ(EncodeSnapshot(EncodeClassified(a8.classified)),
+            EncodeSnapshot(EncodeClassified(a1.classified)));
+}
+
+}  // namespace
+}  // namespace cellspot::snapshot

@@ -1,0 +1,86 @@
+// The one checked number parser every loader routes through. The rules
+// under test are exactly the ones the CSV/RIB loaders rely on: base-10
+// only, no leading '+' or whitespace, no trailing garbage, overflow
+// rejected, and doubles must be finite.
+#include "cellspot/util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "cellspot/util/error.hpp"
+
+namespace cellspot::util {
+namespace {
+
+TEST(TryParseNumber, AcceptsPlainIntegers) {
+  EXPECT_EQ(TryParseNumber<std::uint32_t>("0"), 0u);
+  EXPECT_EQ(TryParseNumber<std::uint32_t>("65000"), 65000u);
+  EXPECT_EQ(TryParseNumber<std::uint64_t>("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(TryParseNumber<std::int32_t>("-42"), -42);
+}
+
+TEST(TryParseNumber, RejectsEmptyAndGarbage) {
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>(""));
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("abc"));
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("-"));
+  EXPECT_FALSE(TryParseNumber<double>(""));
+  EXPECT_FALSE(TryParseNumber<double>("."));
+}
+
+TEST(TryParseNumber, RejectsTrailingGarbage) {
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("123x"));
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("123 "));
+  EXPECT_FALSE(TryParseNumber<std::uint64_t>("9 9"));
+  EXPECT_FALSE(TryParseNumber<double>("1.5e3junk"));
+  EXPECT_FALSE(TryParseNumber<double>("0.5,"));
+}
+
+TEST(TryParseNumber, RejectsLeadingPlusAndWhitespace) {
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("+1"));
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>(" 1"));
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("\t1"));
+  EXPECT_FALSE(TryParseNumber<double>("+0.5"));
+  EXPECT_FALSE(TryParseNumber<double>(" 0.5"));
+}
+
+TEST(TryParseNumber, RejectsOverflowAndNegativeIntoUnsigned) {
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("4294967296"));  // 2^32
+  EXPECT_FALSE(TryParseNumber<std::uint64_t>("18446744073709551616"));
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("-1"));
+  EXPECT_FALSE(TryParseNumber<std::int32_t>("2147483648"));
+  EXPECT_EQ(TryParseNumber<std::uint32_t>("4294967295"), 4294967295u);
+}
+
+TEST(TryParseNumber, DoublesMustBeFinite) {
+  EXPECT_EQ(TryParseNumber<double>("0.5"), 0.5);
+  EXPECT_EQ(TryParseNumber<double>("-2.25e3"), -2250.0);
+  EXPECT_FALSE(TryParseNumber<double>("inf"));
+  EXPECT_FALSE(TryParseNumber<double>("-inf"));
+  EXPECT_FALSE(TryParseNumber<double>("nan"));
+  EXPECT_FALSE(TryParseNumber<double>("1e999"));  // overflows to infinity
+}
+
+TEST(TryParseNumber, NoHexOrLocaleForms) {
+  EXPECT_FALSE(TryParseNumber<std::uint32_t>("0x1F"));
+  EXPECT_FALSE(TryParseNumber<double>("1,5"));
+  // "0x2": from_chars parses the leading 0 and leaves "x2" → rejected.
+  EXPECT_FALSE(TryParseNumber<double>("0x2"));
+}
+
+TEST(ParseNumber, ThrowsBadNumberWithContext) {
+  EXPECT_EQ(ParseNumber<std::uint64_t>("12", "hits"), 12u);
+  try {
+    (void)ParseNumber<std::uint64_t>("12x", "BeaconDataset: bad count");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.category(), ParseErrorCategory::kBadNumber);
+    EXPECT_NE(std::string(e.what()).find("BeaconDataset: bad count"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'12x'"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cellspot::util

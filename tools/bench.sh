@@ -13,6 +13,8 @@
 #   REPS        measured repetitions per bench       (default: 5)
 #   WARMUP      untimed warmup executions            (default: 1)
 #   THREADS     forwarded as --threads when set
+#   SNAPSHOT_DIR forwarded as --snapshot-dir when set; warm runs are
+#               flagged warm_cache=true in the cellspot-bench JSON
 #   CELLSPOT_SCALE is honoured by the binaries themselves.
 set -euo pipefail
 
@@ -55,6 +57,7 @@ for name in "${names[@]}"; do
   run_json="$(mktemp)"
   args=(--reps "$reps" --warmup "$warmup" --json-out "$run_json")
   [[ -n "${THREADS:-}" ]] && args+=(--threads "$THREADS")
+  [[ -n "${SNAPSHOT_DIR:-}" ]] && args+=(--snapshot-dir "$SNAPSHOT_DIR")
   echo "== $name (reps=$reps warmup=$warmup)"
   if ! "$bin" "${args[@]}" > /dev/null; then
     echo "bench.sh: $name failed" >&2

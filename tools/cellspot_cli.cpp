@@ -19,9 +19,11 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cellspot/analysis/export.hpp"
+#include "cellspot/analysis/pipeline.hpp"
 #include "cellspot/asdb/serialization.hpp"
 #include "cellspot/cdn/beacon_generator.hpp"
 #include "cellspot/cdn/demand_generator.hpp"
@@ -126,6 +128,12 @@ class Options {
   bool ok_ = true;
 };
 
+/// Snapshot-cache directory for simulator-backed commands: --snapshot-dir
+/// wins, else CELLSPOT_SNAPSHOT_DIR, else "" (caching off).
+std::string SnapshotDir(const Options& opts) {
+  return opts.GetOr("snapshot-dir", analysis::SnapshotDirFromEnv());
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -147,6 +155,13 @@ int Usage() {
                "  --metrics-out F                    write a cellspot-metrics/1 JSON\n"
                "                                     snapshot at exit (also honours\n"
                "                                     CELLSPOT_METRICS)\n"
+               "  --snapshot-dir DIR                 cache generate/figures stage output\n"
+               "                                     as binary snapshots in DIR; repeat\n"
+               "                                     runs with the same config skip world\n"
+               "                                     and dataset generation (also honours\n"
+               "                                     CELLSPOT_SNAPSHOT_DIR; corrupt files\n"
+               "                                     are quarantined as *.corrupt and\n"
+               "                                     regenerated)\n"
                "\n"
                "ingestion options (classify/ases/report/validate/compress):\n"
                "  --on-error {fail,skip,quarantine}  first-fault abort (default),\n"
@@ -260,9 +275,11 @@ int CmdGenerate(const Options& opts) {
 
   std::printf("generating world (scale %.3g, seed %llu)...\n", config.scale,
               static_cast<unsigned long long>(config.seed));
-  const simnet::World world = simnet::World::Generate(config);
-  const auto beacons = cdn::BeaconGenerator(world).GenerateDataset();
-  const auto demand = cdn::DemandGenerator(world).GenerateDataset();
+  analysis::Pipeline pipeline({config, {}, {}, SnapshotDir(opts)});
+  pipeline.GenerateDatasets();
+  const simnet::World& world = pipeline.experiment().world;
+  const auto& beacons = pipeline.experiment().beacons;
+  const auto& demand = pipeline.experiment().demand;
 
   auto save = [&](const std::string& name, auto writer) -> bool {
     const std::string path = *dir + "/" + name;
@@ -583,7 +600,9 @@ int CmdFigures(const Options& opts) {
   simnet::WorldConfig config = simnet::WorldConfig::Paper(opts.GetDouble("scale", 0.01));
   config.seed = opts.GetUint("seed", config.seed);
   std::printf("running pipeline (scale %.3g)...\n", config.scale);
-  const analysis::Experiment exp = analysis::RunExperiment(config);
+  analysis::Pipeline pipeline({config, {}, {}, SnapshotDir(opts)});
+  pipeline.Run();
+  const analysis::Experiment exp = std::move(pipeline).TakeExperiment();
   const dns::DnsSimulator dns_sim(exp.world);
   try {
     for (const std::string& file : analysis::ExportAllFigures(exp, dns_sim, *dir)) {

@@ -6,6 +6,7 @@
 #   tools/ci.sh sanitize     # ASan+UBSan only
 #   tools/ci.sh tsan         # ThreadSanitizer (executor + pipeline + obs tests)
 #   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON
+#   tools/ci.sh snapshot     # snapshot roundtrip + corruption tests under ASan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,14 +53,29 @@ run_bench_smoke() {
   rm -rf "$out"
 }
 
+# The snapshot format and stage cache under ASan+UBSan: binary
+# roundtrips, the corruption-fallback matrix, and the warm-cache
+# pipeline path — the code most exposed to hostile bytes.
+run_snapshot() {
+  local dir="build-asan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=address
+  cmake --build "$dir" -j "$jobs" --target \
+    snapshot_roundtrip_test snapshot_corruption_test snapshot_cache_test util_parse_test
+  "$dir/tests/snapshot_roundtrip_test"
+  "$dir/tests/snapshot_corruption_test"
+  "$dir/tests/snapshot_cache_test"
+  "$dir/tests/util_parse_test"
+}
+
 case "$variant" in
   plain)       run build ;;
   sanitize)    run build-asan -DCELLSPOT_SANITIZE=address ;;
   tsan)        run_tsan ;;
   bench-smoke) run_bench_smoke ;;
+  snapshot)    run_snapshot ;;
   all)         run build
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
                run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|all]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|all]" >&2; exit 2 ;;
 esac
