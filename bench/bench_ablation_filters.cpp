@@ -48,7 +48,8 @@ static std::uint64_t Run() {
   analysis::Pipeline pipeline(
       {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
        .classifier = {},
-       .filters = {}});
+       .filters = {},
+       .snapshot_dir = {}});
   pipeline.Aggregate();
   PrintHeader("Ablation: AS filter rules", "Kept-set purity with rules disabled",
               pipeline.config().world);

@@ -14,7 +14,8 @@ static std::uint64_t Run() {
   analysis::Pipeline pipeline(
       {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
        .classifier = {},
-       .filters = {}});
+       .filters = {},
+       .snapshot_dir = {}});
   pipeline.GenerateDatasets();
   PrintHeader("Ablation: minimum API hits per block",
               "Evidence gate vs classification quality", pipeline.config().world);

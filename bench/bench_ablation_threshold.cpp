@@ -18,7 +18,8 @@ static std::uint64_t Run() {
   analysis::Pipeline pipeline(
       {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
        .classifier = {},
-       .filters = {}});
+       .filters = {},
+       .snapshot_dir = {}});
   pipeline.GenerateDatasets();
   PrintHeader("Ablation: global threshold sweep",
               "Block-level P/R against full world truth", pipeline.config().world);

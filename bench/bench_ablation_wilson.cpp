@@ -32,7 +32,8 @@ static std::uint64_t Run() {
   analysis::Pipeline pipeline(
       {.world = simnet::WorldConfig::Paper(analysis::PaperScaleFromEnv(0.05)),
        .classifier = {},
-       .filters = {}});
+       .filters = {},
+       .snapshot_dir = {}});
   pipeline.GenerateDatasets();
   const analysis::Experiment& e = pipeline.experiment();
   PrintHeader("Ablation: Wilson lower bound",

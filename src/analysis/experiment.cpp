@@ -7,7 +7,7 @@ namespace cellspot::analysis {
 Experiment RunExperiment(const simnet::WorldConfig& config,
                          const core::ClassifierConfig& classifier_config,
                          const core::AsFilterConfig& filter_config) {
-  Pipeline pipeline({config, classifier_config, filter_config});
+  Pipeline pipeline({config, classifier_config, filter_config, {}});
   pipeline.Run();
   return std::move(pipeline).TakeExperiment();
 }
@@ -33,7 +33,7 @@ core::CarrierGroundTruth BuildCarrierTruth(const simnet::World& world,
   const simnet::OperatorInfo* op = world.FindOperator(asn);
   if (op == nullptr) return truth;
   for (const simnet::Subnet& s : world.SubnetsOf(*op)) {
-    truth.blocks.emplace(s.block, s.truth_cellular);
+    truth.blocks.Emplace(s.block, s.truth_cellular);
   }
   return truth;
 }

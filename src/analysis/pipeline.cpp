@@ -19,9 +19,11 @@ class StageClock {
   explicit StageClock(std::vector<StageTiming>& timings, std::string stage)
       : timings_(timings), stage_(std::move(stage)),
         span_("pipeline." + stage_),
+        // cellspot-lint: allow(L003) stage wall-clock timing is telemetry; no pipeline output depends on it
         start_(std::chrono::steady_clock::now()) {}
 
   void Finish(std::size_t items) {
+    // cellspot-lint: allow(L003) stage wall-clock timing is telemetry; no pipeline output depends on it
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     span_.set_items(static_cast<std::uint64_t>(items));
     timings_.push_back(

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "cellspot/geo/country.hpp"
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::analysis {
 
@@ -24,10 +23,10 @@ const AsRecord* RecordOfBlock(const Experiment& exp, const netaddr::Prefix& bloc
   return exp.world.as_db().Find(*origin);
 }
 
-std::unordered_set<std::string> ExcludedIsos(const Experiment& exp) {
-  std::unordered_set<std::string> out;
+util::StableSet<std::string> ExcludedIsos(const Experiment& exp) {
+  util::StableSet<std::string> out;
   for (const simnet::CountryProfile& p : exp.world.config().countries) {
-    if (p.exclude_from_analysis) out.insert(p.iso2);
+    if (p.exclude_from_analysis) out.Insert(p.iso2);
   }
   return out;
 }
@@ -143,8 +142,8 @@ std::vector<CountryDemand> CountryDemandReport(const Experiment& exp) {
   // Cellular demand is counted from the final cellular-address map: a
   // block must be classified cellular AND live in one of the kept
   // cellular ASes — proxy/cloud false positives never reach the map.
-  std::unordered_set<AsNumber> kept;
-  for (const core::AsAggregate& as : exp.filtered.kept) kept.insert(as.asn);
+  util::StableSet<AsNumber> kept;
+  for (const core::AsAggregate& as : exp.filtered.kept) kept.Insert(as.asn);
 
   exp.demand.ForEach([&](const netaddr::Prefix& block, double du) {
     const auto origin = exp.world.rib().OriginOf(block.address());
@@ -155,10 +154,10 @@ std::vector<CountryDemand> CountryDemandReport(const Experiment& exp) {
     if (cd.iso.empty()) {
       cd.iso = record->country_iso;
       cd.continent = record->continent;
-      cd.excluded = excluded.contains(cd.iso);
+      cd.excluded = excluded.Contains(cd.iso);
     }
     cd.total_du += du;
-    if (kept.contains(*origin) && exp.classified.IsCellular(block)) {
+    if (kept.Contains(*origin) && exp.classified.IsCellular(block)) {
       cd.cell_du += du;
     }
   });
@@ -193,7 +192,7 @@ std::vector<ContinentDemandRow> ContinentDemandReport(const Experiment& exp) {
     double subs = 0.0;
     for (const geo::Country& country : geo::WorldCountries()) {
       if (country.continent != c) continue;
-      if (excluded.contains(std::string(country.iso2))) continue;
+      if (excluded.Contains(std::string(country.iso2))) continue;
       subs += country.subscribers_millions;
     }
     row.subscribers_m = subs;
@@ -307,13 +306,13 @@ SubnetConcentration SubnetConcentrationReport(const Experiment& exp, AsNumber as
 
 util::EmpiricalCdf ResolverSharingReport(const Experiment& exp,
                                          const dns::DnsSimulator& dns) {
-  std::unordered_set<AsNumber> mixed_ases;
+  util::StableSet<AsNumber> mixed_ases;
   for (const core::AsAggregate& as : exp.filtered.kept) {
-    if (!core::IsDedicated(as)) mixed_ases.insert(as.asn);
+    if (!core::IsDedicated(as)) mixed_ases.Insert(as.asn);
   }
   std::vector<double> fractions;
   for (const dns::ResolverStats& r : dns.resolvers()) {
-    if (r.public_service.has_value() || !mixed_ases.contains(r.asn)) continue;
+    if (r.public_service.has_value() || !mixed_ases.Contains(r.asn)) continue;
     if (r.TotalDemand() <= 0.0) continue;
     fractions.push_back(r.CellularFraction());
   }
@@ -327,9 +326,9 @@ std::vector<PublicDnsRow> PublicDnsReport(const Experiment& exp,
       {"US", 2}, {"BR", 1}, {"VN", 1}, {"SA", 1}, {"IN", 1},
       {"HK", 2}, {"NG", 1}, {"DZ", 1}};
 
-  std::unordered_map<AsNumber, const dns::OperatorDnsUsage*> usage_by_asn;
+  util::StableMap<AsNumber, const dns::OperatorDnsUsage*> usage_by_asn;
   for (const dns::OperatorDnsUsage& u : dns.operator_usage()) {
-    usage_by_asn.emplace(u.asn, &u);
+    usage_by_asn.Emplace(u.asn, &u);
   }
 
   const auto ranked = RankAsesByCellDemand(exp);
@@ -339,12 +338,12 @@ std::vector<PublicDnsRow> PublicDnsReport(const Experiment& exp,
     for (const RankedAs& as : ranked) {
       if (taken >= want) break;
       if (as.country_iso != iso) continue;
-      const auto it = usage_by_asn.find(as.asn);
-      if (it == usage_by_asn.end()) continue;
+      const auto* usage = usage_by_asn.Find(as.asn);
+      if (usage == nullptr) continue;
       PublicDnsRow row;
       row.label = std::string(iso) + std::to_string(taken + 1);
       row.asn = as.asn;
-      row.share = it->second->public_share;
+      row.share = (*usage)->public_share;
       out.push_back(std::move(row));
       ++taken;
     }

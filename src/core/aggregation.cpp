@@ -1,7 +1,7 @@
 #include "cellspot/core/aggregation.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+#include <set>
 
 namespace cellspot::core {
 
@@ -20,7 +20,10 @@ Prefix Parent(const Prefix& p) { return Prefix(p.address(), p.length() - 1); }
 }  // namespace
 
 std::vector<Prefix> CompressPrefixes(std::vector<Prefix> prefixes) {
-  std::unordered_set<Prefix> pool(prefixes.begin(), prefixes.end());
+  // Ordered set: the merge loop below iterates and erases, and the
+  // compressed map is exported — traversal order must be the prefix
+  // order, never a hash layout.
+  std::set<Prefix> pool(prefixes.begin(), prefixes.end());
 
   // Drop prefixes already covered by a coarser one in the pool.
   for (auto it = pool.begin(); it != pool.end();) {
@@ -55,9 +58,8 @@ std::vector<Prefix> CompressPrefixes(std::vector<Prefix> prefixes) {
     }
   }
 
-  std::vector<Prefix> out(pool.begin(), pool.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  // std::set already yields the prefixes in sorted order.
+  return {pool.begin(), pool.end()};
 }
 
 CompressionStats SummarizeCompression(const std::vector<Prefix>& prefixes) {

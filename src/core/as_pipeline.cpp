@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cellspot/exec/executor.hpp"
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::core {
 
@@ -79,7 +80,9 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
                          }
                        });
 
-  std::unordered_map<AsNumber, AsAggregate> by_asn;
+  // StableMap: the candidate extraction below iterates this map, so its
+  // order must come from the dataset insertion sequence, not hashing.
+  util::StableMap<AsNumber, AsAggregate> by_asn;
   auto slot = [&](AsNumber asn) -> AsAggregate& {
     AsAggregate& agg = by_asn[asn];
     agg.asn = asn;

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cellspot/asdb/as_database.hpp"

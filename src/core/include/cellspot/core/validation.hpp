@@ -4,20 +4,23 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cellspot/core/classifier.hpp"
 #include "cellspot/dataset/demand_dataset.hpp"
 #include "cellspot/util/metrics.hpp"
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::core {
 
 /// A carrier's ground-truth subnet list: every allocated block labelled
 /// cellular or fixed (exactly what the three operators provided).
+/// StableMap: validation iterates the list and accumulates demand-
+/// weighted confusion sums, so iteration order must be the insertion
+/// (subnet) order, not a hash layout.
 struct CarrierGroundTruth {
   std::string label;  // "Carrier A"
-  std::unordered_map<netaddr::Prefix, bool> blocks;  // block -> is cellular
+  util::StableMap<netaddr::Prefix, bool> blocks;  // block -> is cellular
 };
 
 struct ValidationResult {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "cellspot/util/error.hpp"
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::evolution {
 
@@ -36,9 +36,11 @@ int TemporalSimulator::AdvanceMonth() {
 
   // Pass 1: demand drift, retirement and refarming; track per-operator
   // cellular demand removed by retirement so activation can recycle it.
-  std::unordered_map<asdb::AsNumber, double> freed;
-  std::unordered_map<asdb::AsNumber, std::vector<std::size_t>> dormant;
-  std::unordered_map<asdb::AsNumber, std::size_t> largest_active;
+  // StableMap: pass 2 iterates `freed`, and the subnet index order (not a
+  // hash layout) must decide the operator processing sequence.
+  util::StableMap<asdb::AsNumber, double> freed;
+  util::StableMap<asdb::AsNumber, std::vector<std::size_t>> dormant;
+  util::StableMap<asdb::AsNumber, std::size_t> largest_active;
   for (std::size_t i = 0; i < subnets_.size(); ++i) {
     simnet::Subnet& s = subnets_[i];
     util::Rng block_rng = rng.Fork(i);
@@ -48,9 +50,8 @@ int TemporalSimulator::AdvanceMonth() {
     }
     if (s.demand_du <= 0.0) continue;
     if (s.truth_cellular) {
-      const auto it = largest_active.find(s.asn);
-      if (it == largest_active.end() ||
-          subnets_[it->second].demand_du < s.demand_du) {
+      const std::size_t* current = largest_active.Find(s.asn);
+      if (current == nullptr || subnets_[*current].demand_du < s.demand_du) {
         largest_active[s.asn] = i;
       }
     }
@@ -91,8 +92,8 @@ int TemporalSimulator::AdvanceMonth() {
     if (activated.empty()) {
       // Nothing to activate this month: the retired pool's customers move
       // onto the operator's main gateway instead of vanishing.
-      const auto it = largest_active.find(asn);
-      if (it != largest_active.end()) subnets_[it->second].demand_du += pool;
+      const std::size_t* gateway = largest_active.Find(asn);
+      if (gateway != nullptr) subnets_[*gateway].demand_du += pool;
       continue;
     }
     const double share = pool / static_cast<double>(activated.size());

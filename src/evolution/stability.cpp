@@ -1,13 +1,17 @@
 #include "cellspot/evolution/stability.hpp"
 
 #include <stdexcept>
-#include <unordered_set>
+
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::evolution {
 
 namespace {
 
-using BlockSet = std::unordered_set<netaddr::Prefix>;
+// StableSet: the demand-weighted overlap below sums doubles in iteration
+// order, which must be the (sorted) classification order, not a hash
+// bucket layout.
+using BlockSet = util::StableSet<netaddr::Prefix>;
 
 double Jaccard(const BlockSet& a, const BlockSet& b) {
   if (a.empty() && b.empty()) return 1.0;
@@ -15,7 +19,7 @@ double Jaccard(const BlockSet& a, const BlockSet& b) {
   const BlockSet& smaller = a.size() <= b.size() ? a : b;
   const BlockSet& larger = a.size() <= b.size() ? b : a;
   for (const netaddr::Prefix& block : smaller) {
-    if (larger.contains(block)) ++intersection;
+    if (larger.Contains(block)) ++intersection;
   }
   const std::size_t unions = a.size() + b.size() - intersection;
   return unions > 0 ? static_cast<double>(intersection) / unions : 1.0;
@@ -50,10 +54,10 @@ std::vector<MonthStability> AnalyzeStability(
       base_set = current;
     } else {
       for (const netaddr::Prefix& block : current) {
-        if (!prev_set.contains(block)) ++row.joined;
+        if (!prev_set.Contains(block)) ++row.joined;
       }
       for (const netaddr::Prefix& block : prev_set) {
-        if (!current.contains(block)) ++row.left;
+        if (!current.Contains(block)) ++row.left;
       }
       row.jaccard_vs_prev = Jaccard(current, prev_set);
       row.jaccard_vs_base = Jaccard(current, base_set);
@@ -65,7 +69,7 @@ std::vector<MonthStability> AnalyzeStability(
     for (const netaddr::Prefix& block : current) {
       const double du = demand.DemandOf(block);
       total += du;
-      if (base_set.contains(block)) covered += du;
+      if (base_set.Contains(block)) covered += du;
     }
     row.demand_overlap_vs_base = total > 0.0 ? covered / total : 1.0;
 

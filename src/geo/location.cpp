@@ -2,16 +2,18 @@
 
 #include <cmath>
 #include <string>
-#include <unordered_map>
 
 #include "cellspot/geo/country.hpp"
+#include "cellspot/util/stable_map.hpp"
 
 namespace cellspot::geo {
 
 namespace {
 
-const std::unordered_map<std::string, LatLon>& Centroids() {
-  static const std::unordered_map<std::string, LatLon> kCentroids = {
+// StableMap: lookup tables next to report code stay iterable in a
+// deterministic (source) order should anyone ever enumerate them.
+const util::StableMap<std::string, LatLon>& Centroids() {
+  static const util::StableMap<std::string, LatLon> kCentroids = {
       {"US", {39.8, -98.6}},  {"CA", {56.1, -106.3}}, {"MX", {23.6, -102.6}},
       {"BR", {-10.8, -52.9}}, {"AR", {-34.0, -64.0}}, {"CO", {4.6, -74.1}},
       {"PE", {-9.2, -75.0}},  {"CL", {-35.7, -71.5}}, {"VE", {7.1, -66.2}},
@@ -55,9 +57,9 @@ LatLon ContinentCentroid(Continent c) {
   return {0.0, 0.0};
 }
 
-const std::unordered_map<std::string, double>& Areas() {
+const util::StableMap<std::string, double>& Areas() {
   // km^2, heavily rounded.
-  static const std::unordered_map<std::string, double> kAreas = {
+  static const util::StableMap<std::string, double> kAreas = {
       {"RU", 17100000}, {"CA", 9980000}, {"US", 9830000}, {"CN", 9600000},
       {"BR", 8516000},  {"AU", 7692000}, {"IN", 3287000}, {"AR", 2780000},
       {"KZ", 2725000},  {"DZ", 2382000}, {"CD", 2345000}, {"SA", 2150000},
@@ -100,15 +102,13 @@ const std::unordered_map<std::string, double>& Areas() {
 }  // namespace
 
 LatLon CountryCentroid(std::string_view iso2) noexcept {
-  const auto it = Centroids().find(std::string(iso2));
-  if (it != Centroids().end()) return it->second;
+  if (const LatLon* hit = Centroids().Find(std::string(iso2))) return *hit;
   const Country* country = FindCountry(iso2);
   return country != nullptr ? ContinentCentroid(country->continent) : LatLon{};
 }
 
 double CountryAreaKm2(std::string_view iso2) noexcept {
-  const auto it = Areas().find(std::string(iso2));
-  if (it != Areas().end()) return it->second;
+  if (const double* hit = Areas().Find(std::string(iso2))) return *hit;
   return 300000.0;  // generic mid-size country
 }
 

@@ -44,7 +44,12 @@ const JsonValue& Require(const JsonValue& doc, std::string_view key,
 
 double RequireNumber(const JsonValue& doc, std::string_view key,
                      std::string_view what) {
-  return Require(doc, key, what).as_number();
+  const JsonValue& v = Require(doc, key, what);
+  if (!v.is_number()) {
+    throw std::invalid_argument(std::string(what) + ": field '" +
+                                std::string(key) + "' is not a number");
+  }
+  return v.as_number();
 }
 
 }  // namespace
@@ -137,9 +142,14 @@ void ValidateBenchRun(const JsonValue& run) {
   if (rep_arr.size() != static_cast<std::size_t>(reps)) {
     throw std::invalid_argument("bench run: rep_wall_ms length != reps");
   }
-  for (const JsonValue& v : rep_arr) {
-    if (v.as_number() < 0.0) {
-      throw std::invalid_argument("bench run: negative rep wall time");
+  for (std::size_t i = 0; i < rep_arr.size(); ++i) {
+    if (!rep_arr[i].is_number()) {
+      throw std::invalid_argument("bench run: rep_wall_ms[" +
+                                  std::to_string(i) + "] is not a number");
+    }
+    if (rep_arr[i].as_number() < 0.0) {
+      throw std::invalid_argument("bench run: rep_wall_ms[" +
+                                  std::to_string(i) + "] is negative");
     }
   }
 
@@ -191,10 +201,19 @@ void ValidateTrajectory(const JsonValue& doc) {
   if (bench.empty()) throw std::invalid_argument("bench trajectory: empty bench name");
   const JsonValue::Array& runs = Require(doc, "runs", kWhat).as_array();
   if (runs.empty()) throw std::invalid_argument("bench trajectory: no runs");
-  for (const JsonValue& run : runs) {
-    ValidateBenchRun(run);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const JsonValue& run = runs[i];
+    // Re-throw with the run index so a malformed record inside a long
+    // trajectory names its position, not just the offending field.
+    try {
+      ValidateBenchRun(run);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("bench trajectory: runs[" +
+                                  std::to_string(i) + "]: " + e.what());
+    }
     if (run.Find("bench")->as_string() != bench) {
-      throw std::invalid_argument("bench trajectory: run for '" +
+      throw std::invalid_argument("bench trajectory: runs[" + std::to_string(i) +
+                                  "] is for bench '" +
                                   run.Find("bench")->as_string() +
                                   "' inside trajectory for '" + bench + "'");
     }

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "cellspot/util/parse.hpp"
+
 namespace cellspot::obs {
 
 namespace {
@@ -278,14 +280,15 @@ class Parser {
             text_[pos_] == '+' || text_[pos_] == '-')) {
       ++pos_;
     }
-    double value = 0.0;
-    const auto [end, ec] =
-        std::from_chars(text_.data() + start, text_.data() + pos_, value);
-    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+    // Checked parse: the whole span must be one finite number (rejects
+    // trailing garbage and the inf/nan spellings JSON does not allow).
+    const auto value =
+        util::TryParseNumber<double>(text_.substr(start, pos_ - start));
+    if (!value) {
       pos_ = start;
       Fail("bad number");
     }
-    return JsonValue(value);
+    return JsonValue(*value);
   }
 
   std::string_view text_;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -21,6 +22,14 @@ template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class StableMap {
  public:
   using Entry = std::pair<Key, Value>;
+
+  StableMap() = default;
+
+  /// Entries in list order; a repeated key keeps its first value.
+  StableMap(std::initializer_list<Entry> init) {
+    reserve(init.size());
+    for (const Entry& e : init) Emplace(e.first, e.second);
+  }
 
   /// Value for `key`, default-constructed and appended on first access.
   Value& operator[](const Key& key) {
@@ -81,6 +90,14 @@ class StableMap {
 template <typename Key, typename Hash = std::hash<Key>>
 class StableSet {
  public:
+  StableSet() = default;
+
+  /// Members in iteration order of [first, last), duplicates dropped.
+  template <typename It>
+  StableSet(It first, It last) {
+    for (; first != last; ++first) Insert(*first);
+  }
+
   /// Insert `key` if absent; returns false when it was already present.
   bool Insert(const Key& key) {
     const auto [it, inserted] = index_.try_emplace(key, entries_.size());

@@ -35,7 +35,7 @@ struct Fixture {
   void Add(const char* text, bool cellular, std::optional<BeaconBlockStats> stats,
            double du) {
     const auto block = Prefix::Parse(text);
-    truth.blocks.emplace(block, cellular);
+    truth.blocks.Emplace(block, cellular);
     if (stats) beacons.Add(block, *stats);
     if (du > 0.0) demand.Add(block, du);
   }
@@ -67,7 +67,7 @@ TEST(Validate, DemandWeighting) {
 
 TEST(Validate, UnobservedTruthCountsAsNegative) {
   CarrierGroundTruth truth = {.label = "x", .blocks = {}};
-  truth.blocks.emplace(Prefix::Parse("203.0.114.0/24"), true);
+  truth.blocks.Emplace(Prefix::Parse("203.0.114.0/24"), true);
   dataset::BeaconDataset beacons;
   dataset::DemandDataset demand;
   const auto classified = SubnetClassifier().Classify(beacons);
@@ -111,7 +111,7 @@ TEST(ThresholdSweep, StableMidRangePlateau) {
     const auto block = netaddr::Prefix(
         netaddr::IpAddress::V4(0xC6336500u + static_cast<std::uint32_t>(i) * 256), 24);
     const bool cellular = i < 10;
-    truth.blocks.emplace(block, cellular);
+    truth.blocks.Emplace(block, cellular);
     beacons.Add(block, cellular ? Stats(100, 95) : Stats(100, 3));
     demand.Add(block, 1.0);
   }

@@ -1,0 +1,6 @@
+// L005 negative: guarded header.
+#pragma once
+
+namespace fixture {
+inline int kGuarded = 1;
+}

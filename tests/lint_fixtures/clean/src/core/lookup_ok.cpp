@@ -1,0 +1,11 @@
+// L002 negative: hash containers are fine in a TU that is neither in a
+// deterministic directory nor named like a serde/report unit.
+#include <string>
+#include <unordered_map>
+
+int Lookup(const std::string& key) {
+  std::unordered_map<std::string, int> index;
+  index["a"] = 1;
+  const auto it = index.find(key);
+  return it == index.end() ? 0 : it->second;
+}

@@ -1,0 +1,8 @@
+// L003 negative: src/obs/ is the telemetry layer; wall-clock reads are
+// its whole purpose.
+#include <chrono>
+
+double NowMs() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,8 @@
+// L001 negative: util/parse.hpp is the sanctioned home of raw parses.
+#pragma once
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+inline double RawParse(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+}

@@ -1,0 +1,7 @@
+// L004 negative: tools/ is CLI territory; stdout belongs to it.
+#include <iostream>
+
+int main() {
+  std::cout << "ok\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+// L002 positive: hash-ordered container in a deterministic-output TU
+// (both the include line and the declaration should fire).
+#include <string>
+#include <unordered_map>
+
+int CountRows() {
+  std::unordered_map<std::string, int> rows;
+  rows["a"] = 1;
+  return static_cast<int>(rows.size());
+}

@@ -1,0 +1,9 @@
+// L003 positives: ambient entropy and the ambient clock.
+#include <chrono>
+#include <cstdlib>
+
+long Jitter() {
+  const long r = std::rand();
+  const auto t = std::chrono::steady_clock::now();
+  return r + t.time_since_epoch().count();
+}

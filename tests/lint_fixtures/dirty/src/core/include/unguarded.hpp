@@ -1,0 +1,5 @@
+// L005 positive: no #pragma once / #ifndef guard before the first
+// declaration.
+namespace fixture {
+inline int kAnswer = 42;
+}

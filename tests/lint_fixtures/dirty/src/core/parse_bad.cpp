@@ -1,0 +1,6 @@
+// L001 positive: raw numeric parse in library code.
+#include <string>
+
+int ParsePort(const std::string& field) {
+  return std::stoi(field);
+}

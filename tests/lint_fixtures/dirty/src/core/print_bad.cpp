@@ -1,0 +1,6 @@
+// L004 positive: stdout from library code.
+#include <iostream>
+
+void Announce() {
+  std::cout << "done\n";
+}

@@ -1,0 +1,11 @@
+// Waiver rejected: no reason after allow() -> L006, and the violation
+// it hoped to cover is still reported.
+#include <cstdlib>
+
+long BadSeed() {
+  // cellspot-lint: allow(L003)
+  return std::rand();
+}
+
+// cellspot-lint: allow(banana) not a rule id
+long AlsoBad() { return 7; }

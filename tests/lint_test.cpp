@@ -1,0 +1,161 @@
+// Drives the cellspot-lint binary over tests/lint_fixtures/: a dirty
+// tree with one deliberate violation per rule (plus the waiver
+// accept/reject pair) and a clean tree holding each rule's negative
+// case. The JSON findings document is parsed back with obs::JsonValue
+// to pin the cellspot-lint/1 schema.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cellspot/obs/json.hpp"
+
+namespace {
+
+using cellspot::obs::JsonValue;
+
+#ifndef CELLSPOT_LINT_BIN
+#error "CELLSPOT_LINT_BIN must point at the cellspot-lint binary"
+#endif
+#ifndef CELLSPOT_LINT_FIXTURES
+#error "CELLSPOT_LINT_FIXTURES must point at tests/lint_fixtures"
+#endif
+
+struct LintRun {
+  int exit_code = -1;
+  JsonValue doc;
+};
+
+/// Run cellspot-lint over `root`, returning the exit code and the
+/// parsed --json document.
+LintRun RunLint(const std::string& root) {
+  const std::string json_path =
+      testing::TempDir() + "/lint_findings_" +
+      std::to_string(::getpid()) + ".json";
+  const std::string cmd = std::string(CELLSPOT_LINT_BIN) + " --quiet --root '" +
+                          root + "' --json '" + json_path + "'";
+  const int status = std::system(cmd.c_str());
+  LintRun run;
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(json_path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "lint did not write " << json_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  run.doc = JsonValue::Parse(buf.str());
+  std::remove(json_path.c_str());
+  return run;
+}
+
+std::string Fixture(const std::string& sub) {
+  return std::string(CELLSPOT_LINT_FIXTURES) + "/" + sub;
+}
+
+/// (rule, file) pairs from the findings array, with multiplicity.
+std::map<std::pair<std::string, std::string>, int> FindingIndex(
+    const JsonValue& doc) {
+  std::map<std::pair<std::string, std::string>, int> index;
+  for (const JsonValue& f : doc.Find("findings")->as_array()) {
+    ++index[{f.Find("rule")->as_string(), f.Find("file")->as_string()}];
+  }
+  return index;
+}
+
+TEST(LintFixtures, DirtyTreeReportsEveryRule) {
+  const LintRun run = RunLint(Fixture("dirty"));
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_TRUE(run.doc.is_object());
+  EXPECT_EQ(run.doc.Find("schema")->as_string(), "cellspot-lint/1");
+  EXPECT_FALSE(run.doc.Find("clean")->as_bool());
+
+  const auto index = FindingIndex(run.doc);
+  EXPECT_EQ(index.at({"L001", "src/core/parse_bad.cpp"}), 1);
+  EXPECT_EQ(index.at({"L002", "src/analysis/report_bad.cpp"}), 2)
+      << "include line and declaration should both fire";
+  EXPECT_EQ(index.at({"L003", "src/core/clock_bad.cpp"}), 2)
+      << "rand() and ::now() should both fire";
+  EXPECT_EQ(index.at({"L004", "src/core/print_bad.cpp"}), 1);
+  EXPECT_EQ(index.at({"L005", "src/core/include/unguarded.hpp"}), 1);
+}
+
+TEST(LintFixtures, CleanTreeIsClean) {
+  const LintRun run = RunLint(Fixture("clean"));
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(run.doc.Find("clean")->as_bool());
+  EXPECT_TRUE(run.doc.Find("findings")->as_array().empty());
+  // Five negative fixtures: the exemptions must come from
+  // classification, not from waivers.
+  EXPECT_GE(run.doc.Find("files_scanned")->as_number(), 5.0);
+  EXPECT_TRUE(run.doc.Find("waivers")->as_array().empty());
+}
+
+TEST(LintFixtures, WaiverWithReasonSuppressesAndIsMarkedUsed) {
+  const LintRun run = RunLint(Fixture("dirty"));
+  const auto index = FindingIndex(run.doc);
+  EXPECT_EQ(index.count({"L003", "src/core/waived.cpp"}), 0U)
+      << "a standalone allow(L003) pragma must cover the next code line";
+
+  bool found = false;
+  for (const JsonValue& w : run.doc.Find("waivers")->as_array()) {
+    if (w.Find("file")->as_string() != "src/core/waived.cpp") continue;
+    found = true;
+    EXPECT_EQ(w.Find("rule")->as_string(), "L003");
+    EXPECT_TRUE(w.Find("used")->as_bool());
+    EXPECT_FALSE(w.Find("reason")->as_string().empty());
+    EXPECT_GT(w.Find("target_line")->as_number(), w.Find("line")->as_number());
+  }
+  EXPECT_TRUE(found) << "the used waiver must appear in the waivers array";
+}
+
+TEST(LintFixtures, WaiverWithoutReasonIsRejected) {
+  const LintRun run = RunLint(Fixture("dirty"));
+  const auto index = FindingIndex(run.doc);
+  // allow(L003) with no reason and allow(banana) both degrade to L006...
+  EXPECT_EQ(index.at({"L006", "src/core/waiver_bad.cpp"}), 2);
+  // ...and the violation the first one hoped to cover is still reported.
+  EXPECT_EQ(index.at({"L003", "src/core/waiver_bad.cpp"}), 1);
+}
+
+TEST(LintFixtures, JsonDocumentRoundTrips) {
+  const LintRun run = RunLint(Fixture("dirty"));
+  const JsonValue reparsed = JsonValue::Parse(run.doc.Dump());
+  EXPECT_EQ(reparsed, run.doc);
+
+  // Every finding carries the full schema; spot-check one record.
+  const auto& findings = run.doc.Find("findings")->as_array();
+  ASSERT_FALSE(findings.empty());
+  for (const JsonValue& f : findings) {
+    for (const char* key : {"rule", "file", "message", "snippet"}) {
+      ASSERT_NE(f.Find(key), nullptr) << key;
+      EXPECT_TRUE(f.Find(key)->is_string()) << key;
+    }
+    for (const char* key : {"line", "column"}) {
+      ASSERT_NE(f.Find(key), nullptr) << key;
+      EXPECT_TRUE(f.Find(key)->is_number()) << key;
+    }
+  }
+}
+
+TEST(LintFixtures, RealTreeIsCleanWithExplainedWaivers) {
+  // The repo root is two levels above the fixture dir; linting the real
+  // tree must stay green, and every waiver in it must carry a reason
+  // and actually suppress something (no stale pragmas).
+  const LintRun run = RunLint(Fixture("../.."));
+  EXPECT_EQ(run.exit_code, 0) << run.doc.Dump();
+  EXPECT_TRUE(run.doc.Find("clean")->as_bool());
+  for (const JsonValue& w : run.doc.Find("waivers")->as_array()) {
+    EXPECT_FALSE(w.Find("reason")->as_string().empty())
+        << w.Find("file")->as_string() << ":" << w.Find("line")->as_number();
+    EXPECT_TRUE(w.Find("used")->as_bool())
+        << "stale waiver at " << w.Find("file")->as_string() << ":"
+        << w.Find("line")->as_number();
+  }
+}
+
+}  // namespace

@@ -119,6 +119,28 @@ TEST(Trajectory, AppendCreatesThenExtends) {
   EXPECT_EQ(second.Find("runs")->as_array().size(), 2u);
 }
 
+TEST(Trajectory, MalformedRunErrorNamesFieldAndRunIndex) {
+  // A corrupt rep inside a trajectory must name both the run and the
+  // offending field so a regression report points at the exact record.
+  JsonValue traj =
+      obs::AppendToTrajectory(nullptr, obs::BenchRunToJson(MakeRun()));
+  std::string text = traj.Dump();
+  const std::string needle = "\"rep_wall_ms\":[";
+  const std::size_t open = text.find(needle);
+  ASSERT_NE(open, std::string::npos);
+  const std::size_t first = open + needle.size();
+  const std::size_t end = text.find_first_of(",]", first);
+  ASSERT_NE(end, std::string::npos);
+  text.replace(first, end - first, "\"oops\"");  // corrupt rep 0 in place
+  try {
+    obs::ValidateTrajectory(JsonValue::Parse(text));
+    FAIL() << "malformed trajectory accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("runs[0]"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("rep_wall_ms"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Trajectory, AppendRejectsBenchMismatch) {
   const JsonValue run = obs::BenchRunToJson(MakeRun());
   const JsonValue traj = obs::AppendToTrajectory(nullptr, run);

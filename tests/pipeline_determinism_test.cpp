@@ -13,13 +13,16 @@
 #include <string>
 #include <vector>
 
+#include "cellspot/analysis/export.hpp"
+#include "cellspot/analysis/reports.hpp"
+#include "cellspot/evolution/churn.hpp"
 #include "cellspot/exec/executor.hpp"
 
 namespace cellspot {
 namespace {
 
 analysis::Pipeline::Config TestConfig() {
-  return {.world = simnet::WorldConfig::Tiny(), .classifier = {}, .filters = {}};
+  return {.world = simnet::WorldConfig::Tiny(), .classifier = {}, .filters = {}, .snapshot_dir = {}};
 }
 
 std::string BeaconCsv(const analysis::Experiment& e) {
@@ -84,6 +87,72 @@ TEST(PipelineDeterminism, IdenticalResultsAtOneTwoAndEightThreads) {
     EXPECT_EQ(e.filtered.removed_low_hits, ref.filtered.removed_low_hits);
     EXPECT_EQ(e.filtered.removed_class, ref.filtered.removed_class);
   }
+}
+
+/// Every figure writer that depends only on the experiment, in one
+/// stream: any unordered iteration in the report/export layer would
+/// show up as a byte diff between thread counts.
+std::string FigureCsvBundle(const analysis::Experiment& e) {
+  std::ostringstream out;
+  analysis::WriteFig2Csv(e, out);
+  analysis::WriteFig4Csv(e, out);
+  analysis::WriteFig5Csv(e, out);
+  analysis::WriteFig6Csv(e, out);
+  analysis::WriteFig7Csv(e, out);
+  analysis::WriteFig8Csv(e, out);
+  analysis::WriteCountryCsv(e, out);
+  return out.str();
+}
+
+TEST(PipelineDeterminism, ReportsExportsAndChurnAreThreadCountInvariant) {
+  exec::Executor ex1(1);
+  analysis::Pipeline reference(TestConfig(), ex1);
+  reference.Run();
+  const analysis::Experiment& ref = reference.experiment();
+
+  exec::Executor ex8(8);
+  analysis::Pipeline pipeline(TestConfig(), ex8);
+  pipeline.Run();
+  const analysis::Experiment& e = pipeline.experiment();
+
+  // Report layer: ranked-AS and per-country tables must match field by
+  // field, in the same row order (reports.cpp iterates StableMaps).
+  const auto ref_rank = analysis::RankAsesByCellDemand(ref);
+  const auto rank = analysis::RankAsesByCellDemand(e);
+  ASSERT_EQ(rank.size(), ref_rank.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    EXPECT_EQ(rank[i].asn, ref_rank[i].asn) << "rank " << i;
+    EXPECT_EQ(rank[i].country_iso, ref_rank[i].country_iso);
+    EXPECT_EQ(rank[i].cell_demand_du, ref_rank[i].cell_demand_du);
+    EXPECT_EQ(rank[i].share_of_global_cell, ref_rank[i].share_of_global_cell);
+  }
+  const auto ref_country = analysis::CountryDemandReport(ref);
+  const auto country = analysis::CountryDemandReport(e);
+  ASSERT_EQ(country.size(), ref_country.size());
+  for (std::size_t i = 0; i < country.size(); ++i) {
+    EXPECT_EQ(country[i].iso, ref_country[i].iso) << "row " << i;
+    EXPECT_EQ(country[i].cell_du, ref_country[i].cell_du);
+    EXPECT_EQ(country[i].total_du, ref_country[i].total_du);
+  }
+
+  // Export layer: the figure CSVs are byte-identical.
+  EXPECT_EQ(FigureCsvBundle(e), FigureCsvBundle(ref));
+
+  // Evolution layer: churn simulations seeded from worlds built at
+  // different thread counts stay in lockstep (churn.cpp's pass-2
+  // demand reallocation iterates StableMaps).
+  evolution::TemporalSimulator sim_ref(ref.world);
+  evolution::TemporalSimulator sim(e.world);
+  for (int m = 0; m < 3; ++m) {
+    sim_ref.AdvanceMonth();
+    sim.AdvanceMonth();
+  }
+  EXPECT_EQ(sim.CellularDemand(), sim_ref.CellularDemand());
+  EXPECT_EQ(sim.FixedDemand(), sim_ref.FixedDemand());
+  std::ostringstream demand_ref, demand_run;
+  sim_ref.GenerateDemand().SaveCsv(demand_ref);
+  sim.GenerateDemand().SaveCsv(demand_run);
+  EXPECT_EQ(demand_run.str(), demand_ref.str());
 }
 
 TEST(PipelineDeterminism, MatchesRunExperimentWrapper) {

@@ -515,7 +515,7 @@ int CmdValidate(const Options& opts) {
                            ParseErrorCategory::kTruncatedLine);
         }
         const bool cellular = row.back() == "1";
-        if (!truth.blocks.emplace(netaddr::Prefix::Parse(row[0]), cellular).second) {
+        if (!truth.blocks.Emplace(netaddr::Prefix::Parse(row[0]), cellular)) {
           throw ParseError("truth CSV: duplicate block '" + row[0] + "'",
                            ParseErrorCategory::kDuplicateKey);
         }

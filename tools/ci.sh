@@ -7,6 +7,7 @@
 #   tools/ci.sh tsan         # ThreadSanitizer (executor + pipeline + obs tests)
 #   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON
 #   tools/ci.sh snapshot     # snapshot roundtrip + corruption tests under ASan
+#   tools/ci.sh lint         # cellspot-lint + header self-containment + -Werror build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,6 +54,27 @@ run_bench_smoke() {
   rm -rf "$out"
 }
 
+# Static analysis gate: the project's own invariants first, then the
+# generic ones. cellspot-lint enforces the determinism/parse-safety
+# rules (L001-L005, see DESIGN.md §10); the lint-headers target proves
+# every public header compiles standalone; the -Werror build keeps the
+# tree -Wall -Wextra clean. clang-tidy runs over compile_commands.json
+# when the binary exists — the reference container ships only gcc, so
+# its absence is a skip, not a failure.
+run_lint() {
+  local dir="build-lint"
+  cmake -B "$dir" -S . -DCELLSPOT_WERROR=ON
+  cmake --build "$dir" -j "$jobs"
+  cmake --build "$dir" -j "$jobs" --target lint-headers
+  "$dir/tools/lint/cellspot-lint" --root . --json "$dir/lint-findings.json"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    git ls-files 'src/*.cpp' 'tools/*.cpp' |
+      xargs clang-tidy -p "$dir" --quiet
+  else
+    echo "ci.sh: clang-tidy not found; skipping (cellspot-lint already ran)"
+  fi
+}
+
 # The snapshot format and stage cache under ASan+UBSan: binary
 # roundtrips, the corruption-fallback matrix, and the warm-cache
 # pipeline path — the code most exposed to hostile bytes.
@@ -73,9 +95,11 @@ case "$variant" in
   tsan)        run_tsan ;;
   bench-smoke) run_bench_smoke ;;
   snapshot)    run_snapshot ;;
-  all)         run build
+  lint)        run_lint ;;
+  all)         run_lint
+               run build
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
                run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|all]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|lint|all]" >&2; exit 2 ;;
 esac

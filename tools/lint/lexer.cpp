@@ -1,0 +1,207 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace cellspot::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string TrimCopy(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  LexResult Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+        line_has_code_ = false;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        Advance(1);
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        LexQuoted(c);
+        continue;
+      }
+      // Raw string literal: R"delim( ... )delim" — possibly behind an
+      // encoding prefix (u8R, uR, UR, LR).
+      if (IsRawStringStart()) {
+        LexRawString();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))) != 0)) {
+        LexNumber();
+        continue;
+      }
+      Emit(TokenKind::kPunct, 1);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  /// Advance over `n` bytes that contain no newlines.
+  void Advance(std::size_t n) {
+    pos_ += n;
+    col_ += static_cast<int>(n);
+  }
+
+  /// Advance over one byte, tracking newlines (for multi-line tokens).
+  void AdvanceAny() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      line_has_code_ = false;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void Emit(TokenKind kind, std::size_t length) {
+    result_.tokens.push_back({kind, src_.substr(pos_, length), line_, col_});
+    line_has_code_ = true;
+    Advance(length);
+  }
+
+  void LexLineComment() {
+    const int start_line = line_;
+    const bool standalone = !line_has_code_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string_view::npos) end = src_.size();
+    const std::string_view body = src_.substr(pos_ + 2, end - pos_ - 2);
+    result_.comments.push_back({TrimCopy(body), start_line, standalone});
+    Advance(end - pos_);
+  }
+
+  void LexBlockComment() {
+    const int start_line = line_;
+    const bool standalone = !line_has_code_;
+    const std::size_t body_start = pos_ + 2;
+    std::size_t end = src_.find("*/", body_start);
+    const std::size_t body_end = end == std::string_view::npos ? src_.size() : end;
+    result_.comments.push_back(
+        {TrimCopy(src_.substr(body_start, body_end - body_start)), start_line,
+         standalone});
+    const std::size_t stop = end == std::string_view::npos ? src_.size() : end + 2;
+    while (pos_ < stop) AdvanceAny();
+  }
+
+  void LexQuoted(char quote) {
+    const std::size_t start = pos_;
+    const int tok_line = line_;
+    const int tok_col = col_;
+    AdvanceAny();  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != quote && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) AdvanceAny();
+      AdvanceAny();
+    }
+    if (pos_ < src_.size() && src_[pos_] == quote) AdvanceAny();
+    result_.tokens.push_back(
+        {TokenKind::kString, src_.substr(start, pos_ - start), tok_line, tok_col});
+    line_has_code_ = true;
+  }
+
+  bool IsRawStringStart() const {
+    std::size_t i = pos_;
+    // Optional encoding prefix.
+    if (src_[i] == 'u' && i + 1 < src_.size() && src_[i + 1] == '8') i += 2;
+    else if (src_[i] == 'u' || src_[i] == 'U' || src_[i] == 'L') i += 1;
+    return i + 1 < src_.size() && src_[i] == 'R' && src_[i + 1] == '"';
+  }
+
+  void LexRawString() {
+    const std::size_t start = pos_;
+    const int tok_line = line_;
+    const int tok_col = col_;
+    std::size_t i = pos_;
+    while (src_[i] != '"') ++i;  // skip prefix + R
+    ++i;                         // opening quote
+    std::string delim;
+    while (i < src_.size() && src_[i] != '(') delim += src_[i++];
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, i);
+    end = end == std::string_view::npos ? src_.size() : end + closer.size();
+    while (pos_ < end) AdvanceAny();
+    result_.tokens.push_back(
+        {TokenKind::kString, src_.substr(start, end - start), tok_line, tok_col});
+    line_has_code_ = true;
+  }
+
+  void LexIdentifier() {
+    std::size_t len = 1;
+    while (pos_ + len < src_.size() && IsIdentChar(src_[pos_ + len])) ++len;
+    Emit(TokenKind::kIdentifier, len);
+  }
+
+  void LexNumber() {
+    // pp-number: digits, identifier chars, dots, and sign characters
+    // directly after an exponent marker. Precise enough to keep "1.5e-3"
+    // one token and never split an identifier off a number.
+    std::size_t len = 1;
+    while (pos_ + len < src_.size()) {
+      const char c = src_[pos_ + len];
+      if (IsIdentChar(c) || c == '.') {
+        ++len;
+        continue;
+      }
+      const char prev = src_[pos_ + len - 1];
+      if ((c == '+' || c == '-') &&
+          (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+        ++len;
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, len);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool line_has_code_ = false;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace cellspot::lint

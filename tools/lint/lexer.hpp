@@ -1,0 +1,48 @@
+// Comment/string-aware C++ tokenizer for cellspot-lint.
+//
+// This is not a compiler front end: it only needs to be exact about what
+// is *code* versus what is a comment, a string literal, or a char
+// literal, so the rule matchers never fire on prose ("call std::stoi
+// here" in a comment) and never miss code. Identifiers, numbers, and
+// punctuation come out as a flat token stream with line/column positions;
+// comments are lexed separately (rule waivers live in them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellspot::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords, [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      // pp-number (digits, dots, exponents — not validated)
+  kString,      // "...", R"delim(...)delim", char literals
+  kPunct,       // every other non-whitespace character, one per token
+};
+
+struct Token {
+  TokenKind kind;
+  std::string_view text;  // view into the lexed source buffer
+  int line = 0;           // 1-based
+  int column = 0;         // 1-based, in bytes
+};
+
+struct Comment {
+  std::string text;      // body without the // or /* */ markers, trimmed
+  int line = 0;          // line the comment starts on
+  bool standalone = false;  // no code token earlier on the same line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;      // code only: no comments, no whitespace
+  std::vector<Comment> comments;  // in source order
+};
+
+/// Tokenize `source`. The returned tokens view into `source`, which must
+/// outlive the result. Unterminated strings/comments are tolerated (the
+/// remainder of the file is consumed as that token).
+[[nodiscard]] LexResult Lex(std::string_view source);
+
+}  // namespace cellspot::lint

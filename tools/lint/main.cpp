@@ -1,0 +1,209 @@
+// cellspot-lint: project-invariant static analysis for the cellspot tree.
+//
+//   cellspot-lint [--root DIR] [--json PATH] [--quiet] [subdir...]
+//
+// Scans `src/ bench/ tests/ tools/` under --root (default: the current
+// directory) for *.cpp / *.hpp files and enforces the L001-L006 rule
+// catalogue (see rules.hpp). Human findings go to stdout as
+// `file:line:col: rule: message`; --json additionally writes a
+// machine-readable `cellspot-lint/1` findings document ("-" = stdout).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Deliberately
+// self-contained (no cellspot libraries): the linter must stay buildable
+// even when the tree it polices is broken.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cellspot::lint {
+namespace {
+
+struct Options {
+  std::string root = ".";
+  std::string json_path;  // empty = no JSON, "-" = stdout
+  bool quiet = false;
+  std::vector<std::string> subdirs;  // default: src bench tests tools
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cellspot-lint [--root DIR] [--json PATH|-] [--quiet] "
+               "[subdir...]\n");
+  return 2;
+}
+
+bool WantedFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+/// Paths never linted: build trees and the deliberately-violating lint
+/// fixtures (they are linted explicitly by lint_test, with their own
+/// root).
+bool SkippedDir(const std::string& rel) {
+  return rel.find("build") == 0 || rel.find("/build") != std::string::npos ||
+         rel.find("lint_fixtures") != std::string::npos;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const std::vector<Finding>& findings,
+                   const std::vector<Waiver>& waivers, std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"cellspot-lint/1\",\n"
+      << "  \"files_scanned\": " << files_scanned << ",\n"
+      << "  \"clean\": " << (findings.empty() ? "true" : "false") << ",\n"
+      << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << f.rule
+        << "\", \"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+        << ", \"column\": " << f.column << ", \"message\": \""
+        << JsonEscape(f.message) << "\", \"snippet\": \"" << JsonEscape(f.snippet)
+        << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "],\n  \"waivers\": [";
+  for (std::size_t i = 0; i < waivers.size(); ++i) {
+    const Waiver& w = waivers[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << w.rule
+        << "\", \"file\": \"" << JsonEscape(w.file) << "\", \"line\": " << w.line
+        << ", \"target_line\": " << w.target_line << ", \"reason\": \""
+        << JsonEscape(w.reason) << "\", \"used\": " << (w.used ? "true" : "false")
+        << "}";
+  }
+  out << (waivers.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+int Run(const Options& opt) {
+  const fs::path root(opt.root);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "cellspot-lint: root '%s' is not a directory\n",
+                 opt.root.c_str());
+    return 2;
+  }
+  std::vector<std::string> subdirs = opt.subdirs;
+  if (subdirs.empty()) subdirs = {"src", "bench", "tests", "tools"};
+
+  // Collect root-relative paths, sorted: output order is a property of
+  // the tree, not of readdir().
+  std::vector<std::string> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !WantedFile(entry.path())) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (SkippedDir(rel)) continue;
+      files.push_back(rel);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  std::vector<Waiver> waivers;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cellspot-lint: cannot read '%s'\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    FileReport report = LintFile(rel, source);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(report.findings.begin()),
+                    std::make_move_iterator(report.findings.end()));
+    waivers.insert(waivers.end(),
+                   std::make_move_iterator(report.waivers.begin()),
+                   std::make_move_iterator(report.waivers.end()));
+  }
+
+  if (!opt.quiet) {
+    for (const Finding& f : findings) {
+      std::printf("%s:%d:%d: %s: %s\n", f.file.c_str(), f.line, f.column,
+                  f.rule.c_str(), f.message.c_str());
+      if (!f.snippet.empty()) std::printf("    %s\n", f.snippet.c_str());
+    }
+    std::size_t used_waivers = 0;
+    for (const Waiver& w : waivers) used_waivers += w.used ? 1 : 0;
+    std::printf("cellspot-lint: %zu file(s), %zu finding(s), %zu waiver(s) in use\n",
+                files.size(), findings.size(), used_waivers);
+  }
+
+  if (!opt.json_path.empty()) {
+    const std::string json = ToJson(findings, waivers, files.size());
+    if (opt.json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(opt.json_path, std::ios::trunc);
+      out << json;
+      if (!out) {
+        std::fprintf(stderr, "cellspot-lint: cannot write '%s'\n",
+                     opt.json_path.c_str());
+        return 2;
+      }
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cellspot::lint
+
+int main(int argc, char** argv) {
+  cellspot::lint::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return cellspot::lint::Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return cellspot::lint::Usage();
+    } else {
+      opt.subdirs.push_back(arg);
+    }
+  }
+  try {
+    return cellspot::lint::Run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cellspot-lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,75 @@
+// Rule catalogue and file classification for cellspot-lint.
+//
+// The rules encode the project invariants that PRs 1-4 introduced by
+// hand (checked parsing, deterministic iteration, seeded randomness,
+// injected clocks, quiet library code) so refactors cannot silently
+// regress them. Scopes are path-based: see Classify() for the exact
+// predicate each rule uses. Violations are waivable only with an inline
+//   // cellspot-lint: allow(Lnnn) <non-empty reason>
+// pragma on (or directly above) the offending line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellspot::lint {
+
+// L001  raw numeric parsing (std::stoi/stod/strtod/atoi/sscanf family)
+//       anywhere outside util/parse.hpp — use util::ParseNumber<T>.
+// L002  std::unordered_map/unordered_set in deterministic-output TUs
+//       (serde / report / export / analysis / evolution / geo /
+//       snapshot) — use util::StableMap/StableSet or sorted extraction.
+// L003  ambient nondeterminism in library code under src/: rand(),
+//       srand(), std::random_device, time(nullptr), or an argless
+//       std::chrono::*::now() — flow through seeded Rng / injected
+//       clocks. src/obs is exempt (wall-clock telemetry is its job).
+// L004  std::cout / printf / puts / fprintf(stdout, ...) in library code
+//       under src/ — library code reports through return values and
+//       exceptions; stdout belongs to the CLI and the obs exporters.
+// L005  a header file whose first preprocessor business is not a
+//       #pragma once (or #ifndef include guard).
+// L006  malformed waiver pragma: unparseable allow(...) list or an
+//       empty reason. A malformed waiver never suppresses anything.
+
+struct Finding {
+  std::string rule;     // "L001".."L006"
+  std::string file;     // root-relative path
+  int line = 0;
+  int column = 0;
+  std::string message;
+  std::string snippet;  // the offending source line, trimmed
+};
+
+struct Waiver {
+  std::string rule;
+  std::string file;
+  int line = 0;          // line of the pragma comment itself
+  int target_line = 0;   // line whose findings it suppresses
+  std::string reason;
+  bool used = false;
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  std::vector<Waiver> waivers;
+};
+
+/// Per-rule applicability of one file, derived from its root-relative
+/// path (forward slashes).
+struct FileClass {
+  bool header = false;            // .hpp
+  bool check_parse = false;       // L001
+  bool deterministic_tu = false;  // L002
+  bool library_code = false;      // L003 + L004 (src/ minus src/obs/)
+  bool check_guard = false;       // L005
+};
+
+[[nodiscard]] FileClass Classify(std::string_view rel_path);
+
+/// Lint one file's contents. `rel_path` is the root-relative path used
+/// both for classification and in reported findings.
+[[nodiscard]] FileReport LintFile(std::string_view rel_path,
+                                  std::string_view source);
+
+}  // namespace cellspot::lint
