@@ -93,7 +93,11 @@ void Pipeline::GenerateDatasets() {
 const core::ClassifiedSubnets& Pipeline::Classify() {
   if (!has_classified_) {
     GenerateDatasets();
-    if (cache_) {
+    // The cache keys classified results by (world, classifier) config,
+    // which only describes pipeline-generated datasets — injected ones
+    // must bypass it in both directions.
+    const bool use_cache = cache_ && !external_datasets_;
+    if (use_cache) {
       if (auto classified = cache_->TryLoadClassified(config_.world, config_.classifier)) {
         exp_.classified = std::move(*classified);
         has_classified_ = true;
@@ -105,7 +109,7 @@ const core::ClassifiedSubnets& Pipeline::Classify() {
     exp_.classified = classifier.Classify(exp_.beacons, *executor_);
     has_classified_ = true;
     clock.Finish(exp_.classified.ratios().size());
-    if (cache_) cache_->StoreClassified(config_.world, config_.classifier, exp_.classified);
+    if (use_cache) cache_->StoreClassified(config_.world, config_.classifier, exp_.classified);
   }
   return exp_.classified;
 }
@@ -141,6 +145,21 @@ const Experiment& Pipeline::Run() {
 
 void Pipeline::set_classifier(const core::ClassifierConfig& classifier) {
   config_.classifier = classifier;
+  has_classified_ = false;
+  has_candidates_ = false;
+  has_filtered_ = false;
+  exp_.classified = {};
+  exp_.candidates.clear();
+  exp_.filtered = {};
+}
+
+void Pipeline::set_datasets(dataset::BeaconDataset beacons,
+                            dataset::DemandDataset demand) {
+  BuildWorld();  // keep the stage order intact: datasets imply a world
+  exp_.beacons = std::move(beacons);
+  exp_.demand = std::move(demand);
+  has_datasets_ = true;
+  external_datasets_ = true;
   has_classified_ = false;
   has_candidates_ = false;
   has_filtered_ = false;

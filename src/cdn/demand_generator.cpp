@@ -43,6 +43,16 @@ dataset::DemandDataset DemandGenerator::GenerateDataset() const {
 }
 
 dataset::DemandDataset DemandGenerator::GenerateDataset(exec::Executor& executor) const {
+  dataset::DemandDataset out = GenerateRawDataset(executor);
+  out.Normalize();
+  return out;
+}
+
+dataset::DemandDataset DemandGenerator::GenerateRawDataset() const {
+  return GenerateRawDataset(exec::Executor::Shared());
+}
+
+dataset::DemandDataset DemandGenerator::GenerateRawDataset(exec::Executor& executor) const {
   dataset::DemandDataset out;
   util::Rng root(seed_);
   const auto subnets = subnets_;
@@ -80,7 +90,6 @@ dataset::DemandDataset DemandGenerator::GenerateDataset(exec::Executor& executor
   for (auto& local : partials) {
     for (const auto& [i, total] : local) out.Add(subnets[i].block, total);
   }
-  out.Normalize();
   return out;
 }
 

@@ -31,6 +31,13 @@ class DemandGenerator {
   /// Same, on an explicit executor.
   [[nodiscard]] dataset::DemandDataset GenerateDataset(exec::Executor& executor) const;
 
+  /// The same draws *before* normalisation. The streaming traffic
+  /// generator emits cumulative raw-demand events from this and the
+  /// daemon normalises once at export time, so the streamed end state is
+  /// byte-identical to GenerateDataset().
+  [[nodiscard]] dataset::DemandDataset GenerateRawDataset() const;
+  [[nodiscard]] dataset::DemandDataset GenerateRawDataset(exec::Executor& executor) const;
+
   /// Raw daily request weight for one subnet and day (before smoothing),
   /// exposed for tests of the weekly aggregation.
   [[nodiscard]] double DailyDemand(const simnet::Subnet& subnet, int day,

@@ -1,0 +1,60 @@
+// Traffic-generator mode for the streaming daemon: replays the exact
+// batch datasets as a stream of cumulative-state frames.
+//
+// The generator first produces the same BEACON aggregates and raw
+// DEMAND draws the batch pipeline would (same seeds, same executor
+// discipline), then slices each subnet's final totals into `rounds`
+// cumulative restatements: round r of R carries field * (r+1) / R for
+// the integer beacon fields and the exact total on the last round.
+// Sequence numbers are 1-based round indices, so the daemon's seq
+// dedup/reorder logic applies directly, and because every frame
+// restates cumulative state, delivering just each subnet's final frame
+// reproduces the batch result byte for byte — the property the chaos
+// and determinism tests lean on.
+//
+// Frame order is round-major, subnet-minor (all of round 1, then all
+// of round 2, ...), which is the worst case for staleness sweeps and
+// the natural shape for shed-mode tests: overload bursts confined to
+// rounds 1..R-1 are healed by the final round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellspot/simnet/world.hpp"
+
+namespace cellspot::exec {
+class Executor;
+}
+
+namespace cellspot::cdn {
+
+struct EventStreamConfig {
+  /// Cumulative restatements per subnet (>= 1; the last is exact).
+  std::uint32_t rounds = 4;
+};
+
+class EventStreamGenerator {
+ public:
+  explicit EventStreamGenerator(const simnet::World& world, EventStreamConfig config = {});
+
+  /// Every frame of the stream, in emission order. Deterministic for a
+  /// given world and byte-identical at any thread count (the underlying
+  /// dataset generation already is; framing is sequential).
+  [[nodiscard]] std::vector<std::string> GenerateFrames() const;
+  [[nodiscard]] std::vector<std::string> GenerateFrames(exec::Executor& executor) const;
+
+  /// Index of the first frame of the final round — everything from here
+  /// on restates exact totals. Chaos/shed tests confine loss to
+  /// [0, FinalRoundBegin(frames)) to guarantee convergence.
+  [[nodiscard]] std::size_t FinalRoundBegin(std::size_t total_frames) const noexcept;
+
+  [[nodiscard]] const EventStreamConfig& config() const noexcept { return config_; }
+
+ private:
+  const simnet::World& world_;
+  EventStreamConfig config_;
+};
+
+}  // namespace cellspot::cdn

@@ -17,6 +17,10 @@ namespace cellspot::snapshot {
 struct Access;
 }
 
+namespace cellspot::stream {
+class StreamDaemon;
+}
+
 namespace cellspot::core {
 
 struct ClassifierConfig {
@@ -61,6 +65,9 @@ class ClassifiedSubnets {
   friend class SubnetClassifier;
   friend class DeviceTypeClassifier;
   friend struct snapshot::Access;
+  // The streaming daemon assembles ClassifiedSubnets from its
+  // incrementally-maintained per-slot verdicts (see stream/daemon.hpp).
+  friend class stream::StreamDaemon;
   util::StableMap<netaddr::Prefix, double> ratios_;
   util::StableSet<netaddr::Prefix> cellular_;
 };

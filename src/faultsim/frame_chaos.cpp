@@ -1,0 +1,78 @@
+#include "cellspot/faultsim/frame_chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cellspot::faultsim {
+
+FrameChaos::FrameChaos(const ChaosMix& mix, std::uint64_t seed)
+    : mix_(mix), rng_(seed) {
+  if (mix_.Total() > 1.0) {
+    throw std::invalid_argument("FrameChaos: fault probabilities exceed 1");
+  }
+}
+
+std::string FrameChaos::CorruptFrame(const std::string& frame) {
+  std::string out = frame;
+  if (out.empty()) return out;
+  const std::uint64_t flips = rng_.UniformInt(1, 3);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng_.UniformInt(0, out.size() - 1));
+    // XOR with a non-zero byte guarantees the frame actually changes.
+    out[pos] = static_cast<char>(
+        static_cast<std::uint8_t>(out[pos]) ^
+        static_cast<std::uint8_t>(rng_.UniformInt(1, 255)));
+  }
+  return out;
+}
+
+std::vector<std::string> FrameChaos::Run(const std::vector<std::string>& frames,
+                                         std::size_t protect_from) {
+  std::vector<std::string> out;
+  out.reserve(frames.size());
+  stats_.frames_in += frames.size();
+
+  const std::size_t chaos_end = std::min(protect_from, frames.size());
+  for (std::size_t i = 0; i < chaos_end; ++i) {
+    const double u = rng_.UniformDouble();
+    if (u < mix_.corrupt) {
+      ++stats_.corrupted;
+      out.push_back(CorruptFrame(frames[i]));
+    } else if (u < mix_.corrupt + mix_.duplicate) {
+      ++stats_.duplicated;
+      out.push_back(frames[i]);
+      out.push_back(frames[i]);
+    } else if (u < mix_.corrupt + mix_.duplicate + mix_.drop) {
+      ++stats_.dropped;
+    } else {
+      out.push_back(frames[i]);
+    }
+  }
+
+  // Bounded reordering over the chaos region only (a protected suffix
+  // must arrive both intact and in order).
+  const std::size_t reorder_end = out.size();
+  if (mix_.reorder_window > 1) {
+    for (std::size_t begin = 0; begin < reorder_end;
+         begin += mix_.reorder_window) {
+      const std::size_t end = std::min(begin + mix_.reorder_window, reorder_end);
+      // Fisher-Yates on [begin, end) with draws from the seeded engine.
+      for (std::size_t i = end - 1; i > begin; --i) {
+        const std::size_t j = begin + static_cast<std::size_t>(
+                                          rng_.UniformInt(0, i - begin));
+        if (i != j) {
+          std::swap(out[i], out[j]);
+          stats_.reordered += 2;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = chaos_end; i < frames.size(); ++i) out.push_back(frames[i]);
+  stats_.frames_out += out.size();
+  return out;
+}
+
+}  // namespace cellspot::faultsim

@@ -1,0 +1,72 @@
+// Deterministic chaos injection for binary frame streams.
+//
+// Where StreamCorruptor speaks lines of text, FrameChaos speaks opaque
+// binary frames — the encoded events feeding the streaming daemon. It
+// injects the delivery faults a real transport exhibits: corrupted
+// bytes (the frame arrives, its CRC does not), duplicated deliveries,
+// dropped frames, and bounded reordering (frames shuffled within a
+// sliding window, modelling a jittery multipath transport). All draws
+// come from one seeded util::Rng, so a (frames, mix, seed) triple
+// reproduces the identical faulty stream on every run — the chaos tests
+// assert exact daemon counter values against it.
+//
+// FrameChaos deliberately knows nothing about the frame format: it
+// depends only on util, so faultsim stays at the bottom of the
+// dependency graph and any framed protocol can reuse it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::faultsim {
+
+/// Per-frame fault probabilities; mutually exclusive per frame, the
+/// remainder passes through untouched. Reordering applies afterwards to
+/// whatever survived.
+struct ChaosMix {
+  double corrupt = 0.0;    // flip 1-3 bytes in the frame
+  double duplicate = 0.0;  // deliver the frame twice
+  double drop = 0.0;       // never deliver the frame
+
+  /// Shuffle delivered frames within consecutive windows of this many
+  /// frames (0 or 1 = in-order delivery).
+  std::size_t reorder_window = 0;
+
+  [[nodiscard]] double Total() const noexcept { return corrupt + duplicate + drop; }
+};
+
+struct ChaosStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t reordered = 0;  // frames that left their original slot
+};
+
+class FrameChaos {
+ public:
+  /// Throws std::invalid_argument when mix.Total() > 1.
+  FrameChaos(const ChaosMix& mix, std::uint64_t seed);
+
+  /// Apply the mix to a whole stream, returning the faulty delivery
+  /// order. Only frames in [protect_from, end) are exempt — the chaos
+  /// tests protect the final cumulative round so convergence stays
+  /// provable while everything before it burns.
+  [[nodiscard]] std::vector<std::string> Run(const std::vector<std::string>& frames,
+                                             std::size_t protect_from = SIZE_MAX);
+
+  [[nodiscard]] const ChaosStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] std::string CorruptFrame(const std::string& frame);
+
+  ChaosMix mix_;
+  util::Rng rng_;
+  ChaosStats stats_;
+};
+
+}  // namespace cellspot::faultsim

@@ -1,9 +1,12 @@
 #include "cellspot/snapshot/snapshot.hpp"
 
 #include <fstream>
+#include <iostream>
 #include <system_error>
 
+#include "cellspot/obs/metrics.hpp"
 #include "cellspot/snapshot/binary_io.hpp"
+#include "cellspot/util/retry.hpp"
 
 namespace cellspot::snapshot {
 
@@ -108,9 +111,29 @@ std::vector<Section> ReadSnapshotFile(const std::filesystem::path& path) {
 }
 
 bool QuarantineSnapshotFile(const std::filesystem::path& path) noexcept {
+  // Transient rename failures (EBUSY on some filesystems, a racing
+  // reader) get a few immediate retries; a persistent failure is loud:
+  // counted under 'snapshot.quarantine.fail' and reported on stderr, so
+  // a quarantine that silently keeps serving the same corrupt bytes
+  // cannot go unnoticed.
   std::error_code ec;
-  std::filesystem::rename(path, path.string() + ".corrupt", ec);
-  return !ec;
+  const util::RetryOutcome outcome =
+      util::RetryCall(util::RetryPolicy{.max_attempts = 3}, [&] {
+        std::filesystem::rename(path, path.string() + ".corrupt", ec);
+        return !ec;
+      });
+  if (outcome.retries() > 0) {
+    obs::MetricsRegistry::Global()
+        .counter("snapshot.quarantine.retry")
+        .Increment(outcome.retries());
+  }
+  if (!outcome.ok) {
+    obs::MetricsRegistry::Global().counter("snapshot.quarantine.fail").Increment();
+    std::cerr << "cellspot: cannot quarantine corrupt snapshot '" << path.string()
+              << "' as *.corrupt (" << ec.message()
+              << "); the corrupt file stays in place\n";
+  }
+  return outcome.ok;
 }
 
 }  // namespace cellspot::snapshot

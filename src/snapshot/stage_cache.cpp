@@ -9,6 +9,7 @@
 #include "cellspot/obs/trace.hpp"
 #include "cellspot/snapshot/serde.hpp"
 #include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/util/retry.hpp"
 
 namespace cellspot::snapshot {
 
@@ -66,19 +67,33 @@ std::optional<Artifact> TryLoad(const std::filesystem::path& path,
   }
 }
 
-/// Best-effort store; failures are counted, never propagated.
+/// Best-effort store; transient IO failures are retried (deterministic
+/// capped policy, no waiting), persistent ones counted, never propagated.
 void TryStore(const std::filesystem::path& path, std::string_view stage,
               std::span<const Section> sections) {
   auto& reg = obs::MetricsRegistry::Global();
   obs::TraceSpan span("snapshot.save");
-  try {
-    WriteSnapshotFile(path, sections);
+  std::string last_error;
+  const util::RetryOutcome outcome =
+      util::RetryCall(util::RetryPolicy{.max_attempts = 3}, [&] {
+        try {
+          WriteSnapshotFile(path, sections);
+          return true;
+        } catch (const SnapshotError& e) {
+          last_error = e.what();
+          return false;
+        }
+      });
+  if (outcome.retries() > 0) {
+    reg.counter("snapshot.save_retry").Increment(outcome.retries());
+  }
+  if (outcome.ok) {
     reg.counter("snapshot.bytes_written").Increment(ImageBytes(sections));
     span.set_items(1);
-  } catch (const SnapshotError& e) {
+  } else {
     reg.counter("snapshot.save_error").Increment();
     std::cerr << "cellspot: cannot save " << stage << " snapshot '" << path.string()
-              << "': " << e.what() << "\n";
+              << "' after " << outcome.attempts << " attempts: " << last_error << "\n";
   }
 }
 

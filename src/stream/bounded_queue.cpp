@@ -1,0 +1,155 @@
+#include "cellspot/stream/bounded_queue.hpp"
+
+#include <utility>
+
+#include "cellspot/obs/metrics.hpp"
+
+namespace cellspot::stream {
+
+namespace {
+
+obs::Counter& ShedOldestCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("stream.queue.shed_oldest");
+  return c;
+}
+
+obs::Counter& ShedNewestCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("stream.queue.shed_newest");
+  return c;
+}
+
+}  // namespace
+
+std::string_view BackpressurePolicyName(BackpressurePolicy policy) noexcept {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kShedOldest:
+      return "shed-oldest";
+    case BackpressurePolicy::kShedNewest:
+      return "shed-newest";
+  }
+  return "unknown";
+}
+
+std::optional<BackpressurePolicy> ParseBackpressurePolicy(
+    std::string_view name) noexcept {
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "shed-oldest") return BackpressurePolicy::kShedOldest;
+  if (name == "shed-newest") return BackpressurePolicy::kShedNewest;
+  return std::nullopt;
+}
+
+FrameQueue::FrameQueue(std::size_t capacity, BackpressurePolicy policy)
+    : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+bool FrameQueue::Push(std::string frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  if (frames_.size() >= capacity_) {
+    switch (policy_) {
+      case BackpressurePolicy::kBlock:
+        not_full_.wait(lock, [&] { return closed_ || frames_.size() < capacity_; });
+        if (closed_) return false;
+        break;
+      case BackpressurePolicy::kShedOldest:
+        frames_.pop_front();
+        ++shed_oldest_;
+        ShedOldestCounter().Increment();
+        break;
+      case BackpressurePolicy::kShedNewest:
+        ++shed_newest_;
+        ShedNewestCounter().Increment();
+        return false;
+    }
+  }
+  frames_.push_back(std::move(frame));
+  ++pushed_;
+  not_empty_.notify_one();
+  return true;
+}
+
+bool FrameQueue::PushWait(std::string frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return closed_ || frames_.size() < capacity_; });
+  if (closed_) return false;
+  frames_.push_back(std::move(frame));
+  ++pushed_;
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<std::string> FrameQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+  if (frames_.empty()) return std::nullopt;
+  std::string frame = std::move(frames_.front());
+  frames_.pop_front();
+  not_full_.notify_one();
+  return frame;
+}
+
+bool FrameQueue::TryPop(std::string& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.empty()) return false;
+  out = std::move(frames_.front());
+  frames_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+std::size_t FrameQueue::DrainInto(std::vector<std::string>& out, std::size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t moved = 0;
+  while (moved < max && !frames_.empty()) {
+    out.push_back(std::move(frames_.front()));
+    frames_.pop_front();
+    ++moved;
+  }
+  if (moved > 0) not_full_.notify_all();
+  return moved;
+}
+
+bool FrameQueue::WaitForFrame() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+  return !frames_.empty();
+}
+
+void FrameQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t FrameQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+bool FrameQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::uint64_t FrameQueue::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+std::uint64_t FrameQueue::shed_oldest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_oldest_;
+}
+
+std::uint64_t FrameQueue::shed_newest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_newest_;
+}
+
+}  // namespace cellspot::stream

@@ -1,0 +1,101 @@
+// Bounded ingress queue between the traffic source and the daemon.
+//
+// The queue holds encoded frames (opaque byte strings), so everything
+// upstream of the daemon — generator, chaos injector, a future network
+// receiver — speaks the same type. Capacity is fixed at construction;
+// what happens when a producer outruns the consumer is the backpressure
+// policy:
+//   kBlock      producer waits for space (lossless; needs a consumer
+//               thread or the producer deadlocks)
+//   kShedOldest evict the front frame to admit the new one (bounded
+//               staleness: the freshest state always gets in)
+//   kShedNewest drop the incoming frame (cheapest; relies on a later
+//               frame restating the subnet's cumulative state)
+// Every shed is counted here and mirrored into the obs registry as
+// stream.queue.shed_oldest / stream.queue.shed_newest.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellspot::stream {
+
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock = 0,
+  kShedOldest = 1,
+  kShedNewest = 2,
+};
+
+[[nodiscard]] std::string_view BackpressurePolicyName(BackpressurePolicy policy) noexcept;
+
+/// Inverse of BackpressurePolicyName ("block", "shed-oldest",
+/// "shed-newest"); nullopt on anything else.
+[[nodiscard]] std::optional<BackpressurePolicy> ParseBackpressurePolicy(
+    std::string_view name) noexcept;
+
+class FrameQueue {
+ public:
+  FrameQueue(std::size_t capacity, BackpressurePolicy policy);
+
+  /// Enqueue one frame. Returns true iff the frame was admitted (under
+  /// kShedNewest a full queue rejects it; a closed queue rejects
+  /// everything). Under kBlock a full queue waits until space opens or
+  /// the queue closes.
+  bool Push(std::string frame);
+
+  /// Enqueue with kBlock semantics regardless of the configured policy:
+  /// waits for space instead of shedding. Producers use this for frames
+  /// that must not be lost — e.g. a stream's final cumulative round,
+  /// whose delivery is what convergence proofs rest on. Returns false
+  /// only when the queue is closed.
+  bool PushWait(std::string frame);
+
+  /// Blocking dequeue: waits for a frame or Close(). nullopt only after
+  /// the queue is closed *and* drained.
+  [[nodiscard]] std::optional<std::string> Pop();
+
+  /// Non-blocking dequeue for the daemon's tick loop.
+  [[nodiscard]] bool TryPop(std::string& out);
+
+  /// Move up to `max` queued frames into `out` without blocking;
+  /// returns the number moved.
+  std::size_t DrainInto(std::vector<std::string>& out, std::size_t max);
+
+  /// Block until a frame is available or the queue closes. Returns true
+  /// iff a frame is waiting (false = closed and drained).
+  [[nodiscard]] bool WaitForFrame();
+
+  /// No further pushes are admitted; blocked producers and consumers
+  /// wake up. Idempotent.
+  void Close();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const;
+
+  [[nodiscard]] std::uint64_t pushed() const;
+  [[nodiscard]] std::uint64_t shed_oldest() const;
+  [[nodiscard]] std::uint64_t shed_newest() const;
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::string> frames_;
+  bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t shed_oldest_ = 0;
+  std::uint64_t shed_newest_ = 0;
+};
+
+}  // namespace cellspot::stream

@@ -145,6 +145,40 @@ TEST(StreamCorruptor, FaultRateTracksTheMix) {
   EXPECT_LT(stats.total_faults(), 250u);
 }
 
+TEST(StreamCorruptor, ZeroLengthInputIsANoOp) {
+  CorruptionStats stats;
+  EXPECT_EQ(CorruptString(FaultMix::Destructive(0.5), 9, "", false, &stats), "");
+  EXPECT_EQ(stats.lines_in, 0u);
+  EXPECT_EQ(stats.lines_out, 0u);
+  EXPECT_EQ(stats.total_faults(), 0u);
+}
+
+TEST(StreamCorruptor, SingleByteLinesSurviveEveryFault) {
+  // Degenerate records — one byte, no delimiter — must never crash any
+  // fault path (truncate has nothing to shorten, drop_field no comma...).
+  for (const auto set : {&FaultMix::truncate, &FaultMix::garble_bytes,
+                         &FaultMix::drop_field, &FaultMix::shuffle_columns,
+                         &FaultMix::duplicate_row, &FaultMix::blank_line}) {
+    FaultMix mix;
+    mix.*set = 1.0;
+    StreamCorruptor corruptor(mix, 13);
+    std::vector<std::string> out;
+    corruptor.CorruptLine("x", out);
+    EXPECT_GE(out.size(), 1u);
+  }
+}
+
+TEST(StreamCorruptor, FullyCorruptedStreamNeverGrowsUnbounded) {
+  // Every line faulted: output stays within the duplicate bound (2x)
+  // and the stats account for each input line exactly once.
+  const std::string in = MakeStream(200);
+  CorruptionStats stats;
+  (void)CorruptString(FaultMix::Destructive(1.0), 17, in, false, &stats);
+  EXPECT_EQ(stats.lines_in, 200u);
+  EXPECT_EQ(stats.total_faults(), 200u);
+  EXPECT_LE(stats.lines_out, 400u);
+}
+
 TEST(StreamCorruptor, StatsAccumulateAcrossPasses) {
   StreamCorruptor corruptor(FaultMix::Destructive(0.5), 5);
   for (int pass = 0; pass < 2; ++pass) {

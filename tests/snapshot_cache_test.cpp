@@ -7,13 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cellspot/obs/metrics.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/snapshot/stage_cache.hpp"
 
 namespace cellspot::analysis {
 namespace {
@@ -140,6 +146,50 @@ TEST(StageCachePipeline, EmptySnapshotDirDisablesCaching) {
   EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
   EXPECT_EQ(CounterValue("snapshot.miss"), 0u);
   EXPECT_TRUE(HasTiming(p, "build_world"));
+}
+
+// Writers use write-to-temp + atomic rename, so a reader racing a
+// writer must see either a miss (file absent) or a complete, valid
+// snapshot — never a torn read, never a quarantine.
+TEST(StageCacheConcurrency, ReadersRacingAWriterNeverSeeTornSnapshots) {
+  const fs::path dir = FreshDir("race");
+  const simnet::WorldConfig config = simnet::WorldConfig::Tiny();
+  const simnet::World world = simnet::World::Generate(config);
+  const std::string reference =
+      snapshot::EncodeSnapshot(snapshot::EncodeWorld(world));
+
+  obs::MetricsRegistry::Global().ResetForTest();
+  std::atomic<bool> writing{true};
+  std::atomic<std::uint64_t> loads{0};
+  std::thread writer([&] {
+    snapshot::StageCache cache(dir);
+    // Repeated stores keep rewriting the same key (tmp file + rename)
+    // while readers race the path through absent -> present -> rewritten.
+    for (int i = 0; i < 10; ++i) cache.StoreWorld(world);
+    writing = false;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      snapshot::StageCache cache(dir);
+      while (writing || loads == 0) {
+        if (auto loaded = cache.TryLoadWorld(config)) {
+          ++loads;
+          ASSERT_EQ(snapshot::EncodeSnapshot(snapshot::EncodeWorld(*loaded)),
+                    reference);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(loads, 0u);
+  // No reader ever saw a half-written file.
+  for (const char* reason : {"checksum", "truncated", "bad-magic", "malformed"}) {
+    EXPECT_EQ(CounterValue("snapshot.miss." + std::string(reason)), 0u) << reason;
+  }
 }
 
 TEST(SnapshotDirFromEnv, ReadsEnvironment) {

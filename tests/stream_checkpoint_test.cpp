@@ -1,0 +1,133 @@
+#include "cellspot/stream/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "cellspot/obs/metrics.hpp"
+
+namespace cellspot::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::uint64_t CounterValue(std::string_view name) {
+  return obs::MetricsRegistry::Global().counter(name).value();
+}
+
+void CorruptFile(const fs::path& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(12);
+  char byte = 0;
+  f.seekg(12);
+  f.get(byte);
+  f.seekp(12);
+  f.put(static_cast<char>(byte ^ 0x5A));
+}
+
+constexpr std::uint64_t kHash = 0xfeedfacecafebeefULL;
+
+TEST(CheckpointStore, SaveAndLoadRoundTrip) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  CheckpointStore store(FreshDir("ckpt_roundtrip"), kHash);
+  ASSERT_TRUE(store.Save(17, "state-at-17"));
+  const auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->tick, 17u);
+  EXPECT_EQ(loaded->payload, "state-at-17");
+  EXPECT_EQ(CounterValue("stream.checkpoint.saved"), 1u);
+  EXPECT_EQ(CounterValue("stream.checkpoint.restored"), 1u);
+}
+
+TEST(CheckpointStore, EmptyDirectoryRestoresNothing) {
+  CheckpointStore store(FreshDir("ckpt_empty"), kHash);
+  EXPECT_EQ(store.LoadLatest(), std::nullopt);
+}
+
+TEST(CheckpointStore, KeepsOnlyTwoGenerationsAndLoadsNewest) {
+  CheckpointStore store(FreshDir("ckpt_prune"), kHash);
+  for (std::uint64_t tick : {10u, 20u, 30u, 40u}) {
+    ASSERT_TRUE(store.Save(tick, "tick=" + std::to_string(tick)));
+  }
+  EXPECT_FALSE(fs::exists(store.PathForTick(10)));
+  EXPECT_FALSE(fs::exists(store.PathForTick(20)));
+  EXPECT_TRUE(fs::exists(store.PathForTick(30)));
+  EXPECT_TRUE(fs::exists(store.PathForTick(40)));
+  const auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->tick, 40u);
+}
+
+TEST(CheckpointStore, CorruptNewestFallsBackToPreviousGeneration) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  CheckpointStore store(FreshDir("ckpt_fallback"), kHash);
+  ASSERT_TRUE(store.Save(100, "older-good"));
+  ASSERT_TRUE(store.Save(200, "newer-bad"));
+  CorruptFile(store.PathForTick(200));
+
+  const auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());  // never fatal: previous generation wins
+  EXPECT_EQ(loaded->tick, 100u);
+  EXPECT_EQ(loaded->payload, "older-good");
+  EXPECT_EQ(CounterValue("stream.checkpoint.corrupt"), 1u);
+  // The corrupt file is quarantined out of the scan, not retried forever.
+  EXPECT_FALSE(fs::exists(store.PathForTick(200)));
+  EXPECT_TRUE(fs::exists(store.PathForTick(200).string() + ".corrupt"));
+}
+
+TEST(CheckpointStore, AllGenerationsCorruptIsEmptyRestoreNotFatal) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  CheckpointStore store(FreshDir("ckpt_all_bad"), kHash);
+  ASSERT_TRUE(store.Save(1, "a"));
+  ASSERT_TRUE(store.Save(2, "b"));
+  CorruptFile(store.PathForTick(1));
+  CorruptFile(store.PathForTick(2));
+  EXPECT_EQ(store.LoadLatest(), std::nullopt);
+  EXPECT_EQ(CounterValue("stream.checkpoint.corrupt"), 2u);
+}
+
+TEST(CheckpointStore, IncompatibleConfigHashIsSkipped) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  const fs::path dir = FreshDir("ckpt_config");
+  {
+    CheckpointStore old_config(dir, kHash);
+    ASSERT_TRUE(old_config.Save(5, "old-world"));
+  }
+  CheckpointStore new_config(dir, kHash + 1);
+  EXPECT_EQ(new_config.LoadLatest(), std::nullopt);
+  EXPECT_EQ(CounterValue("stream.checkpoint.incompatible"), 1u);
+  // Skipped, not quarantined: the file is still valid for its own config.
+  CheckpointStore old_again(dir, kHash);
+  const auto loaded = old_again.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->payload, "old-world");
+}
+
+TEST(CheckpointStore, MixedCompatibilityPicksNewestUsable) {
+  const fs::path dir = FreshDir("ckpt_mixed");
+  {
+    CheckpointStore compatible(dir, kHash);
+    ASSERT_TRUE(compatible.Save(50, "usable"));
+  }
+  CheckpointStore store(dir, kHash);
+  {
+    CheckpointStore other(dir, kHash + 7);
+    ASSERT_TRUE(other.Save(60, "foreign"));  // newer but incompatible
+  }
+  const auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->tick, 50u);
+  EXPECT_EQ(loaded->payload, "usable");
+}
+
+}  // namespace
+}  // namespace cellspot::stream

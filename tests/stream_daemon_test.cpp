@@ -1,0 +1,230 @@
+#include "cellspot/stream/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "cellspot/cdn/event_stream.hpp"
+#include "cellspot/obs/metrics.hpp"
+#include "cellspot/simnet/world.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/stream/event.hpp"
+
+namespace cellspot::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+const simnet::World& TinyWorld() {
+  static const simnet::World world =
+      simnet::World::Generate(simnet::WorldConfig::Tiny());
+  return world;
+}
+
+std::string BeaconFrame(std::uint32_t subnet, std::uint32_t seq, std::uint64_t netinfo,
+                        std::uint64_t cellular) {
+  StreamEvent e;
+  e.kind = EventKind::kBeacon;
+  e.subnet = subnet;
+  e.seq = seq;
+  e.stats.hits = netinfo * 2;
+  e.stats.netinfo_hits = netinfo;
+  e.stats.cellular_labels = cellular;
+  e.stats.wifi_labels = netinfo - cellular;
+  e.stats.mobile_browser_hits = netinfo;
+  return EncodeEventFrame(e);
+}
+
+std::string DemandFrame(std::uint32_t subnet, std::uint32_t seq, double raw) {
+  StreamEvent e;
+  e.kind = EventKind::kDemand;
+  e.subnet = subnet;
+  e.seq = seq;
+  e.demand_raw = raw;
+  return EncodeEventFrame(e);
+}
+
+std::string ClassifiedBytes(const StreamDaemon& daemon) {
+  return snapshot::EncodeSnapshot(snapshot::EncodeClassified(daemon.ExportClassified()));
+}
+
+TEST(StreamDaemon, AppliesBeaconAndReclassifiesIncrementally) {
+  StreamDaemon daemon(TinyWorld(), {}, {});
+  const netaddr::Prefix block = TinyWorld().subnets()[0].block;
+
+  daemon.queue().Push(BeaconFrame(0, 1, /*netinfo=*/10, /*cellular=*/9));
+  EXPECT_EQ(daemon.Tick(), 1u);
+  EXPECT_EQ(daemon.stats().applied, 1u);
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kActive);
+  EXPECT_TRUE(daemon.ExportClassified().IsCellular(block));
+
+  // A later cumulative restatement flips the verdict the moment it lands.
+  daemon.queue().Push(BeaconFrame(0, 2, /*netinfo=*/100, /*cellular=*/10));
+  EXPECT_EQ(daemon.Tick(), 1u);
+  const core::ClassifiedSubnets classified = daemon.ExportClassified();
+  EXPECT_FALSE(classified.IsCellular(block));
+  const double* ratio = classified.RatioOf(block);
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(*ratio, 0.1);
+}
+
+TEST(StreamDaemon, CountsDuplicateStaleCorruptAndBadSubnet) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  StreamDaemon daemon(TinyWorld(), {}, {});
+  auto& q = daemon.queue();
+
+  q.Push(BeaconFrame(0, 3, 10, 5));
+  q.Push(BeaconFrame(0, 3, 10, 5));  // duplicate seq: idempotent
+  q.Push(BeaconFrame(0, 1, 4, 2));   // stale seq: reordered, ignored
+  q.Push("not a frame");             // fails CRC: corrupt
+  q.Push(BeaconFrame(static_cast<std::uint32_t>(TinyWorld().subnets().size()), 1, 4, 2));
+  daemon.Tick();
+
+  EXPECT_EQ(daemon.stats().applied, 1u);
+  EXPECT_EQ(daemon.stats().duplicate, 1u);
+  EXPECT_EQ(daemon.stats().stale_seq, 1u);
+  EXPECT_EQ(daemon.stats().corrupt, 1u);
+  EXPECT_EQ(daemon.stats().bad_subnet, 1u);
+  auto& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.counter("stream.events.duplicate").value(), 1u);
+  EXPECT_EQ(reg.counter("stream.events.corrupt").value(), 1u);
+  EXPECT_EQ(reg.counter("stream.events.bad_subnet").value(), 1u);
+}
+
+TEST(StreamDaemon, BeaconAndDemandSequencesAreIndependent) {
+  StreamDaemon daemon(TinyWorld(), {}, {});
+  daemon.queue().Push(BeaconFrame(0, 2, 10, 5));
+  daemon.queue().Push(DemandFrame(0, 1, 42.0));  // seq 1 < beacon seq 2: fine
+  daemon.Tick();
+  EXPECT_EQ(daemon.stats().applied, 2u);
+  EXPECT_EQ(daemon.stats().stale_seq, 0u);
+}
+
+TEST(StreamDaemon, StalenessWalksActiveStaleExpired) {
+  DaemonConfig config;
+  config.staleness_ticks = 2;
+  config.expiry_ticks = 3;
+  StreamDaemon daemon(TinyWorld(), {}, config);
+
+  daemon.queue().Push(BeaconFrame(0, 1, 10, 5));
+  daemon.Tick();  // tick 1: applied
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kActive);
+  // Untouched subnets never enter the state machine.
+  EXPECT_EQ(daemon.liveness(1), SubnetLiveness::kNeverSeen);
+
+  daemon.Tick();  // tick 2: quiet 1 tick
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kActive);
+  daemon.Tick();  // tick 3: quiet 2 ticks >= staleness_ticks
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kStale);
+  EXPECT_EQ(daemon.count_in(SubnetLiveness::kStale), 1u);
+  daemon.Tick();  // quiet 3
+  daemon.Tick();  // quiet 4
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kStale);
+  daemon.Tick();  // quiet 5 >= staleness + expiry
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kExpired);
+
+  // A fresh frame revives the slot — and expiry never dropped its state.
+  daemon.queue().Push(BeaconFrame(0, 2, 10, 8));
+  daemon.Tick();
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kActive);
+  EXPECT_TRUE(daemon.ExportClassified().IsCellular(TinyWorld().subnets()[0].block));
+}
+
+TEST(StreamDaemon, ExpiryRetainsLastKnownState) {
+  DaemonConfig config;
+  config.staleness_ticks = 1;
+  config.expiry_ticks = 1;
+  StreamDaemon daemon(TinyWorld(), {}, config);
+  daemon.queue().Push(BeaconFrame(0, 1, 10, 9));
+  daemon.Tick();
+  const std::string before = ClassifiedBytes(daemon);
+  for (int i = 0; i < 5; ++i) daemon.Tick();
+  EXPECT_EQ(daemon.liveness(0), SubnetLiveness::kExpired);
+  // Expiry is an observability signal, not an eviction: exports are
+  // unchanged, because the batch pipeline has no notion of loss.
+  EXPECT_EQ(ClassifiedBytes(daemon), before);
+}
+
+TEST(StreamDaemon, CheckpointRestoreRoundTripsStateAndRecomputesVerdicts) {
+  const std::uint64_t hash =
+      StreamDaemon::ConfigHash(simnet::WorldConfig::Tiny(), {});
+  CheckpointStore store(FreshDir("daemon_ckpt"), hash);
+
+  StreamDaemon daemon(TinyWorld(), {}, {}, &store);
+  daemon.queue().Push(BeaconFrame(0, 1, 10, 9));
+  daemon.queue().Push(BeaconFrame(2, 4, 20, 3));
+  daemon.queue().Push(DemandFrame(0, 2, 123.25));
+  daemon.Tick();
+  ASSERT_TRUE(daemon.Checkpoint());
+
+  StreamDaemon recovered(TinyWorld(), {}, {}, &store);
+  ASSERT_TRUE(recovered.TryRestore());
+  EXPECT_EQ(recovered.tick(), daemon.tick());
+  EXPECT_EQ(ClassifiedBytes(recovered), ClassifiedBytes(daemon));
+  EXPECT_EQ(snapshot::EncodeSnapshot(
+                snapshot::EncodeDatasets(recovered.ExportBeacons(),
+                                         recovered.ExportDemand())),
+            snapshot::EncodeSnapshot(snapshot::EncodeDatasets(
+                daemon.ExportBeacons(), daemon.ExportDemand())));
+  // Restored seqs still dedup: replaying the same frames applies nothing.
+  recovered.queue().Push(BeaconFrame(0, 1, 10, 9));
+  recovered.queue().Push(DemandFrame(0, 2, 123.25));
+  recovered.Tick();
+  EXPECT_EQ(recovered.stats().applied, 0u);
+  EXPECT_EQ(recovered.stats().duplicate, 2u);
+}
+
+TEST(StreamDaemon, RestoreWithoutStoreOrCheckpointIsClean) {
+  StreamDaemon no_store(TinyWorld(), {}, {});
+  EXPECT_FALSE(no_store.TryRestore());
+  EXPECT_FALSE(no_store.Checkpoint());
+
+  const std::uint64_t hash =
+      StreamDaemon::ConfigHash(simnet::WorldConfig::Tiny(), {});
+  CheckpointStore empty(FreshDir("daemon_ckpt_empty"), hash);
+  StreamDaemon fresh(TinyWorld(), {}, {}, &empty);
+  EXPECT_FALSE(fresh.TryRestore());
+  EXPECT_EQ(fresh.tick(), 0u);
+}
+
+TEST(StreamDaemon, ClassifierConfigChangesInvalidateCheckpoints) {
+  core::ClassifierConfig strict;
+  strict.min_netinfo_hits = 50;
+  EXPECT_NE(StreamDaemon::ConfigHash(simnet::WorldConfig::Tiny(), {}),
+            StreamDaemon::ConfigHash(simnet::WorldConfig::Tiny(), strict));
+  simnet::WorldConfig reseeded = simnet::WorldConfig::Tiny();
+  reseeded.seed += 1;
+  EXPECT_NE(StreamDaemon::ConfigHash(simnet::WorldConfig::Tiny(), {}),
+            StreamDaemon::ConfigHash(reseeded, {}));
+}
+
+TEST(StreamDaemon, RunUntilClosedDrainsEverythingAcrossManyTicks) {
+  DaemonConfig config;
+  config.queue_capacity = 4;
+  config.backpressure = BackpressurePolicy::kBlock;
+  config.max_events_per_tick = 2;
+  StreamDaemon daemon(TinyWorld(), {}, config);
+
+  std::thread producer([&] {
+    for (std::uint32_t seq = 1; seq <= 50; ++seq) {
+      daemon.queue().Push(BeaconFrame(0, seq, seq, seq / 2));
+    }
+    daemon.queue().Close();
+  });
+  daemon.RunUntilClosed();
+  producer.join();
+  EXPECT_EQ(daemon.stats().applied, 50u);
+  EXPECT_GE(daemon.tick(), 25u);  // max 2 frames per tick
+}
+
+}  // namespace
+}  // namespace cellspot::stream

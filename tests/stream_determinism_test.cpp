@@ -1,0 +1,175 @@
+// The streaming daemon's central guarantee: once each subnet's final
+// cumulative frame has been applied, the daemon's exports are
+// byte-identical to the batch analysis::Pipeline — at any thread count,
+// across a mid-stream kill+recover from a checkpoint, and through a
+// shed-mode overload burst.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cellspot/analysis/pipeline.hpp"
+#include "cellspot/cdn/event_stream.hpp"
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/simnet/world.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/stream/daemon.hpp"
+
+namespace cellspot {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+analysis::Pipeline::Config TestConfig() {
+  return {.world = simnet::WorldConfig::Tiny(), .classifier = {}, .filters = {},
+          .snapshot_dir = {}};
+}
+
+struct BatchReference {
+  std::string datasets;
+  std::string classified;
+};
+
+/// Batch ground truth at a given thread count, as canonical snapshot
+/// bytes (the strictest equality the repo can express).
+BatchReference RunBatch(exec::Executor& executor) {
+  analysis::Pipeline pipeline(TestConfig(), executor);
+  pipeline.Classify();
+  const analysis::Experiment& e = pipeline.experiment();
+  return {
+      snapshot::EncodeSnapshot(snapshot::EncodeDatasets(e.beacons, e.demand)),
+      snapshot::EncodeSnapshot(snapshot::EncodeClassified(e.classified)),
+  };
+}
+
+BatchReference ExportDaemon(const stream::StreamDaemon& daemon) {
+  return {
+      snapshot::EncodeSnapshot(
+          snapshot::EncodeDatasets(daemon.ExportBeacons(), daemon.ExportDemand())),
+      snapshot::EncodeSnapshot(snapshot::EncodeClassified(daemon.ExportClassified())),
+  };
+}
+
+/// Drive Tick() until the queue is drained, then once more so the
+/// staleness sweep settles (mirrors RunUntilClosed's shutdown tick).
+void DrainWithTicks(stream::StreamDaemon& daemon) {
+  while (daemon.queue().size() > 0) daemon.Tick();
+  daemon.Tick();
+}
+
+TEST(StreamDeterminism, CleanReplayMatchesBatchAtOneTwoAndEightThreads) {
+  const simnet::World world = simnet::World::Generate(simnet::WorldConfig::Tiny());
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    exec::Executor ex(threads);
+    const BatchReference batch = RunBatch(ex);
+
+    const cdn::EventStreamGenerator generator(world, {.rounds = 4});
+    const std::vector<std::string> frames = generator.GenerateFrames(ex);
+    ASSERT_FALSE(frames.empty());
+
+    stream::DaemonConfig config;
+    config.queue_capacity = frames.size();
+    config.backpressure = stream::BackpressurePolicy::kBlock;
+    config.max_events_per_tick = 512;
+    stream::StreamDaemon daemon(world, {}, config);
+    for (const std::string& frame : frames) ASSERT_TRUE(daemon.queue().Push(frame));
+    DrainWithTicks(daemon);
+
+    const BatchReference streamed = ExportDaemon(daemon);
+    EXPECT_EQ(streamed.datasets, batch.datasets) << "threads " << threads;
+    EXPECT_EQ(streamed.classified, batch.classified) << "threads " << threads;
+    EXPECT_EQ(daemon.stats().corrupt, 0u);
+    EXPECT_EQ(daemon.stats().applied, frames.size());
+  }
+}
+
+TEST(StreamDeterminism, KillAndRecoverFromCheckpointConverges) {
+  const simnet::World world = simnet::World::Generate(simnet::WorldConfig::Tiny());
+  exec::Executor ex(2);
+  const BatchReference batch = RunBatch(ex);
+
+  const cdn::EventStreamGenerator generator(world, {.rounds = 4});
+  const std::vector<std::string> frames = generator.GenerateFrames(ex);
+  const std::size_t kill_at = frames.size() * 3 / 5;
+  const std::size_t resume_at = frames.size() * 2 / 5;  // replay overlap
+
+  const std::uint64_t hash =
+      stream::StreamDaemon::ConfigHash(simnet::WorldConfig::Tiny(), {});
+  stream::CheckpointStore store(FreshDir("stream_det_ckpt"), hash);
+
+  stream::DaemonConfig config;
+  config.queue_capacity = frames.size();
+  config.backpressure = stream::BackpressurePolicy::kBlock;
+  config.max_events_per_tick = 256;
+  {
+    // First life: ingest a prefix, checkpoint, die (scope exit).
+    stream::StreamDaemon daemon(world, {}, config, &store);
+    for (std::size_t i = 0; i < kill_at; ++i) {
+      ASSERT_TRUE(daemon.queue().Push(frames[i]));
+    }
+    DrainWithTicks(daemon);
+    ASSERT_TRUE(daemon.Checkpoint());
+  }
+
+  // Second life: restore, then replay from before the kill point — the
+  // overlap is deduplicated by per-subnet seqs, not double-applied.
+  stream::StreamDaemon recovered(world, {}, config, &store);
+  ASSERT_TRUE(recovered.TryRestore());
+  EXPECT_GT(recovered.tick(), 0u);
+  for (std::size_t i = resume_at; i < frames.size(); ++i) {
+    ASSERT_TRUE(recovered.queue().Push(frames[i]));
+  }
+  DrainWithTicks(recovered);
+  EXPECT_GT(recovered.stats().duplicate + recovered.stats().stale_seq, 0u);
+
+  const BatchReference streamed = ExportDaemon(recovered);
+  EXPECT_EQ(streamed.datasets, batch.datasets);
+  EXPECT_EQ(streamed.classified, batch.classified);
+}
+
+TEST(StreamDeterminism, ShedModeOverloadBurstConverges) {
+  const simnet::World world = simnet::World::Generate(simnet::WorldConfig::Tiny());
+  exec::Executor ex(2);
+  const BatchReference batch = RunBatch(ex);
+
+  const cdn::EventStreamGenerator generator(world, {.rounds = 4});
+  const std::vector<std::string> frames = generator.GenerateFrames(ex);
+  const std::size_t final_begin = generator.FinalRoundBegin(frames.size());
+  ASSERT_LT(final_begin, frames.size());
+
+  stream::DaemonConfig config;
+  config.queue_capacity = 32;  // far smaller than the burst
+  config.backpressure = stream::BackpressurePolicy::kShedOldest;
+  config.max_events_per_tick = 16;
+  stream::StreamDaemon daemon(world, {}, config);
+  auto& q = daemon.queue();
+
+  // Overload burst: rounds 1..R-1 slam a tiny queue with no consumer
+  // ticks, shedding most of them. Convergence does not care — every
+  // frame restates cumulative state.
+  for (std::size_t i = 0; i < final_begin; ++i) q.Push(frames[i]);
+  EXPECT_GT(q.shed_oldest(), 0u);
+
+  // Final round: delivered losslessly by draining before each push
+  // (the CLI producer uses PushWait for the same guarantee).
+  for (std::size_t i = final_begin; i < frames.size(); ++i) {
+    while (q.size() >= q.capacity()) daemon.Tick();
+    ASSERT_TRUE(q.Push(frames[i]));
+  }
+  DrainWithTicks(daemon);
+
+  const BatchReference streamed = ExportDaemon(daemon);
+  EXPECT_EQ(streamed.datasets, batch.datasets);
+  EXPECT_EQ(streamed.classified, batch.classified);
+}
+
+}  // namespace
+}  // namespace cellspot

@@ -1,0 +1,155 @@
+#include "cellspot/stream/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cellspot/obs/metrics.hpp"
+
+namespace cellspot::stream {
+namespace {
+
+TEST(FrameQueue, PreservesFifoOrder) {
+  FrameQueue q(8, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.Push("a"));
+  EXPECT_TRUE(q.Push("b"));
+  EXPECT_TRUE(q.Push("c"));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), "a");
+  EXPECT_EQ(q.Pop(), "b");
+  EXPECT_EQ(q.Pop(), "c");
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(FrameQueue, ShedOldestEvictsFrontAndCounts) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  FrameQueue q(2, BackpressurePolicy::kShedOldest);
+  EXPECT_TRUE(q.Push("a"));
+  EXPECT_TRUE(q.Push("b"));
+  EXPECT_TRUE(q.Push("c"));  // evicts "a", admits "c"
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.shed_oldest(), 1u);
+  EXPECT_EQ(q.shed_newest(), 0u);
+  EXPECT_EQ(q.Pop(), "b");
+  EXPECT_EQ(q.Pop(), "c");
+  EXPECT_EQ(obs::MetricsRegistry::Global().counter("stream.queue.shed_oldest").value(),
+            1u);
+}
+
+TEST(FrameQueue, ShedNewestRejectsIncomingAndCounts) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  FrameQueue q(2, BackpressurePolicy::kShedNewest);
+  EXPECT_TRUE(q.Push("a"));
+  EXPECT_TRUE(q.Push("b"));
+  EXPECT_FALSE(q.Push("c"));  // full: incoming frame dropped
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.shed_newest(), 1u);
+  EXPECT_EQ(q.shed_oldest(), 0u);
+  EXPECT_EQ(q.Pop(), "a");
+  EXPECT_EQ(q.Pop(), "b");
+  EXPECT_EQ(obs::MetricsRegistry::Global().counter("stream.queue.shed_newest").value(),
+            1u);
+}
+
+TEST(FrameQueue, BlockPolicyWaitsForConsumer) {
+  FrameQueue q(1, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.Push("first"));
+  std::thread consumer([&] {
+    EXPECT_EQ(q.Pop(), "first");
+    EXPECT_EQ(q.Pop(), "second");
+  });
+  EXPECT_TRUE(q.Push("second"));  // blocks until the consumer pops "first"
+  consumer.join();
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.shed_oldest(), 0u);
+  EXPECT_EQ(q.shed_newest(), 0u);
+}
+
+TEST(FrameQueue, CloseUnblocksBlockedProducer) {
+  FrameQueue q(1, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.Push("only"));
+  std::thread producer([&] { EXPECT_FALSE(q.Push("stuck")); });
+  q.Close();  // the blocked Push must return false, not deadlock
+  producer.join();
+}
+
+TEST(FrameQueue, CloseUnblocksBlockedConsumer) {
+  FrameQueue q(4, BackpressurePolicy::kBlock);
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  q.Close();
+  consumer.join();
+}
+
+TEST(FrameQueue, ClosedQueueRejectsPushesButDrains) {
+  FrameQueue q(4, BackpressurePolicy::kShedNewest);
+  EXPECT_TRUE(q.Push("kept"));
+  q.Close();
+  EXPECT_FALSE(q.Push("late"));
+  EXPECT_FALSE(q.PushWait("late"));
+  EXPECT_TRUE(q.closed());
+  // Already-queued frames still drain after close.
+  EXPECT_EQ(q.Pop(), "kept");
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(FrameQueue, PushWaitNeverShedsUnderShedPolicies) {
+  FrameQueue q(1, BackpressurePolicy::kShedOldest);
+  EXPECT_TRUE(q.Push("a"));
+  std::thread consumer([&] {
+    EXPECT_EQ(q.Pop(), "a");
+    EXPECT_EQ(q.Pop(), "final");
+  });
+  // Under kShedOldest a plain Push would evict "a"; PushWait must block
+  // for space instead — this is how final cumulative rounds stay lossless.
+  EXPECT_TRUE(q.PushWait("final"));
+  consumer.join();
+  EXPECT_EQ(q.shed_oldest(), 0u);
+}
+
+TEST(FrameQueue, DrainIntoRespectsBudget) {
+  FrameQueue q(8, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 5; ++i) q.Push(std::string(1, static_cast<char>('a' + i)));
+  std::vector<std::string> out;
+  EXPECT_EQ(q.DrainInto(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.DrainInto(out, 100), 2u);  // appends, drains the rest
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(q.DrainInto(out, 100), 0u);  // empty queue: no-op
+}
+
+TEST(FrameQueue, WaitForFrameSignalsCloseAndData) {
+  FrameQueue q(4, BackpressurePolicy::kBlock);
+  q.Push("x");
+  EXPECT_TRUE(q.WaitForFrame());  // frame waiting: no block
+  std::string out;
+  EXPECT_TRUE(q.TryPop(out));
+  EXPECT_EQ(out, "x");
+  std::thread waiter([&] { EXPECT_FALSE(q.WaitForFrame()); });
+  q.Close();
+  waiter.join();
+}
+
+TEST(FrameQueue, ZeroCapacityClampsToOne) {
+  FrameQueue q(0, BackpressurePolicy::kShedNewest);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.Push("a"));
+  EXPECT_FALSE(q.Push("b"));
+}
+
+TEST(BackpressurePolicy, NamesRoundTrip) {
+  for (const auto policy : {BackpressurePolicy::kBlock, BackpressurePolicy::kShedOldest,
+                            BackpressurePolicy::kShedNewest}) {
+    const auto parsed = ParseBackpressurePolicy(BackpressurePolicyName(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseBackpressurePolicy("drop-tail").has_value());
+  EXPECT_FALSE(ParseBackpressurePolicy("").has_value());
+}
+
+}  // namespace
+}  // namespace cellspot::stream

@@ -1,0 +1,99 @@
+#include "cellspot/util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cellspot::util {
+namespace {
+
+TEST(RetryPolicy, DelayGrowsExponentiallyThenCaps) {
+  const RetryPolicy policy{.max_attempts = 10, .base_delay_ticks = 2,
+                           .max_delay_ticks = 16};
+  EXPECT_EQ(policy.DelayTicks(0), 2u);
+  EXPECT_EQ(policy.DelayTicks(1), 4u);
+  EXPECT_EQ(policy.DelayTicks(2), 8u);
+  EXPECT_EQ(policy.DelayTicks(3), 16u);   // 2<<3 = 16 hits the cap
+  EXPECT_EQ(policy.DelayTicks(4), 16u);   // capped
+  EXPECT_EQ(policy.DelayTicks(63), 16u);  // shift overflow guarded
+}
+
+TEST(RetryPolicy, JitterIsSeededAndBounded) {
+  const RetryPolicy policy{.base_delay_ticks = 8, .max_delay_ticks = 64,
+                           .jitter = 0.5};
+  Rng a(123), b(123), c(999);
+  std::vector<std::uint64_t> da, db;
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    da.push_back(policy.DelayTicks(k, a));
+    db.push_back(policy.DelayTicks(k, b));
+  }
+  EXPECT_EQ(da, db);  // same seed, same delays
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    const std::uint64_t base = policy.DelayTicks(k);
+    EXPECT_GE(da[k], base);
+    EXPECT_LE(da[k], base + base / 2);  // +50% jitter at most
+  }
+  // A different seed diverges somewhere (overwhelmingly likely).
+  bool diverged = false;
+  Rng a2(123);
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    if (policy.DelayTicks(k, a2) != policy.DelayTicks(k, c)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryPolicy, ZeroJitterDoesNotAdvanceRng) {
+  const RetryPolicy policy{.jitter = 0.0};
+  Rng rng(42), untouched(42);
+  (void)policy.DelayTicks(3, rng);
+  EXPECT_EQ(rng.UniformDouble(), untouched.UniformDouble());
+}
+
+TEST(RetryCall, FirstAttemptSucceeds) {
+  int calls = 0;
+  const RetryOutcome outcome = RetryCall(RetryPolicy{.max_attempts = 3}, [&] {
+    ++calls;
+    return true;
+  });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.retries(), 0u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCall, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  const RetryOutcome outcome = RetryCall(RetryPolicy{.max_attempts = 5}, [&] {
+    return ++calls == 3;
+  });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(outcome.retries(), 2u);
+}
+
+TEST(RetryCall, ExhaustsBudgetAndReportsFailure) {
+  int calls = 0;
+  const RetryOutcome outcome = RetryCall(RetryPolicy{.max_attempts = 4}, [&] {
+    ++calls;
+    return false;
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 4u);
+  EXPECT_EQ(outcome.retries(), 3u);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryCall, ZeroAttemptsNeverInvokes) {
+  int calls = 0;
+  const RetryOutcome outcome = RetryCall(RetryPolicy{.max_attempts = 0}, [&] {
+    ++calls;
+    return true;
+  });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 0u);
+  EXPECT_EQ(outcome.retries(), 0u);
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace cellspot::util

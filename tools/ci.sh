@@ -7,6 +7,7 @@
 #   tools/ci.sh tsan         # ThreadSanitizer (executor + pipeline + obs tests)
 #   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON
 #   tools/ci.sh snapshot     # snapshot roundtrip + corruption tests under ASan
+#   tools/ci.sh stream-chaos # streaming chaos harness under ASan and TSan
 #   tools/ci.sh lint         # cellspot-lint + header self-containment + -Werror build
 set -euo pipefail
 
@@ -89,17 +90,48 @@ run_snapshot() {
   "$dir/tests/util_parse_test"
 }
 
+# The streaming daemon's chaos harness under both sanitizers. The gtest
+# chaos/determinism suites carry their own fixed seed matrix (1/7/42
+# plus the kill/recover seeds), so each sanitizer sees the identical
+# fault streams; the CLI round on top drives the full producer-thread +
+# backpressure + checkpoint path end to end.
+run_stream_chaos() {
+  local targets="stream_chaos_test stream_determinism_test stream_daemon_test \
+stream_queue_test stream_checkpoint_test stream_event_test"
+  local dir="build-asan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=address
+  # shellcheck disable=SC2086
+  cmake --build "$dir" -j "$jobs" --target $targets cellspot_cli
+  for t in $targets; do "$dir/tests/$t"; done
+  for seed in 1 7 42; do
+    "$dir/tools/cellspot" stream --tiny --chaos 0.2 --chaos-seed "$seed" \
+      --backpressure shed-oldest --queue-capacity 64 --verify
+  done
+
+  dir="build-tsan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=thread
+  # shellcheck disable=SC2086
+  cmake --build "$dir" -j "$jobs" --target $targets cellspot_cli
+  local tsan_opts="suppressions=$PWD/tools/tsan.supp halt_on_error=1"
+  for t in $targets; do TSAN_OPTIONS="$tsan_opts" "$dir/tests/$t"; done
+  for seed in 1 7 42; do
+    TSAN_OPTIONS="$tsan_opts" "$dir/tools/cellspot" stream --tiny \
+      --chaos 0.2 --chaos-seed "$seed" --queue-capacity 64 --verify
+  done
+}
+
 case "$variant" in
   plain)       run build ;;
   sanitize)    run build-asan -DCELLSPOT_SANITIZE=address ;;
   tsan)        run_tsan ;;
   bench-smoke) run_bench_smoke ;;
   snapshot)    run_snapshot ;;
+  stream-chaos) run_stream_chaos ;;
   lint)        run_lint ;;
   all)         run_lint
                run build
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
                run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|lint|all]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|stream-chaos|lint|all]" >&2; exit 2 ;;
 esac
