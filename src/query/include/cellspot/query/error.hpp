@@ -1,0 +1,52 @@
+// Failure taxonomy for the query engine, mirroring the SnapshotError /
+// ParseError idiom: every QueryError carries a category so the CLI can
+// print "query error (<category>): ..." and map the whole family to one
+// exit code (5, see tools/cli/exit_codes.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cellspot::query {
+
+enum class QueryErrorCode : std::uint8_t {
+  kUnknownTable = 0,  // --table names no decoded table
+  kUnknownColumn,     // a plan references a column the table lacks
+  kTypeMismatch,      // op/literal/aggregate incompatible with the column type
+  kBadPlan,           // structurally invalid plan (projection + group-by, ...)
+  kBadExpression,     // --where/--agg/--order-by text that does not parse
+  kBadTable,          // ragged columns / duplicate names at construction
+  kBadSource,         // snapshot set incomplete, ambiguous, or no checkpoint
+};
+
+inline constexpr std::size_t kQueryErrorCodeCount = 7;
+
+/// Stable lowercase name ("unknown-column"), used in CLI diagnostics.
+[[nodiscard]] constexpr std::string_view QueryErrorCodeName(QueryErrorCode c) noexcept {
+  switch (c) {
+    case QueryErrorCode::kUnknownTable: return "unknown-table";
+    case QueryErrorCode::kUnknownColumn: return "unknown-column";
+    case QueryErrorCode::kTypeMismatch: return "type-mismatch";
+    case QueryErrorCode::kBadPlan: return "bad-plan";
+    case QueryErrorCode::kBadExpression: return "bad-expression";
+    case QueryErrorCode::kBadTable: return "bad-table";
+    case QueryErrorCode::kBadSource: return "bad-source";
+  }
+  return "unknown";
+}
+
+class QueryError : public std::runtime_error {
+ public:
+  QueryError(const std::string& what, QueryErrorCode code)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] QueryErrorCode code() const noexcept { return code_; }
+
+ private:
+  QueryErrorCode code_;
+};
+
+}  // namespace cellspot::query

@@ -1,0 +1,44 @@
+// Canned query plans reproducing the paper's headline artifacts from a
+// cold snapshot load. Each preset is expressed through the query engine
+// (plus, for the CDF preset, util::EmpiricalCdf on the engine's output)
+// and reproduces the corresponding analysis::reports numbers
+// byte-identically at any thread count:
+//   table2        -> analysis::SummarizeDatasets
+//   fig2_cdf      -> analysis::RatioCdfReport / WriteFig2Csv rows
+//   country_share -> analysis::CountryDemandReport / WriteCountryCsv rows
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "cellspot/query/source.hpp"
+#include "cellspot/query/table.hpp"
+
+namespace cellspot::exec {
+class Executor;
+}
+
+namespace cellspot::query {
+
+enum class Preset : std::uint8_t {
+  kTable2 = 0,
+  kFig2Cdf,
+  kCountryShare,
+};
+
+inline constexpr std::array<std::string_view, 3> kPresetNames = {
+    "table2", "fig2_cdf", "country_share"};
+
+[[nodiscard]] std::string_view PresetName(Preset p) noexcept;
+[[nodiscard]] std::optional<Preset> ParsePreset(std::string_view name) noexcept;
+
+/// Evaluate the preset over joined tables. Output column sets:
+///   table2:        metric(str), value(f64)
+///   fig2_cdf:      series(str), ratio(f64), cdf(f64)
+///   country_share: iso(str), continent(str), cell_du(f64),
+///                  total_du(f64), cell_fraction(f64), excluded(u64)
+[[nodiscard]] Table RunPreset(Preset p, const TableSet& tables, exec::Executor& executor);
+
+}  // namespace cellspot::query

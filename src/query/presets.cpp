@@ -1,0 +1,208 @@
+#include "cellspot/query/presets.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cellspot/query/engine.hpp"
+#include "cellspot/util/stats.hpp"
+
+namespace cellspot::query {
+namespace {
+
+Filter Eq(std::string column, Value value) {
+  Filter f;
+  f.column = std::move(column);
+  f.op = CompareOp::kEq;
+  f.value = std::move(value);
+  return f;
+}
+
+Aggregate Agg(AggKind kind, std::string column = {}, std::string as = {}) {
+  Aggregate a;
+  a.kind = kind;
+  a.column = std::move(column);
+  a.as = std::move(as);
+  return a;
+}
+
+/// The single cell of a one-row aggregate result.
+double Scalar(const Table& result) {
+  const Column& col = result.column(0);
+  return col.type == ColumnType::kU64 ? static_cast<double>(col.u64[0]) : col.f64[0];
+}
+
+double CountWhere(const Engine& engine, std::vector<Filter> filters) {
+  Plan plan;
+  plan.filters = std::move(filters);
+  plan.aggregates = {Agg(AggKind::kCount)};
+  return Scalar(engine.Run(plan));
+}
+
+double SumWhere(const Engine& engine, const std::string& column,
+                std::vector<Filter> filters) {
+  Plan plan;
+  plan.filters = std::move(filters);
+  plan.aggregates = {Agg(AggKind::kSum, column)};
+  return Scalar(engine.Run(plan));
+}
+
+// ---- table2 ---------------------------------------------------------------
+// Mirrors analysis::SummarizeDatasets: the counts are per-family block
+// counts, the two coverage shares divide the same operands (counted and
+// summed in demand iteration order) under the same >0 guards.
+
+Table RunTable2(const TableSet& tables, exec::Executor& executor) {
+  const Engine beacon(tables.beacon, executor);
+  const Engine demand(tables.demand, executor);
+
+  const double beacon_v4 = CountWhere(beacon, {Eq("family", Value::Str("v4"))});
+  const double beacon_v6 = CountWhere(beacon, {Eq("family", Value::Str("v6"))});
+  const double demand_v4 = CountWhere(demand, {Eq("family", Value::Str("v4"))});
+  const double demand_v6 = CountWhere(demand, {Eq("family", Value::Str("v6"))});
+  const double covered_v4 = CountWhere(
+      demand, {Eq("family", Value::Str("v4")), Eq("in_beacon", Value::U64(1))});
+  const double covered_weight = SumWhere(demand, "du", {Eq("in_beacon", Value::U64(1))});
+  const double total_weight = SumWhere(demand, "du", {});
+
+  const double coverage_v4 = demand_v4 > 0.0 ? covered_v4 / demand_v4 : 0.0;
+  const double coverage_weight = total_weight > 0.0 ? covered_weight / total_weight : 0.0;
+
+  TableBuilder b;
+  const std::size_t c_metric = b.AddColumn("metric", ColumnType::kStr);
+  const std::size_t c_value = b.AddColumn("value", ColumnType::kF64);
+  const std::pair<std::string_view, double> rows[] = {
+      {"beacon_v4_blocks", beacon_v4},
+      {"beacon_v6_blocks", beacon_v6},
+      {"demand_v4_blocks", demand_v4},
+      {"demand_v6_blocks", demand_v6},
+      {"beacon_coverage_of_demand_v4", coverage_v4},
+      {"beacon_coverage_of_demand_weight", coverage_weight},
+  };
+  for (const auto& [metric, value] : rows) {
+    b.AppendStr(c_metric, metric);
+    b.AppendF64(c_value, value);
+  }
+  return b.Finish();
+}
+
+// ---- fig2_cdf -------------------------------------------------------------
+// Mirrors analysis::RatioCdfReport: select (ratio, du) per family off
+// the classified table — the engine preserves classified.ratios()
+// iteration order — and build the same four EmpiricalCdfs, emitted in
+// the WriteFig2Csv series order.
+
+struct Series {
+  std::string_view name;
+  util::EmpiricalCdf cdf;
+};
+
+Table RunFig2Cdf(const TableSet& tables, exec::Executor& executor) {
+  const Engine classified(tables.classified, executor);
+
+  const auto select_family = [&](std::string_view family) {
+    Plan plan;
+    plan.columns = {"ratio", "du"};
+    plan.filters = {Eq("family", Value::Str(std::string(family)))};
+    return classified.Run(plan);
+  };
+  const Table v4 = select_family("v4");
+  const Table v6 = select_family("v6");
+
+  const std::vector<double>& v4_ratios = v4.column(0).f64;
+  const std::vector<double>& v4_weights = v4.column(1).f64;
+  const std::vector<double>& v6_ratios = v6.column(0).f64;
+  const std::vector<double>& v6_weights = v6.column(1).f64;
+
+  Series series[] = {
+      {"v4_subnets", util::EmpiricalCdf(v4_ratios)},
+      {"v6_subnets", util::EmpiricalCdf(v6_ratios)},
+      {"v4_demand", util::EmpiricalCdf(v4_ratios, v4_weights)},
+      {"v6_demand", util::EmpiricalCdf(v6_ratios, v6_weights)},
+  };
+
+  TableBuilder b;
+  const std::size_t c_series = b.AddColumn("series", ColumnType::kStr);
+  const std::size_t c_ratio = b.AddColumn("ratio", ColumnType::kF64);
+  const std::size_t c_cdf = b.AddColumn("cdf", ColumnType::kF64);
+  for (const Series& s : series) {
+    for (const auto& [x, f] : s.cdf.points()) {
+      b.AppendStr(c_series, s.name);
+      b.AppendF64(c_ratio, x);
+      b.AppendF64(c_cdf, f);
+    }
+  }
+  return b.Finish();
+}
+
+// ---- country_share --------------------------------------------------------
+// Mirrors analysis::CountryDemandReport: the country filter reproduces
+// its skip conditions (unrouted blocks, recordless ASes and empty ISOs
+// all join to an empty country), grouped sums accumulate in demand
+// iteration order exactly as the report's += does (cell_du rows carry
+// +0.0 where the report skips the add), and iso-ascending ordering
+// matches its std::map.
+
+Table RunCountryShare(const TableSet& tables, exec::Executor& executor) {
+  const Engine demand(tables.demand, executor);
+
+  Plan plan;
+  Filter routed;
+  routed.column = "country";
+  routed.op = CompareOp::kNe;
+  routed.value = Value::Str("");
+  plan.filters = {routed};
+  plan.group_by = {"country", "continent", "excluded"};
+  plan.aggregates = {Agg(AggKind::kSum, "cell_du", "cell_du"),
+                     Agg(AggKind::kSum, "du", "total_du")};
+  plan.order_by = {{"country", false}};
+  const Table grouped = demand.Run(plan);
+
+  const Column& country = grouped.column(grouped.ColumnIndex("country"));
+  const Column& continent = grouped.column(grouped.ColumnIndex("continent"));
+  const Column& excluded = grouped.column(grouped.ColumnIndex("excluded"));
+  const Column& cell_du = grouped.column(grouped.ColumnIndex("cell_du"));
+  const Column& total_du = grouped.column(grouped.ColumnIndex("total_du"));
+
+  TableBuilder b;
+  const std::size_t c_iso = b.AddColumn("iso", ColumnType::kStr);
+  const std::size_t c_continent = b.AddColumn("continent", ColumnType::kStr);
+  const std::size_t c_cell = b.AddColumn("cell_du", ColumnType::kF64);
+  const std::size_t c_total = b.AddColumn("total_du", ColumnType::kF64);
+  const std::size_t c_fraction = b.AddColumn("cell_fraction", ColumnType::kF64);
+  const std::size_t c_excluded = b.AddColumn("excluded", ColumnType::kU64);
+  for (std::size_t r = 0; r < grouped.row_count(); ++r) {
+    b.AppendStr(c_iso, country.Str(r));
+    b.AppendStr(c_continent, continent.Str(r));
+    b.AppendF64(c_cell, cell_du.f64[r]);
+    b.AppendF64(c_total, total_du.f64[r]);
+    b.AppendF64(c_fraction,
+                total_du.f64[r] > 0.0 ? cell_du.f64[r] / total_du.f64[r] : 0.0);
+    b.AppendU64(c_excluded, excluded.u64[r]);
+  }
+  return b.Finish();
+}
+
+}  // namespace
+
+std::string_view PresetName(Preset p) noexcept {
+  return kPresetNames[static_cast<std::size_t>(p)];
+}
+
+std::optional<Preset> ParsePreset(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kPresetNames.size(); ++i) {
+    if (kPresetNames[i] == name) return static_cast<Preset>(i);
+  }
+  return std::nullopt;
+}
+
+Table RunPreset(Preset p, const TableSet& tables, exec::Executor& executor) {
+  switch (p) {
+    case Preset::kTable2: return RunTable2(tables, executor);
+    case Preset::kFig2Cdf: return RunFig2Cdf(tables, executor);
+    case Preset::kCountryShare: return RunCountryShare(tables, executor);
+  }
+  throw QueryError("unknown preset", QueryErrorCode::kBadPlan);
+}
+
+}  // namespace cellspot::query

@@ -1,0 +1,268 @@
+// End-to-end query engine goldens: every preset, evaluated from a COLD
+// snapshot load (never the live pipeline), must reproduce the
+// analysis::reports numbers byte-for-byte at 1/2/8 threads; corrupt or
+// truncated snapshot input must fail with a categorized SnapshotError /
+// QueryError, never a crash; and a stream checkpoint is a first-class
+// query source whose exports equal the batch artifacts.
+#include "cellspot/query/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/analysis/export.hpp"
+#include "cellspot/analysis/reports.hpp"
+#include "cellspot/cdn/event_stream.hpp"
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/faultsim/stream_corruptor.hpp"
+#include "cellspot/query/engine.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/stream/checkpoint.hpp"
+#include "cellspot/stream/daemon.hpp"
+#include "cellspot/util/sink.hpp"
+
+namespace cellspot::query {
+namespace {
+
+namespace fs = std::filesystem;
+
+const analysis::Experiment& TinyExp() {
+  static const analysis::Experiment exp =
+      analysis::RunExperiment(simnet::WorldConfig::Tiny());
+  return exp;
+}
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// world.snap / datasets.snap / classified.snap for the tiny experiment.
+struct SnapshotFiles {
+  fs::path world;
+  fs::path datasets;
+  fs::path classified;
+};
+
+SnapshotFiles WriteTinySnapshots(const fs::path& dir) {
+  const analysis::Experiment& exp = TinyExp();
+  SnapshotFiles files{dir / "world.tiny.snap", dir / "datasets.tiny.snap",
+                      dir / "classified.tiny.snap"};
+  snapshot::WriteSnapshotFile(files.world, snapshot::EncodeWorld(exp.world));
+  snapshot::WriteSnapshotFile(files.datasets,
+                              snapshot::EncodeDatasets(exp.beacons, exp.demand));
+  snapshot::WriteSnapshotFile(files.classified,
+                              snapshot::EncodeClassified(exp.classified));
+  return files;
+}
+
+std::string RenderCsv(const Table& t) {
+  std::stringstream out;
+  const auto sink = util::MakeTableSink(util::TableFormat::kCsv, out);
+  RenderTable(t, *sink);
+  return out.str();
+}
+
+std::string ReadBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteBytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(QueryPresets, ByteIdenticalToReportsAtOneTwoEightThreads) {
+  const fs::path dir = FreshDir("query_presets_golden");
+  const SnapshotFiles files = WriteTinySnapshots(dir);
+  const analysis::Experiment& exp = TinyExp();
+
+  // The reference bytes, produced by the sequential report/export path.
+  std::stringstream fig2_ref;
+  analysis::WriteFig2Csv(exp, fig2_ref);
+  std::stringstream country_ref;
+  analysis::WriteCountryCsv(exp, country_ref);
+  const analysis::DatasetSummary summary = analysis::SummarizeDatasets(exp);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    exec::Executor executor(threads);
+    // Cold load: decode the snapshots, never touch the pipeline.
+    const SnapshotBundle bundle = LoadBundleFromFiles(
+        files.world, files.datasets, files.classified, BundleOptions{}, executor);
+    const TableSet tables = BuildTables(bundle, executor);
+
+    const Table table2 = RunPreset(Preset::kTable2, tables, executor);
+    ASSERT_EQ(table2.row_count(), 6u) << threads;
+    const Column* value = table2.FindColumn("value");
+    EXPECT_EQ(value->f64[0], static_cast<double>(summary.beacon_v4_blocks));
+    EXPECT_EQ(value->f64[1], static_cast<double>(summary.beacon_v6_blocks));
+    EXPECT_EQ(value->f64[2], static_cast<double>(summary.demand_v4_blocks));
+    EXPECT_EQ(value->f64[3], static_cast<double>(summary.demand_v6_blocks));
+    EXPECT_EQ(value->f64[4], summary.beacon_coverage_of_demand_v4) << threads;
+    EXPECT_EQ(value->f64[5], summary.beacon_coverage_of_demand_weight) << threads;
+
+    EXPECT_EQ(RenderCsv(RunPreset(Preset::kFig2Cdf, tables, executor)), fig2_ref.str())
+        << "fig2_cdf diverged at " << threads << " threads";
+    EXPECT_EQ(RenderCsv(RunPreset(Preset::kCountryShare, tables, executor)),
+              country_ref.str())
+        << "country_share diverged at " << threads << " threads";
+  }
+}
+
+TEST(QueryPresets, RecomputedClassificationEqualsSnapshot) {
+  const fs::path dir = FreshDir("query_presets_reclassify");
+  const SnapshotFiles files = WriteTinySnapshots(dir);
+  exec::Executor executor(2);
+  const SnapshotBundle with = LoadBundleFromFiles(files.world, files.datasets,
+                                                  files.classified, BundleOptions{},
+                                                  executor);
+  // Empty classified path: classification recomputed from the beacons.
+  const SnapshotBundle without =
+      LoadBundleFromFiles(files.world, files.datasets, "", BundleOptions{}, executor);
+  EXPECT_EQ(snapshot::EncodeSnapshot(snapshot::EncodeClassified(with.classified)),
+            snapshot::EncodeSnapshot(snapshot::EncodeClassified(without.classified)));
+  const TableSet a = BuildTables(with, executor);
+  const TableSet b = BuildTables(without, executor);
+  EXPECT_EQ(RenderCsv(RunPreset(Preset::kCountryShare, a, executor)),
+            RenderCsv(RunPreset(Preset::kCountryShare, b, executor)));
+}
+
+TEST(QuerySource, DirectoryResolutionAndAmbiguity) {
+  const fs::path dir = FreshDir("query_source_dir");
+  const SnapshotFiles files = WriteTinySnapshots(dir);
+  exec::Executor executor(2);
+  const SnapshotBundle bundle = LoadBundleFromDir(dir, BundleOptions{}, executor);
+  EXPECT_EQ(snapshot::EncodeSnapshot(snapshot::EncodeClassified(bundle.classified)),
+            snapshot::EncodeSnapshot(snapshot::EncodeClassified(TinyExp().classified)));
+
+  // A second world snapshot makes the directory ambiguous.
+  fs::copy_file(files.world, dir / "world.other.snap");
+  try {
+    (void)LoadBundleFromDir(dir, BundleOptions{}, executor);
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.code(), QueryErrorCode::kBadSource);
+  }
+
+  // An empty directory has no snapshots at all.
+  try {
+    (void)LoadBundleFromDir(FreshDir("query_source_empty"), BundleOptions{}, executor);
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.code(), QueryErrorCode::kBadSource);
+  }
+}
+
+TEST(QuerySource, CorruptSnapshotsFailCategorizedNeverCrash) {
+  const fs::path dir = FreshDir("query_source_corrupt");
+  const SnapshotFiles files = WriteTinySnapshots(dir);
+  exec::Executor executor(2);
+  const std::string good = ReadBytes(files.datasets);
+  const fs::path bad = dir / "bad.snap";
+
+  const auto load = [&] {
+    (void)LoadBundleFromFiles(files.world, bad, "", BundleOptions{}, executor);
+  };
+  const auto reason_of = [&]() -> snapshot::SnapshotErrorReason {
+    try {
+      load();
+    } catch (const snapshot::SnapshotError& e) {
+      return e.reason();
+    }
+    ADD_FAILURE() << "expected SnapshotError";
+    return snapshot::SnapshotErrorReason::kIo;
+  };
+
+  WriteBytes(bad, good.substr(0, good.size() / 2));
+  EXPECT_EQ(reason_of(), snapshot::SnapshotErrorReason::kTruncated);
+
+  std::string flipped = good;
+  flipped[flipped.size() / 2] = static_cast<char>(flipped[flipped.size() / 2] ^ 0x5A);
+  WriteBytes(bad, flipped);
+  EXPECT_EQ(reason_of(), snapshot::SnapshotErrorReason::kChecksum);
+
+  WriteBytes(bad, "XSPT" + good.substr(4));
+  EXPECT_EQ(reason_of(), snapshot::SnapshotErrorReason::kBadMagic);
+
+  fs::remove(bad);
+  EXPECT_EQ(reason_of(), snapshot::SnapshotErrorReason::kIo);
+
+  // StreamCorruptor damage (the chaos harness' garbler): any categorized
+  // SnapshotError is acceptable, a crash or silent success is not.
+  faultsim::FaultMix mix;
+  mix.garble_bytes = 1.0;
+  faultsim::StreamCorruptor corruptor(mix, /*seed=*/7);
+  std::istringstream in(good);
+  std::ostringstream garbled;
+  (void)corruptor.Corrupt(in, garbled);
+  WriteBytes(bad, garbled.str());
+  EXPECT_THROW(load(), snapshot::SnapshotError);
+}
+
+TEST(QuerySource, StreamCheckpointIsAQuerySource) {
+  const fs::path dir = FreshDir("query_source_ckpt");
+  const SnapshotFiles files = WriteTinySnapshots(dir);
+  const fs::path ckpt_dir = dir / "ckpt";
+  exec::Executor executor(2);
+
+  // Ingest a short stream and checkpoint the daemon's state. The store
+  // is keyed by the same config hash LoadBundleFromCheckpoint derives
+  // from the world snapshot.
+  stream::CheckpointStore store(
+      ckpt_dir,
+      stream::StreamDaemon::ConfigHash(TinyExp().world.config(), {}));
+  stream::DaemonConfig daemon_config;
+  daemon_config.backpressure = stream::BackpressurePolicy::kBlock;
+  stream::StreamDaemon daemon(TinyExp().world, {}, daemon_config, &store);
+  std::thread producer([&] {
+    const cdn::EventStreamGenerator generator(TinyExp().world,
+                                              cdn::EventStreamConfig{.rounds = 2});
+    for (std::string& frame : generator.GenerateFrames()) {
+      (void)daemon.queue().Push(std::move(frame));
+    }
+    daemon.queue().Close();
+  });
+  daemon.RunUntilClosed();
+  producer.join();
+  ASSERT_TRUE(daemon.Checkpoint());
+
+  const SnapshotBundle bundle =
+      LoadBundleFromCheckpoint(files.world, ckpt_dir, BundleOptions{}, executor);
+  EXPECT_EQ(snapshot::EncodeSnapshot(
+                snapshot::EncodeDatasets(bundle.beacons, bundle.demand)),
+            snapshot::EncodeSnapshot(snapshot::EncodeDatasets(daemon.ExportBeacons(),
+                                                              daemon.ExportDemand())));
+  EXPECT_EQ(snapshot::EncodeSnapshot(snapshot::EncodeClassified(bundle.classified)),
+            snapshot::EncodeSnapshot(snapshot::EncodeClassified(daemon.ExportClassified())));
+
+  // The joined tables answer plans directly from the restored state.
+  const TableSet tables = BuildTables(bundle, executor);
+  Plan plan;
+  plan.aggregates.push_back({AggKind::kCount, "", 0.5, "n"});
+  const Table out = Engine(tables.demand, executor).Run(plan);
+  EXPECT_EQ(out.FindColumn("n")->u64[0], bundle.demand.block_count());
+
+  // No usable checkpoint: wrong directory is a categorized bad-source.
+  try {
+    (void)LoadBundleFromCheckpoint(files.world, dir / "no_ckpt", BundleOptions{},
+                                   executor);
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.code(), QueryErrorCode::kBadSource);
+  }
+}
+
+}  // namespace
+}  // namespace cellspot::query

@@ -1,0 +1,168 @@
+// Expression-syntax parsers: --where / --agg / --order-by text into the
+// typed plan structs, with column/type resolution errors surfaced as
+// categorized QueryErrors.
+#include "cellspot/query/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cellspot::query {
+namespace {
+
+Table SampleTable() {
+  TableBuilder b;
+  const std::size_t u = b.AddColumn("u", ColumnType::kU64);
+  const std::size_t f = b.AddColumn("f", ColumnType::kF64);
+  const std::size_t s = b.AddColumn("s", ColumnType::kStr);
+  b.AppendU64(u, 1);
+  b.AppendF64(f, 0.5);
+  b.AppendStr(s, "DE");
+  return b.Finish();
+}
+
+template <typename Fn>
+QueryErrorCode CodeOf(Fn fn) {
+  try {
+    fn();
+  } catch (const QueryError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected QueryError";
+  return QueryErrorCode::kBadPlan;
+}
+
+TEST(ParseFilter, EachOperator) {
+  const Table t = SampleTable();
+  struct Case {
+    const char* expr;
+    CompareOp op;
+  };
+  for (const Case& c : std::vector<Case>{{"u=5", CompareOp::kEq},
+                                         {"u!=5", CompareOp::kNe},
+                                         {"u<5", CompareOp::kLt},
+                                         {"u<=5", CompareOp::kLe},
+                                         {"u>5", CompareOp::kGt},
+                                         {"u>=5", CompareOp::kGe}}) {
+    const Filter f = ParseFilterExpr(c.expr, t);
+    EXPECT_EQ(f.op, c.op) << c.expr;
+    EXPECT_EQ(f.column, "u");
+    EXPECT_EQ(f.value.type, ColumnType::kU64);
+    EXPECT_EQ(f.value.u64, 5u);
+  }
+}
+
+TEST(ParseFilter, LiteralTypedByColumn) {
+  const Table t = SampleTable();
+  const Filter f = ParseFilterExpr("f>=0.25", t);
+  EXPECT_EQ(f.value.type, ColumnType::kF64);
+  EXPECT_DOUBLE_EQ(f.value.f64, 0.25);
+
+  const Filter s = ParseFilterExpr("s!=DE", t);
+  EXPECT_EQ(s.op, CompareOp::kNe);
+  EXPECT_EQ(s.value.type, ColumnType::kStr);
+  EXPECT_EQ(s.value.str, "DE");
+
+  // Empty string literal is legal for str columns ("country!=" keeps
+  // only rows with a resolved country).
+  const Filter empty = ParseFilterExpr("s!=", t);
+  EXPECT_EQ(empty.value.str, "");
+}
+
+TEST(ParseFilter, TrimsWhitespace) {
+  const Table t = SampleTable();
+  const Filter f = ParseFilterExpr("  u  <=  10 ", t);
+  EXPECT_EQ(f.column, "u");
+  EXPECT_EQ(f.op, CompareOp::kLe);
+  EXPECT_EQ(f.value.u64, 10u);
+}
+
+TEST(ParseFilter, Errors) {
+  const Table t = SampleTable();
+  EXPECT_EQ(CodeOf([&] { (void)ParseFilterExpr("u", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseFilterExpr("=5", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseFilterExpr("nope=1", t); }),
+            QueryErrorCode::kUnknownColumn);
+  EXPECT_EQ(CodeOf([&] { (void)ParseFilterExpr("u=abc", t); }),
+            QueryErrorCode::kTypeMismatch);
+  EXPECT_EQ(CodeOf([&] { (void)ParseFilterExpr("f=1e", t); }),
+            QueryErrorCode::kTypeMismatch);
+  // Ordering comparisons are meaningless on dictionary-coded strings.
+  EXPECT_EQ(CodeOf([&] { (void)ParseFilterExpr("s<x", t); }),
+            QueryErrorCode::kTypeMismatch);
+}
+
+TEST(ParseAggregate, Kinds) {
+  const Table t = SampleTable();
+  EXPECT_EQ(ParseAggregateExpr("count()", t).kind, AggKind::kCount);
+  const Aggregate sum = ParseAggregateExpr("sum(f)", t);
+  EXPECT_EQ(sum.kind, AggKind::kSum);
+  EXPECT_EQ(sum.column, "f");
+  EXPECT_EQ(sum.OutputName(), "sum(f)");
+  EXPECT_EQ(ParseAggregateExpr("mean(u)", t).kind, AggKind::kMean);
+  EXPECT_EQ(ParseAggregateExpr("min(f)", t).kind, AggKind::kMin);
+  EXPECT_EQ(ParseAggregateExpr("max(u)", t).kind, AggKind::kMax);
+  const Aggregate q = ParseAggregateExpr("quantile(f,0.9)", t);
+  EXPECT_EQ(q.kind, AggKind::kQuantile);
+  EXPECT_DOUBLE_EQ(q.q, 0.9);
+  EXPECT_EQ(q.OutputName(), "quantile(f,0.90)");
+}
+
+TEST(ParseAggregate, Errors) {
+  const Table t = SampleTable();
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("sum", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("sum()", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("sum(f,1)", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("count(f)", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("frob(f)", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("quantile(f)", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("quantile(f,1.5)", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("quantile(f,0)", t); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("sum(nope)", t); }),
+            QueryErrorCode::kUnknownColumn);
+  EXPECT_EQ(CodeOf([&] { (void)ParseAggregateExpr("sum(s)", t); }),
+            QueryErrorCode::kTypeMismatch);
+}
+
+TEST(ParseOrderBy, Directions) {
+  EXPECT_FALSE(ParseOrderByExpr("c").descending);
+  EXPECT_FALSE(ParseOrderByExpr("c:asc").descending);
+  EXPECT_TRUE(ParseOrderByExpr("c:desc").descending);
+  EXPECT_EQ(ParseOrderByExpr(" c : desc ").column, "c");
+  EXPECT_EQ(CodeOf([] { (void)ParseOrderByExpr("c:up"); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([] { (void)ParseOrderByExpr(":desc"); }),
+            QueryErrorCode::kBadExpression);
+  EXPECT_EQ(CodeOf([] { (void)ParseOrderByExpr(""); }),
+            QueryErrorCode::kBadExpression);
+}
+
+TEST(SplitTopLevelFn, RespectsParens) {
+  const auto fields = SplitTopLevel("sum(a),quantile(b,0.5), count() ", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "sum(a)");
+  EXPECT_EQ(fields[1], "quantile(b,0.5)");
+  EXPECT_EQ(fields[2], "count()");
+}
+
+TEST(SplitTopLevelFn, DropsEmptyFieldsAndTrims) {
+  const auto fields = SplitTopLevel(" a , b ,, ", ',');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_TRUE(SplitTopLevel("", ',').empty());
+}
+
+}  // namespace
+}  // namespace cellspot::query

@@ -8,6 +8,7 @@
 #   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON
 #   tools/ci.sh snapshot     # snapshot roundtrip + corruption tests under ASan
 #   tools/ci.sh stream-chaos # streaming chaos harness under ASan and TSan
+#   tools/ci.sh query        # columnar query engine tests under ASan
 #   tools/ci.sh lint         # cellspot-lint + header self-containment + -Werror build
 set -euo pipefail
 
@@ -53,6 +54,31 @@ run_bench_smoke() {
     "$dir/tools/bench_json" validate "$f"
   done
   rm -rf "$out"
+}
+
+# The columnar query engine under ASan+UBSan: expression parsers fed
+# hostile text, preset goldens at several thread counts, the corrupt
+# snapshot matrix, and the checkpoint-as-source path, plus a CLI round
+# proving the subcommand's exit-code contract (exit 5 on bad input).
+run_query() {
+  local dir="build-asan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=address
+  cmake --build "$dir" -j "$jobs" --target \
+    query_plan_test query_table_test query_engine_test cellspot_cli
+  "$dir/tests/query_plan_test"
+  "$dir/tests/query_table_test"
+  "$dir/tests/query_engine_test"
+  local snaps
+  snaps=$(mktemp -d)
+  "$dir/tools/cellspot" generate --tiny --snapshot-dir "$snaps" --out "$snaps"
+  "$dir/tools/cellspot" query --snapshot-dir "$snaps" --preset table2 >/dev/null
+  "$dir/tools/cellspot" query --snapshot-dir "$snaps" --where 'country=DE' \
+    --group-by asn --agg 'sum(du),count()' --top 5 --format json >/dev/null
+  local rc=0
+  "$dir/tools/cellspot" query --snapshot-dir "$snaps" --where 'nope=1' \
+    >/dev/null 2>&1 || rc=$?
+  [[ "$rc" == 5 ]] || { echo "ci.sh: expected exit 5 on unknown column, got $rc" >&2; exit 1; }
+  rm -rf "$snaps"
 }
 
 # Static analysis gate: the project's own invariants first, then the
@@ -127,11 +153,12 @@ case "$variant" in
   bench-smoke) run_bench_smoke ;;
   snapshot)    run_snapshot ;;
   stream-chaos) run_stream_chaos ;;
+  query)       run_query ;;
   lint)        run_lint ;;
   all)         run_lint
                run build
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
                run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|stream-chaos|lint|all]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|stream-chaos|query|lint|all]" >&2; exit 2 ;;
 esac

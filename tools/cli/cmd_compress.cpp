@@ -1,0 +1,57 @@
+// compress: collapse the cellular blocks of a `classify` CSV into the
+// minimal covering prefix list.
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+#include "cellspot/core/aggregation.hpp"
+#include "cellspot/util/csv.hpp"
+#include "cli/command.hpp"
+#include "cli/exit_codes.hpp"
+#include "cli/ingest.hpp"
+#include "cli/options.hpp"
+
+namespace cellspot::cli {
+
+int CmdCompress(const Options& opts) {
+  auto ingest = MakeIngestSetup(opts);
+  if (!ingest) return kExitUsage;
+  const auto path = opts.Get("classified");
+  if (!path || path->empty()) {
+    std::fprintf(stderr, "compress: missing --classified FILE (from `classify`)\n");
+    return kExitError;
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path->c_str());
+    return kExitError;
+  }
+  std::vector<netaddr::Prefix> blocks;
+  try {
+    bool saw_header = false;
+    util::IngestLines(in, ingest->report, [&](std::size_t, std::string_view line) {
+      const auto row = util::ParseCsvLine(line);
+      if (!saw_header) {
+        saw_header = true;
+        return;
+      }
+      if (row.size() < 4) {
+        throw ParseError("classified CSV: expected 4 columns",
+                         ParseErrorCategory::kTruncatedLine);
+      }
+      if (row[3] == "1") blocks.push_back(netaddr::Prefix::Parse(row[0]));
+    });
+  } catch (...) {
+    ingest->PrintSummary();
+    throw;
+  }
+  ingest->PrintSummary();
+  const auto compressed = core::CompressPrefixes(blocks);
+  for (const netaddr::Prefix& p : compressed) std::printf("%s\n", p.ToString().c_str());
+  std::fprintf(stderr, "compressed %zu blocks into %zu prefixes\n", blocks.size(),
+               compressed.size());
+  return kExitOk;
+}
+
+}  // namespace cellspot::cli

@@ -1,0 +1,130 @@
+// query: evaluate a plan (or a canned preset) over snapshot artifacts.
+// Never invokes the batch pipeline — a cold snapshot directory, explicit
+// snapshot files, or a stream checkpoint is all it reads.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/query/engine.hpp"
+#include "cellspot/query/plan.hpp"
+#include "cellspot/query/presets.hpp"
+#include "cellspot/query/source.hpp"
+#include "cellspot/util/sink.hpp"
+#include "cli/command.hpp"
+#include "cli/exit_codes.hpp"
+#include "cli/options.hpp"
+#include "cli/output.hpp"
+
+namespace cellspot::cli {
+
+namespace {
+
+query::SnapshotBundle LoadBundle(const Options& opts, const query::BundleOptions& bundle,
+                                 exec::Executor& executor) {
+  const std::string world = opts.GetOr("world", "");
+  const std::string checkpoint_dir = opts.GetOr("checkpoint-dir", "");
+  if (!checkpoint_dir.empty()) {
+    if (world.empty()) {
+      throw OptionError("query: --checkpoint-dir needs --world SNAPSHOT for the join");
+    }
+    return query::LoadBundleFromCheckpoint(world, checkpoint_dir, bundle, executor);
+  }
+  if (!world.empty()) {
+    const std::string datasets = opts.GetOr("datasets", "");
+    if (datasets.empty()) {
+      throw OptionError("query: --world needs --datasets SNAPSHOT (and optionally "
+                        "--classified)");
+    }
+    return query::LoadBundleFromFiles(world, datasets, opts.GetOr("classified", ""),
+                                      bundle, executor);
+  }
+  const std::string dir = opts.GetOr("snapshot-dir", "");
+  if (dir.empty()) {
+    throw OptionError(
+        "query: no source; give --snapshot-dir DIR, --world + --datasets, or "
+        "--world + --checkpoint-dir");
+  }
+  return query::LoadBundleFromDir(dir, bundle, executor);
+}
+
+/// The ad-hoc plan flags, parsed against the source table.
+query::Plan PlanFromFlags(const Options& opts, const query::Table& table) {
+  query::Plan plan;
+  if (const auto sel = opts.Get("select"); sel && !sel->empty()) {
+    plan.columns = query::SplitTopLevel(*sel, ',');
+  }
+  for (const std::string& expr : opts.GetAll("where")) {
+    plan.filters.push_back(query::ParseFilterExpr(expr, table));
+  }
+  if (const auto group = opts.Get("group-by"); group && !group->empty()) {
+    plan.group_by = query::SplitTopLevel(*group, ',');
+  }
+  if (const auto aggs = opts.Get("agg"); aggs && !aggs->empty()) {
+    for (const std::string& expr : query::SplitTopLevel(*aggs, ',')) {
+      plan.aggregates.push_back(query::ParseAggregateExpr(expr, table));
+    }
+  }
+  if (const auto order = opts.Get("order-by"); order && !order->empty()) {
+    for (const std::string& expr : query::SplitTopLevel(*order, ',')) {
+      plan.order_by.push_back(query::ParseOrderByExpr(expr));
+    }
+  }
+  plan.limit = static_cast<std::size_t>(opts.GetUint("limit", 0));
+  if (opts.Has("top")) {
+    // --top N: order by the first aggregate, descending, keep N rows.
+    if (plan.aggregates.empty()) {
+      throw OptionError("query: --top needs at least one --agg to rank by");
+    }
+    if (!plan.order_by.empty() || plan.limit != 0) {
+      throw OptionError("query: --top replaces --order-by/--limit; give one or the other");
+    }
+    const auto n = opts.GetUint("top", 0);
+    if (n == 0) throw OptionError("query: --top: expected a positive row count");
+    plan.order_by.push_back({plan.aggregates.front().OutputName(), true});
+    plan.limit = static_cast<std::size_t>(n);
+  }
+  return plan;
+}
+
+}  // namespace
+
+int CmdQuery(const Options& opts) {
+  exec::Executor& executor = exec::Executor::Shared();
+  query::BundleOptions bundle_options;
+  bundle_options.classifier.threshold = opts.GetDouble("threshold", 0.5);
+  bundle_options.classifier.min_netinfo_hits = opts.GetUint("min-hits", 1);
+
+  const query::SnapshotBundle bundle = LoadBundle(opts, bundle_options, executor);
+  const query::TableSet tables = query::BuildTables(bundle, executor);
+
+  std::string title;
+  query::Table result = [&] {
+    if (const auto preset_name = opts.Get("preset"); preset_name) {
+      if (opts.Has("where") || opts.Has("select") || opts.Has("group-by") ||
+          opts.Has("agg") || opts.Has("order-by") || opts.Has("top") ||
+          opts.Has("limit") || opts.Has("table")) {
+        throw OptionError("query: --preset is a complete plan; drop the plan flags");
+      }
+      const auto preset = query::ParsePreset(*preset_name);
+      if (!preset) {
+        throw OptionError("query: --preset: expected table2|fig2_cdf|country_share, "
+                          "got '" + *preset_name + "'");
+      }
+      title = *preset_name;
+      return query::RunPreset(*preset, tables, executor);
+    }
+    const std::string table_name = opts.GetOr("table", "demand");
+    title = "query: " + table_name;
+    const query::Table& table = tables.Find(table_name);
+    return query::Engine(table, executor).Run(PlanFromFlags(opts, table));
+  }();
+
+  auto target = MakeSinkTarget(opts, util::TableFormat::kHuman);
+  if (!target) return kExitError;
+  auto sink = target->MakeSink(title);
+  query::RenderTable(result, *sink);
+  return kExitOk;
+}
+
+}  // namespace cellspot::cli

@@ -1,0 +1,84 @@
+// validate: precision/recall of the classifier against a carrier ground
+// truth list (§8).
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cellspot/core/classifier.hpp"
+#include "cellspot/core/validation.hpp"
+#include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/dataset/demand_dataset.hpp"
+#include "cellspot/util/csv.hpp"
+#include "cli/command.hpp"
+#include "cli/exit_codes.hpp"
+#include "cli/ingest.hpp"
+#include "cli/options.hpp"
+
+namespace cellspot::cli {
+
+int CmdValidate(const Options& opts) {
+  auto ingest = MakeIngestSetup(opts);
+  if (!ingest) return kExitUsage;
+
+  // Truth CSV: block,asn,cellular (the format `generate` writes) or a
+  // two-column block,cellular list from an operator.
+  core::CarrierGroundTruth truth;
+  truth.label = "truth";
+  std::optional<dataset::BeaconDataset> beacons;
+  std::optional<dataset::DemandDataset> demand;
+  try {
+    beacons = LoadFile<dataset::BeaconDataset>(opts, "beacons", [&](std::istream& in) {
+      return dataset::BeaconDataset::LoadCsv(in,
+                                             util::LoadOptions{.report = &ingest->report});
+    });
+    demand = LoadFile<dataset::DemandDataset>(opts, "demand", [&](std::istream& in) {
+      return dataset::DemandDataset::LoadCsv(in,
+                                             util::LoadOptions{.report = &ingest->report});
+    });
+    const auto loaded = LoadFile<bool>(opts, "truth", [&](std::istream& in) {
+      bool saw_header = false;
+      util::IngestLines(in, ingest->report, [&](std::size_t, std::string_view line) {
+        const auto row = util::ParseCsvLine(line);
+        if (!saw_header) {
+          saw_header = true;
+          return;
+        }
+        if (row.size() < 2) {
+          throw ParseError("truth CSV: expected at least 2 columns",
+                           ParseErrorCategory::kTruncatedLine);
+        }
+        const bool cellular = row.back() == "1";
+        if (!truth.blocks.Emplace(netaddr::Prefix::Parse(row[0]), cellular)) {
+          throw ParseError("truth CSV: duplicate block '" + row[0] + "'",
+                           ParseErrorCategory::kDuplicateKey);
+        }
+      });
+      return true;
+    });
+    if (!loaded) {
+      ingest->PrintSummary();
+      return kExitError;
+    }
+  } catch (...) {
+    ingest->PrintSummary();
+    throw;
+  }
+  ingest->PrintSummary();
+  if (!beacons || !demand) return kExitError;
+
+  core::ClassifierConfig config;
+  config.threshold = opts.GetDouble("threshold", 0.5);
+  const auto classified = core::SubnetClassifier(config).Classify(*beacons);
+  const auto v = core::Validate(truth, classified, *demand);
+  std::printf("blocks in truth list: %zu\n", truth.blocks.size());
+  std::printf("by CIDR:   TP=%.0f FP=%.0f TN=%.0f FN=%.0f  P=%.3f R=%.3f F1=%.3f\n",
+              v.by_cidr.tp(), v.by_cidr.fp(), v.by_cidr.tn(), v.by_cidr.fn(),
+              v.by_cidr.Precision(), v.by_cidr.Recall(), v.by_cidr.F1());
+  std::printf("by demand: TP=%.2f FP=%.2f TN=%.2f FN=%.2f  P=%.3f R=%.3f F1=%.3f\n",
+              v.by_demand.tp(), v.by_demand.fp(), v.by_demand.tn(), v.by_demand.fn(),
+              v.by_demand.Precision(), v.by_demand.Recall(), v.by_demand.F1());
+  return kExitOk;
+}
+
+}  // namespace cellspot::cli

@@ -1,0 +1,42 @@
+// The subcommand registry. Each cmd_*.cpp implements one Command; the
+// registry is the single source of truth main() dispatches from and
+// PrintUsage() renders — adding a subcommand means adding one entry
+// here and one cmd_*.cpp, nothing else.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace cellspot::cli {
+
+class Options;
+
+struct Command {
+  std::string_view name;
+  std::string_view summary;  // one line for the usage listing
+  std::string_view usage;    // flag synopsis (may span lines, indented)
+  int (*run)(const Options& opts);
+};
+
+/// All subcommands, in the order usage lists them.
+[[nodiscard]] std::span<const Command> Registry();
+
+/// nullptr for an unknown name.
+[[nodiscard]] const Command* FindCommand(std::string_view name);
+
+/// Render usage (generated from the registry) to stderr; returns
+/// kExitUsage so callers can `return PrintUsage();`.
+int PrintUsage();
+
+// One entry point per cmd_*.cpp translation unit.
+int CmdGenerate(const Options& opts);
+int CmdClassify(const Options& opts);
+int CmdAses(const Options& opts);
+int CmdReport(const Options& opts);
+int CmdValidate(const Options& opts);
+int CmdCompress(const Options& opts);
+int CmdFigures(const Options& opts);
+int CmdStream(const Options& opts);
+int CmdQuery(const Options& opts);
+
+}  // namespace cellspot::cli

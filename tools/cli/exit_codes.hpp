@@ -1,0 +1,18 @@
+// The cellspot CLI's exit-code contract, shared by every subcommand and
+// by main()'s exception mapping. Distinct codes let batch drivers tell
+// "one bad line" (3) from "half the log is garbage" (4) from "this
+// query/snapshot is unusable" (5) without scraping stderr.
+#pragma once
+
+namespace cellspot::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;           // any uncategorised failure
+inline constexpr int kExitUsage = 2;           // bad flags / unknown command
+inline constexpr int kExitParseFailure = 3;    // strict-mode input parse fault
+inline constexpr int kExitBudgetExceeded = 4;  // lenient-mode error budget blown
+inline constexpr int kExitQuery = 5;           // QueryError / SnapshotError:
+                                               // bad plan, corrupt snapshot,
+                                               // unusable checkpoint
+
+}  // namespace cellspot::cli

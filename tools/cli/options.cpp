@@ -1,0 +1,67 @@
+#include "cli/options.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::cli {
+
+Options::Options(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      ok_ = false;
+      return;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    if (i + 1 < argc && !IsFlag(argv[i + 1])) {
+      value = argv[++i];
+    }
+    values_[arg] = value;  // boolean flags store ""
+    seen_.emplace_back(std::move(arg), std::move(value));
+  }
+}
+
+std::optional<std::string> Options::Get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Options::GetOr(const std::string& key, std::string fallback) const {
+  return Get(key).value_or(std::move(fallback));
+}
+
+std::vector<std::string> Options::GetAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : seen_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+double Options::GetDouble(const std::string& key, double fallback) const {
+  const auto v = Get(key);
+  if (!v) return fallback;
+  const auto parsed = util::ParseDouble(*v);
+  if (!parsed) {
+    throw OptionError("--" + key + ": expected a number, got '" + *v + "'");
+  }
+  return *parsed;
+}
+
+std::uint64_t Options::GetUint(const std::string& key, std::uint64_t fallback) const {
+  const auto v = Get(key);
+  if (!v) return fallback;
+  const auto parsed = util::ParseUint(*v);
+  if (!parsed) {
+    throw OptionError("--" + key + ": expected a non-negative integer, got '" + *v +
+                      "'");
+  }
+  return *parsed;
+}
+
+}  // namespace cellspot::cli

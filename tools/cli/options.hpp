@@ -1,0 +1,57 @@
+// Minimal "--flag value" option parser shared by every subcommand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellspot::cli {
+
+/// Thrown by Options getters on a malformed value; mapped to kExitUsage.
+class OptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A token after a flag is consumed as that flag's value unless it is
+/// itself a "--flag"; negative numbers ("--threshold -0.5") therefore
+/// parse as values, not flags. Get* see the LAST occurrence of a
+/// repeated flag; GetAll returns every occurrence in order (--where is
+/// conjunctive).
+class Options {
+ public:
+  Options(int argc, char** argv, int first);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const;
+  [[nodiscard]] std::string GetOr(const std::string& key, std::string fallback) const;
+
+  /// Every value given for `key`, in command-line order.
+  [[nodiscard]] std::vector<std::string> GetAll(const std::string& key) const;
+
+  /// Absent keys use the fallback; a present-but-malformed value is an
+  /// error (silently substituting the default would mask typos like
+  /// "--threshold abc").
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback) const;
+  [[nodiscard]] std::uint64_t GetUint(const std::string& key,
+                                      std::uint64_t fallback) const;
+
+  [[nodiscard]] bool Has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  /// "--threshold" is a flag; "-0.5", "-", and "ordinary" are values.
+  [[nodiscard]] static bool IsFlag(std::string_view token) {
+    return token.rfind("--", 0) == 0;
+  }
+
+  std::map<std::string, std::string> values_;              // last occurrence wins
+  std::vector<std::pair<std::string, std::string>> seen_;  // every occurrence
+  bool ok_ = true;
+};
+
+}  // namespace cellspot::cli

@@ -1,0 +1,29 @@
+#include "cli/output.hpp"
+
+#include <cstdio>
+
+namespace cellspot::cli {
+
+std::optional<SinkTarget> MakeSinkTarget(const Options& opts,
+                                         util::TableFormat default_format) {
+  SinkTarget target;
+  target.format = default_format;
+  if (const auto name = opts.Get("format"); name && !name->empty()) {
+    const auto parsed = util::ParseTableFormat(*name);
+    if (!parsed) {
+      throw OptionError("--format: expected csv|json|human, got '" + *name + "'");
+    }
+    target.format = *parsed;
+  }
+  if (const auto path = opts.Get("out"); path && !path->empty()) {
+    target.file.open(*path);
+    if (!target.file) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return std::nullopt;
+    }
+    target.to_file = true;
+  }
+  return target;
+}
+
+}  // namespace cellspot::cli

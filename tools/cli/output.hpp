@@ -1,0 +1,36 @@
+// The --format/--out flag pair, resolved once and shared by every
+// table-printing subcommand so the flags behave identically everywhere.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cellspot/util/sink.hpp"
+#include "cli/options.hpp"
+
+namespace cellspot::cli {
+
+/// Where table output goes and how it is rendered. Keep the target
+/// alive for as long as the sink writes (it owns the output file).
+struct SinkTarget {
+  util::TableFormat format = util::TableFormat::kHuman;
+  std::ofstream file;   // open iff --out was given
+  bool to_file = false;
+
+  [[nodiscard]] std::ostream& out() { return to_file ? file : std::cout; }
+
+  [[nodiscard]] std::unique_ptr<util::TableSink> MakeSink(std::string title = {}) {
+    return util::MakeTableSink(format, out(), std::move(title));
+  }
+};
+
+/// Resolve --format (default `default_format`) and --out. Throws
+/// OptionError on an unknown format; nullopt (after printing) when the
+/// output file cannot be opened.
+[[nodiscard]] std::optional<SinkTarget> MakeSinkTarget(const Options& opts,
+                                                       util::TableFormat default_format);
+
+}  // namespace cellspot::cli
