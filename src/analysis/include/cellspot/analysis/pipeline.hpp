@@ -114,6 +114,11 @@ class Pipeline {
   }
 
  private:
+  /// Give the world's RIB its compiled LPM engine: adopt the mmap-served
+  /// cache entry when one matches (warm start — no build at all), else
+  /// compile it now (timed as stage "compile_lpm") and cache it.
+  void PrimeRibLpm();
+
   Config config_;
   exec::Executor* executor_;
   std::unique_ptr<snapshot::StageCache> cache_;  // null = caching disabled

@@ -59,16 +59,42 @@ const simnet::World& Pipeline::BuildWorld() {
       if (auto world = cache_->TryLoadWorld(config_.world)) {
         exp_.world = std::move(*world);
         has_world_ = true;
+        PrimeRibLpm();
         return exp_.world;
       }
     }
-    StageClock clock(timings_, "build_world");
-    exp_.world = simnet::World::Generate(config_.world, *executor_);
-    has_world_ = true;
-    clock.Finish(exp_.world.subnets().size());
+    {
+      // Scoped so the compile_lpm span below is a top-level stage, not a
+      // child nested under pipeline.build_world.
+      StageClock clock(timings_, "build_world");
+      exp_.world = simnet::World::Generate(config_.world, *executor_);
+      has_world_ = true;
+      clock.Finish(exp_.world.subnets().size());
+    }
     if (cache_) cache_->StoreWorld(exp_.world);
+    PrimeRibLpm();
   }
   return exp_.world;
+}
+
+void Pipeline::PrimeRibLpm() {
+  const asdb::RoutingTable& rib = exp_.world.rib();
+  if (cache_) {
+    if (auto flat = cache_->TryLoadLpm(config_.world)) {
+      // Zero-copy engine straight off the mmap'd snapshot; AdoptFlat
+      // rejects it (→ rebuild below) if it disagrees with the RIB.
+      if (rib.AdoptFlat(std::move(*flat))) return;
+    }
+  }
+  {
+    // Deliberately NOT a StageTiming: the five-stage timings() list is
+    // part of the pipeline's public contract (pipeline_determinism_test
+    // pins it). The compile still traces as its own top-level span, and
+    // RoutingTable::Flat() records lpm.build / lpm.segments metrics.
+    obs::TraceSpan span("pipeline.compile_lpm");
+    span.set_items(rib.Flat().segment_count());
+  }
+  if (cache_) cache_->StoreLpm(config_.world, rib);
 }
 
 void Pipeline::GenerateDatasets() {

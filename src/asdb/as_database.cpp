@@ -1,6 +1,10 @@
 #include "cellspot/asdb/as_database.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <utility>
+
+#include "cellspot/obs/metrics.hpp"
 
 namespace cellspot::asdb {
 
@@ -43,23 +47,107 @@ const AsRecord* AsDatabase::Find(AsNumber asn) const noexcept {
   return &records_[it->second];
 }
 
+RoutingTable::RoutingTable(const RoutingTable& other)
+    : trie_(other.trie_), by_asn_(other.by_asn_) {
+  // The compiled engine is a cache; a copy rebuilds its own on demand.
+}
+
+RoutingTable& RoutingTable::operator=(const RoutingTable& other) {
+  if (this == &other) return *this;
+  trie_ = other.trie_;
+  by_asn_ = other.by_asn_;
+  InvalidateFlat();
+  return *this;
+}
+
+RoutingTable::RoutingTable(RoutingTable&& other) noexcept
+    : trie_(std::move(other.trie_)), by_asn_(std::move(other.by_asn_)) {
+  // Like every mutation, moving is not thread-safe against concurrent
+  // lookups on `other`; no lock needed to transfer its cache.
+  flat_ = std::move(other.flat_);
+  flat_ptr_.store(flat_ ? flat_.get() : nullptr, std::memory_order_release);
+  other.flat_ptr_.store(nullptr, std::memory_order_release);
+}
+
+RoutingTable& RoutingTable::operator=(RoutingTable&& other) noexcept {
+  if (this == &other) return *this;
+  trie_ = std::move(other.trie_);
+  by_asn_ = std::move(other.by_asn_);
+  flat_ = std::move(other.flat_);
+  flat_ptr_.store(flat_ ? flat_.get() : nullptr, std::memory_order_release);
+  other.flat_ptr_.store(nullptr, std::memory_order_release);
+  return *this;
+}
+
 void RoutingTable::Announce(const netaddr::Prefix& prefix, AsNumber asn) {
   const AsNumber* existing = trie_.Exact(prefix);
   if (existing != nullptr && *existing != asn) {
-    // Withdraw from the previous origin's reverse index.
-    auto& list = by_asn_[*existing];
-    std::erase(list, prefix);
+    // Withdraw from the previous origin's reverse index; drop the key
+    // outright when its last prefix goes, so heavy announce churn does
+    // not strand empty vectors (and origin_count() stays truthful).
+    const auto it = by_asn_.find(*existing);
+    if (it != by_asn_.end()) {
+      std::erase(it->second, prefix);
+      if (it->second.empty()) by_asn_.erase(it);
+    }
   }
   if (existing == nullptr || *existing != asn) {
     by_asn_[asn].push_back(prefix);
   }
   trie_.Insert(prefix, asn);
+  InvalidateFlat();
 }
 
 std::optional<AsNumber> RoutingTable::OriginOf(const netaddr::IpAddress& addr) const {
-  const AsNumber* found = trie_.LongestMatch(addr);
+  const AsNumber* found;
+  if (const FlatRib* flat = flat_ptr_.load(std::memory_order_acquire)) {
+    found = flat->LongestMatch(addr);
+  } else {
+    found = trie_.LongestMatch(addr);
+  }
   if (found == nullptr) return std::nullopt;
   return *found;
+}
+
+void RoutingTable::OriginOfBatch(std::span<const netaddr::IpAddress> addrs,
+                                 std::span<AsNumber> out) const {
+  obs::MetricsRegistry::Global().counter("lpm.lookup").Increment(addrs.size());
+  Flat().LongestMatchBatch(addrs, out, AsNumber{0});
+}
+
+const RoutingTable::FlatRib& RoutingTable::Flat() const {
+  if (const FlatRib* published = flat_ptr_.load(std::memory_order_acquire)) {
+    return *published;
+  }
+  std::scoped_lock lock(flat_mu_);
+  if (!flat_) {
+    // cellspot-lint: allow(L003) build wall-clock is telemetry; no output depends on it
+    const auto start = std::chrono::steady_clock::now();
+    flat_ = std::make_shared<const FlatRib>(FlatRib::Build(trie_));
+    // cellspot-lint: allow(L003) build wall-clock is telemetry; no output depends on it
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.counter("lpm.build").Increment();
+    reg.latency("lpm.build").Record(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    reg.gauge("lpm.segments").Set(static_cast<double>(flat_->segment_count()));
+  }
+  flat_ptr_.store(flat_.get(), std::memory_order_release);
+  return *flat_;
+}
+
+bool RoutingTable::AdoptFlat(FlatRib flat) const {
+  if (flat.size() != trie_.size()) return false;
+  std::scoped_lock lock(flat_mu_);
+  flat_ = std::make_shared<const FlatRib>(std::move(flat));
+  flat_ptr_.store(flat_.get(), std::memory_order_release);
+  obs::MetricsRegistry::Global().counter("lpm.adopt").Increment();
+  return true;
+}
+
+void RoutingTable::InvalidateFlat() {
+  flat_ptr_.store(nullptr, std::memory_order_release);
+  flat_.reset();
 }
 
 std::optional<AsNumber> RoutingTable::ExactOrigin(const netaddr::Prefix& prefix) const {

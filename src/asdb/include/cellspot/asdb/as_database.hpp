@@ -2,13 +2,17 @@
 // their origin AS, the substrate for the paper's prefix-to-AS attribution.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "cellspot/asdb/as_record.hpp"
+#include "cellspot/netaddr/flat_lpm.hpp"
 #include "cellspot/netaddr/prefix.hpp"
 #include "cellspot/netaddr/prefix_trie.hpp"
 
@@ -33,14 +37,36 @@ class AsDatabase {
 };
 
 /// Announced-prefix table with longest-prefix-match origin lookup.
+///
+/// Lookups run against a compiled netaddr::FlatLpm when one is present —
+/// built lazily on first use (Flat()) or adopted precompiled from a
+/// memory-mapped snapshot (AdoptFlat) — and fall back to the radix trie
+/// otherwise, with bit-identical results either way. Announce() (not
+/// thread-safe, like all mutation) invalidates the compiled engine;
+/// concurrent const lookups are safe.
 class RoutingTable {
  public:
+  using FlatRib = netaddr::FlatLpm<AsNumber>;
+
+  RoutingTable() = default;
+  RoutingTable(const RoutingTable& other);
+  RoutingTable& operator=(const RoutingTable& other);
+  RoutingTable(RoutingTable&& other) noexcept;
+  RoutingTable& operator=(RoutingTable&& other) noexcept;
+  ~RoutingTable() = default;
+
   /// Announce `prefix` as originated by `asn` (later announcements of the
   /// same prefix overwrite, mimicking a most-recent-RIB view).
   void Announce(const netaddr::Prefix& prefix, AsNumber asn);
 
   /// Origin AS of the most specific covering announcement, if any.
   [[nodiscard]] std::optional<AsNumber> OriginOf(const netaddr::IpAddress& addr) const;
+
+  /// Batch origin lookup over the compiled engine (built on first use):
+  /// out[i] is the origin of addrs[i], or 0 — a reserved, never-announced
+  /// ASN — when no announcement covers it. Spans must match in length.
+  void OriginOfBatch(std::span<const netaddr::IpAddress> addrs,
+                     std::span<AsNumber> out) const;
 
   /// Origin by exact prefix.
   [[nodiscard]] std::optional<AsNumber> ExactOrigin(const netaddr::Prefix& prefix) const;
@@ -50,9 +76,36 @@ class RoutingTable {
 
   [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
 
+  /// Number of distinct origins with at least one announced prefix.
+  [[nodiscard]] std::size_t origin_count() const noexcept { return by_asn_.size(); }
+
+  /// The compiled flat engine, building (and caching) it on first use.
+  /// Logically const: the engine is a cache over the trie.
+  [[nodiscard]] const FlatRib& Flat() const;
+
+  /// Adopt a precompiled engine — the warm-start path, typically a
+  /// zero-copy view into a memory-mapped snapshot. Returns false (and
+  /// keeps the current state) when the engine's prefix count disagrees
+  /// with this table, so a stale or foreign snapshot can never serve
+  /// wrong origins.
+  bool AdoptFlat(FlatRib flat) const;
+
+  /// True once a compiled engine is serving lookups.
+  [[nodiscard]] bool has_flat() const noexcept {
+    return flat_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
+
  private:
+  void InvalidateFlat();
+
   netaddr::PrefixTrie<AsNumber> trie_;
   std::unordered_map<AsNumber, std::vector<netaddr::Prefix>> by_asn_;
+
+  // Compiled-engine cache: flat_ owns, flat_ptr_ publishes (release on
+  // store, acquire on load) so hot-path readers skip the mutex.
+  mutable std::mutex flat_mu_;
+  mutable std::shared_ptr<const FlatRib> flat_;
+  mutable std::atomic<const FlatRib*> flat_ptr_{nullptr};
 };
 
 }  // namespace cellspot::asdb

@@ -1,7 +1,9 @@
 #include "cellspot/core/as_pipeline.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "cellspot/exec/executor.hpp"
 #include "cellspot/util/stable_map.hpp"
@@ -11,12 +13,6 @@ namespace cellspot::core {
 namespace {
 
 using asdb::AsNumber;
-
-/// Origin AS of a block: longest-prefix match on its base address.
-std::optional<AsNumber> OriginOfBlock(const asdb::RoutingTable& rib,
-                                      const netaddr::Prefix& block) {
-  return rib.OriginOf(block.address());
-}
 
 }  // namespace
 
@@ -61,24 +57,23 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
   });
 
   constexpr std::size_t kGrain = 4096;
-  executor.ParallelFor(beacon_items.size(), kGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           const auto origin = OriginOfBlock(rib, *beacon_items[i].block);
-                           if (!origin) continue;
-                           beacon_items[i].origin = *origin;
-                           beacon_items[i].routed = true;
-                         }
-                       });
-  executor.ParallelFor(demand_items.size(), kGrain,
-                       [&](std::size_t begin, std::size_t end) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           const auto origin = OriginOfBlock(rib, *demand_items[i].block);
-                           if (!origin) continue;
-                           demand_items[i].origin = *origin;
-                           demand_items[i].routed = true;
-                         }
-                       });
+  (void)rib.Flat();  // compile once up front, not under the first chunk's lock
+  const auto resolve_origins = [&](auto& items) {
+    std::vector<netaddr::IpAddress> addrs(items.size());
+    std::vector<AsNumber> origins(items.size(), 0);
+    for (std::size_t i = 0; i < items.size(); ++i) addrs[i] = items[i].block->address();
+    executor.ParallelFor(items.size(), kGrain, [&](std::size_t begin, std::size_t end) {
+      rib.OriginOfBatch(std::span<const netaddr::IpAddress>(addrs).subspan(begin, end - begin),
+                        std::span<AsNumber>(origins).subspan(begin, end - begin));
+    });
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (origins[i] == 0) continue;  // 0 is reserved: unrouted
+      items[i].origin = origins[i];
+      items[i].routed = true;
+    }
+  };
+  resolve_origins(beacon_items);
+  resolve_origins(demand_items);
 
   // StableMap: the candidate extraction below iterates this map, so its
   // order must come from the dataset insertion sequence, not hashing.

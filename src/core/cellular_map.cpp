@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 #include "cellspot/core/aggregation.hpp"
+#include "cellspot/netaddr/prefix_trie.hpp"
 #include "cellspot/util/strings.hpp"
 
 namespace cellspot::core {
@@ -13,7 +15,16 @@ CellularMap::CellularMap(std::vector<netaddr::Prefix> prefixes)
     : prefixes_(std::move(prefixes)) {
   std::sort(prefixes_.begin(), prefixes_.end());
   prefixes_.erase(std::unique(prefixes_.begin(), prefixes_.end()), prefixes_.end());
-  for (const netaddr::Prefix& p : prefixes_) trie_.Insert(p, true);
+  netaddr::PrefixTrie<bool> trie;
+  for (const netaddr::Prefix& p : prefixes_) {
+    if (p.length() == 0) {
+      throw std::invalid_argument(
+          "CellularMap: length-0 prefix " + p.ToString() +
+          " would claim the entire address space; rejected at construction");
+    }
+    trie.Insert(p, true);
+  }
+  flat_ = netaddr::FlatLpm<bool>::Build(trie);
 }
 
 CellularMap CellularMap::FromClassification(const ClassifiedSubnets& classified,
@@ -30,13 +41,19 @@ CellularMap CellularMap::FromPrefixes(std::vector<netaddr::Prefix> prefixes,
 }
 
 bool CellularMap::Contains(const netaddr::IpAddress& address) const {
-  return trie_.LongestMatch(address) != nullptr;
+  return flat_.LongestMatch(address) != nullptr;
+}
+
+void CellularMap::ContainsBatch(std::span<const netaddr::IpAddress> addresses,
+                                std::span<bool> out) const {
+  flat_.LongestMatchBatch(addresses, out, false);
 }
 
 bool CellularMap::ContainsBlock(const netaddr::Prefix& block) const {
-  // Any covering prefix claims the block (match on its base address with
-  // a length check via LongestMatchWithLength).
-  const auto match = trie_.LongestMatchWithLength(block.address());
+  // Any covering prefix claims the block: match on its base address and
+  // check the matched length. Stored prefixes are never /0 (rejected at
+  // construction), so nothing can claim every block wholesale.
+  const auto match = flat_.LongestMatchWithLength(block.address());
   return match.has_value() && match->first <= block.length();
 }
 
@@ -44,14 +61,21 @@ void CellularMap::Save(std::ostream& out) const {
   for (const netaddr::Prefix& p : prefixes_) out << p.ToString() << '\n';
 }
 
-CellularMap CellularMap::Load(std::istream& in, bool aggregate) {
+CellularMap CellularMap::Load(std::istream& in, bool aggregate,
+                              const util::LoadOptions& options) {
   std::vector<netaddr::Prefix> prefixes;
-  std::string line;
-  while (std::getline(in, line)) {
+  util::ScopedLoadReport scoped(options);
+  util::IngestLines(in, scoped.get(), [&](std::size_t, std::string_view line) {
     const std::string_view trimmed = util::Trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
-    prefixes.push_back(netaddr::Prefix::Parse(trimmed));
-  }
+    if (trimmed.empty() || trimmed.front() == '#') return;
+    const netaddr::Prefix prefix = netaddr::Prefix::Parse(trimmed);
+    if (prefix.length() == 0) {
+      throw ParseError("cellular map: length-0 prefix '" + std::string(trimmed) +
+                           "' would claim the entire address space",
+                       ParseErrorCategory::kBadAddress);
+    }
+    prefixes.push_back(prefix);
+  });
   return FromPrefixes(std::move(prefixes), aggregate);
 }
 

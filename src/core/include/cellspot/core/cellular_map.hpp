@@ -1,16 +1,19 @@
 // The deliverable a consumer actually deploys: a queryable cellular
 // address map. Built from a classification result (optionally CIDR-
-// aggregated), it answers "is this client IP cellular?" in O(address
-// bits) and round-trips through a one-prefix-per-line text format — the
-// shape of the artifact the paper's CDN would push to its edge.
+// aggregated), it answers "is this client IP cellular?" through a
+// compiled netaddr::FlatLpm (one bucketed binary search over packed
+// ranges) and round-trips through a one-prefix-per-line text format —
+// the shape of the artifact the paper's CDN would push to its edge.
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cellspot/core/classifier.hpp"
-#include "cellspot/netaddr/prefix_trie.hpp"
+#include "cellspot/netaddr/flat_lpm.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::core {
 
@@ -25,11 +28,18 @@ class CellularMap {
                                                       bool aggregate = true);
 
   /// Build from an explicit prefix list (e.g. a published map file).
+  /// Length-0 prefixes are rejected with std::invalid_argument: a map
+  /// claiming the entire address space is garbage in, and accepting it
+  /// would make ContainsBlock() claim every block (see DESIGN.md §13).
   [[nodiscard]] static CellularMap FromPrefixes(std::vector<netaddr::Prefix> prefixes,
                                                 bool aggregate = true);
 
   /// True if the address falls inside any mapped prefix.
   [[nodiscard]] bool Contains(const netaddr::IpAddress& address) const;
+
+  /// Batch form: out[i] = Contains(addresses[i]). Spans must match.
+  void ContainsBatch(std::span<const netaddr::IpAddress> addresses,
+                     std::span<bool> out) const;
 
   /// True if the block (or a covering aggregate) is mapped.
   [[nodiscard]] bool ContainsBlock(const netaddr::Prefix& block) const;
@@ -44,15 +54,19 @@ class CellularMap {
   /// One prefix per line ("203.0.113.0/24\n...").
   void Save(std::ostream& out) const;
 
-  /// Inverse of Save; blank lines and '#' comments are skipped.
-  /// Throws cellspot::ParseError on malformed lines.
-  [[nodiscard]] static CellularMap Load(std::istream& in, bool aggregate = false);
+  /// Inverse of Save; blank lines and '#' comments are skipped. Runs
+  /// through the standard ingest policy layer: strict by default (throws
+  /// cellspot::ParseError annotated with the line number), or skip /
+  /// quarantine with an error budget via `options` like every other
+  /// loader. Length-0 prefixes are malformed lines (kBadAddress).
+  [[nodiscard]] static CellularMap Load(std::istream& in, bool aggregate = false,
+                                        const util::LoadOptions& options = {});
 
  private:
   explicit CellularMap(std::vector<netaddr::Prefix> prefixes);
 
   std::vector<netaddr::Prefix> prefixes_;
-  netaddr::PrefixTrie<bool> trie_;
+  netaddr::FlatLpm<bool> flat_;
 };
 
 }  // namespace cellspot::core

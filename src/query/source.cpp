@@ -1,8 +1,10 @@
 #include "cellspot/query/source.hpp"
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cellspot/exec/executor.hpp"
 #include "cellspot/obs/metrics.hpp"
@@ -72,21 +74,23 @@ JoinContext MakeJoinContext(const ArtifactRefs& refs) {
   return ctx;
 }
 
-JoinedRow JoinBlock(const JoinContext& ctx, const netaddr::Prefix& block) {
+/// `origin` is the block's pre-resolved origin AS (0 = unrouted); the
+/// batch LPM lookup happens in JoinAll so the hot per-row path here
+/// never walks the routing table.
+JoinedRow JoinBlock(const JoinContext& ctx, const netaddr::Prefix& block,
+                    asdb::AsNumber origin) {
   const ArtifactRefs& refs = *ctx.refs;
   JoinedRow row;
   row.block = block.ToString();
   row.family = FamilyName(block.family());
-  if (refs.rib != nullptr) {
-    if (const auto origin = refs.rib->OriginOf(block.address()); origin.has_value()) {
-      row.asn = *origin;
-      row.kept = ctx.kept_asns.Contains(*origin);
-      if (refs.as_db != nullptr) {
-        if (const asdb::AsRecord* rec = refs.as_db->Find(*origin); rec != nullptr) {
-          row.country = rec->country_iso;
-          row.continent = geo::ContinentCode(rec->continent);
-          row.excluded = ctx.excluded_isos.Contains(rec->country_iso);
-        }
+  if (origin != 0) {
+    row.asn = origin;
+    row.kept = ctx.kept_asns.Contains(origin);
+    if (refs.as_db != nullptr) {
+      if (const asdb::AsRecord* rec = refs.as_db->Find(origin); rec != nullptr) {
+        row.country = rec->country_iso;
+        row.continent = geo::ContinentCode(rec->continent);
+        row.excluded = ctx.excluded_isos.Contains(rec->country_iso);
       }
     }
   }
@@ -101,13 +105,27 @@ JoinedRow JoinBlock(const JoinContext& ctx, const netaddr::Prefix& block) {
 
 /// Run the join for `blocks` in parallel; results land at their row's
 /// index, so output order is the artifact's iteration order at any
-/// thread count.
+/// thread count. Each chunk resolves its origins in one batch LPM call
+/// before joining row by row.
 std::vector<JoinedRow> JoinAll(const JoinContext& ctx,
                                const std::vector<netaddr::Prefix>& blocks,
                                exec::Executor& executor) {
+  const asdb::RoutingTable* rib = ctx.refs->rib;
+  std::vector<netaddr::IpAddress> addrs(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) addrs[i] = blocks[i].address();
+  if (rib != nullptr) {
+    (void)rib->Flat();  // compile once, not under the first chunk
+  }
   std::vector<JoinedRow> rows(blocks.size());
   executor.ParallelFor(blocks.size(), kGrain, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) rows[i] = JoinBlock(ctx, blocks[i]);
+    std::vector<asdb::AsNumber> origins(end - begin, 0);
+    if (rib != nullptr) {
+      rib->OriginOfBatch(std::span<const netaddr::IpAddress>(addrs).subspan(begin, end - begin),
+                         origins);
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      rows[i] = JoinBlock(ctx, blocks[i], origins[i - begin]);
+    }
   });
   return rows;
 }

@@ -1,0 +1,54 @@
+// Memory-mapped, read-only view of a snapshot file. Open() maps the
+// whole file and runs the standard container validation (magic, version,
+// per-section CRC) once, up front; after that every section payload is a
+// zero-copy string_view into the mapping. keepalive() hands out a
+// shared_ptr that pins the mapping, so artifacts built over a payload —
+// e.g. a netaddr::FlatLpm served straight from the file via
+// FlatLpm::View — can outlive the MappedSnapshot object itself.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cellspot/snapshot/snapshot.hpp"
+
+namespace cellspot::snapshot {
+
+class MappedSnapshot {
+ public:
+  /// Map and validate `path`. Throws SnapshotError: kIo when the file
+  /// cannot be opened/stat'd/mapped, otherwise whatever the container
+  /// validation finds (an empty file is kTruncated, like any image
+  /// shorter than its magic).
+  [[nodiscard]] static MappedSnapshot Open(const std::filesystem::path& path);
+
+  MappedSnapshot() = default;
+
+  [[nodiscard]] const std::vector<SectionView>& sections() const noexcept {
+    return sections_;
+  }
+
+  [[nodiscard]] bool HasSection(std::string_view name) const noexcept;
+
+  /// Payload of the named section; throws SnapshotError{kMalformed}
+  /// when absent. The view aliases the mapping — pair it with
+  /// keepalive() if it must outlive this object.
+  [[nodiscard]] std::string_view SectionPayload(std::string_view name) const;
+
+  /// Shared ownership of the mapping; while any copy is alive the
+  /// mapped bytes (and every view into them) stay valid.
+  [[nodiscard]] std::shared_ptr<const void> keepalive() const noexcept {
+    return mapping_;
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return image_.size(); }
+
+ private:
+  std::shared_ptr<const void> mapping_;  // owns the mmap (munmap on release)
+  std::string_view image_;               // the whole mapped file
+  std::vector<SectionView> sections_;    // views into image_
+};
+
+}  // namespace cellspot::snapshot

@@ -6,11 +6,13 @@
 // downstream exports are byte-identical to a cold run.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "cellspot/asdb/as_database.hpp"
 #include "cellspot/core/classifier.hpp"
 #include "cellspot/dataset/beacon_dataset.hpp"
 #include "cellspot/dataset/demand_dataset.hpp"
@@ -39,6 +41,27 @@ namespace cellspot::snapshot {
 
 [[nodiscard]] std::vector<Section> EncodeClassified(const core::ClassifiedSubnets& classified);
 [[nodiscard]] core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections);
+
+/// Section name of the compiled flat LPM engine (see netaddr::FlatLpm
+/// for the payload layout). Big-endian fixed-width addresses inside the
+/// payload make it position-independent: it can be served as-is from a
+/// memory-mapped snapshot at any alignment.
+inline constexpr std::string_view kLpmRibSection = "lpm.rib";
+
+/// Encode the routing table's compiled engine (built on demand via
+/// rib.Flat()) as a one-section snapshot.
+[[nodiscard]] std::vector<Section> EncodeRibLpm(const asdb::RoutingTable& rib);
+
+/// Rebuild an engine from a payload, copying the bytes — safe when the
+/// payload buffer is transient. Throws SnapshotError{kMalformed} on any
+/// structural defect (netaddr::FlatLpmError translated).
+[[nodiscard]] asdb::RoutingTable::FlatRib DecodeRibLpm(std::string_view payload);
+
+/// Zero-copy engine over an externally owned payload, typically a
+/// MappedSnapshot section; `keepalive` pins the backing bytes for the
+/// engine's lifetime. Same validation and errors as DecodeRibLpm.
+[[nodiscard]] asdb::RoutingTable::FlatRib ViewRibLpm(
+    std::string_view payload, std::shared_ptr<const void> keepalive);
 
 /// Friend hook into the private state of World, DemandDataset and
 /// ClassifiedSubnets; implementation detail of the functions above.

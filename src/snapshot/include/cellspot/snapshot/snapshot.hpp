@@ -38,8 +38,21 @@ struct Section {
   std::string payload;
 };
 
+/// A zero-copy window onto one section of a snapshot image. Both views
+/// alias the image buffer: they stay valid exactly as long as it does
+/// (e.g. for the lifetime of a MappedSnapshot).
+struct SectionView {
+  std::string_view name;
+  std::string_view payload;
+};
+
 /// Serialize sections into the container format.
 [[nodiscard]] std::string EncodeSnapshot(std::span<const Section> sections);
+
+/// Parse a snapshot image without copying payloads: every returned view
+/// aliases `bytes`. CRCs are still verified. Throws SnapshotError on any
+/// defect. This is the decode core; DecodeSnapshot copies from it.
+[[nodiscard]] std::vector<SectionView> DecodeSnapshotViews(std::string_view bytes);
 
 /// Parse a snapshot image; throws SnapshotError on any defect.
 [[nodiscard]] std::vector<Section> DecodeSnapshot(std::string_view bytes);

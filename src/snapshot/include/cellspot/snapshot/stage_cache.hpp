@@ -4,6 +4,11 @@
 //   <dir>/world.<key>.snap        simnet::World
 //   <dir>/datasets.<key>.snap     BEACON + DEMAND datasets
 //   <dir>/classified.<key>.snap   classification output
+//   <dir>/lpm.<key>.snap          compiled flat LPM engine for the RIB
+//
+// The lpm entry is special on the read side: it is served zero-copy
+// from a memory-mapped file (MappedSnapshot + FlatLpm::View), so a warm
+// start adopts the compiled engine without rebuilding — or copying — it.
 //
 // <key> is 16 hex digits of FNV-1a-64 over the snapshot format version
 // and the canonical byte encoding of every config the stage depends on
@@ -24,6 +29,7 @@
 #include <string_view>
 #include <utility>
 
+#include "cellspot/asdb/as_database.hpp"
 #include "cellspot/core/classifier.hpp"
 #include "cellspot/dataset/beacon_dataset.hpp"
 #include "cellspot/dataset/demand_dataset.hpp"
@@ -66,6 +72,15 @@ class StageCache {
   void StoreClassified(const simnet::WorldConfig& config,
                        const core::ClassifierConfig& classifier,
                        const core::ClassifiedSubnets& classified);
+
+  [[nodiscard]] std::filesystem::path LpmPath(const simnet::WorldConfig& config) const;
+
+  /// Memory-map the cached compiled engine and serve it zero-copy (the
+  /// returned FlatLpm pins the mapping). Same corruption handling as
+  /// every other entry: report, count, quarantine, return nullopt.
+  [[nodiscard]] std::optional<asdb::RoutingTable::FlatRib> TryLoadLpm(
+      const simnet::WorldConfig& config);
+  void StoreLpm(const simnet::WorldConfig& config, const asdb::RoutingTable& rib);
 
  private:
   std::filesystem::path dir_;

@@ -1,0 +1,76 @@
+#include "cellspot/snapshot/mapped.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace cellspot::snapshot {
+
+namespace {
+
+[[noreturn]] void IoError(const std::filesystem::path& path, const char* what) {
+  throw SnapshotError("cannot " + std::string(what) + " '" + path.string() + "': " +
+                          std::strerror(errno),
+                      SnapshotErrorReason::kIo);
+}
+
+/// RAII fd: Open() has several early exits between open() and mmap().
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+MappedSnapshot MappedSnapshot::Open(const std::filesystem::path& path) {
+  FdGuard guard;
+  guard.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (guard.fd < 0) IoError(path, "open");
+
+  struct stat st = {};
+  if (::fstat(guard.fd, &st) != 0) IoError(path, "stat");
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len == 0) {
+    // mmap of length 0 is EINVAL; an empty file is simply a truncated
+    // image, diagnosed the same way DecodeSnapshot would.
+    throw SnapshotError("snapshot shorter than its magic",
+                        SnapshotErrorReason::kTruncated);
+  }
+
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, guard.fd, 0);
+  if (addr == MAP_FAILED) IoError(path, "mmap");
+  // The mapping outlives the fd; shared_ptr's deleter is the munmap.
+  std::shared_ptr<const void> mapping(addr, [len](const void* p) {
+    ::munmap(const_cast<void*>(p), len);
+  });
+
+  MappedSnapshot snap;
+  snap.mapping_ = std::move(mapping);
+  snap.image_ = std::string_view(static_cast<const char*>(addr), len);
+  snap.sections_ = DecodeSnapshotViews(snap.image_);  // validates CRCs up front
+  return snap;
+}
+
+bool MappedSnapshot::HasSection(std::string_view name) const noexcept {
+  for (const SectionView& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::string_view MappedSnapshot::SectionPayload(std::string_view name) const {
+  for (const SectionView& s : sections_) {
+    if (s.name == name) return s.payload;
+  }
+  throw SnapshotError("snapshot is missing section '" + std::string(name) + "'",
+                      SnapshotErrorReason::kMalformed);
+}
+
+}  // namespace cellspot::snapshot

@@ -3,8 +3,10 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "cellspot/snapshot/binary_io.hpp"
 #include "cellspot/util/error.hpp"
@@ -608,6 +610,27 @@ core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections) {
     r.ExpectEnd();
   }
   return out;
+}
+
+std::vector<Section> EncodeRibLpm(const asdb::RoutingTable& rib) {
+  return {{std::string(kLpmRibSection), rib.Flat().Encode()}};
+}
+
+asdb::RoutingTable::FlatRib DecodeRibLpm(std::string_view payload) {
+  try {
+    return asdb::RoutingTable::FlatRib::Decode(payload);
+  } catch (const netaddr::FlatLpmError& e) {
+    Malformed(std::string(kLpmRibSection) + ": " + e.what());
+  }
+}
+
+asdb::RoutingTable::FlatRib ViewRibLpm(std::string_view payload,
+                                       std::shared_ptr<const void> keepalive) {
+  try {
+    return asdb::RoutingTable::FlatRib::View(payload, std::move(keepalive));
+  } catch (const netaddr::FlatLpmError& e) {
+    Malformed(std::string(kLpmRibSection) + ": " + e.what());
+  }
 }
 
 }  // namespace cellspot::snapshot

@@ -24,7 +24,7 @@ std::string EncodeSnapshot(std::span<const Section> sections) {
   return std::move(w).Take();
 }
 
-std::vector<Section> DecodeSnapshot(std::string_view bytes) {
+std::vector<SectionView> DecodeSnapshotViews(std::string_view bytes) {
   if (bytes.size() < kSnapshotMagic.size()) {
     throw SnapshotError("snapshot shorter than its magic",
                         SnapshotErrorReason::kTruncated);
@@ -42,21 +42,31 @@ std::vector<Section> DecodeSnapshot(std::string_view bytes) {
                         SnapshotErrorReason::kVersionMismatch);
   }
   const std::uint64_t count = r.Varint();
-  std::vector<Section> sections;
+  std::vector<SectionView> sections;
   sections.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    Section s;
-    s.name = std::string(r.String());
+    SectionView s;
+    s.name = r.String();
     const std::uint64_t payload_len = r.U64();
     const std::uint32_t stored_crc = r.U32();
-    s.payload = std::string(r.Bytes(payload_len));
+    s.payload = r.Bytes(payload_len);
     if (Crc32(s.payload) != stored_crc) {
-      throw SnapshotError("section '" + s.name + "' fails its CRC32 check",
+      throw SnapshotError("section '" + std::string(s.name) + "' fails its CRC32 check",
                           SnapshotErrorReason::kChecksum);
     }
-    sections.push_back(std::move(s));
+    sections.push_back(s);
   }
   r.ExpectEnd();
+  return sections;
+}
+
+std::vector<Section> DecodeSnapshot(std::string_view bytes) {
+  const std::vector<SectionView> views = DecodeSnapshotViews(bytes);
+  std::vector<Section> sections;
+  sections.reserve(views.size());
+  for (const SectionView& v : views) {
+    sections.push_back({std::string(v.name), std::string(v.payload)});
+  }
   return sections;
 }
 

@@ -7,6 +7,7 @@
 
 #include "cellspot/obs/metrics.hpp"
 #include "cellspot/obs/trace.hpp"
+#include "cellspot/snapshot/mapped.hpp"
 #include "cellspot/snapshot/serde.hpp"
 #include "cellspot/snapshot/snapshot.hpp"
 #include "cellspot/util/retry.hpp"
@@ -180,6 +181,50 @@ void StageCache::StoreClassified(const simnet::WorldConfig& config,
   if (!enabled_) return;
   TryStore(ClassifiedPath(config, classifier), "classified",
            EncodeClassified(classified));
+}
+
+std::filesystem::path StageCache::LpmPath(const simnet::WorldConfig& config) const {
+  std::uint64_t key = Fnv1a64(EncodeWorldConfig(config),
+                              0xcbf29ce484222325ULL ^ kSnapshotFormatVersion);
+  return dir_ / ("lpm." + Hex16(key) + ".snap");
+}
+
+std::optional<asdb::RoutingTable::FlatRib> StageCache::TryLoadLpm(
+    const simnet::WorldConfig& config) {
+  if (!enabled_) return std::nullopt;
+  const std::filesystem::path path = LpmPath(config);
+  auto& reg = obs::MetricsRegistry::Global();
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    CountMiss("absent");
+    return std::nullopt;
+  }
+  obs::TraceSpan span("snapshot.load");
+  try {
+    // Unlike the other entries this one is not read into memory:
+    // MappedSnapshot validates the container over the mapping and the
+    // engine views the payload in place, pinning the map via keepalive.
+    MappedSnapshot snap = MappedSnapshot::Open(path);
+    asdb::RoutingTable::FlatRib flat =
+        ViewRibLpm(snap.SectionPayload(kLpmRibSection), snap.keepalive());
+    reg.counter("snapshot.hit").Increment();
+    reg.counter("snapshot.bytes_read").Increment(flat.payload_bytes());
+    span.set_items(1);
+    return flat;
+  } catch (const SnapshotError& e) {
+    CountMiss(SnapshotErrorReasonName(e.reason()));
+    const bool quarantined = QuarantineSnapshotFile(path);
+    std::cerr << "cellspot: discarding lpm snapshot '" << path.string()
+              << "': " << e.what() << " [" << SnapshotErrorReasonName(e.reason())
+              << "]" << (quarantined ? "; quarantined as *.corrupt" : "") << "\n";
+    return std::nullopt;
+  }
+}
+
+void StageCache::StoreLpm(const simnet::WorldConfig& config,
+                          const asdb::RoutingTable& rib) {
+  if (!enabled_) return;
+  TryStore(LpmPath(config), "lpm", EncodeRibLpm(rib));
 }
 
 }  // namespace cellspot::snapshot

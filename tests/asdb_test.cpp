@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace cellspot::asdb {
 namespace {
@@ -117,6 +119,74 @@ TEST(RoutingTable, PrefixesOfReturnsAll) {
   auto prefixes = rib.PrefixesOf(5);
   EXPECT_EQ(prefixes.size(), 2u);
   EXPECT_TRUE(std::ranges::find(prefixes, Prefix::Parse("10.0.1.0/24")) != prefixes.end());
+}
+
+TEST(RoutingTable, ReannounceChurnDropsEmptiedOrigins) {
+  // Moving an origin's last prefix must erase its reverse-index key, so
+  // origin_count() stays truthful under heavy announce churn.
+  RoutingTable rib;
+  const auto p = Prefix::Parse("198.51.100.0/24");
+  rib.Announce(p, 1);
+  EXPECT_EQ(rib.origin_count(), 1u);
+  for (AsNumber asn = 2; asn <= 100; ++asn) {
+    rib.Announce(p, asn);
+    EXPECT_EQ(rib.origin_count(), 1u) << "churn left an empty origin behind";
+  }
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("198.51.100.1")), 100u);
+
+  // An origin with other prefixes survives a partial withdrawal.
+  rib.Announce(Prefix::Parse("10.0.0.0/24"), 100);
+  rib.Announce(p, 7);
+  EXPECT_EQ(rib.origin_count(), 2u);
+  EXPECT_EQ(rib.PrefixesOf(100).size(), 1u);
+}
+
+TEST(RoutingTable, FlatEngineInvalidatedByAnnounce) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("203.0.113.0/24"), 10);
+  EXPECT_FALSE(rib.has_flat());
+  EXPECT_EQ(*rib.Flat().LongestMatch(IpAddress::Parse("203.0.113.9")), 10u);
+  EXPECT_TRUE(rib.has_flat());
+
+  // Mutation drops the compiled engine; lookups stay correct throughout.
+  rib.Announce(Prefix::Parse("203.0.113.128/25"), 20);
+  EXPECT_FALSE(rib.has_flat());
+  EXPECT_EQ(rib.OriginOf(IpAddress::Parse("203.0.113.200")), 20u);
+  EXPECT_EQ(*rib.Flat().LongestMatch(IpAddress::Parse("203.0.113.200")), 20u);
+  EXPECT_EQ(*rib.Flat().LongestMatch(IpAddress::Parse("203.0.113.9")), 10u);
+}
+
+TEST(RoutingTable, BatchLookupMatchesSingleWithZeroForUnrouted) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("203.0.113.0/24"), 10);
+  rib.Announce(Prefix::Parse("2001:db8::/32"), 20);
+  const std::vector<netaddr::IpAddress> addrs = {
+      IpAddress::Parse("203.0.113.5"), IpAddress::Parse("198.51.100.1"),
+      IpAddress::Parse("2001:db8::1"), IpAddress::Parse("2001:db9::1")};
+  std::vector<AsNumber> origins(addrs.size());
+  rib.OriginOfBatch(addrs, origins);
+  EXPECT_EQ(origins, (std::vector<AsNumber>{10, 0, 20, 0}));
+}
+
+TEST(RoutingTable, CopyAndMoveKeepLookupsConsistent) {
+  RoutingTable rib;
+  rib.Announce(Prefix::Parse("203.0.113.0/24"), 10);
+  (void)rib.Flat();  // compiled engine present before copy/move
+
+  RoutingTable copy(rib);
+  EXPECT_EQ(copy.OriginOf(IpAddress::Parse("203.0.113.5")), 10u);
+  copy.Announce(Prefix::Parse("198.51.100.0/24"), 11);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(rib.size(), 1u);
+
+  RoutingTable moved(std::move(copy));
+  EXPECT_EQ(moved.OriginOf(IpAddress::Parse("198.51.100.5")), 11u);
+  EXPECT_EQ(moved.OriginOf(IpAddress::Parse("203.0.113.5")), 10u);
+
+  // Moving a table with a compiled engine transfers it intact.
+  RoutingTable moved_hot(std::move(rib));
+  EXPECT_TRUE(moved_hot.has_flat());
+  EXPECT_EQ(moved_hot.OriginOf(IpAddress::Parse("203.0.113.5")), 10u);
 }
 
 }  // namespace

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "cellspot/analysis/experiment.hpp"
 #include "cellspot/util/error.hpp"
+#include "cellspot/util/ingest.hpp"
 
 namespace cellspot::core {
 namespace {
@@ -67,6 +72,80 @@ TEST(CellularMap, LoadSkipsCommentsAndRejectsGarbage) {
 
   std::stringstream bad("not-a-prefix\n");
   EXPECT_THROW(CellularMap::Load(bad), ParseError);
+}
+
+TEST(CellularMap, StrictLoadAnnotatesLineNumbers) {
+  std::stringstream bad("203.0.114.0/24\n\nnot-a-prefix\n");
+  try {
+    (void)CellularMap::Load(bad);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CellularMap, SkipPolicyDropsBadLinesAndQuarantines) {
+  std::stringstream in("203.0.114.0/24\nnot-a-prefix\n0.0.0.0/0\n2001:db8::/48\n");
+  std::ostringstream quarantine;
+  util::LoadOptions options;
+  options.policy = util::IngestPolicy::kQuarantine;
+  options.quarantine = &quarantine;
+  const auto map = CellularMap::Load(in, /*aggregate=*/false, options);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.Contains(IpAddress::Parse("203.0.114.1")));
+  EXPECT_TRUE(map.Contains(IpAddress::Parse("2001:db8::1")));
+  // Both rejects land in the quarantine stream verbatim.
+  EXPECT_NE(quarantine.str().find("not-a-prefix"), std::string::npos);
+  EXPECT_NE(quarantine.str().find("0.0.0.0/0"), std::string::npos);
+}
+
+TEST(CellularMap, SkipPolicyHonoursErrorBudget) {
+  std::stringstream in("junk1\njunk2\njunk3\n203.0.114.0/24\n");
+  util::LoadOptions options;
+  options.policy = util::IngestPolicy::kSkip;
+  options.limits.max_error_rate = 0.25;
+  EXPECT_THROW((void)CellularMap::Load(in, false, options), util::IngestBudgetError);
+}
+
+TEST(CellularMap, SharedReportAccumulatesAcrossLoads) {
+  util::IngestReport report(util::IngestPolicy::kSkip);
+  util::LoadOptions options;
+  options.report = &report;
+  std::stringstream a("203.0.114.0/24\nbad-line\n");
+  std::stringstream b("also-bad\n198.51.100.0/24\n");
+  (void)CellularMap::Load(a, false, options);
+  (void)CellularMap::Load(b, false, options);
+  EXPECT_EQ(report.lines_rejected(), 2u);
+}
+
+TEST(CellularMap, RejectsZeroLengthPrefixEverywhere) {
+  // Construction: /0 would claim the entire address space.
+  EXPECT_THROW((void)CellularMap::FromPrefixes({Prefix::Parse("0.0.0.0/0")}),
+               std::invalid_argument);
+  EXPECT_THROW((void)CellularMap::FromPrefixes({Prefix::Parse("::/0")}),
+               std::invalid_argument);
+  // Load: a /0 line is malformed input, same as garbage.
+  std::stringstream in("0.0.0.0/0\n");
+  EXPECT_THROW((void)CellularMap::Load(in), ParseError);
+
+  // And therefore ContainsBlock can never claim every block wholesale.
+  const auto map = CellularMap::FromPrefixes({Prefix::Parse("10.0.0.0/8")});
+  EXPECT_FALSE(map.ContainsBlock(Prefix::Parse("203.0.113.0/24")));
+  EXPECT_TRUE(map.ContainsBlock(Prefix::Parse("10.1.2.0/24")));
+}
+
+TEST(CellularMap, BatchContainsMatchesSingle) {
+  const auto map = CellularMap::FromPrefixes(
+      {Prefix::Parse("203.0.114.0/24"), Prefix::Parse("2001:db8:1::/48")});
+  const std::vector<IpAddress> addrs = {
+      IpAddress::Parse("203.0.114.99"), IpAddress::Parse("203.0.115.99"),
+      IpAddress::Parse("2001:db8:1::77"), IpAddress::Parse("2001:db8:2::77")};
+  // vector<bool> has no contiguous storage; batch through a byte buffer.
+  std::unique_ptr<bool[]> out(new bool[addrs.size()]);
+  map.ContainsBatch(addrs, std::span<bool>(out.get(), addrs.size()));
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    EXPECT_EQ(out[i], map.Contains(addrs[i])) << addrs[i].ToString();
+  }
 }
 
 TEST(CellularMap, DeduplicatesInput) {

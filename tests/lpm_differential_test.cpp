@@ -1,0 +1,434 @@
+// Differential property test locking FlatLpm to PrefixTrie: on seeded
+// random prefix sets (nested, overlapping, both families) every lookup
+// form — single, with-length, batch, exec-chunked at 1/2/8 threads —
+// must agree with the trie bit for bit. Also covers the payload
+// round-trip (Encode/Decode/View), the mmap-served snapshot path
+// (MappedSnapshot + StageCache lpm entry) and a corruption matrix over
+// the lpm snapshot file.
+#include "cellspot/netaddr/flat_lpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cellspot/asdb/as_database.hpp"
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/faultsim/stream_corruptor.hpp"
+#include "cellspot/netaddr/prefix_trie.hpp"
+#include "cellspot/obs/metrics.hpp"
+#include "cellspot/snapshot/mapped.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/snapshot/stage_cache.hpp"
+#include "cellspot/util/rng.hpp"
+
+namespace cellspot::netaddr {
+namespace {
+
+namespace fs = std::filesystem;
+
+IpAddress RandomV4(util::Rng& rng) {
+  return IpAddress::V4(static_cast<std::uint32_t>(rng.UniformInt(0, 0xFFFFFFFFULL)));
+}
+
+IpAddress RandomV6(util::Rng& rng) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  return IpAddress::V6(bytes);
+}
+
+/// A deliberately clumpy random prefix set: half the prefixes are
+/// refinements of earlier ones, so nesting and overlap are common.
+std::vector<Prefix> RandomPrefixSet(util::Rng& rng, std::size_t count) {
+  std::vector<Prefix> prefixes;
+  prefixes.reserve(count);
+  while (prefixes.size() < count) {
+    const bool v6 = rng.Chance(0.35);
+    IpAddress addr = v6 ? RandomV6(rng) : RandomV4(rng);
+    int length;
+    if (!prefixes.empty() && rng.Chance(0.5)) {
+      // Refine an existing prefix: same base, longer mask.
+      const Prefix& base = prefixes[rng.UniformInt(0, prefixes.size() - 1)];
+      const int max_len = base.family() == Family::kIpv4 ? 32 : 128;
+      length = static_cast<int>(
+          rng.UniformInt(static_cast<std::uint64_t>(base.length()),
+                         static_cast<std::uint64_t>(max_len)));
+      // Keep the covered-side bits from a fresh draw so siblings differ.
+      IpAddress refined = base.address();
+      IpAddress noise = base.family() == Family::kIpv4 ? RandomV4(rng) : RandomV6(rng);
+      for (int bit = base.length(); bit < length; ++bit) {
+        refined = refined.WithBit(bit, noise.GetBit(bit));
+      }
+      prefixes.emplace_back(refined, length);
+      continue;
+    }
+    const int max_len = v6 ? 128 : 32;
+    length = static_cast<int>(rng.UniformInt(1, static_cast<std::uint64_t>(max_len)));
+    prefixes.emplace_back(addr, length);
+  }
+  return prefixes;
+}
+
+/// Probe addresses with bias toward stored-prefix boundaries, where
+/// off-by-one bugs live: prefix bases, plus uniform random addresses.
+std::vector<IpAddress> ProbeSet(util::Rng& rng, const std::vector<Prefix>& prefixes,
+                                std::size_t random_count) {
+  std::vector<IpAddress> probes;
+  probes.reserve(prefixes.size() + random_count);
+  for (const Prefix& p : prefixes) probes.push_back(p.address());
+  for (std::size_t i = 0; i < random_count; ++i) {
+    probes.push_back(rng.Chance(0.35) ? RandomV6(rng) : RandomV4(rng));
+  }
+  return probes;
+}
+
+template <typename T>
+void ExpectSameLookups(const PrefixTrie<T>& trie, const FlatLpm<T>& flat,
+                       const std::vector<IpAddress>& probes) {
+  for (const IpAddress& addr : probes) {
+    const T* want = trie.LongestMatch(addr);
+    const T* got = flat.LongestMatch(addr);
+    ASSERT_EQ(want == nullptr, got == nullptr) << addr.ToString();
+    if (want != nullptr) {
+      ASSERT_EQ(*want, *got) << addr.ToString();
+    }
+
+    const auto want_len = trie.LongestMatchWithLength(addr);
+    const auto got_len = flat.LongestMatchWithLength(addr);
+    ASSERT_EQ(want_len.has_value(), got_len.has_value()) << addr.ToString();
+    if (want_len.has_value()) {
+      ASSERT_EQ(want_len->first, got_len->first) << addr.ToString();
+      ASSERT_EQ(*want_len->second, *got_len->second) << addr.ToString();
+    }
+  }
+}
+
+TEST(FlatLpmDifferential, MatchesTrieOnSeededRandomSets) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1337ULL, 99991ULL}) {
+    util::Rng rng(seed);
+    const std::size_t count = 1 + rng.UniformInt(0, 400);
+    const std::vector<Prefix> prefixes = RandomPrefixSet(rng, count);
+    PrefixTrie<std::uint32_t> trie;
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      trie.Insert(prefixes[i], static_cast<std::uint32_t>(i + 1));
+    }
+    const FlatLpm<std::uint32_t> flat = FlatLpm<std::uint32_t>::Build(trie);
+    EXPECT_EQ(flat.size(), trie.size());
+    ExpectSameLookups(trie, flat, ProbeSet(rng, prefixes, 2000));
+  }
+}
+
+TEST(FlatLpmDifferential, ZeroLengthPrefixCoversEverything) {
+  PrefixTrie<std::uint32_t> trie;
+  trie.Insert(Prefix::Parse("0.0.0.0/0"), 7);
+  trie.Insert(Prefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(Prefix::Parse("::/0"), 9);
+  const auto flat = FlatLpm<std::uint32_t>::Build(trie);
+  util::Rng rng(5);
+  ExpectSameLookups(trie, flat, ProbeSet(rng, {Prefix::Parse("10.1.2.0/24")}, 500));
+  ASSERT_NE(flat.LongestMatch(IpAddress::Parse("255.255.255.255")), nullptr);
+  EXPECT_EQ(*flat.LongestMatch(IpAddress::Parse("255.255.255.255")), 7u);
+  ASSERT_NE(flat.LongestMatch(IpAddress::Parse("ffff::1")), nullptr);
+  EXPECT_EQ(*flat.LongestMatch(IpAddress::Parse("ffff::1")), 9u);
+}
+
+TEST(FlatLpmDifferential, EmptyTrie) {
+  const auto flat = FlatLpm<std::uint32_t>::Build(PrefixTrie<std::uint32_t>{});
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.segment_count(), 0u);
+  EXPECT_EQ(flat.LongestMatch(IpAddress::Parse("1.2.3.4")), nullptr);
+  EXPECT_EQ(flat.LongestMatch(IpAddress::Parse("2001:db8::1")), nullptr);
+  // Round-trips through its (valid) empty payload.
+  const auto decoded = FlatLpm<std::uint32_t>::Decode(flat.Encode());
+  EXPECT_TRUE(decoded.empty());
+
+  const FlatLpm<std::uint32_t> default_constructed;
+  EXPECT_TRUE(default_constructed.empty());
+  EXPECT_EQ(default_constructed.LongestMatch(IpAddress::Parse("1.2.3.4")), nullptr);
+  EXPECT_EQ(FlatLpm<std::uint32_t>::Decode(default_constructed.Encode()).size(), 0u);
+}
+
+TEST(FlatLpmDifferential, BatchAndChunkedMatchSingleLookups) {
+  util::Rng rng(2024);
+  const std::vector<Prefix> prefixes = RandomPrefixSet(rng, 300);
+  PrefixTrie<std::uint32_t> trie;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    trie.Insert(prefixes[i], static_cast<std::uint32_t>(i + 1));
+  }
+  const auto flat = FlatLpm<std::uint32_t>::Build(trie);
+  const std::vector<IpAddress> probes = ProbeSet(rng, prefixes, 3000);
+
+  std::vector<const std::uint32_t*> single(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) single[i] = flat.LongestMatch(probes[i]);
+
+  std::vector<const std::uint32_t*> batch(probes.size());
+  flat.LongestMatchBatch(probes, batch);
+  EXPECT_EQ(batch, single);
+
+  std::vector<std::uint32_t> values(probes.size());
+  flat.LongestMatchBatch(probes, values, std::uint32_t{0});
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(values[i], single[i] == nullptr ? 0u : *single[i]);
+  }
+
+  // Chunked through a real executor: identical output at any width.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    exec::Executor executor(threads);
+    std::vector<std::uint32_t> chunked(probes.size());
+    flat.LongestMatchBatchChunked(
+        std::span<const IpAddress>(probes), std::span<std::uint32_t>(chunked),
+        std::uint32_t{0}, /*grain=*/64,
+        [&](std::size_t n, std::size_t grain, auto&& body) {
+          executor.ParallelFor(n, grain, body);
+        });
+    EXPECT_EQ(chunked, values) << threads << " threads";
+  }
+}
+
+TEST(FlatLpmDifferential, EncodeDecodeViewRoundTrip) {
+  util::Rng rng(31337);
+  const std::vector<Prefix> prefixes = RandomPrefixSet(rng, 250);
+  PrefixTrie<std::uint32_t> trie;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    trie.Insert(prefixes[i], static_cast<std::uint32_t>(i + 1));
+  }
+  const auto flat = FlatLpm<std::uint32_t>::Build(trie);
+  const std::string payload = flat.Encode();
+
+  const auto decoded = FlatLpm<std::uint32_t>::Decode(payload);
+  EXPECT_EQ(decoded.Encode(), payload);
+  EXPECT_FALSE(decoded.is_view());
+
+  // View over an external buffer, which must stay pinned by keepalive
+  // even after the original goes away.
+  auto buffer = std::make_shared<std::string>(payload);
+  auto view = FlatLpm<std::uint32_t>::View(*buffer, buffer);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.payload_bytes(), payload.size());
+  buffer.reset();
+
+  const std::vector<IpAddress> probes = ProbeSet(rng, prefixes, 1500);
+  ExpectSameLookups(trie, decoded, probes);
+  ExpectSameLookups(trie, view, probes);
+}
+
+TEST(FlatLpmDifferential, DecodeRejectsStructuralDamageWithoutCrashing) {
+  util::Rng rng(777);
+  const std::vector<Prefix> prefixes = RandomPrefixSet(rng, 120);
+  PrefixTrie<std::uint32_t> trie;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    trie.Insert(prefixes[i], static_cast<std::uint32_t>(i + 1));
+  }
+  const std::string payload = FlatLpm<std::uint32_t>::Build(trie).Encode();
+
+  // Truncations at every length must throw, never read out of bounds.
+  for (std::size_t len = 0; len < payload.size(); len += 7) {
+    EXPECT_THROW((void)FlatLpm<std::uint32_t>::Decode(payload.substr(0, len)),
+                 FlatLpmError);
+  }
+  // Random byte flips: below the FlatLpm layer there is no CRC, so a
+  // flip either trips validation (FlatLpmError) or lands in a value
+  // slot and yields a well-formed engine — but never a crash. The
+  // snapshot container's CRC is what catches the silent case on disk.
+  for (int i = 0; i < 300; ++i) {
+    std::string bent = payload;
+    bent[rng.UniformInt(0, bent.size() - 1)] ^=
+        static_cast<char>(1U << rng.UniformInt(0, 7));
+    try {
+      const auto decoded = FlatLpm<std::uint32_t>::Decode(bent);
+      (void)decoded.LongestMatch(IpAddress::Parse("10.1.2.3"));
+      (void)decoded.LongestMatch(IpAddress::Parse("2001:db8::1"));
+    } catch (const FlatLpmError&) {
+      // rejected: fine
+    }
+  }
+}
+
+// ---- snapshot + mmap serving ---------------------------------------------
+
+std::string ReadFileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint64_t CounterValue(std::string_view name) {
+  for (const auto& c : obs::MetricsRegistry::Global().Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+asdb::RoutingTable MakeRib(std::uint64_t seed, std::size_t prefix_count) {
+  util::Rng rng(seed);
+  asdb::RoutingTable rib;
+  for (const Prefix& p : RandomPrefixSet(rng, prefix_count)) {
+    rib.Announce(p, static_cast<asdb::AsNumber>(rng.UniformInt(1, 5000)));
+  }
+  return rib;
+}
+
+TEST(FlatLpmSnapshot, MmapServedEngineMatchesBuiltEngine) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "lpm_mmap_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "lpm.snap";
+
+  asdb::RoutingTable rib = MakeRib(11, 200);
+  snapshot::WriteSnapshotFile(path, snapshot::EncodeRibLpm(rib));
+
+  util::Rng rng(12);
+  std::vector<IpAddress> probes = ProbeSet(rng, {}, 2000);
+
+  // The engine keeps the mapping alive after the MappedSnapshot dies.
+  asdb::RoutingTable::FlatRib viewed;
+  {
+    auto snap = snapshot::MappedSnapshot::Open(path);
+    EXPECT_TRUE(snap.HasSection(snapshot::kLpmRibSection));
+    viewed = snapshot::ViewRibLpm(snap.SectionPayload(snapshot::kLpmRibSection),
+                                  snap.keepalive());
+  }
+  EXPECT_TRUE(viewed.is_view());
+  EXPECT_EQ(viewed.size(), rib.size());
+  for (const IpAddress& addr : probes) {
+    const auto want = rib.OriginOf(addr);
+    const asdb::AsNumber* got = viewed.LongestMatch(addr);
+    ASSERT_EQ(want.has_value(), got != nullptr) << addr.ToString();
+    if (want.has_value()) {
+      ASSERT_EQ(*want, *got) << addr.ToString();
+    }
+  }
+
+  // A fresh table with identical announcements adopts it wholesale.
+  asdb::RoutingTable rib2 = MakeRib(11, 200);
+  EXPECT_TRUE(rib2.AdoptFlat(std::move(viewed)));
+  EXPECT_TRUE(rib2.has_flat());
+  for (const IpAddress& addr : probes) {
+    ASSERT_EQ(rib.OriginOf(addr), rib2.OriginOf(addr)) << addr.ToString();
+  }
+}
+
+TEST(FlatLpmSnapshot, AdoptRejectsMismatchedEngine) {
+  asdb::RoutingTable rib = MakeRib(21, 100);
+  asdb::RoutingTable other = MakeRib(22, 150);
+  EXPECT_FALSE(rib.AdoptFlat(other.Flat()));
+  EXPECT_TRUE(other.has_flat());
+}
+
+class LpmCacheCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().ResetForTest();
+    dir_ = fs::path(::testing::TempDir()) /
+           ("lpmcorrupt_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    config_ = simnet::WorldConfig::Tiny();
+    rib_ = MakeRib(33, 180);
+    cache_.emplace(dir_);
+    ASSERT_TRUE(cache_->enabled());
+    cache_->StoreLpm(config_, rib_);
+    path_ = cache_->LpmPath(config_);
+    ASSERT_TRUE(fs::exists(path_));
+    clean_bytes_ = ReadFileBytes(path_);
+  }
+
+  /// The damaged file must miss with `reason`, be quarantined, and a
+  /// re-store must bring the warm mmap path back, byte-identical.
+  void ExpectRejectedThenRecovers(std::string_view reason) {
+    auto loaded = cache_->TryLoadLpm(config_);
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_EQ(CounterValue("snapshot.miss." + std::string(reason)), 1u)
+        << "expected reason " << reason;
+    EXPECT_FALSE(fs::exists(path_)) << "corrupt file must not stay in place";
+    EXPECT_TRUE(fs::exists(path_.string() + ".corrupt"));
+
+    cache_->StoreLpm(config_, rib_);
+    EXPECT_EQ(ReadFileBytes(path_), clean_bytes_);
+    auto reloaded = cache_->TryLoadLpm(config_);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(reloaded->Encode(), rib_.Flat().Encode());
+  }
+
+  fs::path dir_;
+  fs::path path_;
+  simnet::WorldConfig config_;
+  asdb::RoutingTable rib_;
+  std::optional<snapshot::StageCache> cache_;
+  std::string clean_bytes_;
+};
+
+TEST_F(LpmCacheCorruption, WarmLoadIsAViewAndMatches) {
+  auto loaded = cache_->TryLoadLpm(config_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->is_view());
+  EXPECT_EQ(CounterValue("snapshot.hit"), 1u);
+  ASSERT_TRUE(rib_.AdoptFlat(std::move(*loaded)));
+  EXPECT_EQ(CounterValue("lpm.adopt"), 1u);
+  util::Rng rng(34);
+  asdb::RoutingTable cold = MakeRib(33, 180);
+  for (const IpAddress& addr : ProbeSet(rng, {}, 1000)) {
+    ASSERT_EQ(cold.OriginOf(addr), rib_.OriginOf(addr)) << addr.ToString();
+  }
+}
+
+TEST_F(LpmCacheCorruption, TruncationFallsBack) {
+  WriteFileBytes(path_, clean_bytes_.substr(0, clean_bytes_.size() / 2));
+  ExpectRejectedThenRecovers("truncated");
+}
+
+TEST_F(LpmCacheCorruption, MagicFlipFallsBack) {
+  std::string bytes = clean_bytes_;
+  bytes[0] ^= 0x01;
+  WriteFileBytes(path_, bytes);
+  ExpectRejectedThenRecovers("bad-magic");
+}
+
+TEST_F(LpmCacheCorruption, PayloadFlipFailsCrc) {
+  std::string bytes = clean_bytes_;
+  bytes.back() ^= 0x40;
+  WriteFileBytes(path_, bytes);
+  ExpectRejectedThenRecovers("checksum");
+}
+
+TEST_F(LpmCacheCorruption, EmptyFileIsTruncated) {
+  WriteFileBytes(path_, "");
+  ExpectRejectedThenRecovers("truncated");
+}
+
+TEST_F(LpmCacheCorruption, StreamCorruptorDamageNeverCrashesOrLies) {
+  std::istringstream in(clean_bytes_);
+  std::ostringstream out;
+  faultsim::StreamCorruptor corruptor(faultsim::FaultMix::Destructive(0.8), 4321);
+  const auto stats = corruptor.Corrupt(in, out);
+  ASSERT_GT(stats.total_faults(), 0u);
+  ASSERT_NE(out.str(), clean_bytes_);
+  WriteFileBytes(path_, out.str());
+
+  auto loaded = cache_->TryLoadLpm(config_);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_GE(CounterValue("snapshot.miss"), 1u);
+  EXPECT_TRUE(fs::exists(path_.string() + ".corrupt"));
+
+  cache_->StoreLpm(config_, rib_);
+  auto reloaded = cache_->TryLoadLpm(config_);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->Encode(), rib_.Flat().Encode());
+}
+
+}  // namespace
+}  // namespace cellspot::netaddr

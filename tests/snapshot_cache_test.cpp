@@ -72,13 +72,14 @@ TEST(StageCachePipeline, WarmRunSkipsCachedStagesByteIdentically) {
   EXPECT_TRUE(HasTiming(cold, "generate_datasets"));
   EXPECT_TRUE(HasTiming(cold, "classify"));
   EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
-  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 3u);
+  // world + datasets + classified + the compiled LPM engine
+  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 4u);
   EXPECT_GT(CounterValue("snapshot.bytes_written"), 0u);
 
   obs::MetricsRegistry::Global().ResetForTest();
   Pipeline warm(config);
   warm.Run();
-  EXPECT_EQ(CounterValue("snapshot.hit"), 3u);
+  EXPECT_EQ(CounterValue("snapshot.hit"), 4u);
   EXPECT_EQ(CounterValue("snapshot.miss"), 0u);
   EXPECT_GT(CounterValue("snapshot.bytes_read"), 0u);
   // The cached stages never ran: no spans, no timings.
@@ -110,7 +111,7 @@ TEST(StageCachePipeline, DifferentSeedKeysDifferentSnapshots) {
   Pipeline other(config);
   other.Run();
   EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
-  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 3u);
+  EXPECT_EQ(CounterValue("snapshot.miss.absent"), 4u);
   EXPECT_TRUE(HasTiming(other, "build_world"));
 }
 
@@ -124,9 +125,9 @@ TEST(StageCachePipeline, ClassifierConfigKeysOnlyTheClassifiedStage) {
   config.classifier.threshold = 0.9;
   Pipeline reclass(config);
   reclass.Run();
-  // World + datasets hit; the classified snapshot is keyed off the
-  // classifier config and must recompute.
-  EXPECT_EQ(CounterValue("snapshot.hit"), 2u);
+  // World + datasets + lpm hit; the classified snapshot is keyed off
+  // the classifier config and must recompute.
+  EXPECT_EQ(CounterValue("snapshot.hit"), 3u);
   EXPECT_EQ(CounterValue("snapshot.miss.absent"), 1u);
   EXPECT_FALSE(HasTiming(reclass, "build_world"));
   EXPECT_TRUE(HasTiming(reclass, "classify"));

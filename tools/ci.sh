@@ -9,6 +9,7 @@
 #   tools/ci.sh snapshot     # snapshot roundtrip + corruption tests under ASan
 #   tools/ci.sh stream-chaos # streaming chaos harness under ASan and TSan
 #   tools/ci.sh query        # columnar query engine tests under ASan
+#   tools/ci.sh lpm          # flat LPM engine differential + consumers, ASan then TSan
 #   tools/ci.sh lint         # cellspot-lint + header self-containment + -Werror build
 set -euo pipefail
 
@@ -79,6 +80,34 @@ run_query() {
     >/dev/null 2>&1 || rc=$?
   [[ "$rc" == 5 ]] || { echo "ci.sh: expected exit 5 on unknown column, got $rc" >&2; exit 1; }
   rm -rf "$snaps"
+}
+
+# The flat LPM engine end to end: the differential suite (FlatLpm vs
+# PrefixTrie on seeded random sets, the mmap-served snapshot section,
+# the corruption matrix) plus every lookup-path consumer under
+# ASan+UBSan, then the same differential suite and the pipeline
+# determinism matrix under TSan with a forced multi-worker pool, so the
+# chunked batch seam and the RoutingTable's lazily published engine are
+# exercised with real interleavings.
+run_lpm() {
+  local dir="build-asan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=address
+  cmake --build "$dir" -j "$jobs" --target \
+    lpm_differential_test netaddr_prefix_trie_test core_cellular_map_test \
+    asdb_test snapshot_cache_test
+  "$dir/tests/lpm_differential_test"
+  "$dir/tests/netaddr_prefix_trie_test"
+  "$dir/tests/core_cellular_map_test"
+  "$dir/tests/asdb_test"
+  "$dir/tests/snapshot_cache_test"
+
+  dir="build-tsan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=thread
+  cmake --build "$dir" -j "$jobs" --target \
+    lpm_differential_test pipeline_determinism_test
+  local tsan_opts="suppressions=$PWD/tools/tsan.supp halt_on_error=1"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/lpm_differential_test"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/pipeline_determinism_test"
 }
 
 # Static analysis gate: the project's own invariants first, then the
@@ -154,11 +183,12 @@ case "$variant" in
   snapshot)    run_snapshot ;;
   stream-chaos) run_stream_chaos ;;
   query)       run_query ;;
+  lpm)         run_lpm ;;
   lint)        run_lint ;;
   all)         run_lint
                run build
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
                run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|stream-chaos|query|lint|all]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|stream-chaos|query|lpm|lint|all]" >&2; exit 2 ;;
 esac
