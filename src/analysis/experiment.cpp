@@ -7,7 +7,8 @@ namespace cellspot::analysis {
 Experiment RunExperiment(const simnet::WorldConfig& config,
                          const core::ClassifierConfig& classifier_config,
                          const core::AsFilterConfig& filter_config) {
-  Pipeline pipeline({config, classifier_config, filter_config, {}});
+  Pipeline pipeline(
+      {.world = config, .classifier = classifier_config, .filters = filter_config});
   pipeline.Run();
   return std::move(pipeline).TakeExperiment();
 }
@@ -16,10 +17,8 @@ const Experiment& SharedPaperExperiment() {
   static const Experiment experiment = [] {
     // Honour CELLSPOT_SNAPSHOT_DIR so repeat bench/CLI runs at the same
     // scale skip world + dataset generation entirely.
-    Pipeline pipeline({simnet::WorldConfig::Paper(PaperScaleFromEnv(0.05)),
-                       {},
-                       {},
-                       SnapshotDirFromEnv()});
+    Pipeline pipeline({.world = simnet::WorldConfig::Paper(PaperScaleFromEnv(0.05)),
+                       .snapshot_dir = SnapshotDirFromEnv()});
     pipeline.Run();
     return std::move(pipeline).TakeExperiment();
   }();

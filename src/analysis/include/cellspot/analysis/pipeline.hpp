@@ -45,13 +45,17 @@ class Pipeline {
     simnet::WorldConfig world = {};
     core::ClassifierConfig classifier = {};
     core::AsFilterConfig filters = {};
+    /// Aggregation shard count for the Aggregate stage; 0 picks
+    /// core::DefaultAggregationShards(). Output is byte-identical at
+    /// any value — this is purely a parallelism/memory knob.
+    std::size_t aggregation_shards = 0;
     /// When non-empty, stage outputs are cached as binary snapshots in
     /// this directory (see src/snapshot): each stage probes the cache
     /// before computing and a hit skips the stage entirely — no
     /// pipeline.<stage> span, no timings() entry, byte-identical
     /// results. Corrupt or stale snapshots are quarantined and the
     /// stage recomputes.
-    std::string snapshot_dir;
+    std::string snapshot_dir = {};
   };
 
   /// Uses the shared process-wide executor.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cellspot/core/sharded_aggregation.hpp"
 #include "cellspot/exec/executor.hpp"
 #include "cellspot/obs/trace.hpp"
 #include "cellspot/snapshot/stage_cache.hpp"
@@ -124,7 +125,8 @@ const core::ClassifiedSubnets& Pipeline::Classify() {
     // must bypass it in both directions.
     const bool use_cache = cache_ && !external_datasets_;
     if (use_cache) {
-      if (auto classified = cache_->TryLoadClassified(config_.world, config_.classifier)) {
+      if (auto classified =
+              cache_->TryLoadClassified(config_.world, config_.classifier, executor_)) {
         exp_.classified = std::move(*classified);
         has_classified_ = true;
         return exp_.classified;
@@ -144,8 +146,13 @@ const std::vector<core::AsAggregate>& Pipeline::Aggregate() {
   if (!has_candidates_) {
     Classify();
     StageClock clock(timings_, "aggregate");
-    exp_.candidates = core::AggregateCandidateAses(
-        exp_.world.rib(), exp_.classified, exp_.beacons, exp_.demand, *executor_);
+    // The sharded engine traces one "aggregate.shard" span per shard
+    // (nested under pipeline.aggregate on the calling thread) and sets
+    // the aggregate.pool.* gauges; the stage timing above stays the
+    // single "aggregate" entry the five-stage contract pins.
+    exp_.candidates = core::AggregateCandidateAsesSharded(
+        exp_.world.rib(), exp_.classified, exp_.beacons, exp_.demand, *executor_,
+        core::AggregationConfig{.shards = config_.aggregation_shards});
     has_candidates_ = true;
     clock.Finish(exp_.candidates.size());
   }

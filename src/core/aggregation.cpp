@@ -20,24 +20,27 @@ Prefix Parent(const Prefix& p) { return Prefix(p.address(), p.length() - 1); }
 }  // namespace
 
 std::vector<Prefix> CompressPrefixes(std::vector<Prefix> prefixes) {
+  // Drop duplicates and prefixes already covered by a coarser one with
+  // a single sorted containment sweep. In (family, address, length)
+  // order a covering prefix always sorts before everything it covers
+  // (its host bits are zeroed, so its address is <=; equal addresses
+  // order by length), and any prefix between a cover P and a P-covered
+  // prefix shares P's leading bits, i.e. is itself covered by P — so
+  // comparing each prefix against only the last one kept is exact.
+  // This replaces an ancestor-walk per prefix against a std::set
+  // (O(n · maxlen · log n)) with O(n log n) for the sort.
+  std::sort(prefixes.begin(), prefixes.end());
+  std::vector<Prefix> swept;
+  swept.reserve(prefixes.size());
+  for (const Prefix& p : prefixes) {
+    if (!swept.empty() && (swept.back() == p || swept.back().Covers(p))) continue;
+    swept.push_back(p);
+  }
+
   // Ordered set: the merge loop below iterates and erases, and the
   // compressed map is exported — traversal order must be the prefix
   // order, never a hash layout.
-  std::set<Prefix> pool(prefixes.begin(), prefixes.end());
-
-  // Drop prefixes already covered by a coarser one in the pool.
-  for (auto it = pool.begin(); it != pool.end();) {
-    bool covered = false;
-    Prefix walk = *it;
-    while (walk.length() > 0) {
-      walk = Parent(walk);
-      if (pool.contains(walk)) {
-        covered = true;
-        break;
-      }
-    }
-    it = covered ? pool.erase(it) : std::next(it);
-  }
+  std::set<Prefix> pool(swept.begin(), swept.end());
 
   // Bottom-up sibling merge: process lengths from the most specific
   // present down to 1.

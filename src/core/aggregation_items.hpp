@@ -1,0 +1,76 @@
+// Internal to cellspot_core: the item materialisation + origin
+// resolution step shared by the sequential and sharded aggregation
+// paths. Both must see the exact same items in the exact same dataset
+// iteration order — that shared front end is what makes the two
+// engines' outputs byte-comparable in the differential tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cellspot/asdb/as_database.hpp"
+#include "cellspot/dataset/beacon_dataset.hpp"
+#include "cellspot/dataset/demand_dataset.hpp"
+#include "cellspot/exec/executor.hpp"
+
+namespace cellspot::core::detail {
+
+struct BeaconItem {
+  const netaddr::Prefix* block;
+  const dataset::BeaconBlockStats* stats;
+  asdb::AsNumber origin = 0;
+  bool routed = false;
+};
+
+struct DemandItem {
+  const netaddr::Prefix* block;
+  double du;
+  asdb::AsNumber origin = 0;
+  bool routed = false;
+};
+
+struct ResolvedItems {
+  std::vector<BeaconItem> beacons;
+  std::vector<DemandItem> demand;
+};
+
+/// Materialise both datasets in iteration order, then resolve every
+/// block's origin AS (the longest-prefix-match walk dominates the
+/// stage) in parallel chunk batches.
+inline ResolvedItems ResolveAggregationItems(const asdb::RoutingTable& rib,
+                                             const dataset::BeaconDataset& beacons,
+                                             const dataset::DemandDataset& demand,
+                                             exec::Executor& executor) {
+  ResolvedItems items;
+  items.beacons.reserve(beacons.block_count());
+  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
+    items.beacons.push_back({&block, &stats, 0, false});
+  });
+  items.demand.reserve(demand.block_count());
+  demand.ForEach([&](const netaddr::Prefix& block, double du) {
+    items.demand.push_back({&block, du, 0, false});
+  });
+
+  constexpr std::size_t kGrain = 4096;
+  (void)rib.Flat();  // compile once up front, not under the first chunk's lock
+  const auto resolve_origins = [&](auto& list) {
+    std::vector<netaddr::IpAddress> addrs(list.size());
+    std::vector<asdb::AsNumber> origins(list.size(), 0);
+    for (std::size_t i = 0; i < list.size(); ++i) addrs[i] = list[i].block->address();
+    executor.ParallelFor(list.size(), kGrain, [&](std::size_t begin, std::size_t end) {
+      rib.OriginOfBatch(
+          std::span<const netaddr::IpAddress>(addrs).subspan(begin, end - begin),
+          std::span<asdb::AsNumber>(origins).subspan(begin, end - begin));
+    });
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (origins[i] == 0) continue;  // 0 is reserved: unrouted
+      list[i].origin = origins[i];
+      list[i].routed = true;
+    }
+  };
+  resolve_origins(items.beacons);
+  resolve_origins(items.demand);
+  return items;
+}
+
+}  // namespace cellspot::core::detail

@@ -1,10 +1,11 @@
 #include "cellspot/core/as_pipeline.hpp"
 
 #include <algorithm>
-#include <span>
 #include <utility>
 #include <vector>
 
+#include "aggregation_items.hpp"
+#include "cellspot/core/sharded_aggregation.hpp"
 #include "cellspot/exec/executor.hpp"
 #include "cellspot/util/stable_map.hpp"
 
@@ -29,51 +30,15 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
                                                 const dataset::BeaconDataset& beacons,
                                                 const dataset::DemandDataset& demand,
                                                 exec::Executor& executor) {
-  // Materialise both datasets in iteration order, then resolve every
-  // block's origin AS (the longest-prefix-match walk dominates this
-  // stage) in parallel. Accumulation stays sequential below so per-AS
-  // floating-point sums and map layout match the sequential path.
-  struct BeaconItem {
-    const netaddr::Prefix* block;
-    const dataset::BeaconBlockStats* stats;
-    AsNumber origin = 0;
-    bool routed = false;
-  };
-  struct DemandItem {
-    const netaddr::Prefix* block;
-    double du;
-    AsNumber origin = 0;
-    bool routed = false;
-  };
-  std::vector<BeaconItem> beacon_items;
-  beacon_items.reserve(beacons.block_count());
-  beacons.ForEach([&](const netaddr::Prefix& block, const dataset::BeaconBlockStats& stats) {
-    beacon_items.push_back({&block, &stats, 0, false});
-  });
-  std::vector<DemandItem> demand_items;
-  demand_items.reserve(demand.block_count());
-  demand.ForEach([&](const netaddr::Prefix& block, double du) {
-    demand_items.push_back({&block, du, 0, false});
-  });
+  return AggregateCandidateAsesSharded(rib, classified, beacons, demand, executor);
+}
 
-  constexpr std::size_t kGrain = 4096;
-  (void)rib.Flat();  // compile once up front, not under the first chunk's lock
-  const auto resolve_origins = [&](auto& items) {
-    std::vector<netaddr::IpAddress> addrs(items.size());
-    std::vector<AsNumber> origins(items.size(), 0);
-    for (std::size_t i = 0; i < items.size(); ++i) addrs[i] = items[i].block->address();
-    executor.ParallelFor(items.size(), kGrain, [&](std::size_t begin, std::size_t end) {
-      rib.OriginOfBatch(std::span<const netaddr::IpAddress>(addrs).subspan(begin, end - begin),
-                        std::span<AsNumber>(origins).subspan(begin, end - begin));
-    });
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (origins[i] == 0) continue;  // 0 is reserved: unrouted
-      items[i].origin = origins[i];
-      items[i].routed = true;
-    }
-  };
-  resolve_origins(beacon_items);
-  resolve_origins(demand_items);
+std::vector<AsAggregate> AggregateCandidateAsesSequential(
+    const asdb::RoutingTable& rib, const ClassifiedSubnets& classified,
+    const dataset::BeaconDataset& beacons, const dataset::DemandDataset& demand,
+    exec::Executor& executor) {
+  const detail::ResolvedItems items =
+      detail::ResolveAggregationItems(rib, beacons, demand, executor);
 
   // StableMap: the candidate extraction below iterates this map, so its
   // order must come from the dataset insertion sequence, not hashing.
@@ -85,7 +50,7 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
   };
 
   // Beacon-side aggregation: observed blocks, hits, cellular detections.
-  for (const BeaconItem& item : beacon_items) {
+  for (const detail::BeaconItem& item : items.beacons) {
     if (!item.routed) continue;
     const netaddr::Prefix& block = *item.block;
     AsAggregate& agg = slot(item.origin);
@@ -103,7 +68,7 @@ std::vector<AsAggregate> AggregateCandidateAses(const asdb::RoutingTable& rib,
   }
 
   // Demand-side aggregation covers blocks with no beacons at all.
-  for (const DemandItem& item : demand_items) {
+  for (const detail::DemandItem& item : items.demand) {
     if (!item.routed) continue;
     AsAggregate& agg = slot(item.origin);
     agg.total_demand_du += item.du;

@@ -1,5 +1,7 @@
 #include "cellspot/obs/bench.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <ctime>
 #include <stdexcept>
 
@@ -218,6 +220,83 @@ void ValidateTrajectory(const JsonValue& doc) {
                                   "' inside trajectory for '" + bench + "'");
     }
   }
+}
+
+namespace {
+
+/// Rounds a gate dimension out of a run record; absent optional fields
+/// take their documented defaults (scale 0, cold cache).
+struct GateKey {
+  double threads = 0.0;
+  double scale = 0.0;
+  bool warm_cache = false;
+
+  friend bool operator==(const GateKey&, const GateKey&) = default;
+};
+
+GateKey KeyOf(const JsonValue& run) {
+  GateKey key;
+  key.threads = run.Find("threads")->as_number();
+  if (const JsonValue* scale = run.Find("scale")) key.scale = scale->as_number();
+  if (const JsonValue* warm = run.Find("warm_cache")) key.warm_cache = warm->as_bool();
+  return key;
+}
+
+double MedianOf(const JsonValue& run) {
+  return run.Find("wall_ms")->Find("median")->as_number();
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+BenchGateResult GateBenchRun(const JsonValue& trajectory, const JsonValue& run,
+                             double tolerance) {
+  if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+    throw std::invalid_argument("GateBenchRun: tolerance must be a finite number >= 0");
+  }
+  ValidateTrajectory(trajectory);
+  ValidateBenchRun(run);
+  const std::string& bench = run.Find("bench")->as_string();
+  if (trajectory.Find("bench")->as_string() != bench) {
+    throw std::invalid_argument("GateBenchRun: trajectory is for bench '" +
+                                trajectory.Find("bench")->as_string() +
+                                "', refusing to gate a run of '" + bench + "'");
+  }
+
+  BenchGateResult result;
+  result.fresh_median_ms = MedianOf(run);
+  const GateKey key = KeyOf(run);
+  for (const JsonValue& past : trajectory.Find("runs")->as_array()) {
+    if (KeyOf(past) != key) continue;
+    const double median = MedianOf(past);
+    if (!result.comparable || median < result.baseline_median_ms) {
+      result.baseline_median_ms = median;
+    }
+    result.comparable = true;
+    ++result.baseline_runs;
+  }
+
+  if (!result.comparable) {
+    result.note = bench + ": no comparable baseline (threads=" +
+                  std::to_string(static_cast<unsigned>(key.threads)) +
+                  ", scale=" + FormatMs(key.scale) + ", " +
+                  (key.warm_cache ? "warm" : "cold") + " cache); gate passes";
+    return result;
+  }
+
+  const double limit = result.baseline_median_ms * (1.0 + tolerance);
+  result.regression = result.fresh_median_ms > limit;
+  result.note = bench + ": median " + FormatMs(result.fresh_median_ms) +
+                " ms vs baseline " + FormatMs(result.baseline_median_ms) +
+                " ms (best of " + std::to_string(result.baseline_runs) +
+                " comparable run(s), limit " + FormatMs(limit) + " ms) — " +
+                (result.regression ? "REGRESSION" : "ok");
+  return result;
 }
 
 std::string IsoTimestampUtc() {

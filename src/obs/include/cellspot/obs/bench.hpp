@@ -75,6 +75,31 @@ void ValidateBenchRun(const JsonValue& run);
 /// Schema check for a BENCH_<name>.json trajectory document.
 void ValidateTrajectory(const JsonValue& doc);
 
+/// Outcome of holding a fresh run against its committed trajectory — the
+/// perf regression gate behind `bench_json gate` / `ci.sh bench-smoke`.
+struct BenchGateResult {
+  bool comparable = false;  // trajectory held >= 1 run with matching
+                            // threads, scale and cache temperature
+  bool regression = false;  // fresh median > baseline * (1 + tolerance)
+  std::size_t baseline_runs = 0;     // comparable runs considered
+  double baseline_median_ms = 0.0;   // best (minimum) comparable median
+  double fresh_median_ms = 0.0;
+  std::string note;  // one-line human verdict, always populated
+};
+
+/// Compare `run`'s median wall time against the best comparable run in
+/// `trajectory`. Comparable means same bench, same threads, same scale
+/// and same warm_cache flag — a run at a different thread count or world
+/// scale is a different experiment, and gating against it would flag
+/// phantom regressions. When nothing is comparable the gate passes with
+/// a note (regression = false, comparable = false): a new bench or a new
+/// configuration cannot fail its very first measurement. Both documents
+/// are schema-validated; throws std::invalid_argument on a malformed
+/// document, a bench-name mismatch, or a negative/non-finite tolerance.
+[[nodiscard]] BenchGateResult GateBenchRun(const JsonValue& trajectory,
+                                           const JsonValue& run,
+                                           double tolerance = 0.25);
+
 /// Current time as "2026-08-05T12:34:56Z".
 [[nodiscard]] std::string IsoTimestampUtc();
 

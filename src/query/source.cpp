@@ -33,8 +33,9 @@ std::string_view FamilyName(netaddr::Family f) noexcept {
 /// Join candidates/filter outcome onto a freshly decoded bundle.
 void FinishBundle(SnapshotBundle& bundle, const BundleOptions& options,
                   exec::Executor& executor) {
-  bundle.candidates = core::AggregateCandidateAses(bundle.world.rib(), bundle.classified,
-                                                   bundle.beacons, bundle.demand, executor);
+  bundle.candidates = core::AggregateCandidateAsesSharded(
+      bundle.world.rib(), bundle.classified, bundle.beacons, bundle.demand, executor,
+      options.aggregation);
   bundle.filtered = core::ApplyAsFilters(bundle.candidates, bundle.world.as_db(),
                                          options.filters);
 }

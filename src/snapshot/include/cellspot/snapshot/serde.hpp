@@ -19,6 +19,10 @@
 #include "cellspot/simnet/world.hpp"
 #include "cellspot/snapshot/snapshot.hpp"
 
+namespace cellspot::exec {
+class Executor;
+}
+
 namespace cellspot::snapshot {
 
 /// Canonical byte encoding of a WorldConfig — embedded in world
@@ -39,8 +43,36 @@ namespace cellspot::snapshot {
 [[nodiscard]] std::pair<dataset::BeaconDataset, dataset::DemandDataset> DecodeDatasets(
     const std::vector<Section>& sections);
 
+/// Canonical single-merge layout (sections "classified.ratios" and
+/// "classified.cellular"): the byte-comparison currency of the
+/// determinism tests and stream exports — unchanged by sharding.
 [[nodiscard]] std::vector<Section> EncodeClassified(const core::ClassifiedSubnets& classified);
+
+/// Decode either classified layout: the legacy two-section one or the
+/// sharded one written by EncodeClassifiedSharded.
 [[nodiscard]] core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections);
+
+/// Marker/manifest section of the sharded classified layout: varint
+/// shard count, then total ratio and cellular row counts (the decoder
+/// cross-checks both). Row payloads live in "classified.ratios.<k>" /
+/// "classified.cellular.<k>", 0 <= k < shards.
+inline constexpr std::string_view kClassifiedShardsSection = "classified.shards";
+
+/// Split the classified rows into `shard_count` contiguous ranges of
+/// their insertion order, one pair of sections per shard, plus the
+/// manifest. Ordered concatenation at decode reproduces the exact row
+/// order, so re-encoding with EncodeClassified is byte-identical to
+/// the source object's encoding; meanwhile a warm load can decode the
+/// shards in parallel (DecodeClassifiedMapped).
+[[nodiscard]] std::vector<Section> EncodeClassifiedSharded(
+    const core::ClassifiedSubnets& classified, std::size_t shard_count);
+
+/// Decode a classified snapshot straight off a memory-mapped file.
+/// Sharded layouts decode their per-shard sections in parallel on
+/// `executor` (nullptr, or a legacy layout, decodes sequentially);
+/// validation and the resulting object are identical either way.
+[[nodiscard]] core::ClassifiedSubnets DecodeClassifiedMapped(const class MappedSnapshot& snap,
+                                                             exec::Executor* executor);
 
 /// Section name of the compiled flat LPM engine (see netaddr::FlatLpm
 /// for the payload layout). Big-endian fixed-width addresses inside the

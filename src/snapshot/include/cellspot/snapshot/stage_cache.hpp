@@ -35,11 +35,20 @@
 #include "cellspot/dataset/demand_dataset.hpp"
 #include "cellspot/simnet/world.hpp"
 
+namespace cellspot::exec {
+class Executor;
+}
+
 namespace cellspot::snapshot {
 
 /// FNV-1a 64-bit, the cache-key hash. Exposed for tests.
 [[nodiscard]] std::uint64_t Fnv1a64(std::string_view bytes,
                                     std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+/// Shard count StoreClassified writes (EncodeClassifiedSharded). A
+/// layout knob only: any value round-trips to the identical object,
+/// and the decoder takes the count from the snapshot's manifest.
+inline constexpr std::size_t kClassifiedStoreShards = 8;
 
 class StageCache {
  public:
@@ -67,8 +76,13 @@ class StageCache {
                      const dataset::BeaconDataset& beacons,
                      const dataset::DemandDataset& demand);
 
+  /// Served from a memory-mapped file. Snapshots written by
+  /// StoreClassified carry per-shard sections which decode in parallel
+  /// on `executor` (nullptr decodes sequentially); pre-shard snapshots
+  /// decode sequentially either way. Identical results in every case.
   [[nodiscard]] std::optional<core::ClassifiedSubnets> TryLoadClassified(
-      const simnet::WorldConfig& config, const core::ClassifierConfig& classifier);
+      const simnet::WorldConfig& config, const core::ClassifierConfig& classifier,
+      exec::Executor* executor = nullptr);
   void StoreClassified(const simnet::WorldConfig& config,
                        const core::ClassifierConfig& classifier,
                        const core::ClassifiedSubnets& classified);

@@ -4,11 +4,15 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "cellspot/exec/executor.hpp"
 #include "cellspot/snapshot/binary_io.hpp"
+#include "cellspot/snapshot/mapped.hpp"
 #include "cellspot/util/error.hpp"
 
 namespace cellspot::snapshot {
@@ -576,30 +580,68 @@ std::vector<Section> EncodeClassified(const core::ClassifiedSubnets& classified)
   return sections;
 }
 
-core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections) {
-  core::ClassifiedSubnets out;
+namespace {
+
+/// Decoded rows of one shard (or of the whole legacy payload pair),
+/// validated entry by entry but not yet folded into the result object.
+struct ClassifiedFragment {
+  std::vector<std::pair<netaddr::Prefix, double>> ratios;
+  std::vector<netaddr::Prefix> cellular;
+};
+
+ClassifiedFragment DecodeClassifiedFragment(std::string_view ratios_payload,
+                                            std::string_view cellular_payload) {
+  ClassifiedFragment fragment;
   {
-    ByteReader r(FindSection(sections, kClassifiedRatiosSection).payload);
+    ByteReader r(ratios_payload);
     const std::uint64_t count = r.Varint();
-    Access::Ratios(out).reserve(count);
+    fragment.ratios.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
       const netaddr::Prefix block = GetPrefix(r);
       const double ratio = GetFiniteF64(r, "cellular ratio");
       if (ratio < 0.0 || ratio > 1.0) {
         Malformed("cellular ratio " + std::to_string(ratio) + " outside [0, 1]");
       }
-      if (!Access::Ratios(out).Emplace(block, ratio)) {
-        Malformed("duplicate classified block " + block.ToString());
-      }
+      fragment.ratios.emplace_back(block, ratio);
     }
     r.ExpectEnd();
   }
   {
-    ByteReader r(FindSection(sections, kClassifiedCellularSection).payload);
+    ByteReader r(cellular_payload);
     const std::uint64_t count = r.Varint();
-    Access::Cellular(out).reserve(count);
+    fragment.cellular.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-      const netaddr::Prefix block = GetPrefix(r);
+      fragment.cellular.push_back(GetPrefix(r));
+    }
+    r.ExpectEnd();
+  }
+  return fragment;
+}
+
+/// Fold fragments into a ClassifiedSubnets in fragment order: all
+/// ratio rows first (cross-shard duplicate detection), then all
+/// cellular rows (each must have a ratio). Ordered concatenation is
+/// what makes the decoded object's iteration order — and therefore its
+/// re-encoding — identical to the source's.
+core::ClassifiedSubnets FoldClassifiedFragments(std::span<ClassifiedFragment> fragments) {
+  core::ClassifiedSubnets out;
+  std::size_t total_ratios = 0;
+  std::size_t total_cellular = 0;
+  for (const ClassifiedFragment& f : fragments) {
+    total_ratios += f.ratios.size();
+    total_cellular += f.cellular.size();
+  }
+  Access::Ratios(out).reserve(total_ratios);
+  Access::Cellular(out).reserve(total_cellular);
+  for (const ClassifiedFragment& f : fragments) {
+    for (const auto& [block, ratio] : f.ratios) {
+      if (!Access::Ratios(out).Emplace(block, ratio)) {
+        Malformed("duplicate classified block " + block.ToString());
+      }
+    }
+  }
+  for (const ClassifiedFragment& f : fragments) {
+    for (const netaddr::Prefix& block : f.cellular) {
       if (Access::Ratios(out).Find(block) == nullptr) {
         Malformed("cellular block " + block.ToString() + " has no recorded ratio");
       }
@@ -607,9 +649,191 @@ core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections) {
         Malformed("duplicate cellular block " + block.ToString());
       }
     }
-    r.ExpectEnd();
   }
   return out;
+}
+
+std::string ShardSectionName(std::string_view base, std::size_t shard) {
+  return std::string(base) + "." + std::to_string(shard);
+}
+
+/// Shared core of the sharded decode, parameterised over how section
+/// payloads are looked up (owned Sections vs mmap'd views). `executor`
+/// may be null: shards then decode sequentially, same result.
+template <typename PayloadOf>
+core::ClassifiedSubnets DecodeClassifiedShardedImpl(std::string_view manifest,
+                                                    PayloadOf&& payload_of,
+                                                    exec::Executor* executor) {
+  std::uint64_t shard_count = 0;
+  std::uint64_t want_ratios = 0;
+  std::uint64_t want_cellular = 0;
+  {
+    ByteReader r(manifest);
+    shard_count = r.Varint();
+    want_ratios = r.Varint();
+    want_cellular = r.Varint();
+    r.ExpectEnd();
+  }
+  if (shard_count == 0) Malformed("classified shard count is 0");
+  if (shard_count > 65536) {
+    Malformed("implausible classified shard count " + std::to_string(shard_count));
+  }
+
+  // Resolve every shard's payload up front (missing sections throw
+  // here, on the calling thread), then decode the fragments — in
+  // parallel when an executor is given. Exceptions inside the pool
+  // are captured per shard and rethrown after the join.
+  std::vector<std::pair<std::string_view, std::string_view>> payloads(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    payloads[k] = {payload_of(ShardSectionName(kClassifiedRatiosSection, k)),
+                   payload_of(ShardSectionName(kClassifiedCellularSection, k))};
+  }
+  std::vector<ClassifiedFragment> fragments(shard_count);
+  std::vector<std::string> shard_errors(shard_count);
+  const auto decode_shard = [&](std::size_t k) {
+    try {
+      fragments[k] = DecodeClassifiedFragment(payloads[k].first, payloads[k].second);
+    } catch (const SnapshotError& e) {
+      shard_errors[k] = e.what();
+    }
+  };
+  if (executor != nullptr) {
+    executor->ParallelForChunks(
+        shard_count, 1,
+        [&](std::size_t /*begin*/, std::size_t /*end*/, std::size_t k) { decode_shard(k); });
+  } else {
+    for (std::size_t k = 0; k < shard_count; ++k) decode_shard(k);
+  }
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    if (!shard_errors[k].empty()) {
+      Malformed("classified shard " + std::to_string(k) + ": " + shard_errors[k]);
+    }
+  }
+
+  core::ClassifiedSubnets out = FoldClassifiedFragments(fragments);
+  if (out.ratios().size() != want_ratios || out.cellular().size() != want_cellular) {
+    Malformed("classified shard manifest counts (" + std::to_string(want_ratios) + ", " +
+              std::to_string(want_cellular) + ") disagree with decoded rows (" +
+              std::to_string(out.ratios().size()) + ", " +
+              std::to_string(out.cellular().size()) + ")");
+  }
+  return out;
+}
+
+}  // namespace
+
+core::ClassifiedSubnets DecodeClassified(const std::vector<Section>& sections) {
+  for (const Section& s : sections) {
+    if (s.name == kClassifiedShardsSection) {
+      return DecodeClassifiedShardedImpl(
+          s.payload,
+          [&](const std::string& name) -> std::string_view {
+            return FindSection(sections, name).payload;
+          },
+          nullptr);
+    }
+  }
+  ClassifiedFragment fragment = DecodeClassifiedFragment(
+      FindSection(sections, kClassifiedRatiosSection).payload,
+      FindSection(sections, kClassifiedCellularSection).payload);
+  return FoldClassifiedFragments({&fragment, 1});
+}
+
+std::vector<Section> EncodeClassifiedSharded(const core::ClassifiedSubnets& classified,
+                                             std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  const std::size_t n_ratios = classified.ratios().size();
+  const std::size_t n_cellular = classified.cellular().size();
+
+  std::vector<Section> sections;
+  sections.reserve(1 + 2 * shard_count);
+  {
+    ByteWriter w;
+    w.Varint(shard_count);
+    w.Varint(n_ratios);
+    w.Varint(n_cellular);
+    sections.push_back({std::string(kClassifiedShardsSection), std::move(w).Take()});
+  }
+
+  // Contiguous even split of the insertion-order rows: shard k owns
+  // rows [k*n/shards, (k+1)*n/shards). Concatenating the shards in
+  // index order is exactly the original row order.
+  const auto shard_end = [shard_count](std::size_t n, std::size_t k) {
+    return (k + 1) * n / shard_count;
+  };
+  {
+    std::size_t k = 0;
+    std::size_t i = 0;
+    ByteWriter w;
+    std::size_t rows_in_shard = 0;
+    const auto flush = [&]() {
+      ByteWriter framed;
+      framed.Varint(rows_in_shard);
+      std::string body = std::move(w).Take();
+      framed.Bytes(body);
+      sections.push_back(
+          {ShardSectionName(kClassifiedRatiosSection, k), std::move(framed).Take()});
+      w = ByteWriter();
+      rows_in_shard = 0;
+    };
+    for (const auto& [block, ratio] : classified.ratios()) {
+      while (i >= shard_end(n_ratios, k)) {
+        flush();
+        ++k;
+      }
+      PutPrefix(w, block);
+      w.F64(ratio);
+      ++rows_in_shard;
+      ++i;
+    }
+    while (k < shard_count) {
+      flush();
+      ++k;
+    }
+  }
+  {
+    std::size_t k = 0;
+    std::size_t i = 0;
+    ByteWriter w;
+    std::size_t rows_in_shard = 0;
+    const auto flush = [&]() {
+      ByteWriter framed;
+      framed.Varint(rows_in_shard);
+      std::string body = std::move(w).Take();
+      framed.Bytes(body);
+      sections.push_back(
+          {ShardSectionName(kClassifiedCellularSection, k), std::move(framed).Take()});
+      w = ByteWriter();
+      rows_in_shard = 0;
+    };
+    for (const netaddr::Prefix& block : classified.cellular()) {
+      while (i >= shard_end(n_cellular, k)) {
+        flush();
+        ++k;
+      }
+      PutPrefix(w, block);
+      ++rows_in_shard;
+      ++i;
+    }
+    while (k < shard_count) {
+      flush();
+      ++k;
+    }
+  }
+  return sections;
+}
+
+core::ClassifiedSubnets DecodeClassifiedMapped(const MappedSnapshot& snap,
+                                               exec::Executor* executor) {
+  if (snap.HasSection(kClassifiedShardsSection)) {
+    return DecodeClassifiedShardedImpl(
+        snap.SectionPayload(kClassifiedShardsSection),
+        [&](const std::string& name) { return snap.SectionPayload(name); }, executor);
+  }
+  ClassifiedFragment fragment =
+      DecodeClassifiedFragment(snap.SectionPayload(kClassifiedRatiosSection),
+                               snap.SectionPayload(kClassifiedCellularSection));
+  return FoldClassifiedFragments({&fragment, 1});
 }
 
 std::vector<Section> EncodeRibLpm(const asdb::RoutingTable& rib) {

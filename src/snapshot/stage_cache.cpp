@@ -168,11 +168,36 @@ void StageCache::StoreDatasets(const simnet::WorldConfig& config,
 }
 
 std::optional<core::ClassifiedSubnets> StageCache::TryLoadClassified(
-    const simnet::WorldConfig& config, const core::ClassifierConfig& classifier) {
+    const simnet::WorldConfig& config, const core::ClassifierConfig& classifier,
+    exec::Executor* executor) {
   if (!enabled_) return std::nullopt;
-  return TryLoad<core::ClassifiedSubnets>(
-      ClassifiedPath(config, classifier), "classified",
-      [](const std::vector<Section>& sections) { return DecodeClassified(sections); });
+  const std::filesystem::path path = ClassifiedPath(config, classifier);
+  auto& reg = obs::MetricsRegistry::Global();
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    CountMiss("absent");
+    return std::nullopt;
+  }
+  obs::TraceSpan span("snapshot.load");
+  try {
+    // Mapped rather than read: container validation runs once over the
+    // mapping and the per-shard sections decode in place — in parallel
+    // when an executor is given (the mapping is read-only; shards touch
+    // disjoint sections).
+    MappedSnapshot snap = MappedSnapshot::Open(path);
+    core::ClassifiedSubnets classified = DecodeClassifiedMapped(snap, executor);
+    reg.counter("snapshot.hit").Increment();
+    reg.counter("snapshot.bytes_read").Increment(snap.size_bytes());
+    span.set_items(1);
+    return classified;
+  } catch (const SnapshotError& e) {
+    CountMiss(SnapshotErrorReasonName(e.reason()));
+    const bool quarantined = QuarantineSnapshotFile(path);
+    std::cerr << "cellspot: discarding classified snapshot '" << path.string()
+              << "': " << e.what() << " [" << SnapshotErrorReasonName(e.reason())
+              << "]" << (quarantined ? "; quarantined as *.corrupt" : "") << "\n";
+    return std::nullopt;
+  }
 }
 
 void StageCache::StoreClassified(const simnet::WorldConfig& config,
@@ -180,7 +205,7 @@ void StageCache::StoreClassified(const simnet::WorldConfig& config,
                                  const core::ClassifiedSubnets& classified) {
   if (!enabled_) return;
   TryStore(ClassifiedPath(config, classifier), "classified",
-           EncodeClassified(classified));
+           EncodeClassifiedSharded(classified, kClassifiedStoreShards));
 }
 
 std::filesystem::path StageCache::LpmPath(const simnet::WorldConfig& config) const {

@@ -313,6 +313,13 @@ core::ClassifiedSubnets StreamDaemon::ExportClassified() const {
   return out;
 }
 
+std::vector<core::AsAggregate> StreamDaemon::ExportCandidates(
+    exec::Executor& executor, const core::AggregationConfig& aggregation) const {
+  return core::AggregateCandidateAsesSharded(world_.rib(), ExportClassified(),
+                                             ExportBeacons(), ExportDemand(), executor,
+                                             aggregation);
+}
+
 SubnetLiveness StreamDaemon::liveness(std::uint32_t subnet) const {
   return subnet < slots_.size() ? slots_[subnet].liveness : SubnetLiveness::kNeverSeen;
 }

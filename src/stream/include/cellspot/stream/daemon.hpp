@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cellspot/core/classifier.hpp"
+#include "cellspot/core/sharded_aggregation.hpp"
 #include "cellspot/dataset/beacon_dataset.hpp"
 #include "cellspot/dataset/demand_dataset.hpp"
 #include "cellspot/simnet/world.hpp"
@@ -114,6 +115,13 @@ class StreamDaemon {
   /// Classification assembled from the incrementally-maintained
   /// verdicts — the exact result of core::SubnetClassifier::Classify.
   [[nodiscard]] core::ClassifiedSubnets ExportClassified() const;
+
+  /// The §5 candidate-AS set over the daemon's current cumulative
+  /// state, via the sharded aggregation engine against the world's
+  /// RIB. Byte-identical to running the batch pipeline's Aggregate
+  /// stage on this daemon's exports — at any shard or thread count.
+  [[nodiscard]] std::vector<core::AsAggregate> ExportCandidates(
+      exec::Executor& executor, const core::AggregationConfig& aggregation = {}) const;
 
   [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
   [[nodiscard]] const DaemonStats& stats() const noexcept { return stats_; }

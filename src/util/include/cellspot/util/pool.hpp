@@ -1,0 +1,90 @@
+// Fixed-pool allocator for hot-path accumulation (the sACN mem.c idiom:
+// carve objects out of pre-sized slabs and recycle them through a
+// freelist, so the per-event cost is a pointer pop — never a heap
+// call). Unlike the embedded original, a full pool grows by one slab
+// instead of failing: aggregation cannot drop events, so exhaustion is
+// amortised growth, not an error.
+//
+// Single-threaded by design. The sharded aggregation engine gives every
+// shard its own pool; cross-thread discipline comes from the shard
+// partition, not from locks here.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace cellspot::util {
+
+template <typename T>
+class FixedPool {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "FixedPool recycles raw storage; objects must not need destructors");
+
+ public:
+  /// `slab_capacity` objects are carved per slab; 0 is clamped to 1.
+  explicit FixedPool(std::size_t slab_capacity = 256)
+      : slab_capacity_(slab_capacity == 0 ? 1 : slab_capacity) {}
+
+  FixedPool(const FixedPool&) = delete;
+  FixedPool& operator=(const FixedPool&) = delete;
+  FixedPool(FixedPool&&) noexcept = default;
+  FixedPool& operator=(FixedPool&&) noexcept = default;
+
+  /// Value-initialised object from the freelist, else from the current
+  /// slab's bump pointer (allocating a new slab when the last is full).
+  [[nodiscard]] T* Alloc() {
+    void* storage = nullptr;
+    if (free_head_ != nullptr) {
+      FreeNode* node = free_head_;
+      free_head_ = node->next;
+      storage = node;
+    } else {
+      if (slabs_.empty() || slab_used_ == slab_capacity_) {
+        slabs_.push_back(std::make_unique<Slot[]>(slab_capacity_));
+        slab_used_ = 0;
+      }
+      storage = &slabs_.back()[slab_used_++];
+    }
+    ++in_use_;
+    if (in_use_ > high_water_mark_) high_water_mark_ = in_use_;
+    return ::new (storage) T();
+  }
+
+  /// Return an object to the freelist. Null is ignored.
+  void Free(T* object) noexcept {
+    if (object == nullptr) return;
+    auto* node = ::new (static_cast<void*>(object)) FreeNode{free_head_};
+    free_head_ = node;
+    --in_use_;
+  }
+
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t high_water_mark() const noexcept { return high_water_mark_; }
+  [[nodiscard]] std::size_t slab_count() const noexcept { return slabs_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slabs_.size() * slab_capacity_;
+  }
+  [[nodiscard]] std::size_t slab_capacity() const noexcept { return slab_capacity_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  // A slot must hold either a live T or a freelist link.
+  union Slot {
+    alignas(T) unsigned char bytes[sizeof(T)];
+    FreeNode node;
+  };
+
+  std::size_t slab_capacity_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::size_t slab_used_ = 0;  // slots handed out from slabs_.back()
+  FreeNode* free_head_ = nullptr;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_mark_ = 0;
+};
+
+}  // namespace cellspot::util

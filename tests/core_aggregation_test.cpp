@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "cellspot/util/rng.hpp"
 
@@ -99,6 +103,78 @@ TEST(CompressPrefixes, Idempotent) {
   const auto once = CompressPrefixes(input);
   const auto twice = CompressPrefixes(once);
   EXPECT_EQ(once, twice);
+}
+
+// The ancestor-walk implementation CompressPrefixes shipped with before
+// the sorted containment sweep replaced it (O(n * depth) pool probes vs
+// one linear pass). Kept verbatim as the differential reference: both
+// must agree on every input, or the sweep changed behaviour, not just
+// cost.
+Prefix ReferenceSibling(const Prefix& p) {
+  return Prefix(p.address().WithBit(p.length() - 1, !p.address().GetBit(p.length() - 1)),
+                p.length());
+}
+
+Prefix ReferenceParent(const Prefix& p) { return Prefix(p.address(), p.length() - 1); }
+
+std::vector<Prefix> ReferenceCompressPrefixes(const std::vector<Prefix>& prefixes) {
+  std::set<Prefix> pool(prefixes.begin(), prefixes.end());
+  for (auto it = pool.begin(); it != pool.end();) {
+    bool covered = false;
+    Prefix walk = *it;
+    while (walk.length() > 0) {
+      walk = ReferenceParent(walk);
+      if (pool.contains(walk)) {
+        covered = true;
+        break;
+      }
+    }
+    it = covered ? pool.erase(it) : std::next(it);
+  }
+  int max_len = 0;
+  for (const Prefix& p : pool) max_len = std::max(max_len, p.length());
+  for (int len = max_len; len >= 1; --len) {
+    std::vector<Prefix> to_merge;
+    for (const Prefix& p : pool) {
+      if (p.length() != len) continue;
+      if (p.address().GetBit(len - 1)) continue;
+      if (pool.contains(ReferenceSibling(p))) to_merge.push_back(p);
+    }
+    for (const Prefix& p : to_merge) {
+      pool.erase(p);
+      pool.erase(ReferenceSibling(p));
+      pool.insert(ReferenceParent(p));
+    }
+  }
+  return {pool.begin(), pool.end()};
+}
+
+TEST(CompressPrefixes, DifferentialAgainstAncestorWalkReference) {
+  util::Rng rng(20260808);
+  const Prefix v4_base = Prefix::Parse("10.0.0.0/12");
+  for (int round = 0; round < 25; ++round) {
+    std::vector<Prefix> input;
+    // Dense v4 blocks plus random coarser ancestors: nesting, siblings
+    // and duplicates all at once.
+    for (int i = 0; i < 200; ++i) {
+      Prefix p = netaddr::NthBlock(v4_base, rng.UniformInt(0, 4095));
+      for (int up = static_cast<int>(rng.UniformInt(0, 6)); up > 0; --up) {
+        p = ReferenceParent(p);
+      }
+      input.push_back(p);
+    }
+    // A sprinkling of v6 so both families flow through one call.
+    for (int i = 0; i < 40; ++i) {
+      Prefix p = Prefix::Parse("2001:db8:" + std::to_string(rng.UniformInt(0, 63)) +
+                               "::/48");
+      for (int up = static_cast<int>(rng.UniformInt(0, 3)); up > 0; --up) {
+        p = ReferenceParent(p);
+      }
+      input.push_back(p);
+    }
+    EXPECT_EQ(CompressPrefixes(input), ReferenceCompressPrefixes(input))
+        << "round " << round;
+  }
 }
 
 TEST(SummarizeCompressionTest, StatsReflectMerges) {

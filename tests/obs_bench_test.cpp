@@ -150,6 +150,75 @@ TEST(Trajectory, AppendRejectsBenchMismatch) {
                std::invalid_argument);
 }
 
+TEST(BenchGate, PassesAtToleranceBoundaryAndFailsAbove) {
+  // Baseline trajectory: one run with median 11.0 ms, tolerance 25%
+  // puts the limit at exactly 13.75 ms.
+  const JsonValue trajectory =
+      obs::AppendToTrajectory(nullptr, obs::BenchRunToJson(MakeRun()));
+
+  BenchRun at_limit = MakeRun();
+  at_limit.rep_wall_ms = {13.75, 13.75, 13.75};
+  const obs::BenchGateResult ok =
+      obs::GateBenchRun(trajectory, obs::BenchRunToJson(at_limit), 0.25);
+  EXPECT_TRUE(ok.comparable);
+  EXPECT_FALSE(ok.regression) << "limit is inclusive: " << ok.note;
+  EXPECT_EQ(ok.baseline_runs, 1u);
+  EXPECT_DOUBLE_EQ(ok.baseline_median_ms, 11.0);
+  EXPECT_DOUBLE_EQ(ok.fresh_median_ms, 13.75);
+
+  BenchRun over = MakeRun();
+  over.rep_wall_ms = {13.8, 13.8, 13.8};
+  const obs::BenchGateResult bad =
+      obs::GateBenchRun(trajectory, obs::BenchRunToJson(over), 0.25);
+  EXPECT_TRUE(bad.comparable);
+  EXPECT_TRUE(bad.regression);
+  EXPECT_NE(bad.note.find("REGRESSION"), std::string::npos) << bad.note;
+}
+
+TEST(BenchGate, BaselineIsTheBestComparableMedian) {
+  // A slower second run must not loosen the bar: the baseline stays the
+  // minimum comparable median, not the latest one.
+  JsonValue trajectory = obs::AppendToTrajectory(nullptr, obs::BenchRunToJson(MakeRun()));
+  BenchRun slow = MakeRun();
+  slow.rep_wall_ms = {20.0, 20.0, 20.0};
+  trajectory = obs::AppendToTrajectory(&trajectory, obs::BenchRunToJson(slow));
+
+  BenchRun fresh = MakeRun();
+  fresh.rep_wall_ms = {14.0, 14.0, 14.0};  // fine vs 20, regressed vs 11
+  const obs::BenchGateResult verdict =
+      obs::GateBenchRun(trajectory, obs::BenchRunToJson(fresh), 0.25);
+  EXPECT_EQ(verdict.baseline_runs, 2u);
+  EXPECT_DOUBLE_EQ(verdict.baseline_median_ms, 11.0);
+  EXPECT_TRUE(verdict.regression);
+}
+
+TEST(BenchGate, IncomparableConfigurationPassesWithNote) {
+  const JsonValue trajectory =
+      obs::AppendToTrajectory(nullptr, obs::BenchRunToJson(MakeRun()));
+  BenchRun other_threads = MakeRun();
+  other_threads.threads = 8;
+  other_threads.rep_wall_ms = {500.0, 500.0, 500.0};  // slow, but not comparable
+  const obs::BenchGateResult verdict =
+      obs::GateBenchRun(trajectory, obs::BenchRunToJson(other_threads), 0.25);
+  EXPECT_FALSE(verdict.comparable);
+  EXPECT_FALSE(verdict.regression);
+  EXPECT_NE(verdict.note.find("no comparable baseline"), std::string::npos)
+      << verdict.note;
+}
+
+TEST(BenchGate, RejectsBenchMismatchAndBadTolerance) {
+  const JsonValue trajectory =
+      obs::AppendToTrajectory(nullptr, obs::BenchRunToJson(MakeRun()));
+  BenchRun other = MakeRun();
+  other.bench = "different_bench";
+  EXPECT_THROW((void)obs::GateBenchRun(trajectory, obs::BenchRunToJson(other), 0.25),
+               std::invalid_argument);
+  const JsonValue run = obs::BenchRunToJson(MakeRun());
+  EXPECT_THROW((void)obs::GateBenchRun(trajectory, run, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)obs::GateBenchRun(trajectory, run, std::nan("")),
+               std::invalid_argument);
+}
+
 TEST(IsoTimestampUtc, LooksLikeIso8601) {
   const std::string ts = obs::IsoTimestampUtc();
   ASSERT_EQ(ts.size(), 20u);

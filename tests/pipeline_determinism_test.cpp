@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdlib>
 #include <set>
 #include <sstream>
@@ -86,6 +88,55 @@ TEST(PipelineDeterminism, IdenticalResultsAtOneTwoAndEightThreads) {
     EXPECT_EQ(e.filtered.removed_low_demand, ref.filtered.removed_low_demand);
     EXPECT_EQ(e.filtered.removed_low_hits, ref.filtered.removed_low_hits);
     EXPECT_EQ(e.filtered.removed_class, ref.filtered.removed_class);
+  }
+}
+
+TEST(PipelineDeterminism, AggregationShardCountIsOutputInvariant) {
+  // The shard count is a placement knob, not a semantic one: any value
+  // must reproduce the 1-shard run bit for bit (floats included), at
+  // any thread count, without changing the pinned five-stage list.
+  exec::Executor ex1(1);
+  analysis::Pipeline::Config one_shard = TestConfig();
+  one_shard.aggregation_shards = 1;
+  analysis::Pipeline reference(one_shard, ex1);
+  reference.Run();
+  const analysis::Experiment& ref = reference.experiment();
+  ASSERT_FALSE(ref.candidates.empty());
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    for (const unsigned threads : {1u, 8u}) {
+      exec::Executor ex(threads);
+      analysis::Pipeline::Config config = TestConfig();
+      config.aggregation_shards = shards;
+      analysis::Pipeline pipeline(config, ex);
+      pipeline.Run();
+      const analysis::Experiment& e = pipeline.experiment();
+      const std::string label =
+          "shards " + std::to_string(shards) + " threads " + std::to_string(threads);
+
+      ASSERT_EQ(e.candidates.size(), ref.candidates.size()) << label;
+      for (std::size_t i = 0; i < ref.candidates.size(); ++i) {
+        ASSERT_EQ(e.candidates[i].asn, ref.candidates[i].asn) << label;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(e.candidates[i].cell_demand_du),
+                  std::bit_cast<std::uint64_t>(ref.candidates[i].cell_demand_du))
+            << label << " asn " << ref.candidates[i].asn;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(e.candidates[i].total_demand_du),
+                  std::bit_cast<std::uint64_t>(ref.candidates[i].total_demand_du))
+            << label << " asn " << ref.candidates[i].asn;
+        EXPECT_EQ(e.candidates[i].cellular_blocks, ref.candidates[i].cellular_blocks)
+            << label << " asn " << ref.candidates[i].asn;
+      }
+      EXPECT_EQ(KeptAsns(e), KeptAsns(ref)) << label;
+
+      // Sharding lives inside the aggregate stage; the stage list stays
+      // the pinned five.
+      std::vector<std::string> stages;
+      for (const analysis::StageTiming& t : pipeline.timings()) stages.push_back(t.stage);
+      EXPECT_EQ(stages,
+                (std::vector<std::string>{"build_world", "generate_datasets", "classify",
+                                          "aggregate", "filter"}))
+          << label;
+    }
   }
 }
 

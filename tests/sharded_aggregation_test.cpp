@@ -1,0 +1,356 @@
+// The sharded aggregation engine's central contract: byte-identical
+// output (floats compared bit for bit) at any shard count x thread
+// count combination, against the sequential reference engine — plus the
+// deterministic shard key, the pool/gauge telemetry, the per-shard
+// classified snapshot sections (round trip, parallel mapped decode,
+// corruption quarantine + rebuild) and the stream daemon's export path.
+#include "cellspot/core/sharded_aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cellspot/analysis/experiment.hpp"
+#include "cellspot/exec/executor.hpp"
+#include "cellspot/faultsim/stream_corruptor.hpp"
+#include "cellspot/obs/metrics.hpp"
+#include "cellspot/snapshot/mapped.hpp"
+#include "cellspot/snapshot/serde.hpp"
+#include "cellspot/snapshot/snapshot.hpp"
+#include "cellspot/snapshot/stage_cache.hpp"
+#include "cellspot/stream/daemon.hpp"
+#include "cellspot/stream/event.hpp"
+
+namespace cellspot {
+namespace {
+
+namespace fs = std::filesystem;
+
+const analysis::Experiment& TinyExperiment() {
+  static const analysis::Experiment exp =
+      analysis::RunExperiment(simnet::WorldConfig::Tiny());
+  return exp;
+}
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Field-by-field equality with doubles compared as raw bits: the
+/// engine's contract is byte-identity, so 1e-12 of fold-order drift is
+/// a failure, not noise.
+void ExpectBitIdentical(const std::vector<core::AsAggregate>& got,
+                        const std::vector<core::AsAggregate>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const core::AsAggregate& g = got[i];
+    const core::AsAggregate& w = want[i];
+    ASSERT_EQ(g.asn, w.asn) << label << " row " << i;
+    EXPECT_EQ(g.cell_blocks_v4, w.cell_blocks_v4) << label << " asn " << w.asn;
+    EXPECT_EQ(g.cell_blocks_v6, w.cell_blocks_v6) << label << " asn " << w.asn;
+    EXPECT_EQ(g.observed_blocks_v4, w.observed_blocks_v4) << label << " asn " << w.asn;
+    EXPECT_EQ(g.observed_blocks_v6, w.observed_blocks_v6) << label << " asn " << w.asn;
+    EXPECT_EQ(g.demand_blocks, w.demand_blocks) << label << " asn " << w.asn;
+    EXPECT_EQ(Bits(g.cell_demand_du), Bits(w.cell_demand_du)) << label << " asn " << w.asn;
+    EXPECT_EQ(Bits(g.total_demand_du), Bits(w.total_demand_du)) << label << " asn " << w.asn;
+    EXPECT_EQ(g.beacon_hits, w.beacon_hits) << label << " asn " << w.asn;
+    EXPECT_EQ(g.cellular_blocks, w.cellular_blocks) << label << " asn " << w.asn;
+  }
+}
+
+std::uint64_t CounterValue(std::string_view name) {
+  for (const auto& c : obs::MetricsRegistry::Global().Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double GaugeValue(std::string_view name) {
+  for (const auto& g : obs::MetricsRegistry::Global().Snapshot().gauges) {
+    if (g.name == name) return g.value;
+  }
+  return -1.0;
+}
+
+TEST(ShardOfAs, DeterministicInRangeAndSpreading) {
+  for (const asdb::AsNumber asn : {1u, 64512u, 4200000000u}) {
+    EXPECT_EQ(core::ShardOfAs(asn, 1), 0u);
+    EXPECT_EQ(core::ShardOfAs(asn, 8), core::ShardOfAs(asn, 8)) << "must be pure";
+    EXPECT_LT(core::ShardOfAs(asn, 8), 8u);
+  }
+  // FNV over the ASN bytes spreads a dense ASN range over every shard
+  // (sequential ASNs mod N would stripe; hashing must not degenerate).
+  std::set<std::size_t> hit;
+  for (asdb::AsNumber asn = 1; asn <= 1024; ++asn) hit.insert(core::ShardOfAs(asn, 8));
+  EXPECT_EQ(hit.size(), 8u);
+}
+
+TEST(DefaultAggregationShards, EnvOverridesAndRejectsGarbage) {
+  ::unsetenv("CELLSPOT_AGG_SHARDS");
+  EXPECT_EQ(core::DefaultAggregationShards(), 8u);
+  ::setenv("CELLSPOT_AGG_SHARDS", "3", 1);
+  EXPECT_EQ(core::DefaultAggregationShards(), 3u);
+  for (const char* bad : {"abc", "0", "-2", "1.5"}) {
+    ::setenv("CELLSPOT_AGG_SHARDS", bad, 1);
+    EXPECT_THROW((void)core::DefaultAggregationShards(), std::invalid_argument)
+        << "value '" << bad << "'";
+  }
+  ::unsetenv("CELLSPOT_AGG_SHARDS");
+}
+
+TEST(ShardedAggregation, ByteIdenticalAcrossShardAndThreadMatrix) {
+  const analysis::Experiment& exp = TinyExperiment();
+  exec::Executor ref_ex(1);
+  const std::vector<core::AsAggregate> reference = core::AggregateCandidateAsesSequential(
+      exp.world.rib(), exp.classified, exp.beacons, exp.demand, ref_ex);
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      exec::Executor ex(threads);
+      const std::vector<core::AsAggregate> sharded = core::AggregateCandidateAsesSharded(
+          exp.world.rib(), exp.classified, exp.beacons, exp.demand, ex,
+          core::AggregationConfig{.shards = shards});
+      ExpectBitIdentical(sharded, reference,
+                         "shards=" + std::to_string(shards) +
+                             " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ShardedAggregation, DefaultOverloadMatchesSequentialEngine) {
+  const analysis::Experiment& exp = TinyExperiment();
+  exec::Executor ex(4);
+  const auto reference = core::AggregateCandidateAsesSequential(
+      exp.world.rib(), exp.classified, exp.beacons, exp.demand, ex);
+  const auto via_default = core::AggregateCandidateAses(exp.world.rib(), exp.classified,
+                                                        exp.beacons, exp.demand);
+  ExpectBitIdentical(via_default, reference, "default overload");
+}
+
+TEST(ShardedAggregation, RecordsShardSpansAndPoolGauges) {
+  const analysis::Experiment& exp = TinyExperiment();
+  obs::MetricsRegistry::Global().ResetForTest();
+  exec::Executor ex(2);
+  const auto candidates = core::AggregateCandidateAsesSharded(
+      exp.world.rib(), exp.classified, exp.beacons, exp.demand, ex,
+      core::AggregationConfig{.shards = 4});
+  ASSERT_FALSE(candidates.empty());
+
+  EXPECT_EQ(GaugeValue("aggregate.shards"), 4.0);
+  // Every candidate AS holds at least one cellular block, so at least
+  // one chunk was pooled somewhere; capacity is a whole-slab multiple.
+  EXPECT_GE(GaugeValue("aggregate.pool.chunk_hwm"), 1.0);
+  EXPECT_GE(GaugeValue("aggregate.pool.slabs"), 1.0);
+  EXPECT_GE(GaugeValue("aggregate.pool.chunk_capacity"),
+            GaugeValue("aggregate.pool.chunk_hwm"));
+
+  std::uint64_t shard_spans = 0;
+  for (const auto& s : obs::MetricsRegistry::Global().Snapshot().spans) {
+    if (s.path.find("aggregate.shard") != std::string::npos) shard_spans += s.count;
+  }
+  EXPECT_EQ(shard_spans, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard classified snapshot sections.
+
+TEST(ClassifiedShardedSnapshot, RoundTripsAtSeveralShardCounts) {
+  const core::ClassifiedSubnets& classified = TinyExperiment().classified;
+  const std::string canonical =
+      snapshot::EncodeSnapshot(snapshot::EncodeClassified(classified));
+
+  // 64 shards on a Tiny world exercises empty trailing shards.
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                              std::size_t{64}}) {
+    const std::vector<snapshot::Section> sections =
+        snapshot::EncodeClassifiedSharded(classified, k);
+    bool has_manifest = false;
+    for (const snapshot::Section& s : sections) {
+      if (s.name == snapshot::kClassifiedShardsSection) has_manifest = true;
+    }
+    EXPECT_TRUE(has_manifest) << k << " shards";
+
+    const core::ClassifiedSubnets decoded = snapshot::DecodeClassified(sections);
+    EXPECT_EQ(decoded.ratios(), classified.ratios()) << k << " shards";
+    EXPECT_EQ(decoded.cellular(), classified.cellular()) << k << " shards";
+    // Ordered concatenation preserved insertion order, so re-encoding
+    // in the canonical single-merge layout is byte-identical.
+    EXPECT_EQ(snapshot::EncodeSnapshot(snapshot::EncodeClassified(decoded)), canonical)
+        << k << " shards";
+  }
+}
+
+TEST(ClassifiedShardedSnapshot, LegacyTwoSectionLayoutStillDecodes) {
+  const core::ClassifiedSubnets& classified = TinyExperiment().classified;
+  const core::ClassifiedSubnets decoded =
+      snapshot::DecodeClassified(snapshot::EncodeClassified(classified));
+  EXPECT_EQ(decoded.ratios(), classified.ratios());
+  EXPECT_EQ(decoded.cellular(), classified.cellular());
+}
+
+TEST(ClassifiedShardedSnapshot, MappedDecodeMatchesWithAndWithoutExecutor) {
+  const core::ClassifiedSubnets& classified = TinyExperiment().classified;
+  const fs::path path = fs::path(::testing::TempDir()) / "classified_sharded.snap";
+  fs::remove(path);
+  snapshot::WriteSnapshotFile(path, snapshot::EncodeClassifiedSharded(classified, 8));
+
+  const snapshot::MappedSnapshot snap = snapshot::MappedSnapshot::Open(path);
+  exec::Executor ex(4);
+  const core::ClassifiedSubnets parallel = snapshot::DecodeClassifiedMapped(snap, &ex);
+  const core::ClassifiedSubnets sequential =
+      snapshot::DecodeClassifiedMapped(snap, nullptr);
+  EXPECT_EQ(parallel.ratios(), classified.ratios());
+  EXPECT_EQ(parallel.cellular(), classified.cellular());
+  EXPECT_EQ(sequential.ratios(), classified.ratios());
+  EXPECT_EQ(sequential.cellular(), classified.cellular());
+}
+
+TEST(ClassifiedShardedSnapshot, GarbledShardSectionIsRejectedNotCrashed) {
+  const core::ClassifiedSubnets& classified = TinyExperiment().classified;
+  const std::vector<snapshot::Section> clean =
+      snapshot::EncodeClassifiedSharded(classified, 8);
+
+  // Destructive line-oriented damage to ONE shard's payload, several
+  // seeds: whatever survives the framing must fail the per-entry
+  // validation or the manifest cross-check — never crash, never decode
+  // to silently different data.
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    for (const char* target : {"classified.ratios.3", "classified.cellular.2"}) {
+      std::vector<snapshot::Section> damaged = clean;
+      bool found = false;
+      for (snapshot::Section& s : damaged) {
+        if (s.name != target) continue;
+        found = true;
+        std::istringstream in(s.payload);
+        std::ostringstream out;
+        faultsim::StreamCorruptor corruptor(faultsim::FaultMix::Destructive(0.8), seed);
+        corruptor.Corrupt(in, out);
+        s.payload = out.str();
+        ASSERT_NE(s.payload, clean[&s - damaged.data()].payload)
+            << target << " seed " << seed;
+      }
+      ASSERT_TRUE(found) << target;
+      EXPECT_THROW((void)snapshot::DecodeClassified(damaged), snapshot::SnapshotError)
+          << target << " seed " << seed;
+    }
+  }
+}
+
+TEST(ClassifiedShardedSnapshot, ShardCountOfZeroOrImplausibleIsMalformed) {
+  const core::ClassifiedSubnets& classified = TinyExperiment().classified;
+  std::vector<snapshot::Section> sections =
+      snapshot::EncodeClassifiedSharded(classified, 2);
+  for (snapshot::Section& s : sections) {
+    if (s.name == snapshot::kClassifiedShardsSection) s.payload[0] = '\0';  // shards=0
+  }
+  EXPECT_THROW((void)snapshot::DecodeClassified(sections), snapshot::SnapshotError);
+}
+
+TEST(ClassifiedShardedCache, CorruptedShardSectionQuarantinesAndRebuilds) {
+  const analysis::Experiment& exp = TinyExperiment();
+  const simnet::WorldConfig config = exp.world.config();
+  const fs::path dir = fs::path(::testing::TempDir()) / "shardcache_corrupt";
+  fs::remove_all(dir);
+  snapshot::StageCache cache(dir);
+  ASSERT_TRUE(cache.enabled());
+  const fs::path path = cache.ClassifiedPath(config, {});
+  exec::Executor ex(4);
+
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    obs::MetricsRegistry::Global().ResetForTest();
+    fs::remove(path.string() + ".corrupt");
+    cache.StoreClassified(config, {}, exp.classified);
+    ASSERT_TRUE(fs::exists(path));
+
+    // Garble one shard section's payload and re-frame the container, so
+    // the file-level CRC is valid and the damage reaches the shard
+    // decoder itself.
+    std::vector<snapshot::Section> sections = snapshot::ReadSnapshotFile(path);
+    bool damaged = false;
+    for (snapshot::Section& s : sections) {
+      if (s.name != "classified.ratios.1") continue;
+      std::istringstream in(s.payload);
+      std::ostringstream out;
+      faultsim::StreamCorruptor corruptor(faultsim::FaultMix::Destructive(0.8), seed);
+      corruptor.Corrupt(in, out);
+      damaged = s.payload != out.str();
+      s.payload = out.str();
+    }
+    ASSERT_TRUE(damaged) << "seed " << seed;
+    snapshot::WriteSnapshotFile(path, sections);
+
+    auto loaded = cache.TryLoadClassified(config, {}, &ex);
+    EXPECT_FALSE(loaded.has_value()) << "seed " << seed;
+    EXPECT_EQ(CounterValue("snapshot.miss"), 1u) << "seed " << seed;
+    EXPECT_FALSE(fs::exists(path)) << "corrupt file must not stay in place";
+    EXPECT_TRUE(fs::exists(path.string() + ".corrupt")) << "seed " << seed;
+
+    // Rebuild: re-store and the warm path serves identical data again.
+    cache.StoreClassified(config, {}, exp.classified);
+    auto reloaded = cache.TryLoadClassified(config, {}, &ex);
+    ASSERT_TRUE(reloaded.has_value()) << "seed " << seed;
+    EXPECT_EQ(reloaded->ratios(), exp.classified.ratios());
+    EXPECT_EQ(reloaded->cellular(), exp.classified.cellular());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stream daemon export path.
+
+const simnet::World& TinyWorld() {
+  static const simnet::World world = simnet::World::Generate(simnet::WorldConfig::Tiny());
+  return world;
+}
+
+std::string BeaconFrame(std::uint32_t subnet, std::uint32_t seq, std::uint64_t netinfo,
+                        std::uint64_t cellular) {
+  stream::StreamEvent e;
+  e.kind = stream::EventKind::kBeacon;
+  e.subnet = subnet;
+  e.seq = seq;
+  e.stats.hits = netinfo * 2;
+  e.stats.netinfo_hits = netinfo;
+  e.stats.cellular_labels = cellular;
+  e.stats.wifi_labels = netinfo - cellular;
+  e.stats.mobile_browser_hits = netinfo;
+  return stream::EncodeEventFrame(e);
+}
+
+std::string DemandFrame(std::uint32_t subnet, std::uint32_t seq, double raw) {
+  stream::StreamEvent e;
+  e.kind = stream::EventKind::kDemand;
+  e.subnet = subnet;
+  e.seq = seq;
+  e.demand_raw = raw;
+  return stream::EncodeEventFrame(e);
+}
+
+TEST(StreamDaemonAggregation, ExportCandidatesMatchesBatchEngines) {
+  stream::StreamDaemon daemon(TinyWorld(), {}, {});
+  const std::uint32_t subnets =
+      static_cast<std::uint32_t>(TinyWorld().subnets().size());
+  for (std::uint32_t s = 0; s < subnets; ++s) {
+    daemon.queue().Push(BeaconFrame(s, 1, /*netinfo=*/40, /*cellular=*/s % 3 ? 36 : 2));
+    daemon.queue().Push(DemandFrame(s, 1, /*raw=*/100.0 + s));
+  }
+  while (daemon.Tick() > 0) {
+  }
+
+  exec::Executor ex(4);
+  const auto via_daemon = daemon.ExportCandidates(ex, {.shards = 8});
+  const auto batch = core::AggregateCandidateAsesSequential(
+      TinyWorld().rib(), daemon.ExportClassified(), daemon.ExportBeacons(),
+      daemon.ExportDemand(), ex);
+  ASSERT_FALSE(via_daemon.empty());
+  ExpectBitIdentical(via_daemon, batch, "daemon export");
+}
+
+}  // namespace
+}  // namespace cellspot

@@ -63,7 +63,7 @@ fs::path FreshDir(std::string_view name) {
 
 TEST(StageCachePipeline, WarmRunSkipsCachedStagesByteIdentically) {
   const fs::path dir = FreshDir("warm");
-  const Pipeline::Config config{simnet::WorldConfig::Tiny(), {}, {}, dir.string()};
+  const Pipeline::Config config{.world = simnet::WorldConfig::Tiny(), .snapshot_dir = dir.string()};
 
   obs::MetricsRegistry::Global().ResetForTest();
   Pipeline cold(config);
@@ -102,7 +102,7 @@ TEST(StageCachePipeline, WarmRunSkipsCachedStagesByteIdentically) {
 
 TEST(StageCachePipeline, DifferentSeedKeysDifferentSnapshots) {
   const fs::path dir = FreshDir("seed");
-  Pipeline::Config config{simnet::WorldConfig::Tiny(), {}, {}, dir.string()};
+  Pipeline::Config config{.world = simnet::WorldConfig::Tiny(), .snapshot_dir = dir.string()};
   Pipeline cold(config);
   cold.Run();
 
@@ -117,7 +117,7 @@ TEST(StageCachePipeline, DifferentSeedKeysDifferentSnapshots) {
 
 TEST(StageCachePipeline, ClassifierConfigKeysOnlyTheClassifiedStage) {
   const fs::path dir = FreshDir("classifier");
-  Pipeline::Config config{simnet::WorldConfig::Tiny(), {}, {}, dir.string()};
+  Pipeline::Config config{.world = simnet::WorldConfig::Tiny(), .snapshot_dir = dir.string()};
   Pipeline cold(config);
   cold.Run();
 
@@ -142,7 +142,7 @@ TEST(StageCachePipeline, ClassifierConfigKeysOnlyTheClassifiedStage) {
 
 TEST(StageCachePipeline, EmptySnapshotDirDisablesCaching) {
   obs::MetricsRegistry::Global().ResetForTest();
-  Pipeline p({simnet::WorldConfig::Tiny(), {}, {}, std::string()});
+  Pipeline p({.world = simnet::WorldConfig::Tiny()});
   (void)p.BuildWorld();
   EXPECT_EQ(CounterValue("snapshot.hit"), 0u);
   EXPECT_EQ(CounterValue("snapshot.miss"), 0u);

@@ -1,0 +1,103 @@
+// FixedPool: slab carving, freelist recycling, growth-instead-of-failure
+// and the usage statistics the aggregate.pool.* gauges are built on.
+#include "cellspot/util/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace cellspot::util {
+namespace {
+
+struct Node {
+  std::uint64_t value = 0;
+  Node* next = nullptr;
+};
+
+TEST(FixedPool, AllocValueInitializesEveryObject) {
+  FixedPool<Node> pool(4);
+  Node* a = pool.Alloc();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, 0u);
+  EXPECT_EQ(a->next, nullptr);
+
+  // Dirty the storage, recycle it, and the next Alloc must hand back a
+  // freshly value-initialised object — recycled chunks carry no history.
+  a->value = 0xdeadbeef;
+  a->next = a;
+  pool.Free(a);
+  Node* b = pool.Alloc();
+  EXPECT_EQ(b, a) << "freelist should hand back the recycled slot first";
+  EXPECT_EQ(b->value, 0u);
+  EXPECT_EQ(b->next, nullptr);
+}
+
+TEST(FixedPool, GrowsBySlabInsteadOfFailing) {
+  FixedPool<Node> pool(2);
+  std::set<Node*> distinct;
+  for (int i = 0; i < 7; ++i) distinct.insert(pool.Alloc());
+  EXPECT_EQ(distinct.size(), 7u);
+  EXPECT_EQ(pool.in_use(), 7u);
+  EXPECT_EQ(pool.slab_count(), 4u);  // ceil(7 / 2)
+  EXPECT_EQ(pool.capacity(), 8u);
+  EXPECT_EQ(pool.slab_capacity(), 2u);
+}
+
+TEST(FixedPool, HighWaterMarkSurvivesFrees) {
+  FixedPool<Node> pool(8);
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(pool.Alloc());
+  EXPECT_EQ(pool.high_water_mark(), 5u);
+  for (Node* n : nodes) pool.Free(n);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.high_water_mark(), 5u);
+
+  // Recycled allocations below the old peak must not move it.
+  (void)pool.Alloc();
+  EXPECT_EQ(pool.high_water_mark(), 5u);
+  EXPECT_EQ(pool.slab_count(), 1u) << "recycling must not grow the pool";
+}
+
+TEST(FixedPool, FreelistDrainsBeforeBumpAllocation) {
+  FixedPool<Node> pool(4);
+  Node* a = pool.Alloc();
+  Node* b = pool.Alloc();
+  pool.Free(a);
+  pool.Free(b);
+  // LIFO freelist: last freed comes back first, and no new slot is
+  // carved while recycled storage remains.
+  EXPECT_EQ(pool.Alloc(), b);
+  EXPECT_EQ(pool.Alloc(), a);
+  EXPECT_EQ(pool.capacity(), 4u);
+}
+
+TEST(FixedPool, ZeroSlabCapacityClampsToOne) {
+  FixedPool<Node> pool(0);
+  EXPECT_EQ(pool.slab_capacity(), 1u);
+  (void)pool.Alloc();
+  (void)pool.Alloc();
+  EXPECT_EQ(pool.slab_count(), 2u);
+}
+
+TEST(FixedPool, FreeNullIsANoOp) {
+  FixedPool<Node> pool;
+  pool.Free(nullptr);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(FixedPool, MoveTransfersOwnership) {
+  FixedPool<Node> pool(2);
+  Node* a = pool.Alloc();
+  a->value = 42;
+  FixedPool<Node> moved = std::move(pool);
+  EXPECT_EQ(moved.in_use(), 1u);
+  EXPECT_EQ(a->value, 42u);  // storage owned by the moved-to pool now
+  moved.Free(a);
+  EXPECT_EQ(moved.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace cellspot::util

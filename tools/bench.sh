@@ -15,6 +15,10 @@
 #   THREADS     forwarded as --threads when set
 #   SNAPSHOT_DIR forwarded as --snapshot-dir when set; warm runs are
 #               flagged warm_cache=true in the cellspot-bench JSON
+#   GATE        when set (any value), run `bench_json gate` against the
+#               existing trajectory BEFORE appending: exits 3 if the
+#               fresh median regresses past the best comparable baseline
+#               by more than GATE_TOLERANCE (default 0.25)
 #   CELLSPOT_SCALE is honoured by the binaries themselves.
 set -euo pipefail
 
@@ -46,6 +50,13 @@ else
 fi
 
 mkdir -p "$bench_dir"
+
+# All per-run scratch JSON lives in one temp dir removed by an EXIT
+# trap, so an abort anywhere (set -e on a failed validate/append, a
+# signal, a crashed bench) cannot strand mktemp files in $TMPDIR.
+scratch_dir="$(mktemp -d)"
+trap 'rm -rf "$scratch_dir"' EXIT
+
 failures=0
 for name in "${names[@]}"; do
   bin="$build_dir/bench/bench_$name"
@@ -54,7 +65,7 @@ for name in "${names[@]}"; do
     failures=$((failures + 1))
     continue
   fi
-  run_json="$(mktemp)"
+  run_json="$scratch_dir/run_$name.json"
   args=(--reps "$reps" --warmup "$warmup" --json-out "$run_json")
   [[ -n "${THREADS:-}" ]] && args+=(--threads "$THREADS")
   [[ -n "${SNAPSHOT_DIR:-}" ]] && args+=(--snapshot-dir "$SNAPSHOT_DIR")
@@ -62,13 +73,14 @@ for name in "${names[@]}"; do
   if ! "$bin" "${args[@]}" > /dev/null; then
     echo "bench.sh: $name failed" >&2
     failures=$((failures + 1))
-    rm -f "$run_json"
     continue
   fi
   "$bench_json" validate-run "$run_json"
+  if [[ -n "${GATE:-}" ]]; then
+    "$bench_json" gate "$bench_dir/BENCH_$name.json" "$run_json" "${GATE_TOLERANCE:-0.25}"
+  fi
   "$bench_json" append "$bench_dir/BENCH_$name.json" "$run_json"
   "$bench_json" validate "$bench_dir/BENCH_$name.json"
-  rm -f "$run_json"
 done
 
 if [[ "$failures" -gt 0 ]]; then

@@ -3,11 +3,21 @@
 //   bench_json validate-run RUN.json          schema-check one bench run
 //   bench_json validate BENCH_<name>.json     schema-check a trajectory
 //   bench_json append BENCH_<name>.json RUN.json
+//   bench_json gate BENCH_<name>.json RUN.json [TOLERANCE]
 //
 // `append` folds one cellspot-bench-run/1 record into a
 // cellspot-bench/2 trajectory, creating the trajectory file when it does
 // not exist yet. Both inputs are validated; a bench-name mismatch or a
 // malformed document fails without touching the trajectory file.
+//
+// `gate` is the perf regression check: it compares RUN's median wall
+// time against the best comparable run (same threads/scale/cache
+// temperature) already in the trajectory and exits 3 when the fresh
+// median exceeds baseline * (1 + TOLERANCE) (default 0.25). A missing
+// trajectory file or a run with no comparable baseline passes with a
+// note — a brand-new bench or configuration cannot fail its first
+// measurement. Bless an intentional regression by re-appending a fresh
+// run to the committed trajectory (see README "Perf trajectory").
 //
 // Used by tools/bench.sh and `tools/ci.sh bench-smoke`. A compiled tool
 // (not jq/python) so the schema lives in exactly one place: src/obs.
@@ -19,6 +29,7 @@
 
 #include "cellspot/obs/bench.hpp"
 #include "cellspot/obs/json.hpp"
+#include "cellspot/util/parse.hpp"
 
 namespace {
 
@@ -37,7 +48,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: bench_json validate-run RUN.json\n"
                "       bench_json validate TRAJECTORY.json\n"
-               "       bench_json append TRAJECTORY.json RUN.json\n");
+               "       bench_json append TRAJECTORY.json RUN.json\n"
+               "       bench_json gate TRAJECTORY.json RUN.json [TOLERANCE]\n");
   return 2;
 }
 
@@ -86,6 +98,31 @@ int main(int argc, char** argv) {
       std::printf("%s: %zu run(s)\n", argv[2],
                   merged.Find("runs")->as_array().size());
       return 0;
+    }
+    if (command == "gate" && (argc == 4 || argc == 5)) {
+      double tolerance = 0.25;
+      if (argc == 5) {
+        const auto parsed = cellspot::util::TryParseNumber<double>(argv[4]);
+        if (!parsed || *parsed < 0.0) {
+          std::fprintf(stderr, "bench_json: TOLERANCE must be a number >= 0, got '%s'\n",
+                       argv[4]);
+          return 1;
+        }
+        tolerance = *parsed;
+      }
+      const JsonValue run = ParseFile(argv[3]);
+      cellspot::obs::ValidateBenchRun(run);
+      std::string trajectory_text;
+      if (!ReadFile(argv[2], trajectory_text)) {
+        // First run on a fresh checkout: nothing to regress against yet.
+        std::printf("%s: no trajectory at '%s'; gate passes\n",
+                    run.Find("bench")->as_string().c_str(), argv[2]);
+        return 0;
+      }
+      const cellspot::obs::BenchGateResult verdict = cellspot::obs::GateBenchRun(
+          JsonValue::Parse(trajectory_text), run, tolerance);
+      std::printf("%s\n", verdict.note.c_str());
+      return verdict.regression ? 3 : 0;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_json: %s\n", e.what());

@@ -5,7 +5,10 @@
 #   tools/ci.sh plain        # RelWithDebInfo only
 #   tools/ci.sh sanitize     # ASan+UBSan only
 #   tools/ci.sh tsan         # ThreadSanitizer (executor + pipeline + obs tests)
-#   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON
+#   tools/ci.sh bench-smoke  # fast bench-harness run, validates BENCH JSON and
+#                            # gates sharded_aggregation against its committed
+#                            # trajectory (--update-baseline blesses a new one)
+#   tools/ci.sh shard        # sharded aggregation engine, ASan then TSan
 #   tools/ci.sh snapshot     # snapshot roundtrip + corruption tests under ASan
 #   tools/ci.sh stream-chaos # streaming chaos harness under ASan and TSan
 #   tools/ci.sh query        # columnar query engine tests under ASan
@@ -42,19 +45,98 @@ run_tsan() {
 # Exercises the bench regression harness end to end at a tiny world
 # scale: two fast benches, 3 reps each, into a throwaway trajectory
 # directory; every JSON document is schema-validated by bench_json.
+# Then the perf regression gate proper: one smoke run of the sharded
+# aggregation bench at the pinned smoke configuration (scale 0.01,
+# 4 threads), held against the committed trajectory in bench/results.
+# `tools/ci.sh bench-smoke --update-baseline` appends the fresh run
+# instead of gating — the escape hatch for blessing an intentional
+# regression (commit the updated BENCH_*.json alongside the change).
 run_bench_smoke() {
+  local update_baseline="${1:-}"
   local dir="build"
   cmake -B "$dir" -S .
   cmake --build "$dir" -j "$jobs" --target \
-    bench_table2_datasets bench_fig2_ratio_cdf bench_json
-  local out
-  out=$(mktemp -d)
-  CELLSPOT_SCALE=0.01 BENCH_DIR="$out" REPS=3 WARMUP=1 \
+    bench_table2_datasets bench_fig2_ratio_cdf bench_sharded_aggregation bench_json
+  local smoke_tmp
+  smoke_tmp=$(mktemp -d)
+  # Expand now: $smoke_tmp is a function-local and would be out of scope
+  # (unbound under set -u) by the time the EXIT trap fires.
+  # shellcheck disable=SC2064
+  trap "rm -rf '$smoke_tmp'" EXIT
+  CELLSPOT_SCALE=0.01 BENCH_DIR="$smoke_tmp/results" REPS=3 WARMUP=1 \
     tools/bench.sh table2_datasets fig2_ratio_cdf
-  for f in "$out"/BENCH_*.json; do
+  for f in "$smoke_tmp/results"/BENCH_*.json; do
     "$dir/tools/bench_json" validate "$f"
   done
-  rm -rf "$out"
+
+  # bench.sh must clean its scratch files even when a run record fails
+  # validation: stub a bench binary that emits invalid JSON, then
+  # require a non-zero exit AND an empty TMPDIR afterwards.
+  mkdir -p "$smoke_tmp/stub/build/bench" "$smoke_tmp/stub/build/tools" \
+    "$smoke_tmp/stub/tmp" "$smoke_tmp/stub/results"
+  cat > "$smoke_tmp/stub/build/bench/bench_stub" <<'EOF'
+#!/usr/bin/env bash
+out=""
+while [[ $# -gt 0 ]]; do
+  [[ "$1" == "--json-out" && $# -ge 2 ]] && out="$2"
+  shift
+done
+[[ -n "$out" ]] && echo '{not json' > "$out"
+EOF
+  chmod +x "$smoke_tmp/stub/build/bench/bench_stub"
+  ln -s "$PWD/$dir/tools/bench_json" "$smoke_tmp/stub/build/tools/bench_json"
+  local rc=0
+  TMPDIR="$smoke_tmp/stub/tmp" BUILD_DIR="$smoke_tmp/stub/build" \
+    BENCH_DIR="$smoke_tmp/stub/results" \
+    tools/bench.sh stub >/dev/null 2>&1 || rc=$?
+  [[ "$rc" != 0 ]] || { echo "ci.sh: bench.sh accepted an invalid run record" >&2; exit 1; }
+  if [[ -n "$(ls -A "$smoke_tmp/stub/tmp")" ]]; then
+    echo "ci.sh: bench.sh leaked temp files: $(ls "$smoke_tmp/stub/tmp")" >&2
+    exit 1
+  fi
+
+  # The gate. THREADS is pinned so the fresh run is comparable to the
+  # committed baseline rows (GateBenchRun only compares runs with
+  # identical threads/scale/cache temperature).
+  CELLSPOT_SCALE=0.01 "$dir/bench/bench_sharded_aggregation" \
+    --threads 4 --reps 3 --warmup 1 --json-out "$smoke_tmp/run.json" >/dev/null
+  "$dir/tools/bench_json" validate-run "$smoke_tmp/run.json"
+  if [[ "$update_baseline" == "--update-baseline" ]]; then
+    "$dir/tools/bench_json" append bench/results/BENCH_sharded_aggregation.json \
+      "$smoke_tmp/run.json"
+    "$dir/tools/bench_json" validate bench/results/BENCH_sharded_aggregation.json
+    echo "ci.sh: new sharded_aggregation baseline appended; commit bench/results/BENCH_sharded_aggregation.json"
+  else
+    "$dir/tools/bench_json" gate bench/results/BENCH_sharded_aggregation.json \
+      "$smoke_tmp/run.json"
+  fi
+}
+
+# The sharded aggregation engine under both sanitizers: the shard x
+# thread byte-identity matrix, the differential against the sequential
+# engine, the pooled allocator, and the per-shard snapshot sections
+# (roundtrip + corruption quarantine) under ASan+UBSan; then the same
+# matrix and the pipeline determinism suite under TSan with a forced
+# multi-worker pool, so shard bodies really interleave.
+run_shard() {
+  local dir="build-asan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=address
+  cmake --build "$dir" -j "$jobs" --target \
+    sharded_aggregation_test util_pool_test core_aggregation_test \
+    snapshot_roundtrip_test snapshot_cache_test
+  "$dir/tests/sharded_aggregation_test"
+  "$dir/tests/util_pool_test"
+  "$dir/tests/core_aggregation_test"
+  "$dir/tests/snapshot_roundtrip_test"
+  "$dir/tests/snapshot_cache_test"
+
+  dir="build-tsan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=thread
+  cmake --build "$dir" -j "$jobs" --target \
+    sharded_aggregation_test pipeline_determinism_test
+  local tsan_opts="suppressions=$PWD/tools/tsan.supp halt_on_error=1"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/sharded_aggregation_test"
+  TSAN_OPTIONS="$tsan_opts" CELLSPOT_THREADS=4 "$dir/tests/pipeline_determinism_test"
 }
 
 # The columnar query engine under ASan+UBSan: expression parsers fed
@@ -179,7 +261,8 @@ case "$variant" in
   plain)       run build ;;
   sanitize)    run build-asan -DCELLSPOT_SANITIZE=address ;;
   tsan)        run_tsan ;;
-  bench-smoke) run_bench_smoke ;;
+  bench-smoke) run_bench_smoke "${2:-}" ;;
+  shard)       run_shard ;;
   snapshot)    run_snapshot ;;
   stream-chaos) run_stream_chaos ;;
   query)       run_query ;;
@@ -190,5 +273,5 @@ case "$variant" in
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
                run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke|snapshot|stream-chaos|query|lpm|lint|all]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke [--update-baseline]|shard|snapshot|stream-chaos|query|lpm|lint|all]" >&2; exit 2 ;;
 esac

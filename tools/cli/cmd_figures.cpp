@@ -30,7 +30,7 @@ int CmdFigures(const Options& opts) {
   simnet::WorldConfig config = simnet::WorldConfig::Paper(opts.GetDouble("scale", 0.01));
   config.seed = opts.GetUint("seed", config.seed);
   std::printf("running pipeline (scale %.3g)...\n", config.scale);
-  analysis::Pipeline pipeline({config, {}, {}, SnapshotDir(opts)});
+  analysis::Pipeline pipeline({.world = config, .snapshot_dir = SnapshotDir(opts)});
   pipeline.Run();
   const analysis::Experiment exp = std::move(pipeline).TakeExperiment();
   const dns::DnsSimulator dns_sim(exp.world);

@@ -28,7 +28,7 @@ int CmdGenerate(const Options& opts) {
 
   std::printf("generating world (scale %.3g, seed %llu)...\n", config.scale,
               static_cast<unsigned long long>(config.seed));
-  analysis::Pipeline pipeline({config, {}, {}, SnapshotDir(opts)});
+  analysis::Pipeline pipeline({.world = config, .snapshot_dir = SnapshotDir(opts)});
   pipeline.GenerateDatasets();
   const simnet::World& world = pipeline.experiment().world;
   const auto& beacons = pipeline.experiment().beacons;

@@ -125,7 +125,7 @@ int CmdStream(const Options& opts) {
               classified.ratios().size(), classified.cellular().size());
 
   if (opts.Has("verify")) {
-    analysis::Pipeline pipeline({config, {}, {}, ""});
+    analysis::Pipeline pipeline({.world = config});
     const core::ClassifiedSubnets& batch = pipeline.Classify();
     const bool classified_ok =
         snapshot::EncodeSnapshot(snapshot::EncodeClassified(classified)) ==
