@@ -15,6 +15,7 @@
 #include "cellspot/netaddr/flat_lpm.hpp"
 #include "cellspot/netaddr/prefix.hpp"
 #include "cellspot/netaddr/prefix_trie.hpp"
+#include "cellspot/util/ordered_mutex.hpp"
 
 namespace cellspot::asdb {
 
@@ -103,7 +104,7 @@ class RoutingTable {
 
   // Compiled-engine cache: flat_ owns, flat_ptr_ publishes (release on
   // store, acquire on load) so hot-path readers skip the mutex.
-  mutable std::mutex flat_mu_;
+  mutable util::OrderedMutex flat_mu_{"asdb.RoutingTable.flat"};
   mutable std::shared_ptr<const FlatRib> flat_;
   mutable std::atomic<const FlatRib*> flat_ptr_{nullptr};
 };

@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "cellspot/util/ordered_mutex.hpp"
+
 namespace cellspot::obs {
 
 /// Monotonically increasing event count.
@@ -196,7 +198,7 @@ class MetricsRegistry {
     std::uint64_t items = 0;
   };
 
-  mutable std::mutex mu_;  // registration, span folds, snapshots
+  mutable util::OrderedMutex mu_{"obs.MetricsRegistry"};  // registration, span folds, snapshots
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> latencies_;

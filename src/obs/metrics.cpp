@@ -94,7 +94,7 @@ void LatencyHistogram::Reset() noexcept {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -103,7 +103,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -112,7 +112,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 LatencyHistogram& MetricsRegistry::latency(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = latencies_.find(name);
   if (it == latencies_.end()) {
     it = latencies_.emplace(std::string(name), std::make_unique<LatencyHistogram>())
@@ -123,7 +123,7 @@ LatencyHistogram& MetricsRegistry::latency(std::string_view name) {
 
 void MetricsRegistry::RecordSpan(std::string_view path, int depth, double wall_ms,
                                  std::uint64_t items) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = spans_.find(path);
   if (it == spans_.end()) {
     it = spans_.emplace(std::string(path), SpanAgg{}).first;
@@ -139,7 +139,7 @@ void MetricsRegistry::RecordSpan(std::string_view path, int depth, double wall_m
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -164,7 +164,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : latencies_) h->Reset();

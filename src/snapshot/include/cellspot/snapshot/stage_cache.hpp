@@ -34,6 +34,7 @@
 #include "cellspot/dataset/beacon_dataset.hpp"
 #include "cellspot/dataset/demand_dataset.hpp"
 #include "cellspot/simnet/world.hpp"
+#include "cellspot/util/ordered_mutex.hpp"
 
 namespace cellspot::exec {
 class Executor;
@@ -97,8 +98,15 @@ class StageCache {
   void StoreLpm(const simnet::WorldConfig& config, const asdb::RoutingTable& rib);
 
  private:
+  /// Serialize the corrupt-file rename against itself: concurrent
+  /// loaders of a shared cache directory may discover the same corrupt
+  /// snapshot, and two racing renames would turn one quarantine into a
+  /// spurious second failure report.
+  [[nodiscard]] bool Quarantine(const std::filesystem::path& path) const;
+
   std::filesystem::path dir_;
   bool enabled_ = false;
+  mutable util::OrderedMutex quarantine_mu_{"snapshot.StageCache.quarantine"};
 };
 
 }  // namespace cellspot::snapshot

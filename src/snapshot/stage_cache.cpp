@@ -41,9 +41,10 @@ std::string Hex16(std::uint64_t v) {
 /// Probe one snapshot file and decode it via `decode`. Absent files are
 /// quiet misses; anything corrupt is reported, counted by reason and
 /// quarantined so the next run does not trip over the same bytes.
-template <typename Artifact, typename Decode>
+template <typename Artifact, typename Decode, typename Quarantine>
 std::optional<Artifact> TryLoad(const std::filesystem::path& path,
-                                std::string_view stage, Decode&& decode) {
+                                std::string_view stage, Decode&& decode,
+                                Quarantine&& quarantine) {
   auto& reg = obs::MetricsRegistry::Global();
   std::error_code ec;
   if (!std::filesystem::exists(path, ec) || ec) {
@@ -60,7 +61,7 @@ std::optional<Artifact> TryLoad(const std::filesystem::path& path,
     return artifact;
   } catch (const SnapshotError& e) {
     CountMiss(SnapshotErrorReasonName(e.reason()));
-    const bool quarantined = QuarantineSnapshotFile(path);
+    const bool quarantined = quarantine(path);
     std::cerr << "cellspot: discarding " << stage << " snapshot '" << path.string()
               << "': " << e.what() << " [" << SnapshotErrorReasonName(e.reason())
               << "]" << (quarantined ? "; quarantined as *.corrupt" : "") << "\n";
@@ -109,6 +110,11 @@ std::uint64_t Fnv1a64(std::string_view bytes, std::uint64_t seed) noexcept {
   return h;
 }
 
+bool StageCache::Quarantine(const std::filesystem::path& path) const {
+  std::lock_guard<util::OrderedMutex> lock(quarantine_mu_);
+  return QuarantineSnapshotFile(path);
+}
+
 StageCache::StageCache(std::filesystem::path dir) : dir_(std::move(dir)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -144,7 +150,8 @@ std::optional<simnet::World> StageCache::TryLoadWorld(const simnet::WorldConfig&
   if (!enabled_) return std::nullopt;
   return TryLoad<simnet::World>(
       WorldPath(config), "world",
-      [](const std::vector<Section>& sections) { return DecodeWorld(sections); });
+      [](const std::vector<Section>& sections) { return DecodeWorld(sections); },
+      [this](const std::filesystem::path& p) { return Quarantine(p); });
 }
 
 void StageCache::StoreWorld(const simnet::World& world) {
@@ -157,7 +164,8 @@ StageCache::TryLoadDatasets(const simnet::WorldConfig& config) {
   if (!enabled_) return std::nullopt;
   return TryLoad<std::pair<dataset::BeaconDataset, dataset::DemandDataset>>(
       DatasetsPath(config), "datasets",
-      [](const std::vector<Section>& sections) { return DecodeDatasets(sections); });
+      [](const std::vector<Section>& sections) { return DecodeDatasets(sections); },
+      [this](const std::filesystem::path& p) { return Quarantine(p); });
 }
 
 void StageCache::StoreDatasets(const simnet::WorldConfig& config,
@@ -192,7 +200,7 @@ std::optional<core::ClassifiedSubnets> StageCache::TryLoadClassified(
     return classified;
   } catch (const SnapshotError& e) {
     CountMiss(SnapshotErrorReasonName(e.reason()));
-    const bool quarantined = QuarantineSnapshotFile(path);
+    const bool quarantined = Quarantine(path);
     std::cerr << "cellspot: discarding classified snapshot '" << path.string()
               << "': " << e.what() << " [" << SnapshotErrorReasonName(e.reason())
               << "]" << (quarantined ? "; quarantined as *.corrupt" : "") << "\n";
@@ -238,7 +246,7 @@ std::optional<asdb::RoutingTable::FlatRib> StageCache::TryLoadLpm(
     return flat;
   } catch (const SnapshotError& e) {
     CountMiss(SnapshotErrorReasonName(e.reason()));
-    const bool quarantined = QuarantineSnapshotFile(path);
+    const bool quarantined = Quarantine(path);
     std::cerr << "cellspot: discarding lpm snapshot '" << path.string()
               << "': " << e.what() << " [" << SnapshotErrorReasonName(e.reason())
               << "]" << (quarantined ? "; quarantined as *.corrupt" : "") << "\n";

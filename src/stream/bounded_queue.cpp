@@ -46,7 +46,7 @@ FrameQueue::FrameQueue(std::size_t capacity, BackpressurePolicy policy)
     : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
 
 bool FrameQueue::Push(std::string frame) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::OrderedMutex> lock(mu_);
   if (closed_) return false;
   if (frames_.size() >= capacity_) {
     switch (policy_) {
@@ -72,7 +72,7 @@ bool FrameQueue::Push(std::string frame) {
 }
 
 bool FrameQueue::PushWait(std::string frame) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::OrderedMutex> lock(mu_);
   not_full_.wait(lock, [&] { return closed_ || frames_.size() < capacity_; });
   if (closed_) return false;
   frames_.push_back(std::move(frame));
@@ -82,7 +82,7 @@ bool FrameQueue::PushWait(std::string frame) {
 }
 
 std::optional<std::string> FrameQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::OrderedMutex> lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !frames_.empty(); });
   if (frames_.empty()) return std::nullopt;
   std::string frame = std::move(frames_.front());
@@ -92,7 +92,7 @@ std::optional<std::string> FrameQueue::Pop() {
 }
 
 bool FrameQueue::TryPop(std::string& out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   if (frames_.empty()) return false;
   out = std::move(frames_.front());
   frames_.pop_front();
@@ -101,7 +101,7 @@ bool FrameQueue::TryPop(std::string& out) {
 }
 
 std::size_t FrameQueue::DrainInto(std::vector<std::string>& out, std::size_t max) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   std::size_t moved = 0;
   while (moved < max && !frames_.empty()) {
     out.push_back(std::move(frames_.front()));
@@ -113,14 +113,14 @@ std::size_t FrameQueue::DrainInto(std::vector<std::string>& out, std::size_t max
 }
 
 bool FrameQueue::WaitForFrame() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::OrderedMutex> lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !frames_.empty(); });
   return !frames_.empty();
 }
 
 void FrameQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<util::OrderedMutex> lock(mu_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -128,27 +128,27 @@ void FrameQueue::Close() {
 }
 
 std::size_t FrameQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return frames_.size();
 }
 
 bool FrameQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return closed_;
 }
 
 std::uint64_t FrameQueue::pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return pushed_;
 }
 
 std::uint64_t FrameQueue::shed_oldest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return shed_oldest_;
 }
 
 std::uint64_t FrameQueue::shed_newest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return shed_newest_;
 }
 

@@ -18,11 +18,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "cellspot/util/ordered_mutex.hpp"
 
 namespace cellspot::stream {
 
@@ -88,9 +89,13 @@ class FrameQueue {
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  // OrderedMutex so a consumer callback that reaches back into another
+  // locked subsystem (registry, cache) trips the lock-order checker
+  // instead of deadlocking under load; _any because the custom Lockable
+  // rules out the plain condition_variable.
+  mutable util::OrderedMutex mu_{"stream.FrameQueue"};
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
   std::deque<std::string> frames_;
   bool closed_ = false;
   std::uint64_t pushed_ = 0;

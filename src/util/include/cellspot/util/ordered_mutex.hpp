@@ -1,0 +1,76 @@
+// Deadlock-detecting mutex: a std::mutex plus a process-wide lock-order
+// registry.
+//
+// Every OrderedMutex carries a class name ("stream.FrameQueue",
+// "obs.MetricsRegistry"). When checking is active, each acquisition made
+// while other OrderedMutexes are held records a directed edge
+// held-class -> acquired-class in a global graph; an acquisition whose
+// edge would close a cycle (the classic AB/BA inversion, in any number
+// of steps) prints the cycle and aborts the process — turning a
+// once-in-a-thousand-runs deadlock hang into a deterministic failure the
+// first time the *order* is violated, even if the interleaving never
+// actually deadlocks. This is the runtime companion to cellspot-audit's
+// static L008 rule, which cannot see orders that only materialise across
+// translation units.
+//
+// Checking defaults ON in CELLSPOT_SANITIZE builds (the registry costs a
+// global mutex per nested acquisition, so plain builds default OFF) and
+// can be forced either way with CELLSPOT_LOCK_ORDER=1/0 or
+// SetLockOrderChecking(). When checking is off, lock() is a plain
+// std::mutex::lock plus one relaxed atomic load.
+//
+// The graph is keyed by class name, not by instance: holding two locks
+// of the same class concurrently is reported as a self-cycle, because
+// instance-level AB/BA between siblings is exactly the hang this guard
+// exists to catch. None of the adopting subsystems nest same-class
+// locks.
+//
+// OrderedMutex satisfies Lockable, so std::lock_guard, std::unique_lock,
+// std::scoped_lock and std::condition_variable_any all work unchanged.
+#pragma once
+
+#include <mutex>
+#include <string_view>
+
+namespace cellspot::util {
+
+/// True when acquisitions are being recorded and cycle-checked.
+[[nodiscard]] bool LockOrderCheckingEnabled() noexcept;
+
+/// Force checking on or off for the whole process (overrides the
+/// build-variant default and CELLSPOT_LOCK_ORDER). Tests use this to
+/// exercise the registry in plain builds.
+void SetLockOrderChecking(bool enabled) noexcept;
+
+/// Drop every recorded acquisition edge. Test isolation only: edges
+/// recorded by one test must not convict orders in the next. Calling
+/// this while locks are held is the caller's bug.
+void ResetLockOrderGraphForTest();
+
+/// Number of distinct acquisition edges currently recorded (tests).
+[[nodiscard]] std::size_t LockOrderEdgeCountForTest();
+
+class OrderedMutex {
+ public:
+  /// `name` is the lock class, not the instance; it must outlive the
+  /// mutex (string literals in practice).
+  explicit OrderedMutex(const char* name) noexcept : name_(name) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  /// On success records the same edges as lock() (a try_lock that takes
+  /// part in an inversion is still an inversion; no adopter uses
+  /// try_lock backoff, so the strictness costs nothing).
+  [[nodiscard]] bool try_lock();
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+}  // namespace cellspot::util

@@ -1,0 +1,165 @@
+#include "cellspot/util/ordered_mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cellspot::util {
+
+namespace {
+
+// -1 = undecided (first LockOrderCheckingEnabled() call resolves the
+// build-variant default and the environment override), else 0/1.
+std::atomic<int> g_checking{-1};
+
+/// The acquisition-order graph. Its own mutex is a leaf: nothing is
+/// acquired while it is held, so the registry cannot itself invert.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::set<std::string>, std::less<>> edges;
+
+  static Registry& Get() {
+    // Leaked like MetricsRegistry::Global(): worker threads may release
+    // locks during static teardown.
+    static Registry* r = new Registry;
+    return *r;
+  }
+};
+
+/// Locks this thread currently holds, in acquisition order. Entries are
+/// (instance, class-name); the name is what the graph records, the
+/// instance is what unlock() pops.
+struct Held {
+  const OrderedMutex* instance;
+  const char* name;
+};
+thread_local std::vector<Held> t_held;
+
+/// Is `to` already known to precede `from`? (Edges mean "locked before";
+/// a path to -> ... -> from plus the new from -> to edge is a cycle.)
+bool PathExists(const Registry& reg, std::string_view from, std::string_view to,
+                std::vector<std::string_view>* path) {
+  if (from == to) {
+    path->push_back(from);
+    return true;
+  }
+  const auto it = reg.edges.find(from);
+  if (it == reg.edges.end()) return false;
+  path->push_back(from);
+  for (const std::string& next : it->second) {
+    if (PathExists(reg, next, to, path)) return true;
+  }
+  path->pop_back();
+  return false;
+}
+
+[[noreturn]] void AbortOnCycle(std::string_view holding, std::string_view acquiring,
+                               const std::vector<std::string_view>& reverse_path) {
+  std::string chain(acquiring);
+  for (const std::string_view hop : reverse_path) {
+    chain += " -> ";
+    chain += hop;
+  }
+  std::fprintf(stderr,
+               "cellspot: lock-order cycle: acquiring '%.*s' while holding "
+               "'%.*s', but the reverse order is already recorded: %s\n",
+               static_cast<int>(acquiring.size()), acquiring.data(),
+               static_cast<int>(holding.size()), holding.data(), chain.c_str());
+  std::abort();
+}
+
+void RecordAcquisition(const OrderedMutex* m) {
+  if (!t_held.empty()) {
+    Registry& reg = Registry::Get();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const Held& h : t_held) {
+      const std::string_view held_name = h.name;
+      const std::string_view new_name = m->name();
+      if (held_name == new_name) {
+        // Two locks of one class nested: instance-level AB/BA waiting
+        // to happen (or a same-instance self-deadlock).
+        std::vector<std::string_view> self = {held_name};
+        AbortOnCycle(held_name, new_name, self);
+      }
+      std::vector<std::string_view> path;
+      if (PathExists(reg, new_name, held_name, &path)) {
+        path.push_back(new_name);  // close the printed loop
+        AbortOnCycle(held_name, new_name, path);
+      }
+      reg.edges[std::string(held_name)].insert(std::string(new_name));
+    }
+  }
+  t_held.push_back({m, m->name()});
+}
+
+void RecordRelease(const OrderedMutex* m) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance == m) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool LockOrderCheckingEnabled() noexcept {
+  int v = g_checking.load(std::memory_order_acquire);
+  if (v >= 0) return v == 1;
+#ifdef CELLSPOT_SANITIZE_BUILD
+  bool on = true;
+#else
+  bool on = false;
+#endif
+  if (const char* env = std::getenv("CELLSPOT_LOCK_ORDER"); env != nullptr && *env != '\0') {
+    on = *env != '0';
+  }
+  g_checking.store(on ? 1 : 0, std::memory_order_release);
+  return on;
+}
+
+void SetLockOrderChecking(bool enabled) noexcept {
+  g_checking.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+void ResetLockOrderGraphForTest() {
+  Registry& reg = Registry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.edges.clear();
+}
+
+std::size_t LockOrderEdgeCountForTest() {
+  Registry& reg = Registry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t n = 0;
+  for (const auto& [from, tos] : reg.edges) n += tos.size();
+  return n;
+}
+
+void OrderedMutex::lock() {
+  // Check *before* blocking: an inversion must abort with the report,
+  // not hang in the very deadlock it was meant to flag.
+  if (LockOrderCheckingEnabled()) {
+    RecordAcquisition(this);
+    mu_.lock();
+    return;
+  }
+  mu_.lock();
+}
+
+void OrderedMutex::unlock() {
+  mu_.unlock();
+  if (LockOrderCheckingEnabled()) RecordRelease(this);
+}
+
+bool OrderedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  if (LockOrderCheckingEnabled()) RecordAcquisition(this);
+  return true;
+}
+
+}  // namespace cellspot::util

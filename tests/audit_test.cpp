@@ -1,0 +1,193 @@
+// Drives cellspot-audit's whole-tree passes over the layering fixture
+// trees (tests/lint_fixtures/layering/*): the include-cycle detector,
+// the declared-DAG back-edge check (quoted and angled spellings), the
+// L007 waiver path, and the baseline gate + SARIF output that ride on
+// the driver. The per-file rules have their own fixtures in lint_test.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cellspot/obs/json.hpp"
+
+namespace {
+
+using cellspot::obs::JsonValue;
+
+#ifndef CELLSPOT_LINT_BIN
+#error "CELLSPOT_LINT_BIN must point at the cellspot-audit binary"
+#endif
+#ifndef CELLSPOT_LINT_FIXTURES
+#error "CELLSPOT_LINT_FIXTURES must point at tests/lint_fixtures"
+#endif
+
+std::string Tree(const std::string& name) {
+  return std::string(CELLSPOT_LINT_FIXTURES) + "/layering/" + name;
+}
+
+std::string TempPath(const std::string& tag) {
+  return testing::TempDir() + "/audit_" + tag + "_" + std::to_string(::getpid());
+}
+
+struct AuditRun {
+  int exit_code = -1;
+  std::string json_text;
+};
+
+/// Audit the layering tree `name` with its own layers.txt; `extra` is
+/// spliced into the command line.
+AuditRun RunAudit(const std::string& name, const std::string& extra = "") {
+  const std::string json_path = TempPath(name + ".json");
+  const std::string root = Tree(name);
+  const std::string cmd = std::string(CELLSPOT_LINT_BIN) + " --quiet --root '" +
+                          root + "' --layers '" + root + "/layers.txt' " + extra +
+                          " --json '" + json_path + "'";
+  const int status = std::system(cmd.c_str());
+  AuditRun run;
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(json_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  run.json_text = buf.str();
+  std::remove(json_path.c_str());
+  return run;
+}
+
+/// First finding with the given rule, or nullptr.
+const JsonValue* FirstFinding(const JsonValue& doc, const std::string& rule) {
+  for (const JsonValue& f : doc.Find("findings")->as_array()) {
+    if (f.Find("rule")->as_string() == rule) return &f;
+  }
+  return nullptr;
+}
+
+TEST(AuditLayering, IncludeCycleIsReportedWithItsChain) {
+  const AuditRun run = RunAudit("cycle");
+  EXPECT_EQ(run.exit_code, 1);
+  const JsonValue doc = JsonValue::Parse(run.json_text);
+  const JsonValue* f = FirstFinding(doc, "L007");
+  ASSERT_NE(f, nullptr) << run.json_text;
+  const std::string msg = f->Find("message")->as_string();
+  EXPECT_NE(msg.find("include cycle"), std::string::npos) << msg;
+  // The chain names both headers and returns to its starting point.
+  EXPECT_NE(msg.find("a.hpp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("b.hpp"), std::string::npos) << msg;
+}
+
+TEST(AuditLayering, BackEdgeAgainstDeclaredDagGates) {
+  const AuditRun run = RunAudit("backedge");
+  EXPECT_EQ(run.exit_code, 1);
+  const JsonValue doc = JsonValue::Parse(run.json_text);
+  const JsonValue* f = FirstFinding(doc, "L007");
+  ASSERT_NE(f, nullptr) << run.json_text;
+  EXPECT_EQ(f->Find("file")->as_string(), "src/netaddr/lookup.cpp");
+  EXPECT_NE(f->Find("message")->as_string().find("netaddr -> exec"),
+            std::string::npos);
+}
+
+TEST(AuditLayering, AngledCellspotIncludeStillCountsQuietStdDoesNot) {
+  const AuditRun run = RunAudit("quoted");
+  EXPECT_EQ(run.exit_code, 1);
+  const JsonValue doc = JsonValue::Parse(run.json_text);
+  ASSERT_EQ(doc.Find("findings")->as_array().size(), 1U) << run.json_text;
+  const JsonValue& f = doc.Find("findings")->as_array().front();
+  EXPECT_EQ(f.Find("rule")->as_string(), "L007");
+  // The geo edge fires despite its <> spelling; <vector> and the
+  // allowed util include contribute nothing.
+  EXPECT_NE(f.Find("message")->as_string().find("core -> geo"),
+            std::string::npos);
+}
+
+TEST(AuditLayering, WaivedBackEdgePassesAndConsumesTheWaiver) {
+  const AuditRun run = RunAudit("waived");
+  EXPECT_EQ(run.exit_code, 0) << run.json_text;
+  const JsonValue doc = JsonValue::Parse(run.json_text);
+  EXPECT_TRUE(doc.Find("clean")->as_bool());
+  const auto& waivers = doc.Find("waivers")->as_array();
+  ASSERT_EQ(waivers.size(), 1U);
+  EXPECT_EQ(waivers.front().Find("rule")->as_string(), "L007");
+  EXPECT_TRUE(waivers.front().Find("used")->as_bool())
+      << "an L007 waiver that suppressed a back-edge must read as used";
+}
+
+TEST(AuditBaseline, UpdateThenGateRoundTrips) {
+  const std::string baseline = TempPath("baseline.json");
+  // Bless the back-edge...
+  const AuditRun update =
+      RunAudit("backedge", "--baseline '" + baseline + "' --update-baseline");
+  EXPECT_EQ(update.exit_code, 0);
+  // ...after which the same tree gates green and reports the
+  // suppression count.
+  const AuditRun gated = RunAudit("backedge", "--baseline '" + baseline + "'");
+  EXPECT_EQ(gated.exit_code, 0) << gated.json_text;
+  const JsonValue doc = JsonValue::Parse(gated.json_text);
+  EXPECT_TRUE(doc.Find("clean")->as_bool());
+  EXPECT_EQ(doc.Find("baseline_suppressed")->as_number(), 1.0);
+  std::remove(baseline.c_str());
+}
+
+TEST(AuditBaseline, EmptyBaselineStillGates) {
+  const std::string baseline = TempPath("empty_baseline.json");
+  {
+    std::ofstream out(baseline);
+    out << "{\"schema\": \"cellspot-audit-baseline/1\", \"entries\": []}\n";
+  }
+  const AuditRun run = RunAudit("backedge", "--baseline '" + baseline + "'");
+  EXPECT_EQ(run.exit_code, 1)
+      << "an empty baseline must not suppress anything";
+  std::remove(baseline.c_str());
+}
+
+TEST(AuditBaseline, UnreadableBaselineIsAConfigurationError) {
+  const AuditRun run =
+      RunAudit("backedge", "--baseline '/nonexistent/baseline.json'");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+TEST(AuditSarif, EmitsParseableSarifWithRuleIds) {
+  const std::string sarif_path = TempPath("findings.sarif");
+  const AuditRun run = RunAudit("backedge", "--sarif '" + sarif_path + "'");
+  EXPECT_EQ(run.exit_code, 1);
+  std::ifstream in(sarif_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::Parse(buf.str());
+  EXPECT_EQ(doc.Find("version")->as_string(), "2.1.0");
+  const JsonValue& sole = doc.Find("runs")->as_array().front();
+  EXPECT_EQ(sole.Find("tool")->Find("driver")->Find("name")->as_string(),
+            "cellspot-audit");
+  const auto& results = sole.Find("results")->as_array();
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_EQ(results.front().Find("ruleId")->as_string(), "L007");
+  const JsonValue& loc = results.front().Find("locations")->as_array().front();
+  EXPECT_EQ(loc.Find("physicalLocation")
+                ->Find("artifactLocation")
+                ->Find("uri")
+                ->as_string(),
+            "src/netaddr/lookup.cpp");
+  std::remove(sarif_path.c_str());
+}
+
+TEST(AuditLayering, BrokenLayersDeclarationIsAConfigurationError) {
+  // A declared cycle in layers.txt must exit 2 (broken contract), not
+  // report findings against it.
+  const std::string layers = TempPath("cyclic_layers.txt");
+  {
+    std::ofstream out(layers);
+    out << "core: util\nutil: core\n";
+  }
+  const std::string cmd = std::string(CELLSPOT_LINT_BIN) + " --quiet --root '" +
+                          Tree("backedge") + "' --layers '" + layers + "'";
+  const int status = std::system(cmd.c_str());
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 2);
+  std::remove(layers.c_str());
+}
+
+}  // namespace

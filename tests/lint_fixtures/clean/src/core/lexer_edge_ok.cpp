@@ -1,0 +1,27 @@
+// Lexer regression fixtures. Every construct here once desynced the
+// lexer; if any regresses, the rule-trigger text hidden in the comments
+// and strings below surfaces as a bogus finding and the clean-tree test
+// fails.
+
+namespace cellspot::core {
+
+// A line comment continued by a backslash-newline splice stays a \
+comment: rand(); std::cout << time(nullptr);
+
+// Digit separators must not open a char literal; if they did, every
+// token after this constant would be inside a bogus string.
+constexpr long kBigCount = 1'000'000;
+constexpr unsigned kMask = 0xFF'FF'00'00u;
+
+// Raw strings with encoding prefixes: the payload is data, not code.
+inline const char* kJsonBlob = u8R"({"call": "rand()", "sink": "std::cout"})";
+inline const wchar_t* kWidePattern = LR"(std::async(std::cout, rand()))";
+
+// A backslash-newline inside an ordinary string literal splices the
+// literal across lines without ending it.
+inline const char* kSpliced = "first half rand() \
+second half std::cout";
+
+int Answer() { return static_cast<int>(kBigCount & kMask); }
+
+}  // namespace cellspot::core

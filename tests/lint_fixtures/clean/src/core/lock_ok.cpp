@@ -1,0 +1,30 @@
+// L008 negative: the guard's scope closes before the fan-out and the
+// batch lookup, so neither call runs under the mutex.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "cellspot/exec/executor.hpp"
+
+namespace cellspot::core {
+
+void FanOutAfterLock(exec::Executor& pool, std::vector<int>& out, std::mutex& mu) {
+  std::size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    n = out.size();
+  }
+  pool.ParallelFor(n, [&out](std::size_t i) { out[i] += 1; });
+}
+
+template <typename Table>
+int SnapshotThenLookup(const Table& table, std::mutex& mu, int key) {
+  int adjusted = key;
+  {
+    std::scoped_lock lock(mu);
+    adjusted += 1;
+  }
+  return table.Lookup(adjusted);
+}
+
+}  // namespace cellspot::core

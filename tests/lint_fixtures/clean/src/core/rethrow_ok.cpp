@@ -1,0 +1,25 @@
+// L010 negative: catch-alls that rethrow or report are fine.
+#include <cstdio>
+
+namespace cellspot::core {
+
+int DecodeRecord(const char* text);
+
+int DecodeStrict(const char* text) {
+  try {
+    return DecodeRecord(text);
+  } catch (...) {
+    throw;
+  }
+}
+
+int DecodeCounted(const char* text) {
+  try {
+    return DecodeRecord(text);
+  } catch (...) {
+    std::fprintf(stderr, "cellspot: decode failed\n");
+  }
+  return 0;
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,14 @@
+// L009 negative: src/exec is the one sanctioned owner of raw threads.
+#include <thread>
+#include <vector>
+
+namespace cellspot::exec {
+
+void RunWorkers(std::vector<std::thread>& pool) {
+  pool.emplace_back([] {});
+  for (std::thread& t : pool) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace cellspot::exec

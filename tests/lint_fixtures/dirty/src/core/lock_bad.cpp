@@ -1,0 +1,22 @@
+// L008 positive: guards held across the executor seam and a batch
+// lookup. Both calls fire.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "cellspot/exec/executor.hpp"
+
+namespace cellspot::core {
+
+void FanOutUnderLock(exec::Executor& pool, std::vector<int>& out, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  pool.ParallelFor(out.size(), [&out](std::size_t i) { out[i] += 1; });
+}
+
+template <typename Table>
+int LookupUnderLock(const Table& table, std::mutex& mu, int key) {
+  std::scoped_lock lock(mu);
+  return table.Lookup(key);
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,8 @@
+// L011 positive: a well-formed waiver whose violation no longer exists.
+
+namespace cellspot::core {
+
+// cellspot-lint: allow(L003) the clock read below was removed in a refactor
+int Answer() { return 42; }
+
+}  // namespace cellspot::core

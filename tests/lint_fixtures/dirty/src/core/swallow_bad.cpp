@@ -1,0 +1,15 @@
+// L010 positive: a catch-all that neither rethrows nor reports.
+
+namespace cellspot::core {
+
+int DecodeRecord(const char* text);
+
+int DecodeOrZero(const char* text) {
+  try {
+    return DecodeRecord(text);
+  } catch (...) {
+  }
+  return 0;
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,15 @@
+// L009 positive: raw std::thread construction, a detach, and a
+// std::async — three findings.
+#include <future>
+#include <thread>
+
+namespace cellspot::core {
+
+int SpawnRaw() {
+  std::thread worker([] {});
+  worker.detach();
+  auto pending = std::async([] { return 1; });
+  return pending.get();
+}
+
+}  // namespace cellspot::core

@@ -1,0 +1,6 @@
+// Seeded back-edge: netaddr (a leaf layer) reaching up into exec.
+#include "cellspot/exec/executor.hpp"
+
+namespace cellspot::netaddr {
+int Widen(int v) { return v + 1; }
+}  // namespace cellspot::netaddr

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "cellspot/core/b.hpp"
+
+namespace cellspot::core {
+inline int A() { return B() + 1; }
+}  // namespace cellspot::core

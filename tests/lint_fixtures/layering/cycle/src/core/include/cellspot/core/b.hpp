@@ -1,0 +1,7 @@
+#pragma once
+
+#include "cellspot/core/a.hpp"
+
+namespace cellspot::core {
+inline int B() { return A() - 1; }
+}  // namespace cellspot::core

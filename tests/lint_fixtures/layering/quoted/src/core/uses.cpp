@@ -1,0 +1,12 @@
+// Angle brackets do not launder a cellspot include: the geo edge below
+// is a back-edge however it is spelled. <vector> and the allowed util
+// include produce nothing.
+#include <vector>
+
+#include <cellspot/geo/geo.hpp>
+
+#include "cellspot/util/strings.hpp"
+
+namespace cellspot::core {
+int Dimensions() { return 3; }
+}  // namespace cellspot::core

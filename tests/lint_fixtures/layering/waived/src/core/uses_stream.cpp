@@ -1,0 +1,9 @@
+// A waived back-edge: allowed through with an inline pragma carrying
+// the migration story, and the waiver is consumed (no L011).
+
+// cellspot-lint: allow(L007) event type migration is tracked in ROADMAP.md
+#include "cellspot/stream/event.hpp"
+
+namespace cellspot::core {
+int UsesStream() { return 1; }
+}  // namespace cellspot::core

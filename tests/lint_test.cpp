@@ -1,8 +1,11 @@
-// Drives the cellspot-lint binary over tests/lint_fixtures/: a dirty
+// Drives the cellspot-audit binary over tests/lint_fixtures/: a dirty
 // tree with one deliberate violation per rule (plus the waiver
 // accept/reject pair) and a clean tree holding each rule's negative
-// case. The JSON findings document is parsed back with obs::JsonValue
-// to pin the cellspot-lint/1 schema.
+// case — including the lexer edge cases (comment/string splices, raw
+// string prefixes, digit separators) whose regression would surface as
+// bogus findings. The JSON findings document is parsed back with
+// obs::JsonValue to pin the cellspot-audit/1 schema. The layering pass
+// and the baseline gate have their own fixture trees in audit_test.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -22,7 +25,7 @@ namespace {
 using cellspot::obs::JsonValue;
 
 #ifndef CELLSPOT_LINT_BIN
-#error "CELLSPOT_LINT_BIN must point at the cellspot-lint binary"
+#error "CELLSPOT_LINT_BIN must point at the cellspot-audit binary"
 #endif
 #ifndef CELLSPOT_LINT_FIXTURES
 #error "CELLSPOT_LINT_FIXTURES must point at tests/lint_fixtures"
@@ -33,14 +36,14 @@ struct LintRun {
   JsonValue doc;
 };
 
-/// Run cellspot-lint over `root`, returning the exit code and the
-/// parsed --json document.
-LintRun RunLint(const std::string& root) {
+/// Run cellspot-audit over `root`, returning the exit code and the
+/// parsed --json document. `extra` is spliced into the command line.
+LintRun RunLint(const std::string& root, const std::string& extra = "") {
   const std::string json_path =
       testing::TempDir() + "/lint_findings_" +
       std::to_string(::getpid()) + ".json";
   const std::string cmd = std::string(CELLSPOT_LINT_BIN) + " --quiet --root '" +
-                          root + "' --json '" + json_path + "'";
+                          root + "' " + extra + " --json '" + json_path + "'";
   const int status = std::system(cmd.c_str());
   LintRun run;
   run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
@@ -71,7 +74,7 @@ TEST(LintFixtures, DirtyTreeReportsEveryRule) {
   const LintRun run = RunLint(Fixture("dirty"));
   EXPECT_EQ(run.exit_code, 1);
   ASSERT_TRUE(run.doc.is_object());
-  EXPECT_EQ(run.doc.Find("schema")->as_string(), "cellspot-lint/1");
+  EXPECT_EQ(run.doc.Find("schema")->as_string(), "cellspot-audit/1");
   EXPECT_FALSE(run.doc.Find("clean")->as_bool());
 
   const auto index = FindingIndex(run.doc);
@@ -82,6 +85,13 @@ TEST(LintFixtures, DirtyTreeReportsEveryRule) {
       << "rand() and ::now() should both fire";
   EXPECT_EQ(index.at({"L004", "src/core/print_bad.cpp"}), 1);
   EXPECT_EQ(index.at({"L005", "src/core/include/unguarded.hpp"}), 1);
+  EXPECT_EQ(index.at({"L008", "src/core/lock_bad.cpp"}), 2)
+      << "ParallelFor under a lock_guard and .Lookup under a scoped_lock";
+  EXPECT_EQ(index.at({"L009", "src/core/thread_bad.cpp"}), 3)
+      << "std::thread, .detach() and std::async should each fire";
+  EXPECT_EQ(index.at({"L010", "src/core/swallow_bad.cpp"}), 1);
+  EXPECT_EQ(index.at({"L011", "src/core/stale_waiver.cpp"}), 1)
+      << "a waiver that suppresses nothing is itself a finding";
 }
 
 TEST(LintFixtures, CleanTreeIsClean) {
@@ -89,9 +99,9 @@ TEST(LintFixtures, CleanTreeIsClean) {
   EXPECT_EQ(run.exit_code, 0);
   EXPECT_TRUE(run.doc.Find("clean")->as_bool());
   EXPECT_TRUE(run.doc.Find("findings")->as_array().empty());
-  // Five negative fixtures: the exemptions must come from
-  // classification, not from waivers.
-  EXPECT_GE(run.doc.Find("files_scanned")->as_number(), 5.0);
+  // The negative fixtures (including the lexer edge cases) must pass
+  // on classification alone, with no waivers.
+  EXPECT_GE(run.doc.Find("files_scanned")->as_number(), 9.0);
   EXPECT_TRUE(run.doc.Find("waivers")->as_array().empty());
 }
 
@@ -143,10 +153,13 @@ TEST(LintFixtures, JsonDocumentRoundTrips) {
 }
 
 TEST(LintFixtures, RealTreeIsCleanWithExplainedWaivers) {
-  // The repo root is two levels above the fixture dir; linting the real
-  // tree must stay green, and every waiver in it must carry a reason
-  // and actually suppress something (no stale pragmas).
-  const LintRun run = RunLint(Fixture("../.."));
+  // The repo root is two levels above the fixture dir; auditing the
+  // real tree against its committed baseline must stay green, and every
+  // waiver in it must carry a reason and actually suppress something
+  // (no stale pragmas — the audit would flag them as L011 anyway).
+  const LintRun run = RunLint(
+      Fixture("../.."),
+      "--baseline '" + Fixture("../../tools/lint/baseline.json") + "'");
   EXPECT_EQ(run.exit_code, 0) << run.doc.Dump();
   EXPECT_TRUE(run.doc.Find("clean")->as_bool());
   for (const JsonValue& w : run.doc.Find("waivers")->as_array()) {

@@ -1,0 +1,38 @@
+// Tier-1 layering/audit gate: runs cellspot-audit over this checkout
+// against the committed baseline, exactly as `tools/ci.sh lint` does.
+// Plain ctest therefore fails the moment a change introduces a new
+// finding — a layering back-edge, a lock held across an executor seam,
+// a swallowed catch-all, a stale waiver — without anyone remembering to
+// run the lint step. Known debt lives in tools/lint/baseline.json, not
+// here.
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef CELLSPOT_LINT_BIN
+#error "CELLSPOT_LINT_BIN must point at the cellspot-audit binary"
+#endif
+#ifndef CELLSPOT_AUDIT_ROOT
+#error "CELLSPOT_AUDIT_ROOT must point at the repository root"
+#endif
+
+namespace {
+
+TEST(AuditTree, RepositoryIsCleanAgainstBaseline) {
+  const std::string root = CELLSPOT_AUDIT_ROOT;
+  const std::string cmd = std::string(CELLSPOT_LINT_BIN) + " --root '" + root +
+                          "' --baseline '" + root +
+                          "/tools/lint/baseline.json'";
+  const int status = std::system(cmd.c_str());
+  const int exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  EXPECT_EQ(exit_code, 0)
+      << "cellspot-audit found new findings (printed above). Fix them, "
+         "waive them with an explained pragma, or — for accepted debt — "
+         "re-bless with:  cellspot-audit --root . --baseline "
+         "tools/lint/baseline.json --update-baseline";
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// util::OrderedMutex: the runtime lock-order checker behind the static
+// L008 rule. The death tests force checking on via SetLockOrderChecking
+// so they exercise the registry in plain builds too (sanitizer builds
+// have it on by default); each test starts from an empty graph so edges
+// recorded by one test cannot convict orders in another.
+#include "cellspot/util/ordered_mutex.hpp"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cellspot/stream/bounded_queue.hpp"
+
+namespace {
+
+using cellspot::util::LockOrderCheckingEnabled;
+using cellspot::util::LockOrderEdgeCountForTest;
+using cellspot::util::OrderedMutex;
+using cellspot::util::ResetLockOrderGraphForTest;
+using cellspot::util::SetLockOrderChecking;
+
+class OrderedMutexTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SetLockOrderChecking(true);
+    ResetLockOrderGraphForTest();
+  }
+  void TearDown() override {
+    ResetLockOrderGraphForTest();
+    SetLockOrderChecking(false);
+  }
+};
+
+TEST_F(OrderedMutexTest, NestedAcquisitionRecordsOneEdgePerClassPair) {
+  OrderedMutex a("test.A");
+  OrderedMutex b("test.B");
+  EXPECT_EQ(LockOrderEdgeCountForTest(), 0U);
+  {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);
+  }
+  EXPECT_EQ(LockOrderEdgeCountForTest(), 1U);
+  // The same order again is idempotent, not a second edge.
+  {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);
+  }
+  EXPECT_EQ(LockOrderEdgeCountForTest(), 1U);
+}
+
+TEST_F(OrderedMutexTest, ConsistentOrderAcrossThreeClassesIsFine) {
+  OrderedMutex a("test.A");
+  OrderedMutex b("test.B");
+  OrderedMutex c("test.C");
+  for (int round = 0; round < 3; ++round) {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);
+    std::lock_guard<OrderedMutex> lc(c);
+  }
+  // a->b, a->c, b->c.
+  EXPECT_EQ(LockOrderEdgeCountForTest(), 3U);
+}
+
+TEST_F(OrderedMutexTest, UncheckedModeRecordsNothing) {
+  SetLockOrderChecking(false);
+  OrderedMutex a("test.A");
+  OrderedMutex b("test.B");
+  {
+    std::lock_guard<OrderedMutex> la(a);
+    std::lock_guard<OrderedMutex> lb(b);
+  }
+  EXPECT_EQ(LockOrderEdgeCountForTest(), 0U);
+}
+
+TEST_F(OrderedMutexTest, TryLockParticipatesInTheGraph) {
+  OrderedMutex a("test.A");
+  OrderedMutex b("test.B");
+  std::lock_guard<OrderedMutex> la(a);
+  ASSERT_TRUE(b.try_lock());
+  b.unlock();
+  EXPECT_EQ(LockOrderEdgeCountForTest(), 1U);
+}
+
+TEST_F(OrderedMutexTest, DeliberateInversionAbortsWithTheCycle) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // One thread, two locks, both orders: the checker must abort at the
+  // second (inverted) acquisition even though nothing ever deadlocks.
+  EXPECT_DEATH(
+      {
+        SetLockOrderChecking(true);
+        ResetLockOrderGraphForTest();
+        OrderedMutex a("test.A");
+        OrderedMutex b("test.B");
+        {
+          std::lock_guard<OrderedMutex> la(a);
+          std::lock_guard<OrderedMutex> lb(b);
+        }
+        {
+          std::lock_guard<OrderedMutex> lb(b);
+          std::lock_guard<OrderedMutex> la(a);
+        }
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexTest, SameClassNestingAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Sibling instances of one class AB/BA between two threads is the
+  // classic hang; the class-keyed graph flags any same-class nesting.
+  EXPECT_DEATH(
+      {
+        SetLockOrderChecking(true);
+        ResetLockOrderGraphForTest();
+        OrderedMutex first("test.Sibling");
+        OrderedMutex second("test.Sibling");
+        std::lock_guard<OrderedMutex> lf(first);
+        std::lock_guard<OrderedMutex> ls(second);
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexTest, TransitiveInversionIsCaught) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // a->b and b->c recorded; acquiring a under c closes the loop two
+  // hops out.
+  EXPECT_DEATH(
+      {
+        SetLockOrderChecking(true);
+        ResetLockOrderGraphForTest();
+        OrderedMutex a("test.A");
+        OrderedMutex b("test.B");
+        OrderedMutex c("test.C");
+        {
+          std::lock_guard<OrderedMutex> la(a);
+          std::lock_guard<OrderedMutex> lb(b);
+        }
+        {
+          std::lock_guard<OrderedMutex> lb(b);
+          std::lock_guard<OrderedMutex> lc(c);
+        }
+        {
+          std::lock_guard<OrderedMutex> lc(c);
+          std::lock_guard<OrderedMutex> la(a);
+        }
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexTest, AdoptingFrameQueueStillWorksUnderChecking) {
+  // FrameQueue runs its whole API under an OrderedMutex (including the
+  // shed path, which touches the obs counter registry on first use);
+  // producer/consumer traffic with checking on must neither abort nor
+  // change queue semantics.
+  cellspot::stream::FrameQueue queue(2, cellspot::stream::BackpressurePolicy::kShedOldest);
+  std::thread producer([&queue] {
+    for (int i = 0; i < 16; ++i) queue.Push("frame-" + std::to_string(i));
+    queue.Close();
+  });
+  std::vector<std::string> received;
+  while (auto frame = queue.Pop()) received.push_back(*frame);
+  producer.join();
+  EXPECT_EQ(queue.pushed() - queue.shed_oldest(), received.size());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST_F(OrderedMutexTest, CheckingFlagRoundTrips) {
+  EXPECT_TRUE(LockOrderCheckingEnabled());
+  SetLockOrderChecking(false);
+  EXPECT_FALSE(LockOrderCheckingEnabled());
+  SetLockOrderChecking(true);
+  EXPECT_TRUE(LockOrderCheckingEnabled());
+}
+
+}  // namespace

@@ -13,12 +13,31 @@
 #   tools/ci.sh stream-chaos # streaming chaos harness under ASan and TSan
 #   tools/ci.sh query        # columnar query engine tests under ASan
 #   tools/ci.sh lpm          # flat LPM engine differential + consumers, ASan then TSan
-#   tools/ci.sh lint         # cellspot-lint + header self-containment + -Werror build
+#   tools/ci.sh lint         # cellspot-audit (rules + layering, baseline-gated)
+#                            # + header self-containment + -Werror build
+#   tools/ci.sh audit        # lint, then the audit/layering fixture suites and
+#                            # the OrderedMutex lock-order tests, ASan then TSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 variant="${1:-all}"
+
+# Skipped sub-steps are never silent: each prints a SKIPPED:<reason>
+# line where it happens, and `all` repeats them in its final summary.
+CI_SKIPS=()
+skip() {
+  echo "SKIPPED:$1"
+  CI_SKIPS+=("$1")
+}
+summarize_skips() {
+  if [[ ${#CI_SKIPS[@]} -eq 0 ]]; then
+    echo "ci.sh: all steps ran (0 skipped)"
+  else
+    echo "ci.sh: ${#CI_SKIPS[@]} step(s) skipped:"
+    printf '  SKIPPED:%s\n' "${CI_SKIPS[@]}"
+  fi
+}
 
 run() {
   local dir="$1"; shift
@@ -193,24 +212,51 @@ run_lpm() {
 }
 
 # Static analysis gate: the project's own invariants first, then the
-# generic ones. cellspot-lint enforces the determinism/parse-safety
-# rules (L001-L005, see DESIGN.md §10); the lint-headers target proves
-# every public header compiles standalone; the -Werror build keeps the
-# tree -Wall -Wextra clean. clang-tidy runs over compile_commands.json
-# when the binary exists — the reference container ships only gcc, so
-# its absence is a skip, not a failure.
+# generic ones. cellspot-audit enforces the determinism/parse-safety and
+# concurrency rules plus the layering DAG (L001-L011, see DESIGN.md §10
+# and §15), held against the committed tools/lint/baseline.json so only
+# new findings gate; the lint-headers target proves every public header
+# compiles standalone; the -Werror build keeps the tree -Wall -Wextra
+# clean. clang-tidy runs over compile_commands.json when the binary
+# exists — the reference container ships only gcc, so its absence is a
+# skip, not a failure.
 run_lint() {
   local dir="build-lint"
   cmake -B "$dir" -S . -DCELLSPOT_WERROR=ON
   cmake --build "$dir" -j "$jobs"
   cmake --build "$dir" -j "$jobs" --target lint-headers
-  "$dir/tools/lint/cellspot-lint" --root . --json "$dir/lint-findings.json"
+  "$dir/tools/lint/cellspot-audit" --root . \
+    --baseline tools/lint/baseline.json \
+    --json "$dir/audit-findings.json" --sarif "$dir/audit-findings.sarif"
   if command -v clang-tidy >/dev/null 2>&1; then
     git ls-files 'src/*.cpp' 'tools/*.cpp' |
       xargs clang-tidy -p "$dir" --quiet
   else
-    echo "ci.sh: clang-tidy not found; skipping (cellspot-lint already ran)"
+    skip "lint/clang-tidy: binary not installed (cellspot-audit already ran)"
   fi
+}
+
+# The audit surface end to end: the lint gate above, then the audit and
+# layering fixture suites plus the OrderedMutex lock-order tests under
+# ASan+UBSan, then the lock-order checker again under TSan — the
+# deliberate-inversion death tests prove OrderedMutex aborts with the
+# cycle where TSan alone would need the losing interleaving.
+run_audit() {
+  run_lint
+  local targets="util_ordered_mutex_test lint_test audit_test lint_tree_test \
+stream_queue_test"
+  local dir="build-asan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=address
+  # shellcheck disable=SC2086
+  cmake --build "$dir" -j "$jobs" --target $targets
+  for t in $targets; do "$dir/tests/$t"; done
+
+  dir="build-tsan"
+  cmake -B "$dir" -S . -DCELLSPOT_SANITIZE=thread
+  cmake --build "$dir" -j "$jobs" --target util_ordered_mutex_test stream_queue_test
+  local tsan_opts="suppressions=$PWD/tools/tsan.supp halt_on_error=1"
+  TSAN_OPTIONS="$tsan_opts" "$dir/tests/util_ordered_mutex_test"
+  TSAN_OPTIONS="$tsan_opts" "$dir/tests/stream_queue_test"
 }
 
 # The snapshot format and stage cache under ASan+UBSan: binary
@@ -268,10 +314,12 @@ case "$variant" in
   query)       run_query ;;
   lpm)         run_lpm ;;
   lint)        run_lint ;;
-  all)         run_lint
+  audit)       run_audit ;;
+  all)         run_audit
                run build
                run build-asan -DCELLSPOT_SANITIZE=address
                run_tsan
-               run_bench_smoke ;;
-  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke [--update-baseline]|shard|snapshot|stream-chaos|query|lpm|lint|all]" >&2; exit 2 ;;
+               run_bench_smoke
+               summarize_skips ;;
+  *) echo "usage: tools/ci.sh [plain|sanitize|tsan|bench-smoke [--update-baseline]|shard|snapshot|stream-chaos|query|lpm|lint|audit|all]" >&2; exit 2 ;;
 esac

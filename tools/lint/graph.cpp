@@ -1,0 +1,312 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace cellspot::lint {
+
+namespace {
+
+std::string TrimCopy(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string_view LineAt(std::string_view source, int line) {
+  std::size_t pos = 0;
+  for (int i = 1; i < line && pos != std::string_view::npos; ++i) {
+    pos = source.find('\n', pos);
+    if (pos != std::string_view::npos) ++pos;
+  }
+  if (pos == std::string_view::npos) return {};
+  std::size_t end = source.find('\n', pos);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(pos, end - pos);
+}
+
+/// Resolve `include` as written in `from_file` to a root-relative path:
+/// cellspot/<m>/... headers live under src/<m>/include/, local quoted
+/// includes are siblings of the including file ("../" normalized).
+std::string ResolveIncludeTarget(std::string_view from_file, const IncludeRef& ref) {
+  const std::string_view mod = ModuleOfInclude(ref.path);
+  if (!mod.empty()) {
+    return "src/" + std::string(mod) + "/include/" + ref.path;
+  }
+  if (ref.angled || ref.path.find('/') == 0) return {};  // std / system header
+  // Sibling include: dirname(from_file) + "/" + path, normalized.
+  std::string joined;
+  const std::size_t slash = from_file.rfind('/');
+  if (slash != std::string_view::npos) {
+    joined = std::string(from_file.substr(0, slash + 1));
+  }
+  joined += ref.path;
+  std::vector<std::string> parts;
+  std::istringstream in(joined);
+  std::string part;
+  while (std::getline(in, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (parts.empty()) return {};  // escapes the root: not ours to check
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IncludeRef> ExtractIncludes(const LexResult& lex, std::string_view source) {
+  std::vector<IncludeRef> refs;
+  const auto& toks = lex.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& hash = toks[i];
+    if (hash.kind != TokenKind::kPunct || hash.text != "#") continue;
+    const Token& kw = toks[i + 1];
+    if (kw.kind != TokenKind::kIdentifier || kw.text != "include" ||
+        kw.line != hash.line) {
+      continue;
+    }
+    const Token& arg = toks[i + 2];
+    if (arg.line != hash.line) continue;
+    if (arg.kind == TokenKind::kString && arg.text.size() >= 2) {
+      refs.push_back({std::string(arg.text.substr(1, arg.text.size() - 2)),
+                      hash.line, hash.column, false});
+      continue;
+    }
+    if (arg.kind == TokenKind::kPunct && arg.text == "<") {
+      // The <path> operand is punct soup to the lexer; read it straight
+      // from the source line instead.
+      const std::size_t open =
+          static_cast<std::size_t>(arg.text.data() - source.data());
+      const std::size_t nl = source.find('\n', open);
+      const std::size_t close = source.find('>', open);
+      if (close == std::string_view::npos ||
+          (nl != std::string_view::npos && close > nl)) {
+        continue;
+      }
+      refs.push_back({std::string(source.substr(open + 1, close - open - 1)),
+                      hash.line, hash.column, true});
+    }
+  }
+  return refs;
+}
+
+const LayerSpec::Module* LayerSpec::Find(std::string_view name) const {
+  for (const Module& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+LayerSpec ParseLayers(std::string_view text) {
+  LayerSpec spec;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = TrimCopy(raw);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("layers.txt:" + std::to_string(line_no) +
+                               ": expected '<module>: [deps...]', got '" + line + "'");
+    }
+    LayerSpec::Module mod;
+    mod.name = TrimCopy(std::string_view(line).substr(0, colon));
+    if (mod.name.empty()) {
+      throw std::runtime_error("layers.txt:" + std::to_string(line_no) +
+                               ": empty module name");
+    }
+    std::istringstream deps(line.substr(colon + 1));
+    std::string dep;
+    while (deps >> dep) mod.allowed.push_back(dep);
+    std::sort(mod.allowed.begin(), mod.allowed.end());
+    spec.modules.push_back(std::move(mod));
+  }
+  std::sort(spec.modules.begin(), spec.modules.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  for (std::size_t i = 1; i < spec.modules.size(); ++i) {
+    if (spec.modules[i].name == spec.modules[i - 1].name) {
+      throw std::runtime_error("layers.txt: module '" + spec.modules[i].name +
+                               "' declared twice");
+    }
+  }
+  // Every allow-list entry must itself be declared, and the declared
+  // graph must be a DAG (depth-first, gray = on stack).
+  for (const auto& m : spec.modules) {
+    for (const std::string& dep : m.allowed) {
+      if (spec.Find(dep) == nullptr) {
+        throw std::runtime_error("layers.txt: module '" + m.name +
+                                 "' allows undeclared module '" + dep + "'");
+      }
+      if (dep == m.name) {
+        throw std::runtime_error("layers.txt: module '" + m.name +
+                                 "' allows itself");
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  auto dfs = [&](auto&& self, const std::string& name) -> void {
+    color[name] = 1;
+    stack.push_back(name);
+    for (const std::string& dep : spec.Find(name)->allowed) {
+      if (color[dep] == 1) {
+        std::string chain = dep;
+        bool in_cycle = false;
+        for (const std::string& hop : stack) {
+          if (hop == dep) {
+            in_cycle = true;
+            continue;
+          }
+          if (in_cycle) chain += " -> " + hop;
+        }
+        chain += " -> " + dep;
+        throw std::runtime_error("layers.txt: declared dependency cycle: " + chain);
+      }
+      if (color[dep] == 0) self(self, dep);
+    }
+    stack.pop_back();
+    color[name] = 2;
+  };
+  for (const auto& m : spec.modules) {
+    if (color[m.name] == 0) dfs(dfs, m.name);
+  }
+  return spec;
+}
+
+std::string_view ModuleOfFile(std::string_view rel_path) {
+  if (rel_path.substr(0, 4) == "src/") {
+    const std::string_view rest = rel_path.substr(4);
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) return rest.substr(0, slash);
+    return {};
+  }
+  for (const std::string_view top : {"tools", "tests", "bench", "examples"}) {
+    if (rel_path.substr(0, top.size()) == top &&
+        (rel_path.size() == top.size() || rel_path[top.size()] == '/')) {
+      return top;
+    }
+  }
+  return {};
+}
+
+std::string_view ModuleOfInclude(std::string_view include_path) {
+  constexpr std::string_view kPrefix = "cellspot/";
+  if (include_path.substr(0, kPrefix.size()) != kPrefix) return {};
+  const std::string_view rest = include_path.substr(kPrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return rest.substr(0, slash);
+}
+
+std::vector<Finding> CheckLayering(const LayerSpec& layers,
+                                   const std::vector<FileIncludes>& files,
+                                   const std::vector<std::string>& sources) {
+  std::vector<Finding> findings;
+  std::set<std::string> undeclared_reported;  // one finding per module
+
+  // -- Back-edges against the declared DAG --------------------------------
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileIncludes& f = files[fi];
+    const std::string_view from_mod = ModuleOfFile(f.file);
+    const bool library = f.file.substr(0, 4) == "src/";
+    if (!library || from_mod.empty()) continue;  // drivers may include anything
+    const LayerSpec::Module* decl = layers.Find(from_mod);
+    if (decl == nullptr) {
+      if (undeclared_reported.insert(std::string(from_mod)).second) {
+        findings.push_back(
+            {"L007", f.file, 1, 1,
+             "module '" + std::string(from_mod) +
+                 "' is not declared in layers.txt: add it (with its allowed "
+                 "dependencies) so the layer contract covers the whole tree",
+             TrimCopy(LineAt(sources[fi], 1))});
+      }
+      continue;
+    }
+    for (const IncludeRef& ref : f.includes) {
+      const std::string_view to_mod = ModuleOfInclude(ref.path);
+      if (to_mod.empty() || to_mod == from_mod) continue;
+      if (std::binary_search(decl->allowed.begin(), decl->allowed.end(),
+                             std::string(to_mod))) {
+        continue;
+      }
+      findings.push_back(
+          {"L007", f.file, ref.line, ref.column,
+           "layering back-edge " + std::string(from_mod) + " -> " +
+               std::string(to_mod) + ": include of '" + ref.path +
+               "' but layers.txt does not allow " + std::string(from_mod) +
+               " to depend on " + std::string(to_mod),
+           TrimCopy(LineAt(sources[fi], ref.line))});
+    }
+  }
+
+  // -- File-level include cycles ------------------------------------------
+  // Resolve includes to scanned files and DFS; a gray target closes a
+  // cycle, reported at the include edge that closes it.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) index[files[fi].file] = fi;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+
+  auto dfs = [&](auto&& self, std::size_t fi) -> void {
+    const FileIncludes& f = files[fi];
+    color[f.file] = 1;
+    stack.push_back(f.file);
+    for (const IncludeRef& ref : f.includes) {
+      const std::string target = ResolveIncludeTarget(f.file, ref);
+      if (target.empty()) continue;
+      const auto it = index.find(target);
+      if (it == index.end()) continue;  // outside the scanned set
+      const int c = color[target];
+      if (c == 1) {
+        std::string chain = target;
+        bool in_cycle = false;
+        for (const std::string& hop : stack) {
+          if (hop == target) {
+            in_cycle = true;
+            continue;
+          }
+          if (in_cycle) chain += " -> " + hop;
+        }
+        chain += " -> " + target;
+        findings.push_back(
+            {"L007", f.file, ref.line, ref.column,
+             "include cycle: " + chain,
+             TrimCopy(LineAt(sources[fi], ref.line))});
+        continue;
+      }
+      if (c == 0) self(self, it->second);
+    }
+    stack.pop_back();
+    color[f.file] = 2;
+  };
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    if (color[files[fi].file] == 0) dfs(dfs, fi);
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.column, a.message) <
+           std::tie(b.file, b.line, b.column, b.message);
+  });
+  return findings;
+}
+
+}  // namespace cellspot::lint

@@ -1,0 +1,88 @@
+// Pass 1 of cellspot-audit: the include graph and the declared module
+// DAG.
+//
+// tools/lint/layers.txt declares, for every module under src/, the
+// modules it is allowed to include directly:
+//
+//   # comment
+//   util:
+//   netaddr: util
+//   exec: util obs
+//
+// The declaration must itself be a DAG (validated on load). The pass
+// then resolves every #include edge in the scanned tree:
+//
+//   * an edge from src/<A>/... to a cellspot/<B>/... header with B not
+//     in A's allow list is a back-edge -> L007 at the include line;
+//   * a module under src/ missing from layers.txt -> L007 (the
+//     declaration is the contract; silence is not consent);
+//   * a cycle among the scanned files' resolved includes -> L007 with
+//     the full include chain (declared DAGs cannot rule out file-level
+//     cycles inside one module).
+//
+// Files under tools/, tests/ and bench/ may include anything — layering
+// governs the library, not its drivers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace cellspot::lint {
+
+/// One #include directive, as written.
+struct IncludeRef {
+  std::string path;   // the text between the quotes / angle brackets
+  int line = 0;
+  int column = 0;
+  bool angled = false;
+};
+
+/// Extract every #include from an already-lexed file. Comment- and
+/// string-safe: a directive quoted in prose never produces a ref.
+[[nodiscard]] std::vector<IncludeRef> ExtractIncludes(const LexResult& lex,
+                                                      std::string_view source);
+
+/// The declared module DAG.
+struct LayerSpec {
+  struct Module {
+    std::string name;
+    std::vector<std::string> allowed;  // direct includes, sorted
+  };
+  std::vector<Module> modules;  // sorted by name
+
+  [[nodiscard]] const Module* Find(std::string_view name) const;
+};
+
+/// Parse a layers.txt document. Throws std::runtime_error on a syntax
+/// error, an allow-list naming an undeclared module, or a declared
+/// cycle — a broken contract is a configuration failure (exit 2), not a
+/// finding.
+[[nodiscard]] LayerSpec ParseLayers(std::string_view text);
+
+/// Module of a root-relative file path: "src/<m>/..." -> m, "tools/..."
+/// -> "tools", etc.; empty when the path has no module prefix.
+[[nodiscard]] std::string_view ModuleOfFile(std::string_view rel_path);
+
+/// Module of an include path: "cellspot/<m>/..." -> m, else empty
+/// (std headers, local sibling includes).
+[[nodiscard]] std::string_view ModuleOfInclude(std::string_view include_path);
+
+/// One scanned file's contribution to the graph pass.
+struct FileIncludes {
+  std::string file;  // root-relative
+  std::vector<IncludeRef> includes;
+};
+
+/// Run the layering + cycle analysis over the whole scanned tree.
+/// `files` must be sorted by path (the caller's scan order); findings
+/// come out in deterministic order. `sources` maps 1:1 to `files` and
+/// is used only for finding snippets.
+[[nodiscard]] std::vector<Finding> CheckLayering(
+    const LayerSpec& layers, const std::vector<FileIncludes>& files,
+    const std::vector<std::string>& sources);
+
+}  // namespace cellspot::lint

@@ -103,11 +103,28 @@ class Lexer {
   void LexLineComment() {
     const int start_line = line_;
     const bool standalone = !line_has_code_;
-    std::size_t end = src_.find('\n', pos_);
-    if (end == std::string_view::npos) end = src_.size();
+    // A backslash-newline splice extends the comment onto the next
+    // physical line ([lex.phases] p1.2 runs before comment removal), so
+    // the spliced text is still comment — never tokens the rules may
+    // fire on.
+    std::size_t end = pos_;
+    while (true) {
+      end = src_.find('\n', end);
+      if (end == std::string_view::npos) {
+        end = src_.size();
+        break;
+      }
+      std::size_t back = end;
+      if (back > pos_ && src_[back - 1] == '\r') --back;
+      if (back > pos_ && src_[back - 1] == '\\') {
+        ++end;  // spliced: keep scanning past this newline
+        continue;
+      }
+      break;
+    }
     const std::string_view body = src_.substr(pos_ + 2, end - pos_ - 2);
     result_.comments.push_back({TrimCopy(body), start_line, standalone});
-    Advance(end - pos_);
+    while (pos_ < end) AdvanceAny();
   }
 
   void LexBlockComment() {
@@ -129,7 +146,13 @@ class Lexer {
     const int tok_col = col_;
     AdvanceAny();  // opening quote
     while (pos_ < src_.size() && src_[pos_] != quote && src_[pos_] != '\n') {
-      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) AdvanceAny();
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        AdvanceAny();  // the backslash; next AdvanceAny eats the escaped char
+        // A CRLF splice is backslash + two bytes, not one.
+        if (src_[pos_] == '\r' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+          AdvanceAny();
+        }
+      }
       AdvanceAny();
     }
     if (pos_ < src_.size() && src_[pos_] == quote) AdvanceAny();
@@ -184,6 +207,14 @@ class Lexer {
       const char prev = src_[pos_ + len - 1];
       if ((c == '+' || c == '-') &&
           (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+        ++len;
+        continue;
+      }
+      // Digit separator: 1'000'000. Without this the ' would open a
+      // bogus char literal and desync every rule match after it.
+      if (c == '\'' && pos_ + len + 1 < src_.size() &&
+          std::isalnum(static_cast<unsigned char>(src_[pos_ + len + 1])) != 0 &&
+          std::isalnum(static_cast<unsigned char>(prev)) != 0) {
         ++len;
         continue;
       }

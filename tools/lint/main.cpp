@@ -1,24 +1,42 @@
-// cellspot-lint: project-invariant static analysis for the cellspot tree.
+// cellspot-audit: project-invariant static analysis for the cellspot tree.
 //
-//   cellspot-lint [--root DIR] [--json PATH] [--quiet] [subdir...]
+//   cellspot-audit [--root DIR] [--json PATH|-] [--sarif PATH] [--quiet]
+//                  [--jobs N] [--layers PATH] [--baseline PATH]
+//                  [--update-baseline] [subdir...]
 //
 // Scans `src/ bench/ tests/ tools/` under --root (default: the current
-// directory) for *.cpp / *.hpp files and enforces the L001-L006 rule
-// catalogue (see rules.hpp). Human findings go to stdout as
-// `file:line:col: rule: message`; --json additionally writes a
-// machine-readable `cellspot-lint/1` findings document ("-" = stdout).
+// directory) for *.cpp / *.hpp files and runs three passes:
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Deliberately
-// self-contained (no cellspot libraries): the linter must stay buildable
-// even when the tree it polices is broken.
+//   1. the include graph against the declared module DAG in
+//      tools/lint/layers.txt (L007, see graph.hpp);
+//   2. the per-file token rules L001-L005 and the concurrency rules
+//      L008-L010 (see rules.hpp), files analyzed in parallel;
+//   3. the waiver lifecycle: malformed pragmas are L006, pragmas that
+//      suppress nothing are L011.
+//
+// `--baseline PATH` subtracts the committed findings so only new
+// regressions gate (exit 1); `--update-baseline` rewrites PATH from the
+// current findings instead. Human findings go to stdout as
+// `file:line:col: rule: message`; --json writes the machine-readable
+// `cellspot-audit/1` document ("-" = stdout), --sarif a SARIF 2.1.0 log.
+//
+// Exit codes: 0 clean (after baseline), 1 findings, 2 usage, I/O, or
+// configuration error (unreadable layers.txt / baseline). Deliberately
+// self-contained (no cellspot libraries): the auditor must stay
+// buildable even when the tree it polices is broken.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
+#include "graph.hpp"
+#include "report.hpp"
 #include "rules.hpp"
 
 namespace fs = std::filesystem;
@@ -28,15 +46,21 @@ namespace {
 
 struct Options {
   std::string root = ".";
-  std::string json_path;  // empty = no JSON, "-" = stdout
+  std::string json_path;   // empty = no JSON, "-" = stdout
+  std::string sarif_path;  // empty = no SARIF
+  std::string layers_path;    // empty = <root>/tools/lint/layers.txt if present
+  std::string baseline_path;  // empty = no baseline gate
+  bool update_baseline = false;
   bool quiet = false;
+  int jobs = 0;  // 0 = hardware concurrency
   std::vector<std::string> subdirs;  // default: src bench tests tools
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cellspot-lint [--root DIR] [--json PATH|-] [--quiet] "
-               "[subdir...]\n");
+               "usage: cellspot-audit [--root DIR] [--json PATH|-] [--sarif PATH] "
+               "[--quiet] [--jobs N] [--layers PATH] [--baseline PATH] "
+               "[--update-baseline] [subdir...]\n");
   return 2;
 }
 
@@ -45,69 +69,28 @@ bool WantedFile(const fs::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h";
 }
 
-/// Paths never linted: build trees and the deliberately-violating lint
-/// fixtures (they are linted explicitly by lint_test, with their own
+/// Paths never audited: build trees and the deliberately-violating lint
+/// fixtures (they are audited explicitly by lint_test, with their own
 /// root).
 bool SkippedDir(const std::string& rel) {
   return rel.find("build") == 0 || rel.find("/build") != std::string::npos ||
          rel.find("lint_fixtures") != std::string::npos;
 }
 
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+bool WriteFileOrStdout(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
   }
-  return out;
-}
-
-std::string ToJson(const std::vector<Finding>& findings,
-                   const std::vector<Waiver>& waivers, std::size_t files_scanned) {
-  std::ostringstream out;
-  out << "{\n  \"schema\": \"cellspot-lint/1\",\n"
-      << "  \"files_scanned\": " << files_scanned << ",\n"
-      << "  \"clean\": " << (findings.empty() ? "true" : "false") << ",\n"
-      << "  \"findings\": [";
-  for (std::size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << f.rule
-        << "\", \"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
-        << ", \"column\": " << f.column << ", \"message\": \""
-        << JsonEscape(f.message) << "\", \"snippet\": \"" << JsonEscape(f.snippet)
-        << "\"}";
-  }
-  out << (findings.empty() ? "" : "\n  ") << "],\n  \"waivers\": [";
-  for (std::size_t i = 0; i < waivers.size(); ++i) {
-    const Waiver& w = waivers[i];
-    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << w.rule
-        << "\", \"file\": \"" << JsonEscape(w.file) << "\", \"line\": " << w.line
-        << ", \"target_line\": " << w.target_line << ", \"reason\": \""
-        << JsonEscape(w.reason) << "\", \"used\": " << (w.used ? "true" : "false")
-        << "}";
-  }
-  out << (waivers.empty() ? "" : "\n  ") << "]\n}\n";
-  return out.str();
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
 }
 
 int Run(const Options& opt) {
   const fs::path root(opt.root);
   if (!fs::is_directory(root)) {
-    std::fprintf(stderr, "cellspot-lint: root '%s' is not a directory\n",
+    std::fprintf(stderr, "cellspot-audit: root '%s' is not a directory\n",
                  opt.root.c_str());
     return 2;
   }
@@ -115,39 +98,155 @@ int Run(const Options& opt) {
   if (subdirs.empty()) subdirs = {"src", "bench", "tests", "tools"};
 
   // Collect root-relative paths, sorted: output order is a property of
-  // the tree, not of readdir().
+  // the tree, not of readdir() or of the worker schedule below.
   std::vector<std::string> files;
   for (const std::string& sub : subdirs) {
     const fs::path dir = root / sub;
     if (!fs::exists(dir)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (!entry.is_regular_file() || !WantedFile(entry.path())) continue;
-      const std::string rel =
-          fs::relative(entry.path(), root).generic_string();
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
       if (SkippedDir(rel)) continue;
       files.push_back(rel);
     }
   }
   std::sort(files.begin(), files.end());
 
+  // Pass 2 runs per file with no cross-file state, so files fan out
+  // across a small worker pool; slots are pre-sized and indexed, so the
+  // merged result is identical at any worker count.
+  std::vector<std::string> sources(files.size());
+  std::vector<FileReport> reports(files.size());
+  std::vector<std::vector<IncludeRef>> includes(files.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> io_error{false};
+  unsigned workers = opt.jobs > 0 ? static_cast<unsigned>(opt.jobs)
+                                  : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(files.size(), 1)));
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < files.size();
+         i = next.fetch_add(1)) {
+      std::ifstream in(root / files[i], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cellspot-audit: cannot read '%s'\n",
+                     files[i].c_str());
+        io_error.store(true);
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      sources[i] = buf.str();
+      const LexResult lex = Lex(sources[i]);
+      includes[i] = ExtractIncludes(lex, sources[i]);
+      reports[i] = LintFile(files[i], sources[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (io_error.load()) return 2;
+
   std::vector<Finding> findings;
   std::vector<Waiver> waivers;
-  for (const std::string& rel : files) {
-    std::ifstream in(root / rel, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "cellspot-lint: cannot read '%s'\n", rel.c_str());
-      return 2;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string source = buf.str();
-    FileReport report = LintFile(rel, source);
+  for (FileReport& report : reports) {
     findings.insert(findings.end(),
                     std::make_move_iterator(report.findings.begin()),
                     std::make_move_iterator(report.findings.end()));
     waivers.insert(waivers.end(),
                    std::make_move_iterator(report.waivers.begin()),
                    std::make_move_iterator(report.waivers.end()));
+  }
+
+  // Pass 1: layering. The declaration ships at tools/lint/layers.txt;
+  // an explicit --layers that cannot be read is a configuration error,
+  // a missing default is a skipped pass (fixture trees have no layer
+  // contract).
+  fs::path layers_file = opt.layers_path.empty()
+                             ? root / "tools" / "lint" / "layers.txt"
+                             : fs::path(opt.layers_path);
+  if (!opt.layers_path.empty() || fs::exists(layers_file)) {
+    std::ifstream in(layers_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cellspot-audit: cannot read layers file '%s'\n",
+                   layers_file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const LayerSpec layers = ParseLayers(buf.str());
+    std::vector<FileIncludes> graph_files(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      graph_files[i] = {files[i], includes[i]};
+    }
+    std::vector<Finding> layering = CheckLayering(layers, graph_files, sources);
+    // L007 findings are waivable like any per-file finding; the pragma
+    // sits on the offending #include line.
+    std::vector<Finding> kept;
+    for (Finding& f : layering) {
+      bool waived = false;
+      for (Waiver& w : waivers) {
+        if (w.rule == f.rule && w.file == f.file && w.target_line == f.line) {
+          w.used = true;
+          waived = true;
+        }
+      }
+      if (!waived) kept.push_back(std::move(f));
+    }
+    findings.insert(findings.end(), std::make_move_iterator(kept.begin()),
+                    std::make_move_iterator(kept.end()));
+  } else if (!opt.quiet) {
+    std::fprintf(stderr,
+                 "cellspot-audit: layering pass skipped (no %s)\n",
+                 layers_file.string().c_str());
+  }
+
+  // Pass 3: the waiver lifecycle. Every pass that could consume a
+  // waiver has run; one that suppressed nothing is dead weight that
+  // would silently re-arm on the next refactor — surface it now.
+  for (const Waiver& w : waivers) {
+    if (w.used) continue;
+    findings.push_back(
+        {"L011", w.file, w.line, 1,
+         "stale waiver: allow(" + w.rule +
+             ") suppresses no finding — delete it (or fix the reason it "
+             "no longer matches)",
+         "// cellspot-lint: allow(" + w.rule + ") " + w.reason});
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.column, a.rule, a.message) <
+           std::tie(b.file, b.line, b.column, b.rule, b.message);
+  });
+
+  if (opt.update_baseline) {
+    if (!WriteFileOrStdout(opt.baseline_path, BaselineJson(findings))) {
+      std::fprintf(stderr, "cellspot-audit: cannot write baseline '%s'\n",
+                   opt.baseline_path.c_str());
+      return 2;
+    }
+    if (!opt.quiet) {
+      std::printf(
+          "cellspot-audit: baseline rewritten with %zu finding(s); commit %s\n",
+          findings.size(), opt.baseline_path.c_str());
+    }
+    return 0;
+  }
+
+  std::size_t baseline_suppressed = 0;
+  if (!opt.baseline_path.empty()) {
+    std::ifstream in(opt.baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cellspot-audit: cannot read baseline '%s'\n",
+                   opt.baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    findings = SubtractBaseline(std::move(findings), ParseBaseline(buf.str()),
+                                &baseline_suppressed);
   }
 
   if (!opt.quiet) {
@@ -158,23 +257,25 @@ int Run(const Options& opt) {
     }
     std::size_t used_waivers = 0;
     for (const Waiver& w : waivers) used_waivers += w.used ? 1 : 0;
-    std::printf("cellspot-lint: %zu file(s), %zu finding(s), %zu waiver(s) in use\n",
-                files.size(), findings.size(), used_waivers);
+    std::printf(
+        "cellspot-audit: %zu file(s), %zu finding(s), %zu baselined, "
+        "%zu waiver(s) in use\n",
+        files.size(), findings.size(), baseline_suppressed, used_waivers);
   }
 
-  if (!opt.json_path.empty()) {
-    const std::string json = ToJson(findings, waivers, files.size());
-    if (opt.json_path == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::ofstream out(opt.json_path, std::ios::trunc);
-      out << json;
-      if (!out) {
-        std::fprintf(stderr, "cellspot-lint: cannot write '%s'\n",
-                     opt.json_path.c_str());
-        return 2;
-      }
-    }
+  if (!opt.json_path.empty() &&
+      !WriteFileOrStdout(opt.json_path, FindingsJson(findings, waivers,
+                                                     files.size(),
+                                                     baseline_suppressed))) {
+    std::fprintf(stderr, "cellspot-audit: cannot write '%s'\n",
+                 opt.json_path.c_str());
+    return 2;
+  }
+  if (!opt.sarif_path.empty() &&
+      !WriteFileOrStdout(opt.sarif_path, FindingsSarif(findings))) {
+    std::fprintf(stderr, "cellspot-audit: cannot write '%s'\n",
+                 opt.sarif_path.c_str());
+    return 2;
   }
   return findings.empty() ? 0 : 1;
 }
@@ -190,6 +291,21 @@ int main(int argc, char** argv) {
       opt.root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       opt.json_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      opt.sarif_path = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      opt.layers_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opt.baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      opt.update_baseline = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opt.jobs = 0;
+      for (const char* p = argv[++i]; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9' || opt.jobs > 4096) return cellspot::lint::Usage();
+        opt.jobs = opt.jobs * 10 + (*p - '0');
+      }
+      if (opt.jobs < 1) return cellspot::lint::Usage();
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -200,10 +316,15 @@ int main(int argc, char** argv) {
       opt.subdirs.push_back(arg);
     }
   }
+  if (opt.update_baseline && opt.baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "cellspot-audit: --update-baseline needs --baseline PATH\n");
+    return 2;
+  }
   try {
     return cellspot::lint::Run(opt);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "cellspot-lint: %s\n", e.what());
+    std::fprintf(stderr, "cellspot-audit: %s\n", e.what());
     return 2;
   }
 }

@@ -1,0 +1,297 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace cellspot::lint {
+
+namespace {
+
+// -- Minimal JSON reader --------------------------------------------------
+// The audit binary stays self-contained (no cellspot libraries), so the
+// baseline document gets its own strict little parser: objects, arrays,
+// strings with the escapes we emit, integers, bools. Anything else is a
+// parse error — we only ever read documents this tool wrote.
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("baseline: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  char Peek() {
+    SkipWs();
+    if (pos_ >= text_.size()) Fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v += static_cast<unsigned>(h - 'A' + 10);
+              else Fail("bad \\u escape");
+            }
+            if (v > 0x7f) Fail("non-ASCII \\u escape (we never emit one)");
+            out += static_cast<char>(v);
+            break;
+          }
+          default: Fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  long ReadInt() {
+    SkipWs();
+    bool neg = Consume('-');
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      Fail("expected a digit");
+    }
+    long v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      v = v * 10 + (text_[pos_++] - '0');
+    }
+    return neg ? -v : v;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+using Key = std::tuple<std::string, std::string, std::string>;
+
+Key KeyOf(const Finding& f) { return {f.rule, f.file, f.snippet}; }
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Baseline ParseBaseline(std::string_view json) {
+  JsonReader in(json);
+  Baseline baseline;
+  bool saw_schema = false;
+  in.Expect('{');
+  if (!in.Consume('}')) {
+    do {
+      const std::string key = in.ReadString();
+      in.Expect(':');
+      if (key == "schema") {
+        const std::string schema = in.ReadString();
+        if (schema != "cellspot-audit-baseline/1") {
+          throw std::runtime_error("baseline: unsupported schema '" + schema + "'");
+        }
+        saw_schema = true;
+      } else if (key == "entries") {
+        in.Expect('[');
+        if (!in.Consume(']')) {
+          do {
+            Baseline::Entry entry;
+            in.Expect('{');
+            do {
+              const std::string field = in.ReadString();
+              in.Expect(':');
+              if (field == "rule") entry.rule = in.ReadString();
+              else if (field == "file") entry.file = in.ReadString();
+              else if (field == "snippet") entry.snippet = in.ReadString();
+              else if (field == "count") entry.count = static_cast<int>(in.ReadInt());
+              else in.Fail("unknown entry field '" + field + "'");
+            } while (in.Consume(','));
+            in.Expect('}');
+            if (entry.rule.empty() || entry.file.empty() || entry.count < 1) {
+              throw std::runtime_error(
+                  "baseline: entry needs rule, file, and count >= 1");
+            }
+            baseline.entries.push_back(std::move(entry));
+          } while (in.Consume(','));
+          in.Expect(']');
+        }
+      } else {
+        in.Fail("unknown key '" + key + "'");
+      }
+    } while (in.Consume(','));
+    in.Expect('}');
+  }
+  if (!in.AtEnd()) throw std::runtime_error("baseline: trailing garbage");
+  if (!saw_schema) throw std::runtime_error("baseline: missing schema tag");
+  return baseline;
+}
+
+std::string BaselineJson(const std::vector<Finding>& findings) {
+  std::map<Key, int> counts;
+  for (const Finding& f : findings) ++counts[KeyOf(f)];
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"cellspot-audit-baseline/1\",\n  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, count] : counts) {
+    const auto& [rule, file, snippet] = key;
+    out << (first ? "" : ",") << "\n    {\"rule\": \"" << rule << "\", \"file\": \""
+        << JsonEscape(file) << "\", \"snippet\": \"" << JsonEscape(snippet)
+        << "\", \"count\": " << count << "}";
+    first = false;
+  }
+  out << (counts.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::vector<Finding> SubtractBaseline(std::vector<Finding> findings,
+                                      const Baseline& baseline,
+                                      std::size_t* suppressed) {
+  std::map<Key, int> budget;
+  for (const Baseline::Entry& e : baseline.entries) {
+    budget[{e.rule, e.file, e.snippet}] += e.count;
+  }
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const auto it = budget.find(KeyOf(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      if (suppressed != nullptr) ++*suppressed;
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  return kept;
+}
+
+std::string FindingsJson(const std::vector<Finding>& findings,
+                         const std::vector<Waiver>& waivers,
+                         std::size_t files_scanned, std::size_t baseline_suppressed) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"cellspot-audit/1\",\n"
+      << "  \"files_scanned\": " << files_scanned << ",\n"
+      << "  \"baseline_suppressed\": " << baseline_suppressed << ",\n"
+      << "  \"clean\": " << (findings.empty() ? "true" : "false") << ",\n"
+      << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << f.rule
+        << "\", \"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+        << ", \"column\": " << f.column << ", \"message\": \""
+        << JsonEscape(f.message) << "\", \"snippet\": \"" << JsonEscape(f.snippet)
+        << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "],\n  \"waivers\": [";
+  for (std::size_t i = 0; i < waivers.size(); ++i) {
+    const Waiver& w = waivers[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << w.rule
+        << "\", \"file\": \"" << JsonEscape(w.file) << "\", \"line\": " << w.line
+        << ", \"target_line\": " << w.target_line << ", \"reason\": \""
+        << JsonEscape(w.reason) << "\", \"used\": " << (w.used ? "true" : "false")
+        << "}";
+  }
+  out << (waivers.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string FindingsSarif(const std::vector<Finding>& findings) {
+  // One reportingDescriptor per distinct rule, results in finding order.
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"cellspot-audit\",\n          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n            {\"id\": \"" << rules[i] << "\"}";
+  }
+  out << (rules.empty() ? "" : "\n          ") << "]\n        }\n      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n        {\"ruleId\": \"" << f.rule
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << JsonEscape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << f.line
+        << ", \"startColumn\": " << f.column << "}}}]}";
+  }
+  out << (findings.empty() ? "" : "\n      ") << "]\n    }\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace cellspot::lint

@@ -1,0 +1,56 @@
+// Output and baseline machinery for cellspot-audit.
+//
+// The baseline mirrors the bench gate from DESIGN.md §14: a committed
+// tools/lint/baseline.json records the findings the tree is known to
+// carry, `--baseline` subtracts them so only *new* findings gate, and
+// `--update-baseline` blesses the current state. Entries are keyed by
+// (rule, file, snippet) with a count — line numbers churn with every
+// edit, the offending line's text does not — so unrelated edits to a
+// file never resurrect its baselined findings, while a second identical
+// violation on a new line still gates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace cellspot::lint {
+
+struct Baseline {
+  struct Entry {
+    std::string rule;
+    std::string file;
+    std::string snippet;
+    int count = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Parse a cellspot-audit-baseline/1 document. Throws std::runtime_error
+/// on malformed JSON or a schema mismatch.
+[[nodiscard]] Baseline ParseBaseline(std::string_view json);
+
+/// Serialize `findings` as a baseline document (sorted, merged counts).
+[[nodiscard]] std::string BaselineJson(const std::vector<Finding>& findings);
+
+/// Remove findings covered by the baseline (each entry suppresses up to
+/// `count` findings with the same rule/file/snippet). The number
+/// suppressed is added to *suppressed.
+[[nodiscard]] std::vector<Finding> SubtractBaseline(std::vector<Finding> findings,
+                                                    const Baseline& baseline,
+                                                    std::size_t* suppressed);
+
+/// The cellspot-audit/1 findings document.
+[[nodiscard]] std::string FindingsJson(const std::vector<Finding>& findings,
+                                       const std::vector<Waiver>& waivers,
+                                       std::size_t files_scanned,
+                                       std::size_t baseline_suppressed);
+
+/// SARIF 2.1.0, for code-scanning UIs.
+[[nodiscard]] std::string FindingsSarif(const std::vector<Finding>& findings);
+
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+}  // namespace cellspot::lint

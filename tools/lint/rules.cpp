@@ -70,6 +70,8 @@ class FileLinter {
     ParseWaivers();
     if (cls_.check_guard) CheckGuard();
     CheckTokens();
+    if (cls_.concurrency) CheckLockDiscipline();
+    if (cls_.check_catch) CheckCatchAll();
     ApplyWaivers();
     return std::move(report_);
   }
@@ -157,7 +159,7 @@ class FileLinter {
     std::vector<Finding> kept;
     for (Finding& f : report_.findings) {
       bool waived = false;
-      if (f.rule != "L006") {
+      if (f.rule != "L006" && f.rule != "L011") {
         for (Waiver& w : report_.waivers) {
           if (w.rule == f.rule && w.target_line == f.line) {
             w.used = true;
@@ -197,6 +199,7 @@ class FileLinter {
         CheckNondeterminism(i);
         CheckStdout(i);
       }
+      if (cls_.concurrency) CheckRawThreads(i);
     }
   }
 
@@ -275,6 +278,141 @@ class FileLinter {
     }
   }
 
+  // -- L008: locks held across parallel / batch seams ---------------------
+
+  /// RAII guard class names whose construction acquires a lock. Seeing
+  /// one marks a guard alive until its enclosing brace scope closes —
+  /// deliberately coarse (a std::defer_lock guard counts too); the rare
+  /// false positive is waivable with the reason spelled out.
+  static bool IsGuardName(std::string_view text) {
+    return text == "lock_guard" || text == "unique_lock" ||
+           text == "scoped_lock" || text == "shared_lock";
+  }
+
+  /// Executor fan-out entry points: worker threads run the body, so a
+  /// lock held here is one the workers may block on.
+  static bool IsExecutorCall(std::string_view text) {
+    return text == "ParallelFor" || text == "ParallelForChunks" ||
+           text == "ParallelReduce";
+  }
+
+  /// Batch lookup seams (FlatLpm / RoutingTable / CellularMap): chunked
+  /// under the executor internally, so the same hazard applies.
+  static bool IsBatchSeam(std::string_view text) {
+    return text == "LookupBatch" || text == "OriginOfBatch" ||
+           text == "ContainsBatch";
+  }
+
+  void CheckLockDiscipline() {
+    struct Guard {
+      int depth;
+      int line;
+      std::string_view name;
+    };
+    std::vector<Guard> guards;
+    int depth = 0;
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{") ++depth;
+        if (t.text == "}") {
+          --depth;
+          while (!guards.empty() && guards.back().depth > depth) guards.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (IsGuardName(t.text)) {
+        guards.push_back({depth, t.line, t.text});
+        continue;
+      }
+      if (guards.empty() || !CalledHere(i)) continue;
+      const bool member_call = IsPunct(At(i - 1), ".") ||
+                               (IsPunct(At(i - 1), ">") && IsPunct(At(i - 2), "-"));
+      const bool hazard = IsExecutorCall(t.text) || IsBatchSeam(t.text) ||
+                          (t.text == "Lookup" && member_call);
+      if (!hazard) continue;
+      Report("L008", t,
+             std::string(t.text) + "() reached while the " +
+                 std::string(guards.back().name) + " from line " +
+                 std::to_string(guards.back().line) +
+                 " is still held: executor workers and batch lookups must "
+                 "never run under a caller's mutex — release first");
+    }
+  }
+
+  // -- L009: raw thread primitives outside src/exec ------------------------
+
+  void CheckRawThreads(std::size_t i) {
+    const Token& t = toks()[i];
+    const bool std_qualified = i >= 3 && IsPunct(At(i - 1), ":") &&
+                               IsPunct(At(i - 2), ":") && IsIdent(At(i - 3), "std");
+    if ((t.text == "thread" || t.text == "jthread") && std_qualified) {
+      // std::thread::hardware_concurrency() reads a property, it does
+      // not spawn; anything else names the type to construct one.
+      if (IsPunct(At(i + 1), ":") && IsPunct(At(i + 2), ":")) return;
+      Report("L009", t,
+             "std::" + std::string(t.text) +
+                 " outside src/exec: all library parallelism goes through "
+                 "exec::Executor (thread counts, determinism, shutdown)");
+      return;
+    }
+    if (t.text == "async" && std_qualified && CalledHere(i)) {
+      Report("L009", t,
+             "std::async outside src/exec: all library parallelism goes "
+             "through exec::Executor");
+      return;
+    }
+    if (t.text == "detach" && CalledHere(i) && IsPunct(At(i + 2), ")") &&
+        (IsPunct(At(i - 1), ".") ||
+         (IsPunct(At(i - 1), ">") && IsPunct(At(i - 2), "-")))) {
+      Report("L009", t,
+             "detach() orphans a thread no shutdown path can join: keep "
+             "ownership and join, or route through exec::Executor");
+    }
+  }
+
+  // -- L010: swallowed catch (...) -----------------------------------------
+
+  /// Identifiers whose presence in a catch-all body counts as reporting
+  /// the failure instead of swallowing it.
+  static bool IsReportingIdent(std::string_view text) {
+    return text == "throw" || text == "fprintf" || text == "cerr" ||
+           text == "stderr" || text == "abort" || text == "terminate" ||
+           text == "counter" || text == "Increment" || text == "Report" ||
+           text == "report";
+  }
+
+  void CheckCatchAll() {
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (!IsIdent(At(i), "catch")) continue;
+      // Shape: catch ( . . . ) {
+      if (!IsPunct(At(i + 1), "(") || !IsPunct(At(i + 2), ".") ||
+          !IsPunct(At(i + 3), ".") || !IsPunct(At(i + 4), ".") ||
+          !IsPunct(At(i + 5), ")") || !IsPunct(At(i + 6), "{")) {
+        continue;
+      }
+      int depth = 1;
+      bool reports = false;
+      std::size_t j = i + 7;
+      for (; j < toks().size() && depth > 0; ++j) {
+        const Token& b = toks()[j];
+        if (b.kind == TokenKind::kPunct) {
+          if (b.text == "{") ++depth;
+          if (b.text == "}") --depth;
+        } else if (b.kind == TokenKind::kIdentifier && IsReportingIdent(b.text)) {
+          reports = true;
+        }
+      }
+      if (!reports) {
+        Report("L010", toks()[i],
+               "catch (...) neither rethrows nor reports: swallowed failures "
+               "turn corrupt input into silent wrong answers — rethrow, write "
+               "to stderr, or count it in obs");
+      }
+    }
+  }
+
   std::string_view path_;
   std::string_view source_;
   FileClass cls_;
@@ -296,6 +434,13 @@ FileClass Classify(std::string_view rel_path) {
   // (whose entire purpose is wall-clock telemetry and export streams).
   const bool in_src = rel_path.substr(0, 4) == "src/";
   cls.library_code = in_src && !Contains(rel_path, "src/obs/");
+
+  // L008/L009 police everything under src/ except the executor itself —
+  // the one place allowed to own threads and lock around its own
+  // machinery. L010 covers all of src/ (obs included: telemetry may
+  // read clocks, but it may not swallow failures).
+  cls.concurrency = in_src && !Contains(rel_path, "src/exec/");
+  cls.check_catch = in_src;
 
   // L002: deterministic-output TUs under src/ (StableMap's own
   // implementation file is the one sanctioned unordered_map user).

@@ -1,12 +1,14 @@
-// Rule catalogue and file classification for cellspot-lint.
+// Rule catalogue and file classification for cellspot-audit.
 //
-// The rules encode the project invariants that PRs 1-4 introduced by
+// The rules encode the project invariants that PRs 1-10 introduced by
 // hand (checked parsing, deterministic iteration, seeded randomness,
-// injected clocks, quiet library code) so refactors cannot silently
-// regress them. Scopes are path-based: see Classify() for the exact
-// predicate each rule uses. Violations are waivable only with an inline
+// injected clocks, quiet library code, layered modules, lock
+// discipline) so refactors cannot silently regress them. Scopes are
+// path-based: see Classify() for the exact predicate each rule uses.
+// Violations are waivable only with an inline
 //   // cellspot-lint: allow(Lnnn) <non-empty reason>
-// pragma on (or directly above) the offending line.
+// pragma on (or directly above) the offending line — and a waiver that
+// suppresses nothing is itself a finding (L011), so waivers cannot rot.
 #pragma once
 
 #include <string>
@@ -31,9 +33,32 @@ namespace cellspot::lint {
 //       #pragma once (or #ifndef include guard).
 // L006  malformed waiver pragma: unparseable allow(...) list or an
 //       empty reason. A malformed waiver never suppresses anything.
+// L007  layering violation (whole-tree pass, see graph.hpp): an
+//       #include edge between src/ modules that the declared DAG in
+//       tools/lint/layers.txt does not allow, a module missing from the
+//       declaration, or a file-level include cycle.
+// L008  a mutex guard (lock_guard / unique_lock / scoped_lock /
+//       shared_lock) still in scope across a call into exec::Executor
+//       (ParallelFor / ParallelForChunks / ParallelReduce) or across a
+//       batch lookup seam (.Lookup / LookupBatch / OriginOfBatch /
+//       ContainsBatch). Holding a lock across a fan-out invites the
+//       worker threads to need it — release first, or waive with the
+//       proof that they cannot. Scope: src/ minus src/exec (the
+//       executor's internals are the one sanctioned lock owner).
+// L009  raw thread primitives (std::thread / std::jthread construction,
+//       std::async, .detach()) outside src/exec and tools/: all library
+//       parallelism flows through exec::Executor so thread counts,
+//       determinism, and shutdown stay centrally owned.
+// L010  catch (...) in library code under src/ that neither rethrows
+//       nor reports (no throw, no stderr write, no obs counter):
+//       swallowed failures are how corrupt data becomes silent wrong
+//       answers.
+// L011  stale waiver: an allow(...) pragma that suppresses zero
+//       findings. Emitted by the driver after every pass (including
+//       L007) has had the chance to consume the waiver.
 
 struct Finding {
-  std::string rule;     // "L001".."L006"
+  std::string rule;     // "L001".."L011"
   std::string file;     // root-relative path
   int line = 0;
   int column = 0;
@@ -52,7 +77,9 @@ struct Waiver {
 
 struct FileReport {
   std::vector<Finding> findings;
-  std::vector<Waiver> waivers;
+  std::vector<Waiver> waivers;  // unused entries stay used=false; the
+                                // driver tries them against L007, then
+                                // turns leftovers into L011
 };
 
 /// Per-rule applicability of one file, derived from its root-relative
@@ -63,6 +90,8 @@ struct FileClass {
   bool deterministic_tu = false;  // L002
   bool library_code = false;      // L003 + L004 (src/ minus src/obs/)
   bool check_guard = false;       // L005
+  bool concurrency = false;       // L008 + L009 (src/ minus src/exec/)
+  bool check_catch = false;       // L010 (all of src/)
 };
 
 [[nodiscard]] FileClass Classify(std::string_view rel_path);
